@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench examples outputs clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf benchmarks/output .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,48 @@
+"""Benchmark fixtures: one full-schedule study shared by every bench.
+
+The study (all five datasets, full tap schedules) is generated and
+analyzed once per benchmark session at ``REPRO_BENCH_SCALE`` of the
+paper's traffic volume, then each benchmark regenerates its table or
+figure from the analysis products, prints the same rows/series the paper
+reports, and asserts the shape criteria recorded in
+``repro.core.experiments``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import run_study
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full five-dataset study."""
+    return run_study(seed=_SEED, scale=_SCALE)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    return _OUTPUT_DIR
+
+
+@pytest.fixture()
+def emit(output_dir, request):
+    """Print a rendered artifact and persist it under benchmarks/output/."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        path = output_dir / f"{request.node.name}.txt"
+        path.write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,115 @@
+"""Benches for backup (Table 15) and network load (Figures 9-10, §6)."""
+
+from repro.analysis.load import load_report
+from repro.report import tables
+from repro.report.figures import figure9, figure10
+
+
+class TestTable15:
+    def test_table15(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table15(study.analyses))
+        emit(table.render())
+        totals = {}
+        for name in ("VERITAS-BACKUP-CTRL", "VERITAS-BACKUP-DATA", "DANTZ",
+                     "CONNECTED-BACKUP"):
+            totals[name] = sum(
+                analysis.analyzer_results["backup"].bytes(name)
+                for analysis in study.analyses.values()
+            )
+        # Dantz and Veritas dwarf the Connected external service.
+        assert totals["DANTZ"] > totals["CONNECTED-BACKUP"]
+        assert totals["VERITAS-BACKUP-DATA"] > totals["CONNECTED-BACKUP"]
+        # Control connections are many but tiny.
+        assert totals["VERITAS-BACKUP-CTRL"] < 0.01 * totals["VERITAS-BACKUP-DATA"]
+
+    def test_backup_directionality(self, study, benchmark, emit):
+        benchmark(lambda: [
+            a.analyzer_results["backup"].reverse_fraction("DANTZ")
+            for a in study.analyses.values()
+        ])
+        """Veritas data flows strictly client->server; Dantz runs big
+        volumes in both directions (§5.2.3)."""
+        lines = []
+        veritas_reverse = []
+        dantz_reverse = []
+        for name, analysis in study.analyses.items():
+            report = analysis.analyzer_results["backup"]
+            veritas_reverse.append(report.reverse_fraction("VERITAS-BACKUP-DATA"))
+            dantz_reverse.append(report.reverse_fraction("DANTZ"))
+            lines.append(
+                f"{name}: Veritas reverse {veritas_reverse[-1]:.1%}, "
+                f"Dantz reverse {dantz_reverse[-1]:.1%}, "
+                f"Dantz bidirectional conns {report.bidirectional_fraction('DANTZ'):.0%}"
+            )
+        assert max(veritas_reverse) < 0.05
+        assert max(dantz_reverse) > 0.1
+        emit("\n".join(lines))
+
+    def test_backup_volume_swing(self, study, benchmark, emit):
+        benchmark(lambda: study.breakdowns["D0"].byte_fraction("backup"))
+        """Backup volume varies ~5x between D0 and D4 (Figure 1a note)."""
+        def backup_share(name):
+            breakdown = study.breakdowns[name]
+            return breakdown.byte_fraction("backup")
+
+        d0, d4 = backup_share("D0"), backup_share("D4")
+        emit(f"backup byte share: D0={d0:.1%} D4={d4:.1%}")
+        assert d0 > d4
+
+
+class TestFigure9:
+    def test_figure9(self, study, benchmark, emit):
+        peaks, util = benchmark(lambda: study.figure(9))
+        emit(peaks.render() + "\n\n" + util.render())
+        report = load_report(study.analyses["D4"].traces)
+        # Peaks fall as the averaging window grows (short-lived saturation).
+        p1 = report.peak_cdfs[1.0].median
+        p10 = report.peak_cdfs[10.0].median
+        p60 = report.peak_cdfs[60.0].median
+        assert p1 >= p10 >= p60
+        # Typical usage is 1-2 orders of magnitude below the peak.
+        median_util = report.utilization_cdfs["median"].median
+        max_util = report.utilization_cdfs["maximum"].median
+        assert max_util > 5 * max(median_util, 1e-6)
+        # Far below the 100 Mbps capacity.
+        assert report.peak_cdfs[60.0].max < 100.0
+
+
+class TestFigure10:
+    def test_figure10(self, study, benchmark, emit):
+        figure = benchmark(lambda: figure10(study.analyses))
+        emit(figure.render())
+        ent = figure.series["ENT"]
+        wan = figure.series["WAN"]
+        assert ent, "no enterprise traces with >=1000 TCP packets"
+        # The vast majority of traces stay below 1% retransmissions.
+        below_1pct = sum(1 for rate in ent if rate < 0.01) / len(ent)
+        assert below_1pct > 0.7
+        # Internal rates sometimes eclipse 2% (the lossy Veritas outlier).
+        assert max(ent) > 0.02
+        # WAN rates generally exceed internal ones.
+        if len(wan) >= 5:
+            wan_mean = sum(wan) / len(wan)
+            ent_typical = sorted(ent)[len(ent) // 2]
+            assert wan_mean > ent_typical
+
+    def test_keepalive_exclusion_matters(self, study, benchmark, emit):
+        benchmark(lambda: sum(
+            c.keepalive_retransmits for c in study.analyses["D1"].conns
+        ))
+        """Ablation: counting 1-byte keep-alives as losses inflates rates."""
+        analysis = study.analyses["D1"]
+        with_keepalives = 0
+        without = 0
+        packets = 0
+        for conn in analysis.conns:
+            if conn.proto != "tcp" or conn.involves_wan(analysis.internal_net):
+                continue
+            with_keepalives += conn.retransmits + conn.keepalive_retransmits
+            without += conn.retransmits
+            packets += conn.total_pkts
+        emit(
+            f"D1 internal retransmit rate: {without / packets:.4%} excluding "
+            f"keep-alives vs {with_keepalives / packets:.4%} including them"
+        )
+        assert with_keepalives > 1.5 * without

@@ -1,0 +1,144 @@
+"""Benches for email (Table 8, Figures 5-6) and name services (§5.1.3)."""
+
+from repro.proto.dns import RCODE_NOERROR, RCODE_NXDOMAIN
+from repro.report import tables
+from repro.report.figures import figure5, figure6
+
+
+class TestTable8:
+    def test_table8(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table8(study.analyses))
+        emit(table.render())
+        for name, analysis in study.analyses.items():
+            report = analysis.analyzer_results["email"]
+            if report.total_bytes() > 100_000:
+                # SMTP + IMAP(/S) carry >=94% of email bytes (paper).
+                assert report.dominant_fraction() > 0.85, name
+        # The IMAP -> IMAP/S policy change: cleartext IMAP4 collapses
+        # after D0 (216MB -> ~2MB in the paper).
+        d0 = study.analyses["D0"].analyzer_results["email"]
+        d1 = study.analyses["D1"].analyzer_results["email"]
+        if d0.protocol_bytes("IMAP4"):
+            assert d1.protocol_bytes("IMAP4") < 0.3 * d0.protocol_bytes("IMAP4")
+        # Mail-subnet vantage (D0-D2) carries more email than D3-D4.
+        d3 = study.analyses["D3"].analyzer_results["email"]
+        assert d1.total_bytes() > d3.total_bytes()
+
+
+class TestFigure5:
+    def test_figure5(self, study, benchmark, emit):
+        smtp_fig, imaps_fig = benchmark(lambda: figure5(study.analyses))
+        emit(
+            smtp_fig.render() + "\n\n" + imaps_fig.render()
+            + "\n\n" + smtp_fig.render_plot() + "\n\n" + imaps_fig.render_plot()
+        )
+        for name in ("D0", "D1", "D2"):
+            report = study.analyses[name].analyzer_results["email"]
+            ent = report.duration_cdf("SMTP", "ent")
+            wan = report.duration_cdf("SMTP", "wan")
+            if len(ent) > 15 and len(wan) > 15:
+                # WAN SMTP lasts ~an order of magnitude longer (>=3x here).
+                assert wan.median > 3 * ent.median, name
+        # Internal IMAP/S sessions live 1-2 orders longer than WAN ones.
+        for name in ("D1", "D2"):
+            report = study.analyses[name].analyzer_results["email"]
+            ent = report.duration_cdf("SIMAP", "ent")
+            wan = report.duration_cdf("SIMAP", "wan")
+            if len(ent) > 15 and len(wan) > 15:
+                assert ent.median > 10 * wan.median, name
+
+
+class TestFigure6:
+    def test_figure6(self, study, benchmark, emit):
+        smtp_fig, imaps_fig = benchmark(lambda: figure6(study.analyses))
+        emit(smtp_fig.render() + "\n\n" + imaps_fig.render())
+        for name in ("D0", "D1", "D2"):
+            report = study.analyses[name].analyzer_results["email"]
+            for where in ("ent", "wan"):
+                cdf = report.flow_size_cdf("SMTP", where)
+                if len(cdf) > 20:
+                    # Over ~95% of flows below 1 MB, with an upper tail.
+                    assert cdf(1_000_000) > 0.9, (name, where)
+                    assert cdf.max > 5 * cdf.median, (name, where)
+
+    def test_smtp_success_rates(self, study, benchmark, emit):
+        benchmark(lambda: [
+            study.analyses[n].analyzer_results["email"].success.get("SMTP/ent")
+            for n in ("D0", "D1", "D2")
+        ])
+        lines = []
+        for name in ("D0", "D1", "D2"):
+            report = study.analyses[name].analyzer_results["email"]
+            ent = report.success.get("SMTP/ent")
+            if ent and ent.total > 20:
+                lines.append(f"{name}: internal SMTP pair success {ent.success_rate:.0%}")
+                # Paper: internal SMTP succeeds 95-98%.
+                assert ent.success_rate > 0.85, name
+        emit("\n".join(lines))
+
+
+class TestNameServices:
+    def test_dns_findings(self, study, benchmark, emit):
+        report = benchmark(
+            lambda: study.analyses["D3"].analyzer_results["dns"]
+        )
+        lines = []
+        side = report.internal
+        total = sum(side.qtypes.values())
+        lines.append(f"D3 internal DNS requests: {total}")
+        lines.append(f"  qtypes: {dict(side.qtypes)}")
+        lines.append(f"  NOERROR {side.rcode_fraction(RCODE_NOERROR):.0%} "
+                     f"NXDOMAIN {side.rcode_fraction(RCODE_NXDOMAIN):.0%}")
+        # A majority (50-66%), AAAA surprisingly high (17-25%), then PTR, MX.
+        assert side.qtype_fraction("A") > side.qtype_fraction("AAAA")
+        assert side.qtype_fraction("AAAA") > side.qtype_fraction("MX")
+        assert 0.10 < side.qtype_fraction("AAAA") < 0.35
+        # Return codes: NOERROR 77-86%, NXDOMAIN 11-21%.
+        assert 0.6 < side.rcode_fraction(RCODE_NOERROR) < 0.95
+        assert 0.05 < side.rcode_fraction(RCODE_NXDOMAIN) < 0.30
+        # Latency: ~0.4 ms internal vs ~20 ms off-site.
+        ent_lat = side.latency_cdf()
+        wan_lat = report.wan.latency_cdf()
+        if len(ent_lat) > 20 and len(wan_lat) > 20:
+            lines.append(f"  latency median ent={ent_lat.median*1000:.2f}ms "
+                         f"wan={wan_lat.median*1000:.1f}ms")
+            assert wan_lat.median > 10 * ent_lat.median
+        emit("\n".join(lines))
+
+    def test_netbios_findings(self, study, benchmark, emit):
+        report = benchmark(
+            lambda: study.analyses["D3"].analyzer_results["netbios"]
+        )
+        lines = [
+            f"D3 Netbios/NS requests: {report.requests}",
+            f"  types: {dict(report.request_types)}",
+            f"  name types: {dict(report.name_types)}",
+            f"  distinct-query failure rate: {report.distinct_query_failure_rate():.0%}",
+            f"  top-10 client share: {report.top_clients_share(10):.0%}",
+        ]
+        # Queries 81-85%, refresh 12-15%.
+        assert 0.7 < report.request_type_fraction("query") < 0.95
+        assert 0.05 < report.request_type_fraction("refresh") < 0.25
+        # Workstation/server names 63-71%, domain/browser 22-32%.
+        assert report.name_type_fraction("host") > report.name_type_fraction("domain")
+        # The headline: 36-50% of distinct queries fail (stale names).
+        assert 0.25 < report.distinct_query_failure_rate() < 0.60
+        # Requests spread across clients: top ten < ~40%.
+        assert report.top_clients_share(10) < 0.6
+        emit("\n".join(lines))
+
+    def test_nbns_fails_more_than_dns(self, study, benchmark, emit):
+        """Netbios/NS fails 2-3x more often than DNS (§5.1.3)."""
+        dns_report = study.analyses["D3"].analyzer_results["dns"]
+        nbns_report = study.analyses["D3"].analyzer_results["netbios"]
+        dns_fail = dns_report.internal.rcode_fraction(RCODE_NXDOMAIN)
+        nbns_fail = benchmark(nbns_report.distinct_query_failure_rate)
+        emit(f"DNS NXDOMAIN {dns_fail:.0%} vs NBNS distinct-query failures {nbns_fail:.0%}")
+        assert nbns_fail > 1.5 * dns_fail
+
+    def test_dns_clients_led_by_smtp_servers(self, study, benchmark, emit):
+        """A few clients (the main SMTP servers) issue most DNS requests."""
+        report = study.analyses["D0"].analyzer_results["dns"]
+        share = benchmark(lambda: report.top_client_share(2))
+        emit(f"D0 top-2 DNS clients issue {share:.0%} of requests")
+        assert share > 0.15

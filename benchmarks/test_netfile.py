@@ -1,0 +1,158 @@
+"""Benches for NFS/NCP: Tables 12-14, Figures 7-8 (§5.2.2)."""
+
+from repro.report import tables
+from repro.report.figures import figure7, figure8
+
+_FULL = ("D0", "D3", "D4")
+
+
+class TestTable12:
+    def test_table12(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table12(study.analyses))
+        emit(table.render())
+        nfs_bytes = {
+            name: study.analyses[name].analyzer_results["nfs"].total_bytes
+            for name in study.analyses
+        }
+        ncp_bytes = {
+            name: study.analyses[name].analyzer_results["ncp"].total_bytes
+            for name in study.analyses
+        }
+        # NFS transfers more data than NCP in every dataset (Table 12).
+        for name in study.analyses:
+            if nfs_bytes[name] + ncp_bytes[name] > 1_000_000:
+                assert nfs_bytes[name] > ncp_bytes[name], name
+        # NCP connections outnumber NFS connections in D0.
+        d0_nfs = study.analyses["D0"].analyzer_results["nfs"].conns
+        d0_ncp = study.analyses["D0"].analyzer_results["ncp"].conns
+        assert d0_ncp > d0_nfs
+
+    def test_heavy_hitters(self, study, benchmark, emit):
+        benchmark(lambda: [
+            study.analyses[n].analyzer_results["nfs"].top_pairs_byte_share(3)
+            for n in _FULL
+        ])
+        """Three most active NFS pairs carry 89-94% of bytes; NCP's top
+        three 35-62%."""
+        lines = []
+        for name in _FULL:
+            nfs_report = study.analyses[name].analyzer_results["nfs"]
+            ncp_report = study.analyses[name].analyzer_results["ncp"]
+            nfs_share = nfs_report.top_pairs_byte_share(3)
+            ncp_share = ncp_report.top_pairs_byte_share(3)
+            lines.append(f"{name}: NFS top-3 pair share {nfs_share:.0%}, NCP {ncp_share:.0%}")
+            if nfs_report.bytes_per_pair:
+                assert nfs_share > 0.5, name
+        emit("\n".join(lines))
+
+    def test_nfs_transport_mix(self, study, benchmark, emit):
+        """90% of NFS host-pairs use UDP, ~21% TCP (§5.2.2)."""
+        report = study.analyses["D0"].analyzer_results["nfs"]
+        udp_frac = benchmark(report.udp_pair_fraction)
+        tcp_frac = report.tcp_pair_fraction()
+        emit(f"D0 NFS pairs: {udp_frac:.0%} UDP, {tcp_frac:.0%} TCP")
+        assert udp_frac > 0.6
+        assert tcp_frac < 0.5
+
+
+class TestTable13:
+    def test_table13(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table13(study.analyses))
+        emit(table.render())
+        for name in _FULL:
+            report = study.analyses[name].analyzer_results["nfs"]
+            if sum(report.requests_by_type.values()) < 100:
+                continue
+            # Read/write carry the vast majority of bytes (88-99%).
+            rw_bytes = report.bytes_type_fraction("Read") + report.bytes_type_fraction("Write")
+            assert rw_bytes > 0.75, name
+        # The per-dataset workload shift: D0 read-heavy, D4 write-heavy.
+        d0 = study.analyses["D0"].analyzer_results["nfs"]
+        d4 = study.analyses["D4"].analyzer_results["nfs"]
+        assert d0.request_type_fraction("Read") > d0.request_type_fraction("Write")
+        assert d4.request_type_fraction("Write") > d4.request_type_fraction("Read")
+
+    def test_nfs_request_success(self, study, benchmark, emit):
+        """Requests succeed 84-95%; failures are mostly missing-file lookups."""
+        report = study.analyses["D0"].analyzer_results["nfs"]
+        rate = benchmark(report.request_success_rate)
+        emit(f"D0 NFS request success: {rate:.1%}; "
+             f"failures by type: {dict(report.failed_by_type)}")
+        assert 0.8 < rate < 1.0
+        if report.failed_by_type:
+            assert report.failed_by_type.most_common(1)[0][0] == "LookUp"
+
+
+class TestTable14:
+    def test_table14(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table14(study.analyses))
+        emit(table.render())
+        for name in _FULL:
+            report = study.analyses[name].analyzer_results["ncp"]
+            if sum(report.requests_by_type.values()) < 100:
+                continue
+            # Read dominates NCP bytes (70-82% in Table 14).
+            assert report.bytes_type_fraction("Read") > 0.4, name
+            # File search: visible request share, negligible byte share.
+            assert report.request_type_fraction("File Search") > report.bytes_type_fraction(
+                "File Search"
+            ), name
+
+    def test_ncp_keepalive_finding(self, study, benchmark, emit):
+        """40-80% of NCP connections are keep-alive-only (§5.2.2)."""
+        benchmark(lambda: [
+            study.analyses[n].analyzer_results["ncp"].keepalive_only_fraction()
+            for n in _FULL
+        ])
+        lines = []
+        for name in _FULL:
+            report = study.analyses[name].analyzer_results["ncp"]
+            if report.established_conns < 10:
+                continue
+            frac = report.keepalive_only_fraction()
+            lines.append(f"{name}: keep-alive-only NCP connections {frac:.0%}")
+            assert 0.25 < frac < 0.9, name
+        emit("\n".join(lines))
+
+
+class TestFigure7:
+    def test_figure7(self, study, benchmark, emit):
+        nfs_fig, ncp_fig = benchmark(lambda: figure7(study.analyses))
+        emit(nfs_fig.render() + "\n\n" + ncp_fig.render())
+        report = study.analyses["D0"].analyzer_results["nfs"]
+        cdf = report.requests_per_pair_cdf()
+        if len(cdf) >= 5:
+            # Requests per pair span orders of magnitude (a handful to
+            # hundreds of thousands in the paper).
+            assert cdf.max / max(cdf.min, 1) > 50
+
+
+class TestFigure8:
+    def test_figure8(self, study, benchmark, emit):
+        figures = benchmark(lambda: figure8(study.analyses))
+        emit(
+            "\n\n".join(f.render() for f in figures.values())
+            + "\n\n"
+            + "\n\n".join(f.render_plot(height=12) for f in figures.values())
+        )
+        nfs_report = study.analyses["D0"].analyzer_results["nfs"]
+        # NFS dual-mode: mass near ~100 B and near ~8 KB.
+        from repro.util.stats import Cdf
+
+        requests = Cdf(nfs_report.request_sizes)
+        replies = Cdf(nfs_report.reply_sizes)
+        if len(requests) > 100:
+            small = requests(300)
+            assert small > 0.2  # control mode present
+            assert requests(300) < 1.0  # data mode present too
+            assert replies.max > 8000
+        # NCP request mode at 14 bytes.
+        ncp_report = study.analyses["D0"].analyzer_results["ncp"]
+        if ncp_report.request_sizes:
+            assert min(ncp_report.request_sizes) == 14
+            fourteen = sum(1 for s in ncp_report.request_sizes if s == 14)
+            assert fourteen / len(ncp_report.request_sizes) > 0.2
+        # NCP reply modes at 2/10/260 bytes.
+        if ncp_report.reply_sizes:
+            present = set(ncp_report.reply_sizes)
+            assert 2 in present and 10 in present

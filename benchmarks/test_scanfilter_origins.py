@@ -1,0 +1,77 @@
+"""Benches for §3's scan filter and §4's origins/locality (Figure 2)."""
+
+from repro.analysis.conn import Locality
+from repro.analysis.locality import fan_stats, origin_breakdown
+from repro.analysis.scanfilter import filter_scanners
+from repro.report.figures import figure2
+
+
+class TestScanFilter:
+    def test_scanfilter(self, study, benchmark, emit):
+        lines = []
+        for name, analysis in study.analyses.items():
+            result = benchmark.pedantic(
+                filter_scanners, args=(analysis.conns,), rounds=1, iterations=1,
+            ) if name == "D0" else filter_scanners(analysis.conns)
+            fraction = result.removed_fraction
+            lines.append(
+                f"{name}: {len(result.scanners)} scanners, "
+                f"{result.removed} conns removed ({fraction:.1%})"
+            )
+            # Paper: 4-18% of connections removed (wider band at small scale).
+            assert 0.01 < fraction < 0.30, name
+        emit("\n".join(lines))
+
+    def test_known_internal_scanners_found(self, study, benchmark, emit):
+        from repro.gen.topology import Role
+
+        scanner_ips = {h.ip for h in study.enterprise.servers(Role.SCANNER)}
+
+        def overlap():
+            found = set()
+            for analysis in study.analyses.values():
+                found |= analysis.scanner_sources & scanner_ips
+            return found
+
+        found = benchmark(overlap)
+        emit(f"internal scanners detected: {len(found)} of {len(scanner_ips)}")
+        assert found  # the heuristic independently rediscovers them
+
+
+class TestOrigins:
+    def test_origins(self, study, benchmark, emit):
+        lines = []
+        for name, analysis in study.analyses.items():
+            conns = analysis.filtered_conns()
+            breakdown = (
+                benchmark(lambda: origin_breakdown(conns, analysis.internal_net))
+                if name == "D0"
+                else origin_breakdown(conns, analysis.internal_net)
+            )
+            row = {loc.value: f"{breakdown.fraction(loc):.1%}" for loc in Locality}
+            lines.append(f"{name}: {row}")
+            # Paper §4: 71-79% ent-ent; multicast visible; wan flows present.
+            assert breakdown.fraction(Locality.ENT_ENT) > 0.55, name
+            mcast = breakdown.fraction(Locality.MCAST_INT) + breakdown.fraction(
+                Locality.MCAST_EXT
+            )
+            assert 0.02 < mcast < 0.35, name
+        emit("\n".join(lines))
+
+
+class TestFigure2:
+    def test_figure2(self, study, benchmark, emit):
+        fan_in, fan_out = benchmark(lambda: figure2(study.analyses))
+        emit(fan_in.render() + "\n\n" + fan_out.render())
+        for name in ("D2", "D3"):
+            analysis = study.analyses[name]
+            stats = fan_stats(analysis.filtered_conns(), analysis.internal_net)
+            # Hosts have more enterprise peers than WAN peers.
+            assert stats.fan_out_ent.n > stats.fan_out_wan.n, name
+            # >90% of hosts talk to at most a couple dozen peers ...
+            assert stats.fan_out_ent.quantile(0.9) <= 40, name
+            # ... but the tail reaches scores-to-hundreds (SrvLoc bursts,
+            # busy servers).
+            assert stats.fan_out_ent.max >= 50, name
+            # A sizable share of hosts have only internal peers.
+            assert stats.only_internal_fan_out > 0.4, name

@@ -1,0 +1,122 @@
+"""Benches for the broad-breakdown tables: Tables 1, 2, 3 and Figure 1.
+
+Each bench regenerates the paper artifact from the analyzed study, prints
+it, and asserts the shape criteria (who wins, rough factors) that the
+reproduction targets.
+"""
+
+from repro.report import tables
+from repro.report.figures import figure1
+
+
+class TestTable1:
+    def test_table1(self, study, benchmark, emit):
+        table = benchmark(lambda: study.table(1))
+        emit(table.render())
+        packets = {name: table.cell("# Packets", name) for name in study.analyses}
+        # D1 (two hour-long rounds of 22 subnets) is the largest dataset.
+        assert packets["D1"] == max(packets.values())
+        # Hour-long tapping accumulates more remote hosts than D0's
+        # 10-minute windows.
+        remote = {name: table.cell("Remote Hosts", name) for name in study.analyses}
+        assert remote["D1"] > remote["D0"]
+        # Thousands of internal hosts appear (8,000 in the paper).
+        assert all(table.cell("LBNL Hosts", n) > 500 for n in study.analyses)
+
+
+class TestTable2:
+    def test_table2(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table2(study.analyses))
+        emit(table.render())
+        for name, analysis in study.analyses.items():
+            totals = analysis.l2_totals()
+            total = sum(totals.values())
+            non_ip = total - totals["ip"]
+            # IP dominates (>95% in the paper; >92% allowed at small scale).
+            assert totals["ip"] / total > 0.92, name
+            # IPX is the largest non-IP protocol at the router-0 vantage.
+            if name in ("D0", "D1", "D2") and non_ip:
+                assert totals["ipx"] >= totals["arp"], name
+
+
+class TestTable3:
+    def test_table3(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table3(study.analyses))
+        emit(table.render())
+        for name, analysis in study.analyses.items():
+            conns = analysis.filtered_conns()
+            bytes_by = {"tcp": 0, "udp": 0, "icmp": 0}
+            conns_by = {"tcp": 0, "udp": 0, "icmp": 0}
+            for conn in conns:
+                bytes_by[conn.proto] += conn.total_bytes
+                conns_by[conn.proto] += 1
+            # The paper's headline: bulk of bytes via TCP, bulk of
+            # connections via UDP, in every dataset.
+            assert bytes_by["tcp"] > bytes_by["udp"], name
+            assert conns_by["udp"] > conns_by["tcp"], name
+            # ICMP: a visible but small connection share (5-8% paper).
+            icmp_share = conns_by["icmp"] / sum(conns_by.values())
+            assert 0.005 < icmp_share < 0.20, name
+
+
+class TestTable5:
+    def test_table5(self, study, benchmark, emit):
+        """The findings index, regenerated with measured values."""
+        table = benchmark(lambda: study.table(5))
+        emit(table.render())
+        assert len(table.rows) == 6
+        findings = "\n".join(str(row[1]) for row in table.rows)
+        assert "n/a" not in findings  # every finding computable at full scale
+
+
+class TestFigure1:
+    def test_figure1_bytes(self, study, benchmark, emit):
+        table = benchmark(lambda: figure1(study.breakdowns, by="bytes"))
+        emit(table.render())
+        for name, breakdown in study.breakdowns.items():
+            # name-service bytes are negligible despite huge conn counts.
+            assert breakdown.byte_fraction("name") < 0.02, name
+            # bulk transfer categories carry the majority of bytes.
+            heavy = sum(
+                breakdown.byte_fraction(cat)
+                for cat in ("net-file", "backup", "bulk")
+            )
+            assert heavy > 0.30, name
+
+    def test_figure1_conns(self, study, benchmark, emit):
+        table = benchmark(lambda: figure1(study.breakdowns, by="conns"))
+        emit(table.render())
+        for name, breakdown in study.breakdowns.items():
+            name_share = breakdown.conn_fraction("name")
+            # name tops connection counts (45-65% in the paper).
+            assert name_share > 0.30, name
+            assert name_share == max(
+                breakdown.conn_fraction(cat)
+                for cat in breakdown.stats
+            ), name
+
+    def test_figure1_locality_split(self, study, benchmark, emit):
+        """Most traffic is local to the enterprise (the hollow bars)."""
+        lines = []
+        shares = benchmark(lambda: {
+            name: sum(s.ent_bytes for s in b.stats.values()) / max(b.total_bytes, 1)
+            for name, b in study.breakdowns.items()
+        })
+        for name, breakdown in study.breakdowns.items():
+            ent = sum(stats.ent_bytes for stats in breakdown.stats.values())
+            total = breakdown.total_bytes
+            lines.append(f"{name}: enterprise share of unicast bytes = {ent/total:.0%}")
+            assert ent / total > 0.5, name
+        emit("\n".join(lines))
+
+    def test_multicast_findings(self, study, benchmark, emit):
+        """§3: multicast streaming carries ~5-10% of all payload bytes."""
+        lines = []
+        benchmark(lambda: [
+            b.multicast_byte_fraction("streaming") for b in study.breakdowns.values()
+        ])
+        for name, breakdown in study.breakdowns.items():
+            frac = breakdown.multicast_byte_fraction("streaming")
+            lines.append(f"{name}: multicast streaming bytes = {frac:.1%}")
+            assert 0.005 < frac < 0.25, name
+        emit("\n".join(lines))

@@ -1,0 +1,81 @@
+"""Core-path throughput benchmarks.
+
+Not paper artifacts — these time the hot paths a downstream user cares
+about when running larger-scale studies: packet crafting, flat decoding,
+flow-table ingestion, and pcap I/O.
+"""
+
+import io
+import random
+
+from repro.analysis.flow import FlowTable
+from repro.gen.packetize import realize_session
+from repro.gen.session import AppEvent, Dir, TcpSession
+from repro.net.packet import decode_packet, make_tcp_packet
+from repro.net.tcp import ACK, PSH
+from repro.pcap.reader import PcapReader
+from repro.pcap.writer import PcapWriter
+
+
+def _bulk_packets(n_bytes=2_000_000):
+    session = TcpSession(
+        client_ip=0x83F30101, server_ip=0x83F30201, client_mac=1, server_mac=2,
+        sport=40000, dport=13724, start=0.0, rtt=0.0005, loss_rate=0.0,
+        events=[AppEvent(0.0, Dir.C2S, b"\x00" * n_bytes)],
+    )
+    return realize_session(session, random.Random(1))
+
+
+class TestCraftAndDecode:
+    def test_craft_full_mss_packet(self, benchmark):
+        payload = b"x" * 1460
+        pkt = benchmark(
+            lambda: make_tcp_packet(
+                1.0, 1, 2, 3, 4, 40000, 80, 100, 0, ACK | PSH, payload=payload
+            )
+        )
+        assert pkt.wire_len == 1514
+
+    def test_decode_full_mss_packet(self, benchmark):
+        pkt = make_tcp_packet(1.0, 1, 2, 3, 4, 40000, 80, 100, 0, ACK | PSH,
+                              payload=b"x" * 1460)
+        decoded = benchmark(lambda: decode_packet(pkt))
+        assert decoded.payload_len == 1460
+
+
+class TestFlowIngest:
+    def test_flow_table_throughput(self, benchmark):
+        decoded = [decode_packet(p) for p in _bulk_packets()]
+
+        def ingest():
+            table = FlowTable(collect_payload=False)
+            for pkt in decoded:
+                table.process(pkt)
+            return table.flush()
+
+        results = benchmark(ingest)
+        assert len(results) == 1
+
+
+class TestPcapIo:
+    def test_write_throughput(self, benchmark):
+        packets = _bulk_packets()
+
+        def write():
+            buffer = io.BytesIO()
+            PcapWriter(buffer).write_all(packets)
+            return buffer
+
+        buffer = benchmark(write)
+        assert buffer.tell() > 1_000_000
+
+    def test_read_throughput(self, benchmark):
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write_all(_bulk_packets())
+        data = buffer.getvalue()
+
+        def read():
+            return sum(1 for _ in PcapReader(io.BytesIO(data)))
+
+        count = benchmark(read)
+        assert count > 1000

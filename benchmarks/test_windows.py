@@ -1,0 +1,93 @@
+"""Benches for the Windows services analyses: Tables 9, 10, 11 (§5.2.1)."""
+
+from repro.report import tables
+
+_FULL = ("D0", "D3", "D4")
+
+
+class TestTable9:
+    def test_table9(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table9(study.analyses))
+        emit(table.render())
+        for name in _FULL:
+            report = study.analyses[name].analyzer_results["windows"]
+            ssn = report.success.get("Netbios/SSN")
+            cifs = report.success.get("CIFS")
+            epm = report.success.get("Endpoint Mapper")
+            if not (ssn and cifs and epm and min(ssn.total, cifs.total) > 15):
+                continue
+            # The paper's striking ordering: EPM (99-100%) > SSN (82-92%)
+            # > CIFS (46-68%), with CIFS failures dominated by rejections
+            # from 139-only servers probed on 445 in parallel.
+            assert epm.success_rate >= ssn.success_rate > cifs.success_rate, name
+            assert cifs.success_rate < 0.85, name
+            assert cifs.rejected_rate > cifs.unanswered_rate, name
+
+    def test_nbss_handshake_success(self, study, benchmark, emit):
+        benchmark(lambda: [
+            study.analyses[n].analyzer_results["windows"].nbss_handshake_success_rate()
+            for n in _FULL
+        ])
+        lines = []
+        for name in _FULL:
+            report = study.analyses[name].analyzer_results["windows"]
+            rate = report.nbss_handshake_success_rate()
+            lines.append(f"{name}: NBSS handshake success {rate:.0%}")
+            if report.nbss_pairs:
+                # Paper: 89-99% across datasets.
+                assert rate > 0.8, name
+        emit("\n".join(lines))
+
+
+class TestTable10:
+    def test_table10(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table10(study.analyses))
+        emit(table.render())
+        for name in _FULL:
+            report = study.analyses[name].analyzer_results["windows"]
+            if sum(report.cifs_requests.values()) < 50:
+                continue
+            # DCE/RPC pipes beat Windows File Sharing in message counts
+            # everywhere (Table 10: 33-48% vs 11-27%)...
+            assert report.cifs_request_fraction("RPC Pipes") > report.cifs_request_fraction(
+                "Windows File Sharing"
+            ), name
+            # ... and in bytes at the print-server vantage (D3/D4: 64-77%
+            # vs 8-17%; in D0 file sharing legitimately wins bytes 43-32).
+            if name in ("D3", "D4"):
+                assert report.cifs_bytes_fraction("RPC Pipes") > report.cifs_bytes_fraction(
+                    "Windows File Sharing"
+                ), name
+            # SMB Basic is numerous but byte-light.
+            assert report.cifs_request_fraction("SMB Basic") > report.cifs_bytes_fraction(
+                "SMB Basic"
+            ), name
+
+
+class TestTable11:
+    def test_table11(self, study, benchmark, emit):
+        table = benchmark(lambda: tables.table11(study.analyses))
+        emit(table.render())
+        d0 = study.analyses["D0"].analyzer_results["windows"]
+        d0_auth = d0.rpc_request_fraction("NetLogon") + d0.rpc_request_fraction("LsaRPC")
+        d0_print = d0.rpc_request_fraction("Spoolss/WritePrinter") + d0.rpc_request_fraction("Spoolss/other")
+        for name in ("D3", "D4"):
+            report = study.analyses[name].analyzer_results["windows"]
+            auth = report.rpc_request_fraction("NetLogon") + report.rpc_request_fraction("LsaRPC")
+            printing = report.rpc_request_fraction("Spoolss/WritePrinter") + report.rpc_request_fraction("Spoolss/other")
+            # Printing dominates the D3/D4 vantage (major print server).
+            assert printing > auth, name
+            # ... and WritePrinter owns the bytes (94-99% in the paper).
+            assert report.rpc_bytes_fraction("Spoolss/WritePrinter") > 0.6, name
+        # Authentication is far heavier at the D0 vantage than at D3/D4.
+        d3 = study.analyses["D3"].analyzer_results["windows"]
+        d3_auth = d3.rpc_request_fraction("NetLogon") + d3.rpc_request_fraction("LsaRPC")
+        assert d0_auth > d3_auth
+
+    def test_endpoint_mapper_learning(self, study, benchmark, emit):
+        """Stand-alone DCE/RPC endpoints are discovered via EPM."""
+        total = benchmark(lambda: sum(
+            len(study.analyses[name].windows_endpoints) for name in _FULL
+        ))
+        emit(f"EPM-learned endpoints across full-payload datasets: {total}")
+        assert total > 0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: how long do IMAP/S sessions *really* live? (§5.1.2)
+
+The paper could not answer this: its hour-long tap windows cap observed
+IMAP/S durations around 50 minutes, so "determining the true length of
+IMAP/S sessions requires longer observations and is a subject for
+future work."  Right-censoring has a classical fix, though: treat every
+connection still open when the tap moved on as "lived at least this
+long" and apply the Kaplan-Meier product-limit estimator.
+
+This example measures windowed IMAP/S durations, compares the naive CDF
+(biased low) against the censoring-aware estimate, and reports how much
+of the distribution remains honestly unidentifiable.
+
+    python examples/imap_session_lengths.py
+"""
+
+import tempfile
+
+from repro.analysis import DatasetAnalyzer, KaplanMeier, censored_durations
+from repro.gen import Enterprise, generate_dataset
+from repro.util.stats import Cdf
+
+IMAPS_PORT = 993
+
+
+def main() -> None:
+    enterprise = Enterprise(seed=61)
+    with tempfile.TemporaryDirectory() as workdir:
+        print("capturing D1 (hour-long windows over the mail-side router)...")
+        traces = generate_dataset("D1", enterprise, workdir, seed=61, scale=0.01,
+                                  max_windows=24)
+        engine = DatasetAnalyzer("D1", full_payload=False)
+        for trace in traces.traces:
+            engine.process_pcap(trace.path)
+        analysis = engine.finish()
+
+    imaps = [
+        conn for conn in analysis.filtered_conns()
+        if conn.proto == "tcp" and conn.resp_port == IMAPS_PORT
+    ]
+    samples = censored_durations(imaps)
+    censored = sum(1 for sample in samples if sample.censored)
+    print(f"\nIMAP/S connections observed: {len(samples)} "
+          f"({censored} still open when the tap moved on — right-censored)")
+
+    naive = Cdf([sample.duration for sample in samples])
+    km = KaplanMeier(samples)
+
+    print("\n              naive (treat cut-offs as complete)   Kaplan-Meier")
+    for q in (0.25, 0.5, 0.75, 0.9):
+        naive_q = naive.quantile(q)
+        km_q = km.quantile(q)
+        km_text = f"{km_q:8.0f} s" if km_q is not None else "  unidentifiable"
+        print(f"  p{int(q * 100):<3}        {naive_q:8.0f} s                    {km_text}")
+
+    print("\nsurvival beyond the paper's ~50-minute observation cap:")
+    print(f"  naive:        P(>3000 s) = {1 - naive(3000):.1%}")
+    print(f"  Kaplan-Meier: P(>3000 s) = {km.survival(3000):.1%}")
+    print(
+        "\nthe naive estimate treats every cut-off connection as finished;"
+        "\nthe product-limit estimate keeps the mass the window hid."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: find scanners in enterprise traces (§3's methodology).
+
+A security analyst receives a day of packet traces and wants to know
+which hosts were scanning — before any traffic characterization skews on
+their probes.  This example drives the pipeline at the trace level:
+
+1. generate one dataset's pcap traces to disk (our stand-in for the
+   operator's capture),
+2. run the analysis engine over the files,
+3. apply the paper's heuristic (>50 distinct hosts contacted, >=45 in
+   monotonic address order) plus a known-scanner allowlist,
+4. report what was found and how the traffic mix shifts once scanner
+   traffic is removed.
+
+    python examples/scan_detection.py
+"""
+
+import tempfile
+from collections import Counter
+
+from repro.analysis import DatasetAnalyzer, filter_scanners
+from repro.analysis.analyzers import DEFAULT_ANALYZERS
+from repro.gen import Enterprise, Role, generate_dataset
+from repro.util.addr import int_to_ip
+
+
+def main() -> None:
+    enterprise = Enterprise(seed=11)
+    known = [host.ip for host in enterprise.servers(Role.SCANNER)]
+    print(f"site-declared internal scanners: {[int_to_ip(ip) for ip in known]}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        print("capturing D3 (18 one-hour tap windows)...")
+        traces = generate_dataset("D3", enterprise, workdir, seed=11, scale=0.004)
+        print(f"  {traces.total_packets:,} packets in {len(traces.traces)} trace files")
+
+        engine = DatasetAnalyzer(
+            "D3", full_payload=True, analyzers=[cls() for cls in DEFAULT_ANALYZERS]
+        )
+        for trace in traces.traces:
+            engine.process_pcap(trace.path)
+        analysis = engine.finish(known_scanners=known)
+
+    result = filter_scanners(analysis.conns, known_scanners=known)
+    print(f"\nscanners found: {len(result.scanners)}")
+    for source in sorted(result.scanners):
+        marker = " (site-declared)" if source in known else " (heuristic)"
+        count = sum(1 for conn in analysis.conns if conn.orig_ip == source)
+        print(f"  {int_to_ip(source):<16} {count:>5} connections{marker}")
+    print(
+        f"\nremoved {result.removed:,} of {result.removed + len(result.kept):,} "
+        f"connections ({result.removed_fraction:.1%}; the paper saw 4-18%)"
+    )
+
+    before = Counter(conn.proto for conn in analysis.conns)
+    after = Counter(conn.proto for conn in result.kept)
+    print("\ntransport mix before vs after filtering:")
+    for proto in ("tcp", "udp", "icmp"):
+        frac_before = before[proto] / sum(before.values())
+        frac_after = after[proto] / sum(after.values())
+        print(f"  {proto:<5} {frac_before:>6.1%} -> {frac_after:>6.1%}")
+
+
+if __name__ == "__main__":
+    main()

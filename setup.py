@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments that lack the
+``wheel`` package required by PEP-517 editable installs; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

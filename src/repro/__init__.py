@@ -1,0 +1,37 @@
+"""repro — a reproduction of "A First Look at Modern Enterprise Traffic"
+(Pang, Allman, Bennett, Lee, Paxson, Tierney — IMC 2005).
+
+The package is organized as:
+
+* :mod:`repro.util` — addresses, seeded RNG streams, statistics.
+* :mod:`repro.net` — wire-format packet layer (Ethernet/ARP/IPX/IPv4/TCP/UDP/ICMP).
+* :mod:`repro.pcap` — pcap trace file I/O.
+* :mod:`repro.proto` — application protocol message encode/decode.
+* :mod:`repro.gen` — the synthetic LBNL-like enterprise trace generator
+  (the stand-in for the paper's anonymized traces).
+* :mod:`repro.analysis` — the Bro-like analysis engine: connection
+  tracking, scan filtering, classification, per-application analyzers,
+  locality and load analysis.
+* :mod:`repro.report` — renders every table and figure of the paper.
+* :mod:`repro.core` — the end-to-end study pipeline and experiment registry.
+
+Quickstart::
+
+    from repro import run_study
+    results = run_study(seed=42, scale=0.02)
+    print(results.render_table(2))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["StudyConfig", "StudyResults", "run_study", "__version__"]
+
+
+def __getattr__(name):
+    # Imported lazily so that `import repro.net` and friends stay cheap
+    # and do not pull in the whole study pipeline.
+    if name in ("StudyConfig", "StudyResults", "run_study"):
+        from .core import study
+
+        return getattr(study, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,59 @@
+"""The Bro-like analysis engine: packets → connections → paper findings."""
+
+from .classify import CATEGORIES, classify_conn, classify_port
+from .censored import DurationSample, KaplanMeier, censored_durations
+from .conn import (
+    DEFAULT_INTERNAL_NET,
+    ConnRecord,
+    ConnState,
+    Locality,
+    locality_of,
+)
+from .engine import Analyzer, DatasetAnalysis, DatasetAnalyzer, TraceStats
+from .failures import PairOutcomes, host_pair_success, raw_connection_success
+from .flow import FlowResult, FlowTable
+from .load import LoadReport, load_report
+from .locality import FanStats, OriginBreakdown, fan_stats, origin_breakdown
+from .roles import HostProfile, RoleReport, classify_roles
+from .scanfilter import ScanFilterResult, filter_scanners, find_scanners
+from .scans import ScanReport, ScannerProfile, characterize_scanners
+from .tcpstate import TcpFlowState
+
+__all__ = [
+    "DurationSample",
+    "KaplanMeier",
+    "censored_durations",
+    "CATEGORIES",
+    "classify_conn",
+    "classify_port",
+    "DEFAULT_INTERNAL_NET",
+    "ConnRecord",
+    "ConnState",
+    "Locality",
+    "locality_of",
+    "Analyzer",
+    "DatasetAnalysis",
+    "DatasetAnalyzer",
+    "TraceStats",
+    "PairOutcomes",
+    "host_pair_success",
+    "raw_connection_success",
+    "FlowResult",
+    "FlowTable",
+    "LoadReport",
+    "load_report",
+    "FanStats",
+    "OriginBreakdown",
+    "fan_stats",
+    "origin_breakdown",
+    "ScanFilterResult",
+    "filter_scanners",
+    "find_scanners",
+    "HostProfile",
+    "RoleReport",
+    "classify_roles",
+    "ScanReport",
+    "ScannerProfile",
+    "characterize_scanners",
+    "TcpFlowState",
+]

@@ -1,0 +1,40 @@
+"""Per-application payload analyzers."""
+
+from .backup import BackupAnalyzer, BackupReport
+from .dns import DnsAnalyzer, DnsReport
+from .email import EmailAnalyzer, EmailReport
+from .http import HttpAnalyzer, HttpReport
+from .ncp import NcpAnalyzer, NcpReport
+from .netbios import NetbiosAnalyzer, NetbiosReport
+from .nfs import NfsAnalyzer, NfsReport
+from .windows import WindowsAnalyzer, WindowsReport
+
+__all__ = [
+    "BackupAnalyzer",
+    "BackupReport",
+    "DnsAnalyzer",
+    "DnsReport",
+    "EmailAnalyzer",
+    "EmailReport",
+    "HttpAnalyzer",
+    "HttpReport",
+    "NcpAnalyzer",
+    "NcpReport",
+    "NetbiosAnalyzer",
+    "NetbiosReport",
+    "NfsAnalyzer",
+    "NfsReport",
+    "WindowsAnalyzer",
+    "WindowsReport",
+]
+
+DEFAULT_ANALYZERS = (
+    HttpAnalyzer,
+    EmailAnalyzer,
+    DnsAnalyzer,
+    NetbiosAnalyzer,
+    WindowsAnalyzer,
+    NfsAnalyzer,
+    NcpAnalyzer,
+    BackupAnalyzer,
+)

@@ -1,0 +1,86 @@
+"""Backup analyzer (§5.2.3, Table 15).
+
+Counts connections and bytes per backup product and characterizes
+directionality: Veritas data connections are one-way client→server,
+while Dantz connections can carry large volumes in *both* directions —
+including within a single connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...proto import backupproto as bp
+from ..conn import DEFAULT_INTERNAL_NET
+from ..engine import Analyzer
+from ..flow import FlowResult
+
+__all__ = ["BackupReport", "BackupAnalyzer"]
+
+_PRODUCT_PORTS = {
+    bp.VERITAS_CTRL_PORT: "VERITAS-BACKUP-CTRL",
+    bp.VERITAS_DATA_PORT: "VERITAS-BACKUP-DATA",
+    bp.DANTZ_PORT: "DANTZ",
+    bp.CONNECTED_PORT: "CONNECTED-BACKUP",
+}
+
+
+@dataclass
+class _Product:
+    conns: int = 0
+    bytes: int = 0
+    c2s_bytes: int = 0
+    s2c_bytes: int = 0
+    bidirectional_conns: int = 0  # real volume both ways in one connection
+
+
+@dataclass
+class BackupReport:
+    """Table 15 plus directionality findings."""
+
+    products: dict[str, _Product] = field(
+        default_factory=lambda: {name: _Product() for name in _PRODUCT_PORTS.values()}
+    )
+
+    def conns(self, product: str) -> int:
+        return self.products[product].conns
+
+    def bytes(self, product: str) -> int:
+        return self.products[product].bytes
+
+    def reverse_fraction(self, product: str) -> float:
+        """Server→client share of the product's bytes."""
+        stats = self.products[product]
+        return stats.s2c_bytes / stats.bytes if stats.bytes else 0.0
+
+    def bidirectional_fraction(self, product: str) -> float:
+        stats = self.products[product]
+        return stats.bidirectional_conns / stats.conns if stats.conns else 0.0
+
+
+class BackupAnalyzer(Analyzer):
+    """Builds a :class:`BackupReport` from backup-port connections."""
+
+    name = "backup"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = BackupReport()
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        record = result.record
+        if record.proto != "tcp" or record.resp_port not in _PRODUCT_PORTS:
+            return
+        product = _PRODUCT_PORTS[record.resp_port]
+        stats = self.report.products[product]
+        stats.conns += 1
+        stats.bytes += record.total_bytes
+        stats.c2s_bytes += record.orig_bytes
+        stats.s2c_bytes += record.resp_bytes
+        # "Sometimes with tens of MB in both directions" — scaled down,
+        # the threshold is real volume (not just acks/control) both ways.
+        if min(record.orig_bytes, record.resp_bytes) > 50_000:
+            stats.bidirectional_conns += 1
+
+    def result(self) -> BackupReport:
+        return self.report

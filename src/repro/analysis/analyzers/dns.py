@@ -1,0 +1,100 @@
+"""DNS analyzer (§5.1.3): request types, return codes, latency, clients.
+
+Consumes UDP port-53 datagrams as they are ingested (no buffering),
+matching queries to responses by (flow, transaction id).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ...proto import dns
+from ...util.stats import Cdf
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ...net.packet import DecodedPacket
+
+__all__ = ["DnsReport", "DnsAnalyzer"]
+
+_DNS_PORT = 53
+
+
+@dataclass
+class _Side:
+    requests: int = 0
+    responses: int = 0
+    qtypes: Counter = field(default_factory=Counter)
+    rcodes: Counter = field(default_factory=Counter)
+    latencies: list[float] = field(default_factory=list)
+
+    def qtype_fraction(self, name: str) -> float:
+        total = sum(self.qtypes.values())
+        return self.qtypes.get(name, 0) / total if total else 0.0
+
+    def rcode_fraction(self, rcode: int) -> float:
+        total = sum(self.rcodes.values())
+        return self.rcodes.get(rcode, 0) / total if total else 0.0
+
+    def latency_cdf(self) -> Cdf:
+        return Cdf(self.latencies)
+
+
+@dataclass
+class DnsReport:
+    """Everything §5.1.3 reports about DNS."""
+
+    internal: _Side = field(default_factory=_Side)
+    wan: _Side = field(default_factory=_Side)
+    requests_per_client: Counter = field(default_factory=Counter)
+
+    def side(self, where: str) -> _Side:
+        return self.internal if where == "ent" else self.wan
+
+    def top_client_share(self, n: int = 2) -> float:
+        """Share of all requests issued by the top-n clients."""
+        total = sum(self.requests_per_client.values())
+        if not total:
+            return 0.0
+        top = sum(count for _ip, count in self.requests_per_client.most_common(n))
+        return top / total
+
+
+class DnsAnalyzer(Analyzer):
+    """Parses DNS datagrams and accumulates a :class:`DnsReport`."""
+
+    name = "dns"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = DnsReport()
+        # (conn id, dns id) -> (query ts, side)
+        self._pending: dict[tuple[int, int], tuple[float, str]] = defaultdict(tuple)  # type: ignore[arg-type]
+
+    def on_udp(self, record: ConnRecord, from_orig: bool, pkt: DecodedPacket) -> None:
+        if record.resp_port != _DNS_PORT or not pkt.payload:
+            return
+        try:
+            message = dns.DnsMessage.decode(pkt.payload)
+        except ValueError:
+            return
+        where = "wan" if record.involves_wan(self.internal_net) else "ent"
+        side = self.report.side(where)
+        key = (id(record), message.ident)
+        if not message.is_response:
+            side.requests += 1
+            side.qtypes[message.qtype_name] += 1
+            self.report.requests_per_client[record.orig_ip] += 1
+            self._pending[key] = (pkt.ts, where)
+        else:
+            side.responses += 1
+            side.rcodes[message.rcode] += 1
+            pending = self._pending.pop(key, None)
+            if pending:
+                query_ts, query_where = pending
+                self.report.side(query_where).latencies.append(
+                    max(pkt.ts - query_ts, 0.0)
+                )
+
+    def result(self) -> DnsReport:
+        return self.report

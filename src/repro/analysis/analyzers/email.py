@@ -1,0 +1,138 @@
+"""Email analyzer (§5.1.2): Table 8, Figures 5-6.
+
+SMTP dialogues are parsed from cleartext streams; IMAP/S, POP/S (and any
+other TLS-wrapped email) are analyzed at the transport level, as the
+paper does — durations, flow sizes, and handshake confirmation only.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ...proto import smtp
+from ...util.stats import Cdf
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ..failures import PairOutcomes, host_pair_success
+from ..flow import FlowResult
+
+__all__ = ["EmailReport", "EmailAnalyzer", "EMAIL_PORTS"]
+
+#: service port -> protocol label (the Table 8 rows).
+EMAIL_PORTS = {
+    25: "SMTP",
+    143: "IMAP4",
+    993: "SIMAP",
+    110: "POP3",
+    995: "POP/S",
+    389: "LDAP",
+}
+
+
+@dataclass
+class _ProtocolStats:
+    """Per-protocol, per-locality samples."""
+
+    bytes: int = 0
+    conns: int = 0
+    durations_ent: list[float] = field(default_factory=list)
+    durations_wan: list[float] = field(default_factory=list)
+    # Flow size toward the data-heavy direction (to SMTP servers; to
+    # IMAP/S clients), split by locality.
+    flow_sizes_ent: list[int] = field(default_factory=list)
+    flow_sizes_wan: list[int] = field(default_factory=list)
+
+
+@dataclass
+class EmailReport:
+    """Everything §5.1.2 reports about email."""
+
+    protocols: dict[str, _ProtocolStats] = field(
+        default_factory=lambda: defaultdict(_ProtocolStats)
+    )
+    smtp_dialogues: int = 0
+    smtp_accepted: int = 0
+    smtp_rcpt_total: int = 0
+    success: dict[str, PairOutcomes] = field(default_factory=dict)
+
+    def protocol_bytes(self, label: str) -> int:
+        return self.protocols[label].bytes if label in self.protocols else 0
+
+    def total_bytes(self) -> int:
+        return sum(stats.bytes for stats in self.protocols.values())
+
+    def dominant_fraction(self) -> float:
+        """Share of email bytes carried by SMTP + IMAP(/S) (paper: >94%)."""
+        total = self.total_bytes()
+        if not total:
+            return 0.0
+        dominant = (
+            self.protocol_bytes("SMTP")
+            + self.protocol_bytes("SIMAP")
+            + self.protocol_bytes("IMAP4")
+        )
+        return dominant / total
+
+    def duration_cdf(self, label: str, where: str) -> Cdf:
+        stats = self.protocols[label]
+        return Cdf(stats.durations_ent if where == "ent" else stats.durations_wan)
+
+    def flow_size_cdf(self, label: str, where: str) -> Cdf:
+        stats = self.protocols[label]
+        return Cdf(stats.flow_sizes_ent if where == "ent" else stats.flow_sizes_wan)
+
+
+class EmailAnalyzer(Analyzer):
+    """Consumes email-port connections and builds an :class:`EmailReport`."""
+
+    name = "email"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = EmailReport()
+        self._conns_by_label: dict[str, list[ConnRecord]] = defaultdict(list)
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        record = result.record
+        if record.proto != "tcp" or record.resp_port not in EMAIL_PORTS:
+            return
+        label = EMAIL_PORTS[record.resp_port]
+        stats = self.report.protocols[label]
+        internal = not record.involves_wan(self.internal_net)
+        stats.conns += 1
+        stats.bytes += record.total_bytes
+        self._conns_by_label[label].append(record)
+        if record.established and record.total_bytes > 0:
+            (stats.durations_ent if internal else stats.durations_wan).append(
+                record.duration
+            )
+            # SMTP's data-heavy direction is toward the server; IMAP's is
+            # toward the client (Figure 6).
+            if label == "SMTP":
+                size = record.orig_bytes
+            elif label in ("SIMAP", "IMAP4", "POP3", "POP/S"):
+                size = record.resp_bytes
+            else:
+                size = record.total_bytes
+            if size:
+                (stats.flow_sizes_ent if internal else stats.flow_sizes_wan).append(size)
+        if label == "SMTP" and full_payload and result.orig_stream:
+            dialogue = smtp.parse_dialogue(result.orig_stream, result.resp_stream)
+            if dialogue.mail_from:
+                self.report.smtp_dialogues += 1
+                self.report.smtp_rcpt_total += len(dialogue.rcpt_to)
+                if dialogue.accepted:
+                    self.report.smtp_accepted += 1
+
+    def result(self) -> EmailReport:
+        for label, conns in self._conns_by_label.items():
+            kept = [conn for conn in conns if conn.orig_ip not in self.scanners]
+            for where in ("ent", "wan"):
+                subset = [
+                    conn
+                    for conn in kept
+                    if conn.involves_wan(self.internal_net) == (where == "wan")
+                ]
+                self.report.success[f"{label}/{where}"] = host_pair_success(subset)
+        return self.report

@@ -1,0 +1,230 @@
+"""HTTP analyzer (§5.1.1): Tables 6-7, Figures 3-4, and the HTTP findings.
+
+Parses reassembled request/response streams on the web ports, separates
+automated clients (scanner / Google bots / iFolder) from user browsing by
+their User-Agent signatures, and accumulates everything the paper
+reports: request and byte shares per automated class, fan-out per client,
+host-pair connection success, conditional-GET shares, content types,
+reply sizes, and HTTPS handshake behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ...proto import http, tls
+from ...util.stats import Cdf
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ..failures import PairOutcomes, host_pair_success
+from ..flow import FlowResult
+
+__all__ = ["HttpReport", "HttpAnalyzer", "AUTO_CLASSES"]
+
+_WEB_PORTS = (80, 8080)
+_TLS_PORT = 443
+
+AUTO_CLASSES = ("scan1", "google1", "google2", "ifolder")
+
+
+def _client_class(user_agent: str, client_ip: int, google_ips: list[int]) -> str:
+    """Classify a request's client by User-Agent signature."""
+    ua = user_agent.lower()
+    if "sitescanner" in ua:
+        return "scan1"
+    if "googlebot" in ua:
+        if client_ip not in google_ips:
+            google_ips.append(client_ip)
+        return "google1" if google_ips.index(client_ip) % 2 == 0 else "google2"
+    if "ifolder" in ua:
+        return "ifolder"
+    return "user"
+
+
+@dataclass
+class _Side:
+    """Aggregates for one locality (internal or WAN)."""
+
+    requests: int = 0
+    data_bytes: int = 0
+    conditional_requests: int = 0
+    conditional_bytes: int = 0
+    methods: Counter = field(default_factory=Counter)
+    statuses: Counter = field(default_factory=Counter)
+    content_requests: Counter = field(default_factory=Counter)
+    content_bytes: Counter = field(default_factory=Counter)
+    reply_sizes: list[int] = field(default_factory=list)
+    successful_requests: int = 0
+
+    def content_fraction(self, kind: str, by: str = "requests") -> float:
+        counter = self.content_requests if by == "requests" else self.content_bytes
+        total = sum(counter.values())
+        return counter.get(kind, 0) / total if total else 0.0
+
+
+@dataclass
+class HttpReport:
+    """Everything §5.1.1 reports about HTTP."""
+
+    internal: _Side = field(default_factory=_Side)
+    wan: _Side = field(default_factory=_Side)
+    #: Automated-client shares of *internal* HTTP (Table 6).
+    auto_requests: Counter = field(default_factory=Counter)
+    auto_bytes: Counter = field(default_factory=Counter)
+    internal_requests_total: int = 0
+    internal_bytes_total: int = 0
+    #: client ip -> set of server ips, by server locality (Figure 3).
+    fanout_ent: dict[int, set[int]] = field(default_factory=lambda: defaultdict(set))
+    fanout_wan: dict[int, set[int]] = field(default_factory=lambda: defaultdict(set))
+    #: connection success by host-pair (filled in result()).
+    success_internal: PairOutcomes = field(default_factory=PairOutcomes)
+    success_wan: PairOutcomes = field(default_factory=PairOutcomes)
+    #: Objects fetched per web session (one persistent connection ≈ one
+    #: page): "about half the web sessions consist of one object ...
+    #: 10-20% include 10 or more" (§5.1.1).
+    session_object_counts: list[int] = field(default_factory=list)
+    #: HTTPS: host-pair -> connection count; handshake confirmations.
+    https_pair_conns: Counter = field(default_factory=Counter)
+    https_handshakes_ok: int = 0
+    https_conns: int = 0
+
+    def fanout_cdf(self, where: str) -> Cdf:
+        """CDF of distinct servers per client (Figure 3)."""
+        table = self.fanout_ent if where == "ent" else self.fanout_wan
+        return Cdf(len(servers) for servers in table.values())
+
+    def reply_size_cdf(self, where: str) -> Cdf:
+        """CDF of reply body sizes (Figure 4)."""
+        side = self.internal if where == "ent" else self.wan
+        return Cdf(side.reply_sizes)
+
+    def auto_request_fraction(self, klass: str) -> float:
+        if not self.internal_requests_total:
+            return 0.0
+        return self.auto_requests.get(klass, 0) / self.internal_requests_total
+
+    def auto_bytes_fraction(self, klass: str) -> float:
+        if not self.internal_bytes_total:
+            return 0.0
+        return self.auto_bytes.get(klass, 0) / self.internal_bytes_total
+
+    def conditional_fraction(self, where: str) -> float:
+        side = self.internal if where == "ent" else self.wan
+        return side.conditional_requests / side.requests if side.requests else 0.0
+
+    def conditional_bytes_fraction(self, where: str) -> float:
+        side = self.internal if where == "ent" else self.wan
+        return side.conditional_bytes / side.data_bytes if side.data_bytes else 0.0
+
+    def session_objects_cdf(self) -> Cdf:
+        """CDF of objects per web session."""
+        return Cdf(self.session_object_counts)
+
+    def request_success_fraction(self, where: str) -> float:
+        """Fraction of requests answered 2xx or 304 ("over 90%")."""
+        side = self.internal if where == "ent" else self.wan
+        return side.successful_requests / side.requests if side.requests else 0.0
+
+
+class HttpAnalyzer(Analyzer):
+    """Consumes web-port connections and builds an :class:`HttpReport`."""
+
+    name = "http"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = HttpReport()
+        self._google_ips: list[int] = []
+        self._auto_ips: set[int] = set()
+        self._conns: list[ConnRecord] = []
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        record = result.record
+        if record.proto != "tcp":
+            return
+        if record.resp_port == _TLS_PORT:
+            self._on_https(result)
+            return
+        if record.resp_port not in _WEB_PORTS:
+            return
+        self._conns.append(record)
+        if not full_payload or not result.orig_stream:
+            return
+        requests = http.parse_requests(result.orig_stream, truncated=result.stream_truncated)
+        responses = http.parse_responses(result.resp_stream, truncated=result.stream_truncated)
+        internal = not record.involves_wan(self.internal_net)
+        side = self.report.internal if internal else self.report.wan
+        user_requests = 0
+        for index, request in enumerate(requests):
+            response = responses[index] if index < len(responses) else None
+            if self._account_request(record, request, response, side, internal):
+                user_requests += 1
+        if user_requests:
+            self.report.session_object_counts.append(user_requests)
+
+    def _account_request(
+        self,
+        record: ConnRecord,
+        request: http.HttpRequest,
+        response: http.HttpResponse | None,
+        side: _Side,
+        internal: bool,
+    ) -> bool:
+        """Account one request; returns True for user (non-automated) ones."""
+        report = self.report
+        klass = _client_class(request.user_agent, record.orig_ip, self._google_ips)
+        body = response.body_size if response is not None else 0
+        if internal:
+            # Table 6's totals include the automated clients ...
+            report.internal_requests_total += 1
+            report.internal_bytes_total += body
+            if klass != "user":
+                report.auto_requests[klass] += 1
+                report.auto_bytes[klass] += body
+                self._auto_ips.add(record.orig_ip)
+        if klass != "user":
+            # ... but every analysis after Table 6 excludes them ("we
+            # exclude these from the remainder of the analysis").
+            return False
+        side.requests += 1
+        side.methods[request.method] += 1
+        side.data_bytes += body
+        if request.is_conditional:
+            side.conditional_requests += 1
+            side.conditional_bytes += body
+        if record.orig_ip in self.internal_net:
+            table = report.fanout_ent if internal else report.fanout_wan
+            table[record.orig_ip].add(record.resp_ip)
+        if response is not None:
+            side.statuses[response.status] += 1
+            if response.status in (200, 206):
+                side.content_requests[response.content_category] += 1
+                side.content_bytes[response.content_category] += body
+                if body:
+                    side.reply_sizes.append(body)
+            if 200 <= response.status < 300 or response.status == 304:
+                side.successful_requests += 1
+        return True
+
+    def _on_https(self, result: FlowResult) -> None:
+        record = result.record
+        report = self.report
+        report.https_conns += 1
+        report.https_pair_conns[record.host_pair()] += 1
+        if result.orig_stream and result.resp_stream:
+            client = tls.stream_summary(result.orig_stream)
+            server = tls.stream_summary(result.resp_stream)
+            if client["handshake_records"] and server["handshake_records"]:
+                report.https_handshakes_ok += 1
+
+    def result(self) -> HttpReport:
+        # Success rates exclude the automated clients, which the paper
+        # removes from all analyses after Table 6.
+        excluded = self._auto_ips | set(self.scanners)
+        conns = [conn for conn in self._conns if conn.orig_ip not in excluded]
+        internal = [conn for conn in conns if not conn.involves_wan(self.internal_net)]
+        wan = [conn for conn in conns if conn.involves_wan(self.internal_net)]
+        self.report.success_internal = host_pair_success(internal)
+        self.report.success_wan = host_pair_success(wan)
+        return self.report

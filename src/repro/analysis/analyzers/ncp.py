@@ -1,0 +1,148 @@
+"""NCP analyzer (§5.2.2): Tables 12/14, Figures 7-8, keep-alive finding.
+
+Parses NCP-over-IP framed streams on 524/tcp.  Sizes follow the paper's
+convention of excluding transport framing: a request's size is its full
+NCP message (the 14-byte read-request mode), a reply's size is its
+completion/status bytes plus returned data (the 2/10/260-byte modes of
+Figure 8d).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ...proto import ncp
+from ...util.stats import Cdf
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ..failures import PairOutcomes, host_pair_success
+from ..flow import FlowResult
+
+__all__ = ["NcpReport", "NcpAnalyzer"]
+
+
+@dataclass
+class NcpReport:
+    """Everything §5.2.2 reports about NCP."""
+
+    conns: int = 0
+    total_bytes: int = 0
+    keepalive_only_conns: int = 0
+    established_conns: int = 0
+    # Table 14.
+    requests_by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+    # Figure 7b / heavy hitters.
+    requests_per_pair: Counter = field(default_factory=Counter)
+    bytes_per_pair: Counter = field(default_factory=Counter)
+    # Figure 8c/d.
+    request_sizes: list[int] = field(default_factory=list)
+    reply_sizes: list[int] = field(default_factory=list)
+    # Request success (~95%, failures dominated by File/Dir Info).
+    replies_ok: int = 0
+    replies_failed: int = 0
+    failed_by_type: Counter = field(default_factory=Counter)
+    success: PairOutcomes = field(default_factory=PairOutcomes)
+
+    def request_type_fraction(self, row: str) -> float:
+        total = sum(self.requests_by_type.values())
+        return self.requests_by_type.get(row, 0) / total if total else 0.0
+
+    def bytes_type_fraction(self, row: str) -> float:
+        total = sum(self.bytes_by_type.values())
+        return self.bytes_by_type.get(row, 0) / total if total else 0.0
+
+    def keepalive_only_fraction(self) -> float:
+        if not self.established_conns:
+            return 0.0
+        return self.keepalive_only_conns / self.established_conns
+
+    def request_success_rate(self) -> float:
+        total = self.replies_ok + self.replies_failed
+        return self.replies_ok / total if total else 0.0
+
+    def requests_per_pair_cdf(self) -> Cdf:
+        return Cdf(self.requests_per_pair.values())
+
+    def top_pairs_byte_share(self, n: int = 3) -> float:
+        total = sum(self.bytes_per_pair.values())
+        if not total:
+            return 0.0
+        top = sum(count for _pair, count in self.bytes_per_pair.most_common(n))
+        return top / total
+
+
+class NcpAnalyzer(Analyzer):
+    """Builds an :class:`NcpReport` from 524/tcp connections."""
+
+    name = "ncp"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = NcpReport()
+        self._conns: list[ConnRecord] = []
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        record = result.record
+        if record.proto != "tcp" or record.resp_port != ncp.NCP_PORT:
+            return
+        report = self.report
+        report.conns += 1
+        report.total_bytes += record.total_bytes
+        self._conns.append(record)
+        if not record.established:
+            return
+        report.established_conns += 1
+        requests_seen = 0
+        if full_payload:
+            requests_seen = self._parse_streams(result)
+        else:
+            # Header-only capture: infer activity from payload volume
+            # beyond what keep-alive probes account for.
+            requests_seen = 1 if record.total_bytes > 2 * (record.keepalive_retransmits + 1) else 0
+        if requests_seen == 0 and record.keepalive_retransmits > 0:
+            report.keepalive_only_conns += 1
+
+    def _parse_streams(self, result: FlowResult) -> int:
+        report = self.report
+        pair = result.record.host_pair()
+        rows_in_order: list[str] = []
+        for payload in ncp.parse_ncp_ip_stream(result.orig_stream):
+            try:
+                request = ncp.NcpRequest.decode(payload)
+            except ValueError:
+                continue
+            row = ncp.function_table_row(request.function)
+            rows_in_order.append(row)
+            report.requests_by_type[row] += 1
+            report.bytes_by_type[row] += len(payload)
+            report.requests_per_pair[pair] += 1
+            report.bytes_per_pair[pair] += len(payload)
+            report.request_sizes.append(len(payload))
+        # Replies come back in request order on a connection; the 8-bit
+        # sequence number wraps every 256 requests, so positional pairing
+        # is the reliable match.
+        for index, payload in enumerate(ncp.parse_ncp_ip_stream(result.resp_stream)):
+            try:
+                reply = ncp.NcpReply.decode(payload)
+            except ValueError:
+                continue
+            # Reply size: completion code + status + data (transport and
+            # reply-header framing excluded), the Figure 8d convention.
+            size = len(reply.data) if reply.data else 2
+            report.reply_sizes.append(max(size, 2))
+            row = rows_in_order[index] if index < len(rows_in_order) else "Other"
+            report.bytes_by_type[row] += len(reply.data)
+            report.bytes_per_pair[pair] += len(reply.data)
+            if reply.succeeded:
+                report.replies_ok += 1
+            else:
+                report.replies_failed += 1
+                report.failed_by_type[row] += 1
+        return len(rows_in_order)
+
+    def result(self) -> NcpReport:
+        kept = [conn for conn in self._conns if conn.orig_ip not in self.scanners]
+        self.report.success = host_pair_success(kept)
+        return self.report

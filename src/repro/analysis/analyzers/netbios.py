@@ -1,0 +1,101 @@
+"""Netbios Name Service analyzer (§5.1.3).
+
+Accumulates request-type and name-type mixes, the per-*distinct-query*
+NXDOMAIN rate (the paper's stale-name finding is about distinct
+(name) operations, not raw packet counts), and the client request
+spread (top ten clients < 40%).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ...proto import netbios
+from ...proto.dns import RCODE_NXDOMAIN
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ...net.packet import DecodedPacket
+
+__all__ = ["NetbiosReport", "NetbiosAnalyzer"]
+
+_NBNS_PORT = 137
+
+_OPCODE_LABELS = {
+    netbios.NB_OPCODE_QUERY: "query",
+    netbios.NB_OPCODE_REFRESH: "refresh",
+    9: "refresh",  # alternate refresh opcode
+    netbios.NB_OPCODE_REGISTRATION: "register",
+    netbios.NB_OPCODE_RELEASE: "release",
+}
+
+
+@dataclass
+class NetbiosReport:
+    """Everything §5.1.3 reports about Netbios/NS."""
+
+    requests: int = 0
+    request_types: Counter = field(default_factory=Counter)
+    name_types: Counter = field(default_factory=Counter)
+    requests_per_client: Counter = field(default_factory=Counter)
+    #: distinct query -> did it ever fail / succeed.
+    query_outcomes: dict[tuple[int, str], bool] = field(default_factory=dict)
+
+    def request_type_fraction(self, label: str) -> float:
+        total = sum(self.request_types.values())
+        return self.request_types.get(label, 0) / total if total else 0.0
+
+    def name_type_fraction(self, label: str) -> float:
+        total = sum(self.name_types.values())
+        return self.name_types.get(label, 0) / total if total else 0.0
+
+    def distinct_query_failure_rate(self) -> float:
+        """Fraction of distinct (client, name) queries yielding NXDOMAIN."""
+        if not self.query_outcomes:
+            return 0.0
+        failed = sum(1 for failed in self.query_outcomes.values() if failed)
+        return failed / len(self.query_outcomes)
+
+    def top_clients_share(self, n: int = 10) -> float:
+        total = sum(self.requests_per_client.values())
+        if not total:
+            return 0.0
+        top = sum(count for _ip, count in self.requests_per_client.most_common(n))
+        return top / total
+
+
+class NetbiosAnalyzer(Analyzer):
+    """Parses Netbios/NS datagrams into a :class:`NetbiosReport`."""
+
+    name = "netbios"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = NetbiosReport()
+
+    def on_udp(self, record: ConnRecord, from_orig: bool, pkt: DecodedPacket) -> None:
+        if _NBNS_PORT not in (record.resp_port, record.orig_port) or not pkt.payload:
+            return
+        try:
+            packet = netbios.NbnsPacket.decode(pkt.payload)
+        except ValueError:
+            return
+        report = self.report
+        if not packet.is_response:
+            report.requests += 1
+            label = _OPCODE_LABELS.get(packet.opcode, "other")
+            report.request_types[label] += 1
+            if label == "query":
+                report.name_types[packet.name_category] += 1
+            client = pkt.src_ip if pkt.src_ip is not None else record.orig_ip
+            report.requests_per_client[client] += 1
+        elif packet.opcode == netbios.NB_OPCODE_QUERY:
+            client = pkt.dst_ip if pkt.dst_ip is not None else record.orig_ip
+            key = (client, packet.name)
+            failed = packet.rcode == RCODE_NXDOMAIN
+            # Operations between a host-pair nearly always behave the
+            # same way (§5); latest observation wins.
+            report.query_outcomes[key] = failed
+
+    def result(self) -> NetbiosReport:
+        return self.report

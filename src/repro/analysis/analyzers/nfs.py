@@ -1,0 +1,159 @@
+"""NFS analyzer (§5.2.2): Tables 12-13, Figures 7-8.
+
+Parses ONC RPC over both UDP (per datagram, as ingested) and TCP
+(record-marked streams at connection flush).  Replies do not carry the
+procedure number, so calls are matched by transaction id.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ...proto import nfs
+from ...util.stats import Cdf
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ..flow import FlowResult
+from ...net.packet import DecodedPacket
+
+__all__ = ["NfsReport", "NfsAnalyzer"]
+
+
+@dataclass
+class NfsReport:
+    """Everything §5.2.2 reports about NFS."""
+
+    conns: int = 0
+    total_bytes: int = 0
+    udp_bytes: int = 0
+    tcp_bytes: int = 0
+    udp_pairs: set[tuple[int, int]] = field(default_factory=set)
+    tcp_pairs: set[tuple[int, int]] = field(default_factory=set)
+    # Table 13.
+    requests_by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+    # Figure 7a.
+    requests_per_pair: Counter = field(default_factory=Counter)
+    bytes_per_pair: Counter = field(default_factory=Counter)
+    # Figure 8a/b.
+    request_sizes: list[int] = field(default_factory=list)
+    reply_sizes: list[int] = field(default_factory=list)
+    # Request success (84-95%, failures mostly missing-file lookups).
+    replies_ok: int = 0
+    replies_failed: int = 0
+    failed_by_type: Counter = field(default_factory=Counter)
+
+    def request_type_fraction(self, row: str) -> float:
+        total = sum(self.requests_by_type.values())
+        return self.requests_by_type.get(row, 0) / total if total else 0.0
+
+    def bytes_type_fraction(self, row: str) -> float:
+        total = sum(self.bytes_by_type.values())
+        return self.bytes_by_type.get(row, 0) / total if total else 0.0
+
+    def request_success_rate(self) -> float:
+        total = self.replies_ok + self.replies_failed
+        return self.replies_ok / total if total else 0.0
+
+    def requests_per_pair_cdf(self) -> Cdf:
+        return Cdf(self.requests_per_pair.values())
+
+    def top_pairs_byte_share(self, n: int = 3) -> float:
+        total = sum(self.bytes_per_pair.values())
+        if not total:
+            return 0.0
+        top = sum(count for _pair, count in self.bytes_per_pair.most_common(n))
+        return top / total
+
+    def udp_pair_fraction(self) -> float:
+        pairs = self.udp_pairs | self.tcp_pairs
+        return len(self.udp_pairs) / len(pairs) if pairs else 0.0
+
+    def tcp_pair_fraction(self) -> float:
+        pairs = self.udp_pairs | self.tcp_pairs
+        return len(self.tcp_pairs) / len(pairs) if pairs else 0.0
+
+
+class NfsAnalyzer(Analyzer):
+    """Builds an :class:`NfsReport` from NFS traffic."""
+
+    name = "nfs"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = NfsReport()
+        #: xid -> (row label, request wire size, host pair)
+        self._pending: dict[int, tuple[str, int, tuple[int, int]]] = {}
+
+    # -- UDP path --------------------------------------------------------------
+
+    def on_udp(self, record: ConnRecord, from_orig: bool, pkt: DecodedPacket) -> None:
+        if record.resp_port != nfs.NFS_PORT or not pkt.payload:
+            return
+        self.report.udp_bytes += pkt.payload_len
+        self.report.udp_pairs.add(record.host_pair())
+        # The captured payload may be snaplen-truncated (8 KB datagrams
+        # under snaplen 1500); sizes come from the IP total length while
+        # parsing uses whatever bytes survived.
+        if from_orig:
+            self._consume_call(pkt.payload, record.host_pair(), pkt.payload_len)
+        else:
+            self._consume_reply(pkt.payload, record.host_pair(), pkt.payload_len)
+
+    # -- TCP path --------------------------------------------------------------
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        record = result.record
+        if record.proto == "udp" and record.resp_port == nfs.NFS_PORT:
+            self.report.conns += 1
+            self.report.total_bytes += record.total_bytes
+            return
+        if record.proto != "tcp" or record.resp_port != nfs.NFS_PORT:
+            return
+        self.report.conns += 1
+        self.report.total_bytes += record.total_bytes
+        self.report.tcp_bytes += record.total_bytes
+        self.report.tcp_pairs.add(record.host_pair())
+        if not full_payload:
+            return
+        for payload in nfs.parse_tcp_records(result.orig_stream):
+            self._consume_call(payload, record.host_pair(), len(payload))
+        for payload in nfs.parse_tcp_records(result.resp_stream):
+            self._consume_reply(payload, record.host_pair(), len(payload))
+
+    # -- shared ------------------------------------------------------------------
+
+    def _consume_call(self, payload: bytes, pair: tuple[int, int], size: int) -> None:
+        try:
+            call = nfs.RpcCall.decode(payload)
+        except ValueError:
+            return
+        row = nfs.proc_table_row(call.proc)
+        report = self.report
+        report.requests_by_type[row] += 1
+        report.bytes_by_type[row] += size
+        report.requests_per_pair[pair] += 1
+        report.bytes_per_pair[pair] += size
+        report.request_sizes.append(size)
+        self._pending[call.xid] = (row, size, pair)
+
+    def _consume_reply(self, payload: bytes, pair: tuple[int, int], size: int) -> None:
+        try:
+            reply = nfs.RpcReply.decode(payload)
+        except ValueError:
+            return
+        report = self.report
+        report.reply_sizes.append(size)
+        pending = self._pending.pop(reply.xid, None)
+        row = pending[0] if pending else "Other"
+        report.bytes_by_type[row] += size
+        report.bytes_per_pair[pair] += size
+        if reply.status == nfs.NFS3_OK:
+            report.replies_ok += 1
+        else:
+            report.replies_failed += 1
+            report.failed_by_type[row] += 1
+
+    def result(self) -> NfsReport:
+        return self.report

@@ -1,0 +1,191 @@
+"""Windows services analyzer (§5.2.1): Tables 9, 10, 11.
+
+Demultiplexes the port mess the paper describes: CIFS carried
+interchangeably over 139/tcp (behind a Netbios/SSN session handshake) and
+445/tcp; DCE/RPC carried both over CIFS named pipes and over stand-alone
+TCP connections whose ports are learned from Endpoint Mapper responses.
+Activities from all channels are merged per application function, exactly
+the analysis §5.2.1 says required "rich Bro protocol analyzers".
+"""
+
+from __future__ import annotations
+
+import uuid
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ...proto import cifs, dcerpc, netbios
+from ..conn import DEFAULT_INTERNAL_NET, ConnRecord
+from ..engine import Analyzer
+from ..failures import PairOutcomes, host_pair_success
+from ..flow import FlowResult
+
+__all__ = ["WindowsReport", "WindowsAnalyzer"]
+
+_STANDALONE_RPC_PORTS = frozenset(range(1025, 1101))
+
+
+@dataclass
+class WindowsReport:
+    """Everything §5.2.1 reports about Windows services."""
+
+    # Table 10: CIFS command category -> (request count, data bytes).
+    cifs_requests: Counter = field(default_factory=Counter)
+    cifs_bytes: Counter = field(default_factory=Counter)
+    # Table 11: DCE/RPC function label -> (request count, stub bytes).
+    rpc_requests: Counter = field(default_factory=Counter)
+    rpc_bytes: Counter = field(default_factory=Counter)
+    # Table 9: connection success by host-pairs per channel.
+    success: dict[str, PairOutcomes] = field(default_factory=dict)
+    # NBSS handshake outcomes per host-pair.
+    nbss_pairs: dict[tuple[int, int], bool] = field(default_factory=dict)
+    #: Endpoint Mapper-learned stand-alone DCE/RPC endpoints.
+    endpoints: set[tuple[int, int]] = field(default_factory=set)
+
+    def cifs_request_fraction(self, category: str) -> float:
+        total = sum(self.cifs_requests.values())
+        return self.cifs_requests.get(category, 0) / total if total else 0.0
+
+    def cifs_bytes_fraction(self, category: str) -> float:
+        total = sum(self.cifs_bytes.values())
+        return self.cifs_bytes.get(category, 0) / total if total else 0.0
+
+    def rpc_request_fraction(self, label: str) -> float:
+        total = sum(self.rpc_requests.values())
+        return self.rpc_requests.get(label, 0) / total if total else 0.0
+
+    def rpc_bytes_fraction(self, label: str) -> float:
+        total = sum(self.rpc_bytes.values())
+        return self.rpc_bytes.get(label, 0) / total if total else 0.0
+
+    def nbss_handshake_success_rate(self) -> float:
+        if not self.nbss_pairs:
+            return 0.0
+        ok = sum(1 for success in self.nbss_pairs.values() if success)
+        return ok / len(self.nbss_pairs)
+
+
+class WindowsAnalyzer(Analyzer):
+    """Builds a :class:`WindowsReport` from Windows-port connections."""
+
+    name = "windows"
+
+    def __init__(self, internal_net=DEFAULT_INTERNAL_NET) -> None:
+        self.internal_net = internal_net
+        self.report = WindowsReport()
+        self._conns_by_channel: dict[str, list[ConnRecord]] = defaultdict(list)
+        #: (conn id, pipe/context) -> bound interface, for stand-alone RPC.
+        self._bound_iface: dict[int, uuid.UUID | None] = {}
+
+    @property
+    def windows_endpoints(self) -> set[tuple[int, int]]:
+        """Learned (server, port) endpoints; the engine feeds these into
+        connection classification."""
+        return self.report.endpoints
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        record = result.record
+        if record.proto != "tcp":
+            return
+        internal = not record.involves_wan(self.internal_net)
+        if not internal:
+            return  # Windows traffic is analyzed for internal traffic only
+        port = record.resp_port
+        if port == cifs.SMB_PORT_NBSS:
+            self._conns_by_channel["Netbios/SSN"].append(record)
+            if full_payload:
+                self._parse_nbss(result)
+        elif port == cifs.SMB_PORT_DIRECT:
+            self._conns_by_channel["CIFS"].append(record)
+            if full_payload:
+                self._parse_smb_frames(result)
+        elif port == dcerpc.EPMAPPER_PORT:
+            self._conns_by_channel["Endpoint Mapper"].append(record)
+            if full_payload:
+                self._parse_epm(result)
+        elif port in _STANDALONE_RPC_PORTS or (
+            (record.resp_ip, port) in self.report.endpoints
+        ):
+            if full_payload:
+                self._parse_standalone_rpc(result)
+
+    # -- channel parsers -----------------------------------------------------
+
+    def _parse_nbss(self, result: FlowResult) -> None:
+        """139/tcp: session handshake, then NBSS-framed SMB."""
+        frames_c = netbios.parse_nbss_stream(result.orig_stream)
+        frames_s = netbios.parse_nbss_stream(result.resp_stream)
+        requested = any(
+            frame.frame_type == netbios.SSN_SESSION_REQUEST for frame in frames_c
+        )
+        accepted = any(
+            frame.frame_type == netbios.SSN_POSITIVE_RESPONSE for frame in frames_s
+        )
+        if requested:
+            pair = result.record.host_pair()
+            self.report.nbss_pairs[pair] = self.report.nbss_pairs.get(pair, False) or accepted
+        self._consume_smb(frames_c, frames_s)
+
+    def _parse_smb_frames(self, result: FlowResult) -> None:
+        """445/tcp: direct-TCP SMB (same 4-byte framing, type 0)."""
+        frames_c = netbios.parse_nbss_stream(result.orig_stream)
+        frames_s = netbios.parse_nbss_stream(result.resp_stream)
+        self._consume_smb(frames_c, frames_s)
+
+    def _consume_smb(self, frames_c, frames_s) -> None:
+        payloads_c = [
+            frame.payload
+            for frame in frames_c
+            if frame.frame_type == netbios.SSN_SESSION_MESSAGE
+        ]
+        payloads_s = [
+            frame.payload
+            for frame in frames_s
+            if frame.frame_type == netbios.SSN_SESSION_MESSAGE
+        ]
+        for message in cifs.parse_smb_stream(payloads_c + payloads_s):
+            category = cifs.command_category(message)
+            size = message.wire_size
+            if not message.is_response:
+                self.report.cifs_requests[category] += 1
+            self.report.cifs_bytes[category] += size
+            if message.command == cifs.CMD_TRANS and message.is_rpc_pipe:
+                self._consume_pipe_rpc(message)
+
+    def _consume_pipe_rpc(self, message: cifs.SmbMessage) -> None:
+        iface = dcerpc.PIPE_INTERFACES.get(message.name.upper())
+        for pdu in dcerpc.parse_pdu_stream(message.data):
+            self._account_rpc(pdu, iface)
+
+    def _parse_epm(self, result: FlowResult) -> None:
+        for pdu in dcerpc.parse_pdu_stream(result.orig_stream):
+            pass  # requests carry no endpoint information we need
+        for pdu in dcerpc.parse_pdu_stream(result.resp_stream):
+            if pdu.ptype == dcerpc.PDU_RESPONSE and pdu.opnum == dcerpc.OP_EPM_MAP:
+                if len(pdu.data) >= 2:
+                    port = int.from_bytes(pdu.data[:2], "big")
+                    if 0 < port < 65536:
+                        self.report.endpoints.add((result.record.resp_ip, port))
+
+    def _parse_standalone_rpc(self, result: FlowResult) -> None:
+        bound: uuid.UUID | None = None
+        for stream in (result.orig_stream, result.resp_stream):
+            for pdu in dcerpc.parse_pdu_stream(stream):
+                if pdu.ptype in (dcerpc.PDU_BIND, dcerpc.PDU_BIND_ACK):
+                    bound = pdu.interface or bound
+                else:
+                    self._account_rpc(pdu, bound)
+
+    def _account_rpc(self, pdu: dcerpc.DcerpcPdu, iface: uuid.UUID | None) -> None:
+        if pdu.ptype not in (dcerpc.PDU_REQUEST, dcerpc.PDU_RESPONSE):
+            return
+        label = dcerpc.function_label(iface, pdu.opnum)
+        if pdu.ptype == dcerpc.PDU_REQUEST:
+            self.report.rpc_requests[label] += 1
+        self.report.rpc_bytes[label] += len(pdu.data)
+
+    def result(self) -> WindowsReport:
+        for channel, conns in self._conns_by_channel.items():
+            kept = [conn for conn in conns if conn.orig_ip not in self.scanners]
+            self.report.success[channel] = host_pair_success(kept)
+        return self.report

@@ -1,0 +1,107 @@
+"""Censored-duration estimation for tap-window-limited observations.
+
+§5.1.2 hits a measurement wall: "The maximum connection duration is
+generally 50 minutes.  While our traces are roughly 1 hour in length ...
+determining the true length of IMAP/S sessions requires longer
+observations and is a subject for future work."  A connection still open
+when the tap moves on is *right-censored* — its true duration is only
+known to exceed what was seen.  This module implements the standard
+product-limit (Kaplan-Meier) estimator over connection durations, so
+session-length distributions can be estimated despite the windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .conn import ConnRecord, ConnState
+
+__all__ = ["DurationSample", "KaplanMeier", "censored_durations"]
+
+
+@dataclass(frozen=True)
+class DurationSample:
+    """One observed duration; ``censored`` means "lived at least this long"."""
+
+    duration: float
+    censored: bool
+
+
+class KaplanMeier:
+    """The product-limit estimator of a survival function S(t).
+
+    Built from (duration, censored) samples; evaluation gives the
+    estimated probability that a session lives longer than ``t``.
+    """
+
+    def __init__(self, samples: Iterable[DurationSample]) -> None:
+        ordered = sorted(samples, key=lambda s: s.duration)
+        self.n = len(ordered)
+        self._times: list[float] = []
+        self._survival: list[float] = []
+        at_risk = self.n
+        survival = 1.0
+        index = 0
+        while index < len(ordered):
+            time = ordered[index].duration
+            events = 0
+            censored = 0
+            while index < len(ordered) and ordered[index].duration == time:
+                if ordered[index].censored:
+                    censored += 1
+                else:
+                    events += 1
+                index += 1
+            if events and at_risk:
+                survival *= 1.0 - events / at_risk
+                self._times.append(time)
+                self._survival.append(survival)
+            at_risk -= events + censored
+
+    def survival(self, t: float) -> float:
+        """Estimated P(duration > t)."""
+        result = 1.0
+        for time, survival in zip(self._times, self._survival):
+            if time > t:
+                break
+            result = survival
+        return result
+
+    def quantile(self, q: float) -> float | None:
+        """Smallest t with P(duration <= t) >= q; None when the estimate
+        never reaches q (too much censoring — the honest answer)."""
+        if not 0 < q < 1:
+            raise ValueError(f"quantile out of range: {q}")
+        for time, survival in zip(self._times, self._survival):
+            if 1.0 - survival >= q:
+                return time
+        return None
+
+    @property
+    def median(self) -> float | None:
+        """The estimated median duration, when identifiable."""
+        return self.quantile(0.5)
+
+    def steps(self) -> list[tuple[float, float]]:
+        """(t, S(t)) step points for plotting."""
+        return list(zip(self._times, self._survival))
+
+
+def censored_durations(conns: Iterable[ConnRecord]) -> list[DurationSample]:
+    """Turn connection records into censored duration samples.
+
+    A connection whose teardown was never observed (state EST or OTH —
+    no FIN exchange, no RST) was still open when the tap moved on: its
+    true duration is only known to be *at least* what was seen, so it is
+    right-censored.  Cleanly closed or reset connections are complete
+    observations.  Failed attempts (S0/REJ) are excluded — they have no
+    session duration to estimate.
+    """
+    samples: list[DurationSample] = []
+    for conn in conns:
+        if conn.state in (ConnState.S0, ConnState.REJ):
+            continue
+        cut_off = conn.state in (ConnState.EST, ConnState.OTH)
+        samples.append(DurationSample(duration=conn.duration, censored=cut_off))
+    return samples

@@ -1,0 +1,143 @@
+"""Application classification — the Table 4 category map.
+
+Maps a connection's service port (plus protocol) to an application name
+and one of the paper's categories.  Windows DCE/RPC services on ephemeral
+ports cannot be classified by port alone; the engine learns them from
+Endpoint Mapper responses and passes the learned (ip, port) set in.
+"""
+
+from __future__ import annotations
+
+from .conn import ConnRecord
+
+__all__ = [
+    "CATEGORIES",
+    "classify_port",
+    "classify_conn",
+    "service_port",
+    "is_known_service_port",
+]
+
+#: category -> protocol list, straight from Table 4.
+CATEGORIES: dict[str, list[str]] = {
+    "backup": ["Dantz", "Veritas", "connected-backup"],
+    "bulk": ["FTP", "HPSS"],
+    "email": ["SMTP", "IMAP4", "IMAP/S", "POP3", "POP/S", "LDAP"],
+    "interactive": ["SSH", "telnet", "rlogin", "X11"],
+    "name": ["DNS", "Netbios-NS", "SrvLoc"],
+    "net-file": ["NFS", "NCP"],
+    "net-mgnt": ["DHCP", "ident", "NTP", "SNMP", "NAV-ping", "SAP", "NetInfo-local", "syslog"],
+    "streaming": ["RTSP", "IPVideo", "RealStream"],
+    "web": ["HTTP", "HTTPS"],
+    "windows": ["CIFS/SMB", "DCE/RPC", "Netbios-SSN", "Netbios-DGM"],
+    "misc": ["Steltor", "MetaSys", "LPD", "IPP", "Oracle-SQL", "MS-SQL"],
+}
+
+# (proto, port) -> (protocol name, category)
+_TCP_PORTS: dict[int, tuple[str, str]] = {
+    20: ("FTP", "bulk"),
+    21: ("FTP", "bulk"),
+    1217: ("HPSS", "bulk"),
+    25: ("SMTP", "email"),
+    110: ("POP3", "email"),
+    143: ("IMAP4", "email"),
+    389: ("LDAP", "email"),
+    993: ("IMAP/S", "email"),
+    995: ("POP/S", "email"),
+    22: ("SSH", "interactive"),
+    23: ("telnet", "interactive"),
+    513: ("rlogin", "interactive"),
+    53: ("DNS", "name"),
+    2049: ("NFS", "net-file"),
+    111: ("SUNRPC", "net-file"),
+    524: ("NCP", "net-file"),
+    113: ("ident", "net-mgnt"),
+    554: ("RTSP", "streaming"),
+    7070: ("RealStream", "streaming"),
+    80: ("HTTP", "web"),
+    8080: ("HTTP", "web"),
+    443: ("HTTPS", "web"),
+    135: ("DCE/RPC", "windows"),
+    139: ("Netbios-SSN", "windows"),
+    445: ("CIFS/SMB", "windows"),
+    515: ("LPD", "misc"),
+    631: ("IPP", "misc"),
+    1433: ("MS-SQL", "misc"),
+    1521: ("Oracle-SQL", "misc"),
+    1627: ("Steltor", "misc"),
+    11001: ("MetaSys", "misc"),
+    497: ("Dantz", "backup"),
+    13720: ("Veritas", "backup"),
+    13724: ("Veritas", "backup"),
+    16384: ("connected-backup", "backup"),
+}
+
+_UDP_PORTS: dict[int, tuple[str, str]] = {
+    53: ("DNS", "name"),
+    137: ("Netbios-NS", "name"),
+    427: ("SrvLoc", "name"),
+    67: ("DHCP", "net-mgnt"),
+    68: ("DHCP", "net-mgnt"),
+    113: ("ident", "net-mgnt"),
+    123: ("NTP", "net-mgnt"),
+    161: ("SNMP", "net-mgnt"),
+    514: ("syslog", "net-mgnt"),
+    1033: ("NetInfo-local", "net-mgnt"),
+    9875: ("SAP", "net-mgnt"),
+    2049: ("NFS", "net-file"),
+    111: ("SUNRPC", "net-file"),
+    138: ("Netbios-DGM", "windows"),
+    5004: ("IPVideo", "streaming"),
+    6970: ("RealStream", "streaming"),
+}
+
+# X11 uses a port range.
+_X11_RANGE = range(6000, 6064)
+
+
+def classify_port(proto: str, port: int) -> tuple[str, str] | None:
+    """Classify a (transport, service port); None when unknown."""
+    if proto == "tcp":
+        if port in _TCP_PORTS:
+            return _TCP_PORTS[port]
+        if port in _X11_RANGE:
+            return ("X11", "interactive")
+        return None
+    if proto == "udp":
+        return _UDP_PORTS.get(port)
+    return None
+
+
+def is_known_service_port(proto: str, port: int) -> bool:
+    """True when ``port`` names a service we can classify."""
+    return classify_port(proto, port) is not None
+
+
+def service_port(conn: ConnRecord) -> int:
+    """The connection's service (responder) port."""
+    return conn.resp_port
+
+
+def classify_conn(
+    conn: ConnRecord,
+    dynamic_windows_endpoints: set[tuple[int, int]] | None = None,
+) -> tuple[str, str]:
+    """Classify a connection into (protocol, category).
+
+    ``dynamic_windows_endpoints`` holds (server_ip, port) pairs learned
+    from Endpoint Mapper responses; stand-alone DCE/RPC connections to
+    those endpoints classify as "windows" even though the port is
+    ephemeral (§5.2.1).
+    """
+    if conn.proto == "icmp":
+        return ("ICMP", "icmp")
+    result = classify_port(conn.proto, conn.resp_port)
+    if result is None and conn.proto in ("tcp", "udp"):
+        # Some services (Netbios/NS) use symmetric ports; check the
+        # originator side before giving up.
+        result = classify_port(conn.proto, conn.orig_port)
+    if result is not None:
+        return result
+    if dynamic_windows_endpoints and (conn.resp_ip, conn.resp_port) in dynamic_windows_endpoints:
+        return ("DCE/RPC", "windows")
+    return ("other", f"other-{conn.proto}")

@@ -1,0 +1,132 @@
+"""Connection records — the analysis engine's equivalent of Bro conn logs.
+
+Every analysis in the paper is computed over connection summaries plus
+application-layer events; :class:`ConnRecord` is the summary format.  A
+"connection" is a TCP connection, a UDP flow (same 5-tuple with no long
+idle gap), or an ICMP echo exchange, matching the paper's flow
+accounting in Table 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..util.addr import Subnet, int_to_ip, is_broadcast, is_multicast
+
+__all__ = ["ConnState", "ConnRecord", "DEFAULT_INTERNAL_NET", "Locality", "locality_of"]
+
+#: The monitored site's address block (matches the generator's topology,
+#: and is what an analyst would configure for the LBNL traces).
+DEFAULT_INTERNAL_NET = Subnet.parse("131.243.0.0/16")
+
+
+class ConnState(enum.Enum):
+    """Terminal state of a connection, Bro-style."""
+
+    S0 = "S0"  # attempt seen, no reply
+    SF = "SF"  # established and cleanly finished
+    REJ = "REJ"  # attempt rejected with RST
+    EST = "EST"  # established, still open (or cut off by the trace window)
+    RSTO = "RSTO"  # established, then reset
+    OTH = "OTH"  # mid-stream pickup; no handshake observed
+
+
+class Locality(enum.Enum):
+    """Where a flow's endpoints live (§4's origin analysis)."""
+
+    ENT_ENT = "ent-ent"
+    ENT_WAN = "ent-wan"  # originated inside, responder outside
+    WAN_ENT = "wan-ent"  # originated outside
+    WAN_WAN = "wan-wan"
+    MCAST_INT = "mcast-int"  # multicast sourced inside the enterprise
+    MCAST_EXT = "mcast-ext"
+
+
+def locality_of(
+    orig_ip: int, resp_ip: int, internal_net: Subnet = DEFAULT_INTERNAL_NET
+) -> Locality:
+    """Classify a flow's locality from its endpoint addresses."""
+    if is_multicast(resp_ip) or is_broadcast(resp_ip):
+        return (
+            Locality.MCAST_INT if orig_ip in internal_net else Locality.MCAST_EXT
+        )
+    orig_in = orig_ip in internal_net
+    resp_in = resp_ip in internal_net
+    if orig_in and resp_in:
+        return Locality.ENT_ENT
+    if orig_in:
+        return Locality.ENT_WAN
+    if resp_in:
+        return Locality.WAN_ENT
+    return Locality.WAN_WAN
+
+
+@dataclass
+class ConnRecord:
+    """Summary of one connection/flow."""
+
+    proto: str  # "tcp" | "udp" | "icmp"
+    orig_ip: int
+    resp_ip: int
+    orig_port: int
+    resp_port: int
+    first_ts: float
+    last_ts: float
+    orig_pkts: int = 0
+    resp_pkts: int = 0
+    orig_bytes: int = 0  # L4 payload bytes originator → responder
+    resp_bytes: int = 0
+    state: ConnState = ConnState.OTH
+    retransmits: int = 0
+    keepalive_retransmits: int = 0
+    retransmit_bytes: int = 0
+    trace_index: int = -1  # which trace of the dataset this came from
+    app: str = ""  # filled by classification
+
+    # Extra annotations some analyzers attach (e.g. SSL handshake seen).
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Connection duration in seconds."""
+        return max(self.last_ts - self.first_ts, 0.0)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes in both directions."""
+        return self.orig_bytes + self.resp_bytes
+
+    @property
+    def total_pkts(self) -> int:
+        """Packets in both directions."""
+        return self.orig_pkts + self.resp_pkts
+
+    @property
+    def established(self) -> bool:
+        """True when the connection attempt succeeded."""
+        return self.state in (ConnState.SF, ConnState.EST, ConnState.RSTO, ConnState.OTH)
+
+    @property
+    def attempt_failed(self) -> bool:
+        """True for rejected or unanswered attempts."""
+        return self.state in (ConnState.S0, ConnState.REJ)
+
+    def locality(self, internal_net: Subnet = DEFAULT_INTERNAL_NET) -> Locality:
+        """The flow's endpoint locality."""
+        return locality_of(self.orig_ip, self.resp_ip, internal_net)
+
+    def involves_wan(self, internal_net: Subnet = DEFAULT_INTERNAL_NET) -> bool:
+        """True when either endpoint is outside the enterprise."""
+        return self.locality(internal_net) in (Locality.ENT_WAN, Locality.WAN_ENT, Locality.WAN_WAN)
+
+    def host_pair(self) -> tuple[int, int]:
+        """The (originator, responder) address pair."""
+        return (self.orig_ip, self.resp_ip)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Conn {self.proto} {int_to_ip(self.orig_ip)}:{self.orig_port} -> "
+            f"{int_to_ip(self.resp_ip)}:{self.resp_port} {self.state.value} "
+            f"{self.total_bytes}B>"
+        )

@@ -1,0 +1,236 @@
+"""The dataset analysis engine: traces in, analysis products out.
+
+One :class:`DatasetAnalyzer` consumes a dataset's trace files in order,
+running the flow table, the network-layer accounting (Table 2), per-trace
+utilization and retransmission accounting (Figures 9-10), and every
+registered application analyzer, then aggregates the results into a
+:class:`DatasetAnalysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, ETHERTYPE_IPX
+from ..net.packet import CapturedPacket, DecodedPacket, decode_packet
+from ..pcap.reader import PcapReader
+from ..util.addr import Subnet
+from ..util.stats import Summary
+from ..util.timeline import ByteTimeline
+from .conn import DEFAULT_INTERNAL_NET, ConnRecord
+from .flow import FlowResult, FlowTable
+
+__all__ = ["TraceStats", "DatasetAnalysis", "DatasetAnalyzer", "Analyzer"]
+
+
+class Analyzer:
+    """Base class for application analyzers.
+
+    ``on_udp`` fires once per UDP datagram (payload parsing without
+    buffering); ``on_connection`` fires once per finished connection with
+    any reassembled TCP streams.  Before ``result`` is called the engine
+    sets ``scanners`` to the sources identified by the §3 scan filter, so
+    connection-level reports can exclude scanner traffic the way the
+    paper does ("prior to our subsequent analysis, we remove traffic from
+    sources identified as scanners").
+    """
+
+    name = "analyzer"
+    scanners: frozenset[int] | set[int] = frozenset()
+
+    def on_udp(self, record: ConnRecord, from_orig: bool, pkt: DecodedPacket) -> None:
+        pass
+
+    def on_connection(self, result: FlowResult, full_payload: bool) -> None:
+        pass
+
+    def result(self):
+        """The analyzer's finished product (any shape it likes)."""
+        return None
+
+
+@dataclass
+class TraceStats:
+    """Per-trace statistics (one tap window)."""
+
+    index: int
+    path: str
+    packets: int = 0
+    start_ts: float = 0.0
+    end_ts: float = 0.0
+    # Network-layer packet counts (Table 2).
+    l2_counts: dict[str, int] = field(default_factory=dict)
+    # Minor IP transports (IGMP/PIM/GRE/ESP/...), protocol number -> packets;
+    # "each of which make up only a slim portion of the traffic" (§3).
+    other_ip_protocols: dict[int, int] = field(default_factory=dict)
+    # Utilization (Figure 9): per-second byte bins.
+    utilization: ByteTimeline | None = None
+    # Retransmission accounting (Figure 10), keyed "ent"/"wan".
+    tcp_packets: dict[str, int] = field(default_factory=lambda: {"ent": 0, "wan": 0})
+    retransmits: dict[str, int] = field(default_factory=lambda: {"ent": 0, "wan": 0})
+
+    def retransmit_rate(self, where: str) -> float | None:
+        """Retransmitted fraction for "ent"/"wan"; None below 1000 packets."""
+        total = self.tcp_packets.get(where, 0)
+        if total < 1000:
+            return None
+        return self.retransmits.get(where, 0) / total
+
+    def utilization_summary(self) -> Summary | None:
+        """Per-second Mbps summary, if any packets were seen."""
+        if self.utilization is None:
+            return None
+        return self.utilization.utilization_summary()
+
+
+@dataclass
+class DatasetAnalysis:
+    """Everything the reporting layer needs about one dataset."""
+
+    name: str
+    full_payload: bool
+    internal_net: Subnet
+    conns: list[ConnRecord] = field(default_factory=list)
+    traces: list[TraceStats] = field(default_factory=list)
+    analyzer_results: dict[str, object] = field(default_factory=dict)
+    #: (server_ip, port) endpoints learned from the Endpoint Mapper.
+    windows_endpoints: set[tuple[int, int]] = field(default_factory=set)
+    #: Sources removed by the scan filter (set after filtering).
+    scanner_sources: set[int] = field(default_factory=set)
+    removed_conns: int = 0
+
+    def filtered_conns(self) -> list[ConnRecord]:
+        """Connections with scanner traffic removed (the §3 baseline)."""
+        return [conn for conn in self.conns if conn.orig_ip not in self.scanner_sources]
+
+    @property
+    def total_packets(self) -> int:
+        return sum(trace.packets for trace in self.traces)
+
+    def l2_totals(self) -> dict[str, int]:
+        """Dataset-wide network-layer packet counts."""
+        totals: dict[str, int] = {}
+        for trace in self.traces:
+            for key, value in trace.l2_counts.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def other_transport_totals(self) -> dict[int, int]:
+        """Dataset-wide packet counts for the minor IP transports."""
+        totals: dict[int, int] = {}
+        for trace in self.traces:
+            for proto, count in trace.other_ip_protocols.items():
+                totals[proto] = totals.get(proto, 0) + count
+        return totals
+
+
+class DatasetAnalyzer:
+    """Runs the full analysis pipeline over one dataset's traces."""
+
+    def __init__(
+        self,
+        name: str,
+        full_payload: bool = True,
+        internal_net: Subnet = DEFAULT_INTERNAL_NET,
+        analyzers: Sequence[Analyzer] = (),
+    ) -> None:
+        self.analysis = DatasetAnalysis(
+            name=name, full_payload=full_payload, internal_net=internal_net
+        )
+        self.analyzers = list(analyzers)
+
+    # -- trace ingestion ------------------------------------------------------
+
+    def process_pcap(self, path: str | Path) -> TraceStats:
+        """Analyze one trace file."""
+        with PcapReader.open(path) as reader:
+            return self.process_packets(reader, label=str(path))
+
+    def process_packets(
+        self, packets: Iterable[CapturedPacket], label: str = "<memory>"
+    ) -> TraceStats:
+        """Analyze one trace given as an iterable of captured packets."""
+        index = len(self.analysis.traces)
+        stats = TraceStats(index=index, path=label)
+        table = FlowTable(
+            collect_payload=self.analysis.full_payload,
+            udp_observer=self._udp_observer,
+            trace_index=index,
+        )
+        points: list[tuple[float, int]] = []
+        l2 = {"ip": 0, "arp": 0, "ipx": 0, "other": 0}
+        first_ts = None
+        last_ts = 0.0
+        for pkt in packets:
+            decoded = decode_packet(pkt)
+            stats.packets += 1
+            if first_ts is None:
+                first_ts = decoded.ts
+            last_ts = decoded.ts
+            if decoded.ethertype == ETHERTYPE_IPV4:
+                l2["ip"] += 1
+            elif decoded.ethertype == ETHERTYPE_ARP:
+                l2["arp"] += 1
+            elif decoded.ethertype == ETHERTYPE_IPX:
+                l2["ipx"] += 1
+            else:
+                l2["other"] += 1
+            points.append((decoded.ts, decoded.wire_len))
+            if decoded.proto is not None and decoded.proto not in (1, 6, 17):
+                stats.other_ip_protocols[decoded.proto] = (
+                    stats.other_ip_protocols.get(decoded.proto, 0) + 1
+                )
+            table.process(decoded)
+        stats.l2_counts = l2
+        if first_ts is not None:
+            stats.start_ts = first_ts
+            stats.end_ts = max(last_ts, first_ts + 1.0)
+            timeline = ByteTimeline(stats.start_ts, stats.end_ts, 1.0)
+            timeline.add_many(points)
+            stats.utilization = timeline
+        self._finish_trace(table, stats)
+        self.analysis.traces.append(stats)
+        return stats
+
+    def _udp_observer(self, record: ConnRecord, from_orig: bool, pkt: DecodedPacket) -> None:
+        for analyzer in self.analyzers:
+            analyzer.on_udp(record, from_orig, pkt)
+
+    def _finish_trace(self, table: FlowTable, stats: TraceStats) -> None:
+        internal = self.analysis.internal_net
+        for result in table.flush():
+            record = result.record
+            self.analysis.conns.append(record)
+            if record.proto == "tcp":
+                where = "wan" if record.involves_wan(internal) else "ent"
+                stats.tcp_packets[where] += record.total_pkts
+                # Keep-alive probes are excluded, as in §6.
+                stats.retransmits[where] += record.retransmits
+            for analyzer in self.analyzers:
+                analyzer.on_connection(result, self.analysis.full_payload)
+
+    # -- completion -------------------------------------------------------------
+
+    def finish(self, known_scanners: Iterable[int] = ()) -> DatasetAnalysis:
+        """Run the scan filter, collect analyzer results, and return.
+
+        ``known_scanners`` plays the role of the paper's "2 internal
+        scanners" whose addresses the site knew a priori; the §3
+        heuristic finds the rest.
+        """
+        from .scanfilter import find_scanners
+
+        scanners = find_scanners(self.analysis.conns, known_scanners)
+        self.analysis.scanner_sources = scanners
+        self.analysis.removed_conns = sum(
+            1 for conn in self.analysis.conns if conn.orig_ip in scanners
+        )
+        for analyzer in self.analyzers:
+            analyzer.scanners = scanners
+            self.analysis.analyzer_results[analyzer.name] = analyzer.result()
+            endpoints = getattr(analyzer, "windows_endpoints", None)
+            if endpoints:
+                self.analysis.windows_endpoints |= endpoints
+        return self.analysis

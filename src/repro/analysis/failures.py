@@ -1,0 +1,92 @@
+"""Host-pair success/failure accounting (§5's methodology).
+
+The paper counts *distinct operations between distinct host-pairs* rather
+than raw connection attempts, because automated clients retry endlessly
+after rejection (NCP being the worst offender).  Given the short traces,
+a specific operation between a host-pair "either nearly always succeeds,
+or nearly always fails", so the pair is scored by majority outcome.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .conn import ConnRecord, ConnState
+
+__all__ = ["PairOutcomes", "host_pair_success", "raw_connection_success"]
+
+
+@dataclass
+class PairOutcomes:
+    """Success/rejected/unanswered counts by distinct host-pair."""
+
+    total: int = 0
+    successful: int = 0
+    rejected: int = 0
+    unanswered: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successful / self.total if self.total else 0.0
+
+    @property
+    def rejected_rate(self) -> float:
+        return self.rejected / self.total if self.total else 0.0
+
+    @property
+    def unanswered_rate(self) -> float:
+        return self.unanswered / self.total if self.total else 0.0
+
+
+def host_pair_success(
+    conns: Iterable[ConnRecord],
+    select: Callable[[ConnRecord], bool] | None = None,
+) -> PairOutcomes:
+    """Score host-pairs by majority connection outcome.
+
+    ``select`` restricts which connections participate (e.g. only
+    CIFS-port connections for the Table 9 rows).
+    """
+    by_pair: dict[tuple[int, int], list[ConnRecord]] = defaultdict(list)
+    for conn in conns:
+        if select is not None and not select(conn):
+            continue
+        by_pair[conn.host_pair()].append(conn)
+    outcome = PairOutcomes()
+    for pair_conns in by_pair.values():
+        outcome.total += 1
+        established = sum(1 for conn in pair_conns if conn.established)
+        rejected = sum(1 for conn in pair_conns if conn.state is ConnState.REJ)
+        unanswered = sum(1 for conn in pair_conns if conn.state is ConnState.S0)
+        if established >= max(rejected, unanswered):
+            outcome.successful += 1
+        elif rejected >= unanswered:
+            outcome.rejected += 1
+        else:
+            outcome.unanswered += 1
+    return outcome
+
+
+def raw_connection_success(
+    conns: Iterable[ConnRecord],
+    select: Callable[[ConnRecord], bool] | None = None,
+) -> PairOutcomes:
+    """The naive per-connection metric the paper argues against.
+
+    Kept for the ablation comparing it with :func:`host_pair_success`
+    (retry loops drag raw success rates far below pair-based ones).
+    """
+    outcome = PairOutcomes()
+    for conn in conns:
+        if select is not None and not select(conn):
+            continue
+        outcome.total += 1
+        if conn.established:
+            outcome.successful += 1
+        elif conn.state is ConnState.REJ:
+            outcome.rejected += 1
+        elif conn.state is ConnState.S0:
+            outcome.unanswered += 1
+    return outcome

@@ -1,0 +1,76 @@
+"""Network load analysis (§6, Figures 9-10).
+
+Derives per-trace peak utilization over multiple timescales, per-second
+utilization summaries, and TCP retransmission rates (enterprise vs WAN,
+keep-alives excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..util.stats import Cdf
+from .engine import TraceStats
+
+__all__ = ["LoadReport", "load_report"]
+
+_TIMESCALES = (1.0, 10.0, 60.0)
+
+
+@dataclass
+class LoadReport:
+    """Load metrics over a dataset's traces."""
+
+    #: timescale (seconds) -> CDF of per-trace peak Mbps (Figure 9a).
+    peak_cdfs: dict[float, Cdf] = field(default_factory=dict)
+    #: metric name -> CDF over traces of per-second utilization (Figure 9b).
+    utilization_cdfs: dict[str, Cdf] = field(default_factory=dict)
+    #: per-trace retransmission rates, "ent"/"wan" (Figure 10); traces
+    #: with fewer than 1000 packets in a category are omitted, as in the
+    #: paper.
+    retransmit_rates: dict[str, list[float]] = field(default_factory=dict)
+
+    def max_retransmit_rate(self, where: str) -> float:
+        rates = self.retransmit_rates.get(where, [])
+        return max(rates) if rates else 0.0
+
+    def fraction_above(self, where: str, threshold: float) -> float:
+        """Fraction of traces whose retransmission rate exceeds threshold."""
+        rates = self.retransmit_rates.get(where, [])
+        if not rates:
+            return 0.0
+        return sum(1 for rate in rates if rate > threshold) / len(rates)
+
+
+def load_report(traces: Sequence[TraceStats]) -> LoadReport:
+    """Compute Figure 9/10 metrics from per-trace statistics."""
+    report = LoadReport()
+    peaks: dict[float, list[float]] = {scale: [] for scale in _TIMESCALES}
+    summaries: dict[str, list[float]] = {
+        "minimum": [], "p25": [], "median": [], "p75": [], "mean": [], "maximum": []
+    }
+    for trace in traces:
+        if trace.utilization is None:
+            continue
+        for scale in _TIMESCALES:
+            if trace.utilization.num_bins * trace.utilization.bin_seconds >= scale:
+                peaks[scale].append(trace.utilization.peak_mbps(scale))
+        summary = trace.utilization_summary()
+        if summary is not None:
+            summaries["minimum"].append(summary.minimum)
+            summaries["p25"].append(summary.p25)
+            summaries["median"].append(summary.median)
+            summaries["p75"].append(summary.p75)
+            summaries["mean"].append(summary.mean)
+            summaries["maximum"].append(summary.maximum)
+    report.peak_cdfs = {scale: Cdf(values) for scale, values in peaks.items()}
+    report.utilization_cdfs = {name: Cdf(values) for name, values in summaries.items()}
+    rates: dict[str, list[float]] = {"ent": [], "wan": []}
+    for trace in traces:
+        for where in ("ent", "wan"):
+            rate = trace.retransmit_rate(where)
+            if rate is not None:
+                rates[where].append(rate)
+    report.retransmit_rates = rates
+    return report

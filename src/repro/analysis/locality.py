@@ -1,0 +1,100 @@
+"""Origins and locality analysis (§4, Figure 2).
+
+Computes the flow-origin breakdown (enterprise↔enterprise dominates at
+71-79%) and per-host fan-in/fan-out, split by whether the peer set is
+internal or across the WAN.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..util.addr import Subnet
+from ..util.stats import Cdf
+from .conn import DEFAULT_INTERNAL_NET, ConnRecord, Locality
+
+__all__ = ["OriginBreakdown", "FanStats", "origin_breakdown", "fan_stats"]
+
+
+@dataclass
+class OriginBreakdown:
+    """Fractions of flows by endpoint origin (§4)."""
+
+    counts: dict[Locality, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, where: Locality) -> float:
+        total = self.total
+        return self.counts.get(where, 0) / total if total else 0.0
+
+
+def origin_breakdown(
+    conns: Iterable[ConnRecord], internal_net: Subnet = DEFAULT_INTERNAL_NET
+) -> OriginBreakdown:
+    """Count flows by locality class."""
+    breakdown = OriginBreakdown(counts={where: 0 for where in Locality})
+    for conn in conns:
+        breakdown.counts[conn.locality(internal_net)] += 1
+    return breakdown
+
+
+@dataclass
+class FanStats:
+    """Fan-in/fan-out distributions for monitored (internal) hosts.
+
+    fan-out: distinct hosts a monitored host originates conversations
+    to; fan-in: distinct hosts originating conversations to it — each
+    split into enterprise peers and WAN peers (Figure 2).
+    """
+
+    fan_in_ent: Cdf
+    fan_in_wan: Cdf
+    fan_out_ent: Cdf
+    fan_out_wan: Cdf
+    only_internal_fan_in: float = 0.0
+    only_internal_fan_out: float = 0.0
+
+
+def fan_stats(
+    conns: Iterable[ConnRecord], internal_net: Subnet = DEFAULT_INTERNAL_NET
+) -> FanStats:
+    """Compute fan-in/fan-out per internal host.
+
+    Hosts with zero peers in a class are excluded from that class's CDF
+    (matching the paper's per-curve sample counts), but the "only
+    internal peers" fractions are computed over all hosts with any peers.
+    """
+    out_ent: dict[int, set[int]] = defaultdict(set)
+    out_wan: dict[int, set[int]] = defaultdict(set)
+    in_ent: dict[int, set[int]] = defaultdict(set)
+    in_wan: dict[int, set[int]] = defaultdict(set)
+    for conn in conns:
+        where = conn.locality(internal_net)
+        if where is Locality.ENT_ENT:
+            out_ent[conn.orig_ip].add(conn.resp_ip)
+            in_ent[conn.resp_ip].add(conn.orig_ip)
+        elif where is Locality.ENT_WAN:
+            out_wan[conn.orig_ip].add(conn.resp_ip)
+        elif where is Locality.WAN_ENT:
+            in_wan[conn.resp_ip].add(conn.orig_ip)
+    hosts_with_out = set(out_ent) | set(out_wan)
+    hosts_with_in = set(in_ent) | set(in_wan)
+    only_in = sum(
+        1 for host in hosts_with_in if host in in_ent and host not in in_wan
+    )
+    only_out = sum(
+        1 for host in hosts_with_out if host in out_ent and host not in out_wan
+    )
+    return FanStats(
+        fan_in_ent=Cdf(len(peers) for peers in in_ent.values()),
+        fan_in_wan=Cdf(len(peers) for peers in in_wan.values()),
+        fan_out_ent=Cdf(len(peers) for peers in out_ent.values()),
+        fan_out_wan=Cdf(len(peers) for peers in out_wan.values()),
+        only_internal_fan_in=only_in / len(hosts_with_in) if hosts_with_in else 0.0,
+        only_internal_fan_out=only_out / len(hosts_with_out) if hosts_with_out else 0.0,
+    )

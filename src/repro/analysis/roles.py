@@ -1,0 +1,128 @@
+"""Host-role classification from connection patterns.
+
+The paper cites role inference (Tan et al., USENIX '03) as the kind of
+deeper enterprise analysis its broad first look should enable, and §4
+observes that the fan-in/fan-out tails belong to "busy servers that
+communicate with large numbers of on- and off-site hosts".  This module
+implements that follow-on analysis: given a dataset's connection records,
+classify each internal host's role from what it *does* — no topology
+knowledge, ports, payloads, or generator metadata involved beyond the
+service-port of connections it answers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..util.addr import Subnet
+from .classify import classify_conn
+from .conn import DEFAULT_INTERNAL_NET, ConnRecord
+
+__all__ = ["HostProfile", "RoleReport", "classify_roles"]
+
+#: A host answering at least this many distinct clients on one service
+#: counts as a server for it.
+_SERVER_MIN_CLIENTS = 5
+#: Fan-out above this marks a host as client-heavy.
+_CLIENT_MIN_PEERS = 3
+
+
+@dataclass
+class HostProfile:
+    """Behavioural profile of one internal host."""
+
+    ip: int
+    #: service protocol name -> number of distinct clients served.
+    served: Counter = field(default_factory=Counter)
+    #: distinct peers this host originated conversations to.
+    fan_out: int = 0
+    #: distinct peers that originated conversations to this host.
+    fan_in: int = 0
+    conns_as_orig: int = 0
+    conns_as_resp: int = 0
+
+    @property
+    def roles(self) -> list[str]:
+        """Service roles this host plays ("smtp-server", ...)."""
+        return sorted(
+            f"{proto.lower()}-server"
+            for proto, clients in self.served.items()
+            if clients >= _SERVER_MIN_CLIENTS
+        )
+
+    @property
+    def kind(self) -> str:
+        """Coarse classification: server / client / mixed / quiet."""
+        is_server = bool(self.roles)
+        is_client = self.fan_out >= _CLIENT_MIN_PEERS
+        if is_server and is_client:
+            return "mixed"
+        if is_server:
+            return "server"
+        if is_client:
+            return "client"
+        return "quiet"
+
+
+@dataclass
+class RoleReport:
+    """Role classification over a whole dataset."""
+
+    profiles: dict[int, HostProfile] = field(default_factory=dict)
+
+    def hosts_of_kind(self, kind: str) -> list[HostProfile]:
+        """All profiles with the given coarse kind."""
+        return [p for p in self.profiles.values() if p.kind == kind]
+
+    def servers_for(self, protocol: str) -> list[HostProfile]:
+        """Hosts serving ``protocol`` (e.g. "SMTP"), busiest first."""
+        role = f"{protocol.lower()}-server"
+        matches = [p for p in self.profiles.values() if role in p.roles]
+        return sorted(matches, key=lambda p: -p.served[protocol])
+
+    def kind_counts(self) -> Counter:
+        """{kind: host count}."""
+        return Counter(p.kind for p in self.profiles.values())
+
+
+def classify_roles(
+    conns: Iterable[ConnRecord],
+    internal_net: Subnet = DEFAULT_INTERNAL_NET,
+    windows_endpoints: set[tuple[int, int]] | None = None,
+) -> RoleReport:
+    """Infer internal hosts' roles from their connection patterns.
+
+    Only *established* connections count toward serving (a scanner's
+    rejected probes must not make every workstation look like a server),
+    and only internal hosts are profiled.
+    """
+    report = RoleReport()
+    out_peers: dict[int, set[int]] = defaultdict(set)
+    in_peers: dict[int, set[int]] = defaultdict(set)
+    served_clients: dict[tuple[int, str], set[int]] = defaultdict(set)
+
+    for conn in conns:
+        orig_internal = conn.orig_ip in internal_net
+        resp_internal = conn.resp_ip in internal_net
+        if orig_internal:
+            profile = report.profiles.setdefault(conn.orig_ip, HostProfile(conn.orig_ip))
+            profile.conns_as_orig += 1
+            out_peers[conn.orig_ip].add(conn.resp_ip)
+        if resp_internal:
+            profile = report.profiles.setdefault(conn.resp_ip, HostProfile(conn.resp_ip))
+            profile.conns_as_resp += 1
+            in_peers[conn.resp_ip].add(conn.orig_ip)
+            if conn.established and conn.proto in ("tcp", "udp"):
+                proto_name, _category = classify_conn(conn, windows_endpoints)
+                if proto_name != "other":
+                    served_clients[(conn.resp_ip, proto_name)].add(conn.orig_ip)
+
+    for (ip, proto_name), clients in served_clients.items():
+        report.profiles[ip].served[proto_name] = len(clients)
+    for ip, peers in out_peers.items():
+        report.profiles[ip].fan_out = len(peers)
+    for ip, peers in in_peers.items():
+        report.profiles[ip].fan_in = len(peers)
+    return report

@@ -1,0 +1,117 @@
+"""Scanning-traffic characterization — §3's declared future work.
+
+"A more in-depth study of characteristics that the scanning traffic
+exposes is a fruitful area for future work."  This module builds on the
+§3 detection heuristic and characterizes each identified scanner: sweep
+extent and pacing, targeted services, probe protocol, how targets
+responded, and which otherwise-idle services the scanner managed to
+engage (§3 warns those skew protocol diversity).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .conn import ConnRecord, ConnState
+from .scanfilter import find_scanners
+
+__all__ = ["ScannerProfile", "ScanReport", "characterize_scanners"]
+
+
+@dataclass
+class ScannerProfile:
+    """Behavioural profile of one scanning source."""
+
+    source: int
+    conns: int = 0
+    distinct_targets: int = 0
+    first_ts: float = 0.0
+    last_ts: float = 0.0
+    protocols: Counter = field(default_factory=Counter)  # tcp/udp/icmp
+    ports: Counter = field(default_factory=Counter)
+    outcomes: Counter = field(default_factory=Counter)  # per ConnState name
+    engaged_services: Counter = field(default_factory=Counter)  # answered ports
+
+    @property
+    def duration(self) -> float:
+        return max(self.last_ts - self.first_ts, 0.0)
+
+    @property
+    def probe_rate(self) -> float:
+        """Probes per second over the sweep's active span."""
+        if self.duration <= 0:
+            return float(self.conns)
+        return self.conns / self.duration
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction of probes that got any positive response."""
+        if not self.conns:
+            return 0.0
+        answered = self.conns - self.outcomes.get("S0", 0) - self.outcomes.get("REJ", 0)
+        return answered / self.conns
+
+    @property
+    def is_icmp_scanner(self) -> bool:
+        return self.protocols.get("icmp", 0) > self.protocols.get("tcp", 0)
+
+
+@dataclass
+class ScanReport:
+    """All scanners of one dataset, characterized."""
+
+    profiles: dict[int, ScannerProfile] = field(default_factory=dict)
+    total_conns: int = 0
+    scan_conns: int = 0
+
+    @property
+    def removed_fraction(self) -> float:
+        return self.scan_conns / self.total_conns if self.total_conns else 0.0
+
+    def by_extent(self) -> list[ScannerProfile]:
+        """Scanners ordered by distinct targets, widest first."""
+        return sorted(self.profiles.values(), key=lambda p: -p.distinct_targets)
+
+    def engaged_service_ports(self) -> set[int]:
+        """Ports where any scanner got an established service to answer."""
+        return {
+            port
+            for profile in self.profiles.values()
+            for port in profile.engaged_services
+        }
+
+
+def characterize_scanners(
+    conns: Iterable[ConnRecord],
+    known_scanners: Iterable[int] = (),
+) -> ScanReport:
+    """Detect (per §3) and characterize every scanning source."""
+    conns = list(conns)
+    scanners = find_scanners(conns, known_scanners)
+    report = ScanReport(total_conns=len(conns))
+    for source in scanners:
+        report.profiles[source] = ScannerProfile(source=source)
+    targets: dict[int, set[int]] = {source: set() for source in scanners}
+    for conn in conns:
+        profile = report.profiles.get(conn.orig_ip)
+        if profile is None:
+            continue
+        report.scan_conns += 1
+        if not profile.conns:
+            profile.first_ts = conn.first_ts
+        profile.conns += 1
+        profile.first_ts = min(profile.first_ts, conn.first_ts)
+        profile.last_ts = max(profile.last_ts, conn.last_ts)
+        targets[conn.orig_ip].add(conn.resp_ip)
+        profile.protocols[conn.proto] += 1
+        profile.outcomes[conn.state.value] += 1
+        if conn.proto in ("tcp", "udp"):
+            profile.ports[conn.resp_port] += 1
+            if conn.proto == "tcp" and conn.state not in (ConnState.S0, ConnState.REJ):
+                if conn.resp_bytes > 0:
+                    profile.engaged_services[conn.resp_port] += 1
+    for source, target_set in targets.items():
+        report.profiles[source].distinct_targets = len(target_set)
+    return report

@@ -1,0 +1,13 @@
+"""The end-to-end study pipeline and experiment registry."""
+
+from .experiments import EXPERIMENTS, Experiment
+from .study import StudyConfig, StudyResults, analyze_dataset, run_study
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "StudyConfig",
+    "StudyResults",
+    "analyze_dataset",
+    "run_study",
+]

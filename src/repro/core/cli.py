@@ -1,0 +1,117 @@
+"""Command-line entry point: run the study and print tables/figures.
+
+Installed as ``repro-study``::
+
+    repro-study --scale 0.01 --seed 42 --tables 2 3 --figures 1 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..gen.datasets import DATASET_ORDER
+from .study import run_study
+
+__all__ = ["main"]
+
+_ALL_TABLES = list(range(1, 16))
+_ALL_FIGURES = list(range(1, 11))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Reproduce 'A First Look at Modern Enterprise Traffic' "
+            "(Pang et al., IMC 2005) on synthetic LBNL-like traces."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="traffic volume relative to the paper's (default 0.01)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=DATASET_ORDER,
+        choices=DATASET_ORDER,
+        help="datasets to generate and analyze",
+    )
+    parser.add_argument(
+        "--max-windows", type=int, default=None, help="truncate each tap schedule"
+    )
+    parser.add_argument(
+        "--out-dir", default=None, help="keep generated pcap traces here"
+    )
+    parser.add_argument(
+        "--tables",
+        nargs="*",
+        type=int,
+        default=None,
+        help="table numbers to print (default: all)",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        type=int,
+        default=None,
+        help="figure numbers to print (default: all)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render CDF figures as ASCII plots instead of quantile tables",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the study and print the requested tables/figures."""
+    args = _build_parser().parse_args(argv)
+    results = run_study(
+        seed=args.seed,
+        scale=args.scale,
+        datasets=tuple(args.datasets),
+        max_windows=args.max_windows,
+        out_dir=args.out_dir,
+    )
+    tables = args.tables if args.tables is not None else _ALL_TABLES
+    figures = args.figures if args.figures is not None else _ALL_FIGURES
+    for number in tables:
+        print(results.render_table(number))
+        print()
+    for number in figures:
+        if args.plot:
+            print(_render_figure_plots(results, number))
+        else:
+            print(results.render_figure(number))
+        print()
+    return 0
+
+
+def _render_figure_plots(results, number: int) -> str:
+    """Render a figure, using ASCII plots for its CDF parts."""
+    from ..report.model import CdfFigure, SeriesFigure, Table
+
+    built = results.figure(number)
+    if isinstance(built, dict):
+        parts = list(built.values())
+    elif isinstance(built, (Table, CdfFigure, SeriesFigure)):
+        parts = [built]
+    else:
+        parts = list(built)
+    rendered = []
+    for part in parts:
+        if isinstance(part, CdfFigure):
+            rendered.append(part.render_plot())
+        else:
+            rendered.append(part.render())
+    return "\n\n".join(rendered)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

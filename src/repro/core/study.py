@@ -1,0 +1,205 @@
+"""The end-to-end study pipeline: generate → analyze → report.
+
+``run_study`` is the package's front door: it generates the five LBNL-like
+datasets (or a subset), runs the full analysis engine over the resulting
+pcap traces, and exposes every table and figure of the paper through
+:class:`StudyResults`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..analysis.analyzers import DEFAULT_ANALYZERS
+from ..analysis.engine import DatasetAnalysis, DatasetAnalyzer
+from ..gen.capture import DatasetTraces, generate_dataset
+from ..gen.datasets import DATASET_ORDER, DATASETS
+from ..gen.topology import ENTERPRISE_NET, Enterprise, Role
+from ..report import figures as figure_builders
+from ..report import tables as table_builders
+from ..report.findings import table5 as findings_table5
+from ..report.categories import CategoryBreakdown, category_breakdown
+from ..report.model import CdfFigure, SeriesFigure, Table
+from ..util.fmt import fmt_duration
+
+__all__ = ["StudyConfig", "StudyResults", "run_study", "analyze_dataset"]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of one reproduction run."""
+
+    seed: int = 0
+    #: Traffic volume relative to the paper's (1.0 ≈ the full LBNL volume).
+    scale: float = 0.01
+    datasets: tuple[str, ...] = tuple(DATASET_ORDER)
+    #: Truncate each dataset's tap schedule (None = full schedule).
+    max_windows: int | None = None
+    #: Where pcap traces are written (None = a temporary directory).
+    out_dir: str | None = None
+
+
+@dataclass
+class StudyResults:
+    """Everything a reproduction run produced."""
+
+    config: StudyConfig
+    analyses: dict[str, DatasetAnalysis] = field(default_factory=dict)
+    traces: dict[str, DatasetTraces] = field(default_factory=dict)
+    breakdowns: dict[str, CategoryBreakdown] = field(default_factory=dict)
+    enterprise: Enterprise | None = None
+
+    # -- table / figure access ------------------------------------------------
+
+    def table(self, number: int) -> Table:
+        """Build paper table ``number`` (1-15; Table 5 is regenerated with
+        measured values substituted into each finding)."""
+        builders = {
+            1: lambda: table_builders.table1(self.analyses, self._trace_meta()),
+            2: lambda: table_builders.table2(self.analyses),
+            3: lambda: table_builders.table3(self.analyses),
+            4: table_builders.table4,
+            5: lambda: findings_table5(self.analyses),
+            6: lambda: table_builders.table6(self.analyses),
+            7: lambda: table_builders.table7(self.analyses),
+            8: lambda: table_builders.table8(self.analyses),
+            9: lambda: table_builders.table9(self.analyses),
+            10: lambda: table_builders.table10(self.analyses),
+            11: lambda: table_builders.table11(self.analyses),
+            12: lambda: table_builders.table12(self.analyses),
+            13: lambda: table_builders.table13(self.analyses),
+            14: lambda: table_builders.table14(self.analyses),
+            15: lambda: table_builders.table15(self.analyses),
+        }
+        if number not in builders:
+            raise KeyError(f"no builder for Table {number}")
+        return builders[number]()
+
+    def figure(self, number: int):
+        """Build paper figure ``number`` (1-10)."""
+        builders = {
+            1: lambda: (
+                figure_builders.figure1(self.breakdowns, by="bytes"),
+                figure_builders.figure1(self.breakdowns, by="conns"),
+            ),
+            2: lambda: figure_builders.figure2(self.analyses),
+            3: lambda: figure_builders.figure3(self.analyses),
+            4: lambda: figure_builders.figure4(self.analyses),
+            5: lambda: figure_builders.figure5(self.analyses),
+            6: lambda: figure_builders.figure6(self.analyses),
+            7: lambda: figure_builders.figure7(self.analyses),
+            8: lambda: figure_builders.figure8(self.analyses),
+            9: lambda: figure_builders.figure9(
+                self.analyses.get("D4") or next(iter(self.analyses.values()))
+            ),
+            10: lambda: figure_builders.figure10(self.analyses),
+        }
+        if number not in builders:
+            raise KeyError(f"no builder for Figure {number}")
+        return builders[number]()
+
+    def render_table(self, number: int) -> str:
+        """Render paper table ``number`` as text."""
+        return self.table(number).render()
+
+    def render_figure(self, number: int) -> str:
+        """Render paper figure ``number`` as text."""
+        built = self.figure(number)
+        if isinstance(built, (Table, CdfFigure, SeriesFigure)):
+            return built.render()
+        if isinstance(built, Mapping):
+            return "\n\n".join(item.render() for item in built.values())
+        return "\n\n".join(item.render() for item in built)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _trace_meta(self) -> dict[str, dict]:
+        meta: dict[str, dict] = {}
+        for name, dataset in self.traces.items():
+            config = dataset.config
+            subnets = []
+            if self.enterprise is not None:
+                covered = {trace.window.subnet_index for trace in dataset.traces}
+                subnets = [
+                    subnet.subnet
+                    for subnet in self.enterprise.subnets
+                    if subnet.index in covered
+                ]
+            meta[name] = {
+                "date": config.date,
+                "duration": fmt_duration(config.tap_seconds),
+                "per_tap": config.per_tap,
+                "num_subnets": config.num_subnets,
+                "snaplen": config.snaplen,
+                "monitored_subnets": subnets,
+            }
+        return meta
+
+
+def analyze_dataset(
+    name: str,
+    traces: DatasetTraces,
+    known_scanners: tuple[int, ...] = (),
+) -> DatasetAnalysis:
+    """Run the full analysis engine over one generated dataset."""
+    analyzer = DatasetAnalyzer(
+        name,
+        full_payload=traces.config.full_payload,
+        internal_net=ENTERPRISE_NET,
+        analyzers=[cls() for cls in DEFAULT_ANALYZERS],
+    )
+    for trace in traces.traces:
+        analyzer.process_pcap(trace.path)
+    return analyzer.finish(known_scanners=known_scanners)
+
+
+def run_study(
+    seed: int = 0,
+    scale: float = 0.01,
+    datasets: tuple[str, ...] | None = None,
+    max_windows: int | None = None,
+    out_dir: str | None = None,
+) -> StudyResults:
+    """Run the whole reproduction: generate traces, analyze, report.
+
+    With ``out_dir=None``, traces are written to a temporary directory
+    and deleted once analyzed (each dataset's pcaps are only needed
+    transiently).
+    """
+    config = StudyConfig(
+        seed=seed,
+        scale=scale,
+        datasets=tuple(datasets) if datasets is not None else tuple(DATASET_ORDER),
+        max_windows=max_windows,
+        out_dir=out_dir,
+    )
+    enterprise = Enterprise(seed=seed)
+    results = StudyResults(config=config, enterprise=enterprise)
+    known_scanners = tuple(
+        host.ip for host in enterprise.servers(Role.SCANNER)
+    )
+    for name in config.datasets:
+        if name not in DATASETS:
+            raise KeyError(f"unknown dataset {name!r}")
+        with tempfile.TemporaryDirectory() as tmp:
+            target = Path(out_dir) / name if out_dir else Path(tmp)
+            dataset_traces = generate_dataset(
+                name,
+                enterprise,
+                target,
+                seed=seed,
+                scale=scale,
+                max_windows=max_windows,
+            )
+            analysis = analyze_dataset(name, dataset_traces, known_scanners)
+        results.traces[name] = dataset_traces
+        results.analyses[name] = analysis
+        results.breakdowns[name] = category_breakdown(
+            analysis.filtered_conns(),
+            analysis.windows_endpoints,
+            internal_net=ENTERPRISE_NET,
+        )
+    return results

@@ -1,0 +1,58 @@
+"""The synthetic enterprise trace generator.
+
+Stand-in for the paper's LBNL packet traces: builds a two-router,
+40-subnet enterprise (:mod:`repro.gen.topology`), describes application
+workloads as abstract sessions (:mod:`repro.gen.apps`), realizes them
+into wire packets with working TCP mechanics (:mod:`repro.gen.tcpsim`),
+and captures them through the paper's tap schedule into pcap files
+(:mod:`repro.gen.capture`).
+"""
+
+from .capture import (
+    ALL_GENERATORS,
+    DatasetTraces,
+    TapWindow,
+    Trace,
+    generate_dataset,
+    generate_study,
+    schedule_windows,
+)
+from .datasets import DATASET_ORDER, DATASETS, DatasetConfig, Dials
+from .session import (
+    AppEvent,
+    Dir,
+    IcmpExchange,
+    Outcome,
+    RawPackets,
+    Session,
+    TcpSession,
+    UdpExchange,
+)
+from .topology import ENTERPRISE_NET, Enterprise, EnterpriseSubnet, Host, Role
+
+__all__ = [
+    "ALL_GENERATORS",
+    "DatasetTraces",
+    "TapWindow",
+    "Trace",
+    "generate_dataset",
+    "generate_study",
+    "schedule_windows",
+    "DATASET_ORDER",
+    "DATASETS",
+    "DatasetConfig",
+    "Dials",
+    "AppEvent",
+    "Dir",
+    "IcmpExchange",
+    "Outcome",
+    "RawPackets",
+    "Session",
+    "TcpSession",
+    "UdpExchange",
+    "ENTERPRISE_NET",
+    "Enterprise",
+    "EnterpriseSubnet",
+    "Host",
+    "Role",
+]

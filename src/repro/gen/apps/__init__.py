@@ -1,0 +1,41 @@
+"""Per-application workload generators."""
+
+from .backup_gen import BackupGenerator
+from .base import AppGenerator, WindowContext, poisson
+from .bulk_gen import BulkGenerator
+from .dns_gen import DnsGenerator
+from .email_gen import EmailGenerator
+from .http_gen import HttpGenerator
+from .inbound_gen import InboundWanGenerator
+from .interactive_gen import InteractiveGenerator
+from .link_gen import LinkGenerator
+from .misc_gen import MiscGenerator
+from .ncp_gen import NcpGenerator
+from .netbios_gen import NetbiosNsGenerator
+from .netmgnt_gen import NetMgntGenerator
+from .nfs_gen import NfsGenerator
+from .scanner_gen import ScannerGenerator
+from .streaming_gen import StreamingGenerator
+from .windows_gen import WindowsGenerator
+
+__all__ = [
+    "AppGenerator",
+    "WindowContext",
+    "poisson",
+    "BackupGenerator",
+    "BulkGenerator",
+    "DnsGenerator",
+    "EmailGenerator",
+    "HttpGenerator",
+    "InboundWanGenerator",
+    "InteractiveGenerator",
+    "LinkGenerator",
+    "MiscGenerator",
+    "NcpGenerator",
+    "NetbiosNsGenerator",
+    "NetMgntGenerator",
+    "NfsGenerator",
+    "ScannerGenerator",
+    "StreamingGenerator",
+    "WindowsGenerator",
+]

@@ -1,0 +1,190 @@
+"""Backup workload generator (§5.2.3, Table 15).
+
+Models the three backup systems the paper observes:
+
+* **Veritas** — separate control (many tiny connections) and data
+  connections; data flows strictly client → server.  One Veritas data
+  connection per study is given a ~5% loss rate, reproducing the
+  retransmission outlier of §6/Figure 10.
+* **Dantz** — control and data share one connection, with substantial
+  volume in *both* directions (sometimes tens of MB each way within a
+  single connection).
+* **Connected** — a small service backing data up to an external site.
+
+Backup is a few huge flows, so volume here scales with the study's
+``scale`` through flow *sizes* rather than flow counts.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...proto import backupproto as bp
+from ...util.sampling import LogNormal
+from ..session import ROUTER_MAC, AppEvent, Dir, TcpSession
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["BackupGenerator"]
+
+#: Backup jobs per subnet-hour.
+_VERITAS_JOB_RATE = 0.8
+_DANTZ_JOB_RATE = 0.8
+_CONNECTED_RATE = 0.4
+#: Control connections per data connection (Table 15: 1271 ctrl vs 352 data).
+_VERITAS_CTRL_PER_JOB = 3.6
+
+_VERITAS_JOB_BYTES = LogNormal(median=70e6, sigma=1.2)
+_DANTZ_JOB_BYTES = LogNormal(median=75e6, sigma=1.3)
+_DANTZ_REVERSE_FRAC = 0.35  # Dantz moves real volume server→client too
+_CONNECTED_BYTES = LogNormal(median=8e6, sigma=1.0)
+
+_CHUNK = 64 * 1024  # application-level record size for bulk data
+
+
+class BackupGenerator(AppGenerator):
+    """Generates Veritas/Dantz/Connected backup sessions."""
+
+    name = "backup"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        rate = ctx.config.dials.backup_rate
+        sessions: list[TcpSession] = []
+        if self._is_outlier_window(ctx):
+            # The §6 outlier: one Veritas connection per study with ~5%
+            # retransmissions (congestion or a flaky NIC downstream).
+            server = ctx.off_subnet_server(Role.BACKUP_VERITAS)
+            if server is not None:
+                sessions.extend(
+                    self._veritas_job(ctx, ctx.local_client(), server, rate, lossy=True)
+                )
+        for _ in range(ctx.count(_VERITAS_JOB_RATE * rate / max(ctx.scale, 1e-9))):
+            # Job counts stay unscaled; sizes carry the scale instead.
+            server = ctx.off_subnet_server(Role.BACKUP_VERITAS)
+            if server is None:
+                break
+            sessions.extend(self._veritas_job(ctx, ctx.local_client(), server, rate))
+        for _ in range(ctx.count(_DANTZ_JOB_RATE * rate / max(ctx.scale, 1e-9))):
+            server = ctx.off_subnet_server(Role.BACKUP_DANTZ)
+            if server is None:
+                break
+            sessions.append(self._dantz_job(ctx, ctx.local_client(), server, rate))
+        for _ in range(ctx.count(_CONNECTED_RATE * rate / max(ctx.scale, 1e-9))):
+            sessions.append(self._connected_job(ctx, ctx.local_client(), rate))
+        return sessions
+
+    # -- Veritas ---------------------------------------------------------------
+
+    @staticmethod
+    def _is_outlier_window(ctx: WindowContext) -> bool:
+        return ctx.config.name == "D4" and ctx.subnet.index % 18 == 5
+
+    def _veritas_job(
+        self, ctx: WindowContext, client: Host, server: Host, rate: float,
+        lossy: bool = False,
+    ) -> list[TcpSession]:
+        rng = ctx.rng
+        sessions: list[TcpSession] = []
+        start = ctx.start_time()
+        for index in range(max(int(round(rng.gauss(_VERITAS_CTRL_PER_JOB, 1.0))), 1)):
+            ctrl = TcpSession(
+                client_ip=client.ip,
+                server_ip=server.ip,
+                client_mac=ctx.mac_of(client),
+                server_mac=ctx.mac_of(server),
+                sport=ctx.ephemeral_port(),
+                dport=bp.VERITAS_CTRL_PORT,
+                start=start + index * 0.5,
+                rtt=ctx.ent_rtt(),
+            )
+            record = bp.BackupRecord(bp.MAGIC_VERITAS, bp.REC_CONTROL, b"c" * 60)
+            ctrl.events = [
+                AppEvent(0.0, Dir.C2S, record.encode()),
+                AppEvent(0.01, Dir.S2C, record.encode()),
+            ]
+            sessions.append(ctrl)
+        data = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=bp.VERITAS_DATA_PORT,
+            start=start + 2.0,
+            rtt=ctx.ent_rtt(),
+        )
+        total = int(_VERITAS_JOB_BYTES.sample(rng) * ctx.scale * rate)
+        if lossy:
+            data.loss_rate = 0.05
+            total = max(total, int(2e9 * ctx.scale))  # the 2 GB/hour transfer
+        self._bulk_events(data, total, Dir.C2S)
+        sessions.append(data)
+        return sessions
+
+    # -- Dantz -------------------------------------------------------------------
+
+    def _dantz_job(
+        self, ctx: WindowContext, client: Host, server: Host, rate: float
+    ) -> TcpSession:
+        rng = ctx.rng
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=bp.DANTZ_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+        )
+        total = int(_DANTZ_JOB_BYTES.sample(rng) * ctx.scale * rate)
+        reverse = int(total * _DANTZ_REVERSE_FRAC * rng.random() * 2)
+        control = bp.BackupRecord(bp.MAGIC_DANTZ, bp.REC_CONTROL, b"c" * 80)
+        session.events = [
+            AppEvent(0.0, Dir.C2S, control.encode()),
+            AppEvent(0.01, Dir.S2C, control.encode()),
+        ]
+        # Interleave forward and reverse data within the same connection —
+        # the bi-directionality the paper observes *within* connections.
+        fwd_left, rev_left = total, reverse
+        while fwd_left > 0 or rev_left > 0:
+            if fwd_left > 0:
+                chunk = min(_CHUNK * 8, fwd_left)
+                record = bp.BackupRecord(bp.MAGIC_DANTZ, bp.REC_DATA, b"\x00" * chunk)
+                session.events.append(AppEvent(0.002, Dir.C2S, record.encode()))
+                fwd_left -= chunk
+            if rev_left > 0:
+                chunk = min(_CHUNK * 4, rev_left)
+                record = bp.BackupRecord(bp.MAGIC_DANTZ, bp.REC_DATA, b"\x00" * chunk)
+                session.events.append(AppEvent(0.002, Dir.S2C, record.encode()))
+                rev_left -= chunk
+        return session
+
+    # -- Connected ----------------------------------------------------------------
+
+    def _connected_job(self, ctx: WindowContext, client: Host, rate: float) -> TcpSession:
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=ctx.wan_ip(),
+            client_mac=ctx.mac_of(client),
+            server_mac=ROUTER_MAC,
+            sport=ctx.ephemeral_port(),
+            dport=bp.CONNECTED_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.wan_rtt(),
+        )
+        total = int(_CONNECTED_BYTES.sample(ctx.rng) * ctx.scale * rate)
+        self._bulk_events(session, total, Dir.C2S, magic=bp.MAGIC_CONNECTED)
+        return session
+
+    @staticmethod
+    def _bulk_events(
+        session: TcpSession, total: int, direction: Dir, magic: bytes = bp.MAGIC_VERITAS
+    ) -> None:
+        """Append framed bulk-data records totalling ``total`` bytes."""
+        left = max(total, _CHUNK)
+        while left > 0:
+            chunk = min(_CHUNK * 8, left)
+            record = bp.BackupRecord(magic, bp.REC_DATA, b"\x00" * chunk)
+            session.events.append(AppEvent(0.002, direction, record.encode()))
+            left -= chunk

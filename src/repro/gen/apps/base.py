@@ -1,0 +1,154 @@
+"""Shared infrastructure for application traffic generators.
+
+Every generator receives a :class:`WindowContext` — one monitored subnet
+over one tap window — and returns abstract sessions.  The context carries
+the topology, the dataset's workload dials, and a generator-private RNG
+substream so adding draws to one generator never perturbs another.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import TYPE_CHECKING
+
+from ...util.sampling import LogNormal
+from ..session import ROUTER_MAC
+from ..topology import Enterprise, EnterpriseSubnet, Host, Role, wan_address
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..datasets import DatasetConfig
+
+__all__ = ["WindowContext", "AppGenerator", "poisson", "EPHEMERAL_BASE"]
+
+EPHEMERAL_BASE = 1024
+
+_ENT_RTT = LogNormal(median=0.0004, sigma=0.6)  # ~0.4 ms internal (§5.1.3)
+_WAN_RTT = LogNormal(median=0.030, sigma=1.0)  # tens of ms across the WAN
+_WAN_DNS_RTT = LogNormal(median=0.020, sigma=0.7)  # ~20 ms to off-site DNS
+
+
+def poisson(rng: Random, mean: float) -> int:
+    """Sample a Poisson count (inversion for small means, normal tail)."""
+    if mean <= 0:
+        return 0
+    if mean > 50:
+        return max(int(round(rng.gauss(mean, math.sqrt(mean)))), 0)
+    limit = math.exp(-mean)
+    product = rng.random()
+    count = 0
+    while product > limit:
+        product *= rng.random()
+        count += 1
+    return count
+
+
+@dataclass
+class WindowContext:
+    """One monitored subnet over one tap window."""
+
+    enterprise: Enterprise
+    subnet: EnterpriseSubnet
+    t0: float
+    t1: float
+    rng: Random
+    config: "DatasetConfig"
+    scale: float
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds."""
+        return self.t1 - self.t0
+
+    def count(self, rate_per_hour: float) -> int:
+        """Poisson count for a whole-window rate, scaled by the study scale."""
+        mean = rate_per_hour * (self.duration / 3600.0) * self.scale
+        return poisson(self.rng, mean)
+
+    def start_time(self) -> float:
+        """A uniformly random session start within the window."""
+        return self.t0 + self.rng.random() * self.duration
+
+    def ephemeral_port(self) -> int:
+        """A random ephemeral source port."""
+        return self.rng.randrange(EPHEMERAL_BASE, 65536)
+
+    def ent_rtt(self) -> float:
+        """A sampled intra-enterprise round-trip time."""
+        return _ENT_RTT.sample(self.rng)
+
+    def wan_rtt(self) -> float:
+        """A sampled wide-area round-trip time."""
+        return _WAN_RTT.sample(self.rng)
+
+    def wan_dns_rtt(self) -> float:
+        """A sampled RTT to off-site DNS servers (closer than generic WAN)."""
+        return _WAN_DNS_RTT.sample(self.rng)
+
+    # -- endpoint helpers -------------------------------------------------
+
+    def local_client(self) -> Host:
+        """A random workstation on the monitored subnet."""
+        return self.enterprise.pick_workstation(self.rng, self.subnet)
+
+    def internal_peer(self) -> Host:
+        """A random workstation on another subnet (crosses the router)."""
+        return self.enterprise.pick_internal_peer(self.rng, self.subnet.index)
+
+    def wan_ip(self) -> int:
+        """A random external peer address."""
+        return wan_address(self.rng)
+
+    def server(self, role: Role, prefer_local: bool = False) -> Host | None:
+        """A server holding ``role``; optionally prefer one on this subnet.
+
+        Returns ``None`` when the site has no server of that kind.
+        """
+        if prefer_local:
+            local = self.subnet.servers(role)
+            if local:
+                return self.rng.choice(local)
+        candidates = self.enterprise.servers(role)
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def off_subnet_server(self, role: Role) -> Host | None:
+        """A server holding ``role`` on a *different* subnet, if any."""
+        candidates = [
+            host
+            for host in self.enterprise.servers(role)
+            if host.subnet_index != self.subnet.index
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def mac_of(self, host: Host) -> int:
+        """The MAC a packet from ``host`` shows on the monitored subnet.
+
+        Hosts on the monitored subnet use their own MAC; anything arriving
+        through the router shows the router port's MAC.
+        """
+        if host.subnet_index == self.subnet.index:
+            return host.mac
+        return ROUTER_MAC
+
+    def crosses_router(self, a: Host, b: Host) -> bool:
+        """True when traffic between ``a`` and ``b`` is visible at the tap."""
+        return a.subnet_index != b.subnet_index
+
+
+class AppGenerator:
+    """Base class: one application family's workload model.
+
+    Subclasses implement :meth:`generate`, returning the abstract
+    sessions this application contributes to one window.
+    """
+
+    #: Name used to derive the generator's RNG substream.
+    name = "app"
+
+    def generate(self, ctx: WindowContext) -> list:
+        raise NotImplementedError

@@ -1,0 +1,115 @@
+"""Bulk-transfer workload generator: FTP and HPSS (the "bulk" category).
+
+Figure 1(a) shows "bulk" among the top byte categories.  FTP uses the
+classic control (21/tcp) + data (20/tcp or passive ephemeral) split; HPSS
+(the lab's mass-storage system) moves large objects over its mover ports.
+Byte volume scales through transfer sizes.
+"""
+
+from __future__ import annotations
+
+from ...util.sampling import LogNormal
+from ..session import ROUTER_MAC, AppEvent, Dir, TcpSession
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["BulkGenerator"]
+
+FTP_CTRL_PORT = 21
+FTP_DATA_PORT = 20
+HPSS_PORT = 1217
+
+#: Transfers per subnet-hour (counts stay unscaled; sizes carry the scale).
+_FTP_RATE = 2.0
+_HPSS_RATE = 1.0
+
+_FTP_SIZE = LogNormal(median=24e6, sigma=1.5)
+_HPSS_SIZE = LogNormal(median=150e6, sigma=1.2)
+
+_CHUNK = 512 * 1024
+
+
+class BulkGenerator(AppGenerator):
+    """Generates FTP and HPSS bulk transfers."""
+
+    name = "bulk"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        rate = ctx.config.dials.bulk_rate
+        sessions: list[TcpSession] = []
+        for _ in range(ctx.count(_FTP_RATE * rate / max(ctx.scale, 1e-9))):
+            sessions.extend(self._ftp_transfer(ctx, rate))
+        for _ in range(ctx.count(_HPSS_RATE * rate / max(ctx.scale, 1e-9))):
+            sessions.append(self._hpss_transfer(ctx, rate))
+        return sessions
+
+    def _ftp_transfer(self, ctx: WindowContext, rate: float) -> list[TcpSession]:
+        rng = ctx.rng
+        client = ctx.local_client()
+        wan = rng.random() < 0.5
+        if wan:
+            server_ip, server_mac, rtt = ctx.wan_ip(), ROUTER_MAC, ctx.wan_rtt()
+        else:
+            peer = ctx.internal_peer()
+            server_ip, server_mac, rtt = peer.ip, ctx.mac_of(peer), ctx.ent_rtt()
+        start = ctx.start_time()
+        ctrl = TcpSession(
+            client_ip=client.ip,
+            server_ip=server_ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=FTP_CTRL_PORT,
+            start=start,
+            rtt=rtt,
+        )
+        ctrl.events = [
+            AppEvent(0.0, Dir.S2C, b"220 FTP server ready\r\n"),
+            AppEvent(0.05, Dir.C2S, b"USER anonymous\r\nPASS guest\r\nPASV\r\nRETR data.tar\r\n"),
+            AppEvent(0.05, Dir.S2C, b"230 OK\r\n227 Entering Passive Mode\r\n150 Opening\r\n"),
+            AppEvent(2.0, Dir.S2C, b"226 Transfer complete\r\n"),
+            AppEvent(0.05, Dir.C2S, b"QUIT\r\n"),
+        ]
+        size = int(_FTP_SIZE.sample(rng) * ctx.scale * rate)
+        data = TcpSession(
+            client_ip=client.ip,
+            server_ip=server_ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=FTP_DATA_PORT,
+            start=start + 0.2,
+            rtt=rtt,
+        )
+        left = max(size, 10_000)
+        while left > 0:
+            chunk = min(_CHUNK, left)
+            data.events.append(AppEvent(0.002, Dir.S2C, b"\x00" * chunk))
+            left -= chunk
+        return [ctrl, data]
+
+    def _hpss_transfer(self, ctx: WindowContext, rate: float) -> TcpSession:
+        rng = ctx.rng
+        client = ctx.local_client()
+        peer = ctx.internal_peer()
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=peer.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(peer),
+            sport=ctx.ephemeral_port(),
+            dport=HPSS_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+        )
+        size = int(_HPSS_SIZE.sample(rng) * ctx.scale * rate)
+        storing = rng.random() < 0.5
+        direction = Dir.C2S if storing else Dir.S2C
+        session.events.append(AppEvent(0.0, Dir.C2S, b"HPSS-OPEN" + b"\x00" * 55))
+        session.events.append(AppEvent(0.01, Dir.S2C, b"HPSS-OK" + b"\x00" * 25))
+        left = max(size, 10_000)
+        while left > 0:
+            chunk = min(_CHUNK, left)
+            session.events.append(AppEvent(0.002, direction, b"\x00" * chunk))
+            left -= chunk
+        return session

@@ -1,0 +1,220 @@
+"""DNS workload generator (§5.1.3).
+
+Models the paper's observations: a handful of servers take most queries;
+the two main SMTP servers are the heaviest clients (lookups for incoming
+mail); request types are A 50-66%, AAAA 17-25% (hosts configured to issue
+A and AAAA in parallel), PTR 10-18%, MX 4-7%; NOERROR 77-86% and NXDOMAIN
+11-21%; and latency is ~0.4 ms internally vs ~20 ms to off-site servers.
+WAN DNS traffic appears mainly when the monitored subnet hosts a main DNS
+server (D3-D4), since the site resolver does the off-site lookups.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...proto import dns
+from ...util.sampling import weighted_choice
+from ..session import AppEvent, Dir, UdpExchange
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["DnsGenerator"]
+
+DNS_PORT = 53
+
+_QTYPE_WEIGHTS = [
+    (dns.QTYPE_A, 0.50),
+    (dns.QTYPE_AAAA, 0.13),
+    (dns.QTYPE_PTR, 0.14),
+    (dns.QTYPE_MX, 0.055),
+    (dns.QTYPE_TXT, 0.02),
+]
+
+_RCODE_WEIGHTS = [(dns.RCODE_NOERROR, 0.82), (dns.RCODE_NXDOMAIN, 0.16), (dns.RCODE_SERVFAIL, 0.02)]
+
+_INTERNAL_NAMES = [f"host{i:03d}.internal.example" for i in range(240)]
+_EXTERNAL_NAMES = [f"www{i:02d}.remote.example" for i in range(80)]
+_STALE_NAMES = [f"gone{i:02d}.internal.example" for i in range(40)]
+
+#: Queries per subnet-hour from ordinary workstations.
+_CLIENT_RATE = 5500.0
+#: Queries per hour issued by a monitored main SMTP server.  The mail
+#: hubs resolve MX/PTR records for every message, which is what makes a
+#: few clients dominate DNS request counts in the paper (§5.1.3).
+_SMTP_SERVER_RATE = 60000.0
+#: Off-site lookups per hour by a monitored main DNS server (resolver).
+_RESOLVER_RATE = 5200.0
+#: Inbound queries per hour from other subnets to a monitored DNS server.
+_INBOUND_RATE = 12000.0
+#: Inbound queries per hour from WAN resolvers to a monitored DNS server
+#: (the site's servers are authoritative for its zones).
+_WAN_INBOUND_RATE = 2500.0
+
+
+class DnsGenerator(AppGenerator):
+    """Generates DNS query/response exchanges for one window."""
+
+    name = "dns"
+
+    def generate(self, ctx: WindowContext) -> list[UdpExchange]:
+        rate = ctx.config.dials.name_rate
+        sessions: list[UdpExchange] = []
+        self._client_queries(ctx, rate, sessions)
+        self._smtp_server_queries(ctx, rate, sessions)
+        self._resolver_queries(ctx, rate, sessions)
+        self._inbound_queries(ctx, rate, sessions)
+        return sessions
+
+    # -- pieces ------------------------------------------------------------
+
+    def _client_queries(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """Workstations on the monitored subnet querying the site servers."""
+        server = ctx.off_subnet_server(Role.DNS_SERVER)
+        if server is None:
+            return
+        for _ in range(ctx.count(_CLIENT_RATE * rate)):
+            client = ctx.local_client()
+            out.extend(self._query_burst(ctx, client, server, internal=True))
+
+    def _smtp_server_queries(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """The main SMTP servers issue mail-driven lookups when monitored."""
+        smtp_servers = ctx.subnet.servers(Role.SMTP_SERVER)
+        if not smtp_servers:
+            return
+        dns_server = ctx.off_subnet_server(Role.DNS_SERVER)
+        if dns_server is None:
+            return
+        for _ in range(ctx.count(_SMTP_SERVER_RATE * rate)):
+            client = ctx.rng.choice(smtp_servers)
+            qtype = dns.QTYPE_MX if ctx.rng.random() < 0.4 else dns.QTYPE_PTR
+            out.append(
+                self._exchange(ctx, client, dns_server, qtype, internal=True)
+            )
+
+    def _resolver_queries(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """A monitored main DNS server resolving off-site names (WAN DNS)."""
+        for server in ctx.subnet.servers(Role.DNS_SERVER):
+            for _ in range(ctx.count(_RESOLVER_RATE * rate)):
+                out.append(self._wan_exchange(ctx, server))
+
+    def _inbound_queries(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """Clients elsewhere querying a monitored main DNS server."""
+        from ..session import ROUTER_MAC
+        from ..topology import Host
+
+        for server in ctx.subnet.servers(Role.DNS_SERVER):
+            for _ in range(ctx.count(_INBOUND_RATE * rate)):
+                client = ctx.internal_peer()
+                out.extend(self._query_burst(ctx, client, server, internal=True))
+            for _ in range(ctx.count(_WAN_INBOUND_RATE * rate)):
+                wan_client = Host(ip=ctx.wan_ip(), mac=ROUTER_MAC, subnet_index=-1, router=-1)
+                out.extend(self._query_burst(ctx, wan_client, server, internal=False))
+
+    # -- exchange builders ---------------------------------------------------
+
+    def _query_burst(
+        self, ctx: WindowContext, client: Host, server: Host, internal: bool
+    ) -> list[UdpExchange]:
+        """One logical lookup; some hosts issue A and AAAA in parallel."""
+        qtype = weighted_choice(
+            ctx.rng, [q for q, _ in _QTYPE_WEIGHTS], [w for _, w in _QTYPE_WEIGHTS]
+        )
+        exchanges = [self._exchange(ctx, client, server, qtype, internal)]
+        # Dual-stack resolvers ask for A and AAAA at the same time; this is
+        # what pushes AAAA to 17-25% of requests in the paper.
+        if qtype == dns.QTYPE_A and ctx.rng.random() < 0.20:
+            exchanges.append(
+                self._exchange(ctx, client, server, dns.QTYPE_AAAA, internal)
+            )
+        return exchanges
+
+    def _pick_name(self, rng: Random, rcode: int) -> str:
+        if rcode == dns.RCODE_NXDOMAIN:
+            return rng.choice(_STALE_NAMES)
+        if rng.random() < 0.8:
+            return rng.choice(_INTERNAL_NAMES)
+        return rng.choice(_EXTERNAL_NAMES)
+
+    def _exchange(
+        self,
+        ctx: WindowContext,
+        client: Host,
+        server: Host,
+        qtype: int,
+        internal: bool,
+    ) -> UdpExchange:
+        rng = ctx.rng
+        rcode = weighted_choice(
+            rng, [r for r, _ in _RCODE_WEIGHTS], [w for _, w in _RCODE_WEIGHTS]
+        )
+        name = self._pick_name(rng, rcode)
+        ident = rng.getrandbits(16)
+        query = dns.DnsMessage(
+            ident=ident, questions=[dns.DnsQuestion(name, qtype)]
+        )
+        response = dns.DnsMessage(
+            ident=ident,
+            is_response=True,
+            rcode=rcode,
+            questions=[dns.DnsQuestion(name, qtype)],
+        )
+        if rcode == dns.RCODE_NOERROR and qtype in (dns.QTYPE_A, dns.QTYPE_AAAA):
+            rdata = b"\x0a\x00\x00\x01" if qtype == dns.QTYPE_A else b"\x00" * 16
+            response.answers.append(dns.DnsRecord(name, qtype, rdata))
+        elif rcode == dns.RCODE_NOERROR and qtype == dns.QTYPE_MX:
+            response.answers.append(
+                dns.DnsRecord(name, qtype, b"\x00\x0a" + dns.encode_name("mx." + name))
+            )
+        return UdpExchange(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=DNS_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt() if internal else ctx.wan_dns_rtt(),
+            events=[
+                AppEvent(0.0, Dir.C2S, query.encode()),
+                AppEvent(0.0, Dir.S2C, response.encode()),
+            ],
+        )
+
+    def _wan_exchange(self, ctx: WindowContext, server: Host) -> UdpExchange:
+        """The resolver querying an off-site authoritative server."""
+        rng = ctx.rng
+        qtype = weighted_choice(
+            rng, [q for q, _ in _QTYPE_WEIGHTS], [w for _, w in _QTYPE_WEIGHTS]
+        )
+        rcode = weighted_choice(
+            rng, [r for r, _ in _RCODE_WEIGHTS], [w for _, w in _RCODE_WEIGHTS]
+        )
+        name = rng.choice(_EXTERNAL_NAMES if rcode == dns.RCODE_NOERROR else _STALE_NAMES)
+        ident = rng.getrandbits(16)
+        query = dns.DnsMessage(ident=ident, questions=[dns.DnsQuestion(name, qtype)])
+        response = dns.DnsMessage(
+            ident=ident,
+            is_response=True,
+            rcode=rcode,
+            questions=[dns.DnsQuestion(name, qtype)],
+        )
+        if rcode == dns.RCODE_NOERROR:
+            response.answers.append(dns.DnsRecord(name, dns.QTYPE_A, b"\x01\x02\x03\x04"))
+        wan_ip = ctx.wan_ip()
+        from ..session import ROUTER_MAC
+
+        return UdpExchange(
+            client_ip=server.ip,
+            server_ip=wan_ip,
+            client_mac=ctx.mac_of(server),
+            server_mac=ROUTER_MAC,
+            sport=ctx.ephemeral_port(),
+            dport=DNS_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.wan_dns_rtt(),
+            events=[
+                AppEvent(0.0, Dir.C2S, query.encode()),
+                AppEvent(0.0, Dir.S2C, response.encode()),
+            ],
+        )

@@ -1,0 +1,325 @@
+"""Email workload generator: SMTP, IMAP4, IMAP/S, POP, LDAP (§5.1.2).
+
+Reproduces the structure behind Table 8 and Figures 5-6:
+
+* SMTP and IMAP(/S) dominate email bytes (>94%); the rest is
+  LDAP/POP3/POP-SSL.
+* The D0→D1 transition from cleartext IMAP4 to IMAP over SSL is a dial
+  (``imap_tls_frac``).
+* Email volume concentrates at the main mail servers, which sit behind
+  router 0 — D0-D2 monitor their subnets, D3-D4 do not (the volume gap in
+  Table 8 and the WAN-curve gaps in Figures 5b/6b are vantage effects).
+* SMTP durations scale with RTT (~0.2-0.4 s internal vs seconds across
+  the WAN); IMAP/S internal connections live 1-2 orders of magnitude
+  longer than WAN ones (clients poll every ~10 minutes, capped at ~50
+  minutes by the server).
+* Flow sizes are mostly < 1 MB with significant upper tails, roughly
+  alike internally and over the WAN.
+* Success rates: internal SMTP 95-98%; WAN SMTP degrades at the busy
+  servers (71-93% in D0-D2); IMAP/S 99-100%.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...proto import imap, smtp, tls
+from ...util.sampling import LogNormal
+from ..session import ROUTER_MAC, AppEvent, Dir, Outcome, TcpSession
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["EmailGenerator"]
+
+SMTP_PORT = 25
+IMAP_PORT = 143
+IMAPS_PORT = 993
+POP3_PORT = 110
+POPS_PORT = 995
+LDAP_PORT = 389
+
+#: Sessions per subnet-hour from monitored workstations.
+_CLIENT_SMTP_RATE = 40.0
+_CLIENT_IMAP_RATE = 160.0
+_CLIENT_POP_RATE = 6.0
+_CLIENT_LDAP_RATE = 25.0
+
+#: Per-hour rates at a monitored main mail server.
+_SERVER_WAN_SMTP_IN = 2600.0
+_SERVER_WAN_SMTP_OUT = 900.0
+_SERVER_ENT_SMTP_IN = 1600.0
+_SERVER_ENT_IMAP_IN = 2200.0
+_SERVER_WAN_IMAP_IN = 500.0
+
+_MESSAGE_SIZE = LogNormal(median=15000.0, sigma=2.0)
+_SMTP_STEP = LogNormal(median=0.04, sigma=0.7)  # server processing per step
+
+_IMAP_POLL_INTERVAL = 600.0  # clients poll every ~10 minutes
+_IMAP_MAX_DURATION = 3000.0  # the server's ~50-minute cap
+
+
+class EmailGenerator(AppGenerator):
+    """Generates SMTP/IMAP/POP/LDAP sessions for one window."""
+
+    name = "email"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        rate = ctx.config.dials.email_rate
+        sessions: list[TcpSession] = []
+        self._client_side(ctx, rate, sessions)
+        self._server_side(ctx, rate, sessions)
+        return sessions
+
+    # -- client side: monitored workstations using the mail servers ---------
+
+    def _client_side(self, ctx: WindowContext, rate: float, out: list) -> None:
+        smtp_server = ctx.off_subnet_server(Role.SMTP_SERVER)
+        imap_server = ctx.off_subnet_server(Role.IMAP_SERVER)
+        if smtp_server is not None:
+            for _ in range(ctx.count(_CLIENT_SMTP_RATE * rate)):
+                client = ctx.local_client()
+                out.append(
+                    self._smtp_session(
+                        ctx, client.ip, ctx.mac_of(client), smtp_server.ip,
+                        ctx.mac_of(smtp_server), internal=True,
+                    )
+                )
+        if imap_server is not None:
+            for _ in range(ctx.count(_CLIENT_IMAP_RATE * rate)):
+                client = ctx.local_client()
+                out.append(
+                    self._imap_session(
+                        ctx, client.ip, ctx.mac_of(client), imap_server.ip,
+                        ctx.mac_of(imap_server), internal=True,
+                    )
+                )
+            for _ in range(ctx.count(_CLIENT_POP_RATE * rate)):
+                client = ctx.local_client()
+                out.append(self._pop_session(ctx, client, imap_server))
+        if smtp_server is not None:
+            for _ in range(ctx.count(_CLIENT_LDAP_RATE * rate)):
+                client = ctx.local_client()
+                out.append(self._ldap_session(ctx, client, smtp_server))
+
+    # -- server side: a monitored main mail server's aggregate load ---------
+
+    def _server_side(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for server in ctx.subnet.servers(Role.SMTP_SERVER):
+            for _ in range(ctx.count(_SERVER_WAN_SMTP_IN * rate)):
+                out.append(
+                    self._smtp_session(
+                        ctx, ctx.wan_ip(), ROUTER_MAC, server.ip, server.mac,
+                        internal=False,
+                    )
+                )
+            for _ in range(ctx.count(_SERVER_WAN_SMTP_OUT * rate)):
+                out.append(
+                    self._smtp_session(
+                        ctx, server.ip, server.mac, ctx.wan_ip(), ROUTER_MAC,
+                        internal=False,
+                    )
+                )
+            for _ in range(ctx.count(_SERVER_ENT_SMTP_IN * rate)):
+                peer = ctx.internal_peer()
+                out.append(
+                    self._smtp_session(
+                        ctx, peer.ip, ROUTER_MAC, server.ip, server.mac, internal=True
+                    )
+                )
+        for server in ctx.subnet.servers(Role.IMAP_SERVER):
+            for _ in range(ctx.count(_SERVER_ENT_IMAP_IN * rate)):
+                peer = ctx.internal_peer()
+                out.append(
+                    self._imap_session(
+                        ctx, peer.ip, ROUTER_MAC, server.ip, server.mac, internal=True
+                    )
+                )
+            for _ in range(ctx.count(_SERVER_WAN_IMAP_IN * rate)):
+                out.append(
+                    self._imap_session(
+                        ctx, ctx.wan_ip(), ROUTER_MAC, server.ip, server.mac,
+                        internal=False,
+                    )
+                )
+
+    # -- session builders ----------------------------------------------------
+
+    def _smtp_session(
+        self,
+        ctx: WindowContext,
+        client_ip: int,
+        client_mac: int,
+        server_ip: int,
+        server_mac: int,
+        internal: bool,
+    ) -> TcpSession:
+        rng = ctx.rng
+        rtt = ctx.ent_rtt() if internal else ctx.wan_rtt()
+        session = TcpSession(
+            client_ip=client_ip,
+            server_ip=server_ip,
+            client_mac=client_mac,
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=SMTP_PORT,
+            start=ctx.start_time(),
+            rtt=rtt,
+        )
+        fail_rate = 0.03 if internal else 0.12
+        if rng.random() < fail_rate:
+            session.outcome = (
+                Outcome.REJECTED if rng.random() < 0.5 else Outcome.UNANSWERED
+            )
+            return session
+        size = _MESSAGE_SIZE.sample_int(rng, minimum=400)
+        num_rcpt = 1 + (rng.random() < 0.15)
+        message = b"Subject: report\r\n\r\n" + b"m" * size
+        accept = rng.random() > 0.04
+        client_stream = smtp.build_client_stream(
+            "client.internal.example", "user@internal.example",
+            [f"rcpt{i}@peer.example" for i in range(num_rcpt)], message,
+        )
+        server_stream = smtp.build_server_stream("mail.internal.example", num_rcpt, accept)
+        # The dialogue is interleaved; we model it as alternating segments
+        # whose think times reflect per-step server processing plus the
+        # RTT-proportional transfer of the DATA section [Padhye et al.].
+        step = _SMTP_STEP.sample(rng)
+        banner_end = server_stream.find(b"\r\n") + 2
+        data_start = client_stream.find(b"DATA\r\n") + 6
+        transfer_dt = (size / 8192.0) * rtt * 2.0
+        session.events = [
+            AppEvent(step, Dir.S2C, server_stream[:banner_end]),
+            AppEvent(step, Dir.C2S, client_stream[:data_start]),
+            AppEvent(step, Dir.S2C, server_stream[banner_end:-20]),
+            AppEvent(transfer_dt, Dir.C2S, client_stream[data_start:]),
+            AppEvent(step, Dir.S2C, server_stream[-20:]),
+        ]
+        return session
+
+    def _imap_session(
+        self,
+        ctx: WindowContext,
+        client_ip: int,
+        client_mac: int,
+        server_ip: int,
+        server_mac: int,
+        internal: bool,
+    ) -> TcpSession:
+        rng = ctx.rng
+        use_tls = rng.random() < ctx.config.dials.imap_tls_frac
+        rtt = ctx.ent_rtt() if internal else ctx.wan_rtt()
+        session = TcpSession(
+            client_ip=client_ip,
+            server_ip=server_ip,
+            client_mac=client_mac,
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=IMAPS_PORT if use_tls else IMAP_PORT,
+            start=ctx.start_time(),
+            rtt=rtt,
+        )
+        if rng.random() < 0.005:
+            session.outcome = Outcome.REJECTED
+            return session
+        fetches = max(0, int(rng.gauss(1.5, 1.5)))
+        sizes = [
+            _MESSAGE_SIZE.sample_int(rng, minimum=300) for _ in range(fetches)
+        ]
+        if internal:
+            # Long-lived polling sessions: 1-2 orders of magnitude longer
+            # than WAN ones, capped around 50 minutes.
+            polls = rng.randrange(1, 6)
+            duration = min(polls * _IMAP_POLL_INTERVAL, _IMAP_MAX_DURATION)
+        else:
+            polls = 0
+            duration = LogNormal(median=4.0, sigma=1.2).sample(rng)
+        if use_tls:
+            random32 = bytes(rng.getrandbits(8) for _ in range(32))
+            session.events = [
+                AppEvent(0.0, Dir.C2S, tls.build_client_hello(random32)),
+                AppEvent(0.002, Dir.S2C, tls.build_server_hello(random32)),
+                AppEvent(0.01, Dir.C2S, tls.build_application_data(b"l" * 120)),
+            ]
+            # Mail is fetched right after login; the long tail of the
+            # session is idle NOOP polling (otherwise tap windows shorter
+            # than the session would cut the data off).
+            for size in sizes:
+                session.events.append(
+                    AppEvent(0.02, Dir.C2S, tls.build_application_data(b"f" * 48))
+                )
+                session.events.append(
+                    AppEvent(0.03, Dir.S2C, tls.build_application_data(b"m" * size))
+                )
+            poll_gap = duration / (polls + 1) if polls else 0.0
+            for _ in range(polls):
+                session.events.append(
+                    AppEvent(poll_gap, Dir.C2S, tls.build_application_data(b"n" * 40))
+                )
+                session.events.append(
+                    AppEvent(0.01, Dir.S2C, tls.build_application_data(b"k" * 60))
+                )
+            if not polls:
+                session.end_idle = duration
+        else:
+            client_stream = imap.build_client_stream("user", polls, fetches)
+            server_stream = imap.build_server_stream(sizes)
+            split = server_stream.find(b"\r\n") + 2
+            session.events = [
+                AppEvent(0.0, Dir.S2C, server_stream[:split]),
+                AppEvent(0.01, Dir.C2S, client_stream),
+                AppEvent(0.05, Dir.S2C, server_stream[split:]),
+            ]
+            session.end_idle = duration
+        return session
+
+    def _pop_session(self, ctx: WindowContext, client: Host, server: Host) -> TcpSession:
+        rng = ctx.rng
+        use_tls = rng.random() < 0.5
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=POPS_PORT if use_tls else POP3_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+        )
+        size = _MESSAGE_SIZE.sample_int(rng, minimum=300)
+        if use_tls:
+            session.events = [
+                AppEvent(0.0, Dir.C2S, tls.build_client_hello()),
+                AppEvent(0.002, Dir.S2C, tls.build_server_hello()),
+                AppEvent(0.01, Dir.C2S, tls.build_application_data(b"p" * 60)),
+                AppEvent(0.02, Dir.S2C, tls.build_application_data(b"m" * size)),
+            ]
+        else:
+            session.events = [
+                AppEvent(0.0, Dir.S2C, b"+OK POP3 ready\r\n"),
+                AppEvent(0.01, Dir.C2S, b"USER user\r\nPASS ******\r\nRETR 1\r\n"),
+                AppEvent(0.02, Dir.S2C, b"+OK\r\n" + b"m" * size + b"\r\n.\r\n"),
+                AppEvent(0.01, Dir.C2S, b"QUIT\r\n"),
+            ]
+        return session
+
+    def _ldap_session(self, ctx: WindowContext, client: Host, server: Host) -> TcpSession:
+        rng = ctx.rng
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=LDAP_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+        )
+        # Address-book lookups: small bind/search/result exchanges.
+        result_size = LogNormal(median=900, sigma=0.9).sample_int(rng, minimum=80)
+        session.events = [
+            AppEvent(0.0, Dir.C2S, b"\x30\x0c" + b"b" * 12),
+            AppEvent(0.005, Dir.S2C, b"\x30\x0c" + b"r" * 12),
+            AppEvent(0.01, Dir.C2S, b"\x30\x25" + b"s" * 37),
+            AppEvent(0.01, Dir.S2C, b"\x30\x82" + b"e" * result_size),
+        ]
+        return session

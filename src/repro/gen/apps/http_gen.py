@@ -1,0 +1,397 @@
+"""HTTP/HTTPS workload generator (§5.1.1).
+
+Reproduces the structure behind Tables 6-7 and Figures 3-4:
+
+* **Automated clients** (Table 6): the site's vulnerability scanner
+  (many requests, 404-heavy, near-zero bytes), two Google search
+  appliances crawling internal servers (moderate requests, most of the
+  internal HTTP bytes), and Novell iFolder clients (POST-heavy with
+  uniform 32,780-byte replies, significant in D4).
+* **Fan-out** (Figure 3): clients visit roughly an order of magnitude
+  more external servers than internal ones.
+* **Success rate**: internal connections fail 8-28% (server RSTs),
+  wide-area connections 1-5%.
+* **Conditional GETs**: 29-53% of internal requests vs 12-21% of WAN
+  requests, and conditional requests carry few data bytes (304s).
+* **Content types / reply sizes** (Table 7, Figure 4): no significant
+  internal/WAN difference, so one model serves both.
+* **HTTPS**: TLS sessions on 443, including the "numerous small
+  connections between a given host-pair" artifact (795 in one D4 hour).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...proto import http, tls
+from ...util.sampling import LogNormal, weighted_choice, zipf_weights
+from ..session import ROUTER_MAC, AppEvent, Dir, Outcome, TcpSession
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["HttpGenerator"]
+
+HTTP_PORT = 80
+HTTPS_PORT = 443
+
+#: Browsing sessions per subnet-hour (each is one client visiting one server).
+_WAN_BROWSE_RATE = 700.0
+_ENT_BROWSE_RATE = 250.0
+_WAN_INBOUND_RATE = 160.0
+_HTTPS_RATE = 120.0
+
+#: Automated-client request rates per hour (modulated by per-dataset dials).
+_SCANNER_RATE = 1300.0
+_GOOGLE_RATE = 800.0
+_IFOLDER_RATE = 500.0
+
+_IFOLDER_REPLY_SIZE = 32780  # the uniform iFolder reply size (§5.1.1)
+
+# Content-type model (Table 7): type -> (request weight, size distribution).
+_CONTENT_MODEL = [
+    ("text/html", 0.22, LogNormal(median=3000, sigma=1.3)),
+    ("image/gif", 0.40, LogNormal(median=1800, sigma=1.2)),
+    ("image/jpeg", 0.28, LogNormal(median=6000, sigma=1.4)),
+    ("application/javascript", 0.04, LogNormal(median=9000, sigma=1.0)),
+    ("application/octet-stream", 0.035, LogNormal(median=120_000, sigma=1.3)),
+    ("application/pdf", 0.015, LogNormal(median=220_000, sigma=1.5)),
+    ("audio/mpeg", 0.005, LogNormal(median=900_000, sigma=1.2)),
+    ("video/mpeg", 0.003, LogNormal(median=1_500_000, sigma=1.0)),
+    ("multipart/mixed", 0.002, LogNormal(median=15_000, sigma=1.5)),
+]
+
+_OBJECTS_PER_SESSION = LogNormal(median=2.0, sigma=1.3)
+
+_WAN_SERVERS = 400  # distinct popular external web servers (Zipf popularity)
+_WAN_WEIGHTS = zipf_weights(_WAN_SERVERS, alpha=0.9)
+
+
+class HttpGenerator(AppGenerator):
+    """Generates HTTP and HTTPS sessions for one window."""
+
+    name = "http"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        dials = ctx.config.dials
+        sessions: list[TcpSession] = []
+        self._browsing(ctx, sessions)
+        self._scanner(ctx, dials.scan1_rate, sessions)
+        self._google(ctx, dials.google1_rate + dials.google2_rate, sessions)
+        self._ifolder(ctx, dials.ifolder_rate, sessions)
+        self._https(ctx, sessions)
+        return sessions
+
+    # -- ordinary browsing -------------------------------------------------
+
+    def _browsing(self, ctx: WindowContext, out: list[TcpSession]) -> None:
+        rate = ctx.config.dials.web_rate
+        # Browsing is bursty and concentrated: in any window only some
+        # subnets have users actively browsing, and those users make many
+        # visits.  This gives clients the order-of-magnitude fan-out gap
+        # of Figure 3 even at reduced study scales.
+        workstations = ctx.subnet.workstations
+        if ctx.rng.random() > 0.35:
+            browse_boost = 0.0
+        else:
+            browse_boost = 1.0 / 0.35
+        browsers = workstations[: max(1, len(workstations) // 45)]
+        for _ in range(ctx.count(_WAN_BROWSE_RATE * rate * browse_boost)):
+            client = ctx.rng.choice(browsers)
+            server_ip = self._wan_server(ctx.rng)
+            out.append(
+                self._browse_session(ctx, client, server_ip, ROUTER_MAC, internal=False)
+            )
+        for _ in range(ctx.count(_ENT_BROWSE_RATE * rate * browse_boost)):
+            client = ctx.rng.choice(browsers)
+            server = ctx.off_subnet_server(Role.WEB_SERVER)
+            if server is None:
+                continue
+            out.append(
+                self._browse_session(
+                    ctx, client, server.ip, ctx.mac_of(server), internal=True
+                )
+            )
+        # Inbound browsing to web servers hosted on the monitored subnet —
+        # from elsewhere in the enterprise and from the WAN.
+        from ..topology import Host
+
+        for server in ctx.subnet.servers(Role.WEB_SERVER):
+            for _ in range(ctx.count(_ENT_BROWSE_RATE * rate * 0.7)):
+                client = ctx.internal_peer()
+                out.append(
+                    self._browse_session(
+                        ctx, client, server.ip, ctx.mac_of(server), internal=True,
+                        client_mac=ctx.mac_of(client),
+                    )
+                )
+            for _ in range(ctx.count(_WAN_INBOUND_RATE * rate)):
+                wan_client = Host(ip=ctx.wan_ip(), mac=ROUTER_MAC, subnet_index=-1, router=-1)
+                out.append(
+                    self._browse_session(
+                        ctx, wan_client, server.ip, ctx.mac_of(server), internal=False,
+                        client_mac=ROUTER_MAC,
+                    )
+                )
+
+    def _browse_session(
+        self,
+        ctx: WindowContext,
+        client: Host,
+        server_ip: int,
+        server_mac: int,
+        internal: bool,
+        client_mac: int | None = None,
+    ) -> TcpSession:
+        rng = ctx.rng
+        rtt = ctx.ent_rtt() if internal else ctx.wan_rtt()
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=server_ip,
+            client_mac=client_mac if client_mac is not None else ctx.mac_of(client),
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=HTTP_PORT,
+            start=ctx.start_time(),
+            rtt=rtt,
+        )
+        fail_rate = 0.16 if internal else 0.02
+        if rng.random() < fail_rate:
+            # Internal failures are mostly server RSTs, not timeouts (§5.1.1).
+            session.outcome = (
+                Outcome.REJECTED if rng.random() < 0.8 else Outcome.UNANSWERED
+            )
+            return session
+        conditional_frac = 0.40 if internal else 0.16
+        num_objects = max(1, _OBJECTS_PER_SESSION.sample_int(rng))
+        host = "intranet.internal.example" if internal else "www.remote.example"
+        for index in range(num_objects):
+            ctype, size_dist = self._pick_content(rng)
+            conditional = rng.random() < conditional_frac
+            method = "POST" if rng.random() < 0.02 else "GET"
+            headers = {"If-Modified-Since": "Mon, 01 Nov 2004 00:00:00 GMT"} if conditional else {}
+            request = http.build_request(
+                method, f"/obj/{rng.randrange(10_000)}", host, headers=headers
+            )
+            session.events.append(AppEvent(0.05 if index else 0.0, Dir.C2S, request))
+            if conditional:
+                if rng.random() < 0.85:
+                    response = http.build_response(304, "Not Modified")
+                else:
+                    # The object changed: a fresh copy comes back, but
+                    # cache-validated objects skew small (pages, not
+                    # downloads) — conditional requests end up carrying
+                    # only 1-9% of HTTP data bytes (§5.1.1).
+                    size = LogNormal(median=2500, sigma=0.9).sample_int(rng, minimum=64)
+                    response = http.build_response(200, "OK", "text/html", b"x" * size)
+                session.events.append(AppEvent(0.01, Dir.S2C, response))
+                continue
+            if rng.random() < 0.02:
+                response = http.build_response(
+                    404, "Not Found", "text/html", b"<html>not found</html>"
+                )
+            else:
+                size = size_dist.sample_int(rng, minimum=64)
+                chunked = ctype == "text/html" and rng.random() < 0.12
+                response = http.build_response(
+                    200, "OK", ctype, b"x" * size, chunked=chunked
+                )
+            session.events.append(AppEvent(0.01, Dir.S2C, response))
+        return session
+
+    @staticmethod
+    def _pick_content(rng: Random):
+        entry = weighted_choice(
+            rng, _CONTENT_MODEL, [weight for _, weight, _ in _CONTENT_MODEL]
+        )
+        return entry[0], entry[2]
+
+    def _wan_server(self, rng: Random) -> int:
+        from ..topology import _WAN_BLOCKS  # popularity-weighted server pool
+
+        index = weighted_choice(rng, range(_WAN_SERVERS), _WAN_WEIGHTS)
+        block = _WAN_BLOCKS[index % len(_WAN_BLOCKS)]
+        return block + 10_000 + index
+
+    # -- automated clients (Table 6) ----------------------------------------
+
+    def _scanner(self, ctx: WindowContext, rate: float, out: list[TcpSession]) -> None:
+        """The site's vulnerability scanner sweeping web servers.
+
+        Very high fan-out, lots of 404s, almost no data bytes.
+        """
+        scanners = ctx.enterprise.servers(Role.SCANNER)
+        if not scanners or rate <= 0:
+            return
+        scanner = scanners[0]
+        for _ in range(ctx.count(_SCANNER_RATE * rate)):
+            target = ctx.local_client()
+            session = TcpSession(
+                client_ip=scanner.ip,
+                server_ip=target.ip,
+                client_mac=ctx.mac_of(scanner),
+                server_mac=ctx.mac_of(target),
+                sport=ctx.ephemeral_port(),
+                dport=HTTP_PORT,
+                start=ctx.start_time(),
+                rtt=ctx.ent_rtt(),
+            )
+            request = http.build_request(
+                "GET", "/cgi-bin/test", "scan-target", user_agent="SiteScanner/2.0"
+            )
+            response = http.build_response(404, "Not Found", "text/html", b"<html></html>")
+            session.events = [
+                AppEvent(0.0, Dir.C2S, request),
+                AppEvent(0.001, Dir.S2C, response),
+            ]
+            out.append(session)
+
+    def _google(self, ctx: WindowContext, rate: float, out: list[TcpSession]) -> None:
+        """Google search-appliance bots crawling internal web servers.
+
+        Moderate request counts but very large data volume (45-69% of
+        internal HTTP bytes in Table 6).
+        """
+        bots = ctx.enterprise.servers(Role.GOOGLE_BOT)
+        if not bots or rate <= 0:
+            return
+        # Crawls are visible both at the crawled server's subnet and at
+        # the appliance's own subnet (traffic crosses the router).
+        local_bots = [b for b in bots if b.subnet_index == ctx.subnet.index]
+        web_servers = ctx.subnet.servers(Role.WEB_SERVER)
+        if not web_servers and not local_bots:
+            return
+        size_dist = LogNormal(median=150_000, sigma=1.3)
+        for _ in range(ctx.count(_GOOGLE_RATE * rate)):
+            if local_bots and (not web_servers or ctx.rng.random() < 0.5):
+                bot = ctx.rng.choice(local_bots)
+                server = ctx.off_subnet_server(Role.WEB_SERVER)
+                if server is None:
+                    continue
+            else:
+                bot = ctx.rng.choice(bots)
+                server = ctx.rng.choice(web_servers)
+            session = TcpSession(
+                client_ip=bot.ip,
+                server_ip=server.ip,
+                client_mac=ctx.mac_of(bot),
+                server_mac=ctx.mac_of(server),
+                sport=ctx.ephemeral_port(),
+                dport=HTTP_PORT,
+                start=ctx.start_time(),
+                rtt=ctx.ent_rtt(),
+            )
+            for index in range(ctx.rng.randrange(2, 6)):
+                request = http.build_request(
+                    "GET", f"/crawl/{ctx.rng.randrange(100_000)}", "intranet",
+                    user_agent="googlebot-appliance",
+                )
+                size = size_dist.sample_int(ctx.rng, minimum=1000)
+                response = http.build_response(200, "OK", "text/html", b"g" * size)
+                session.events.append(AppEvent(0.02 if index else 0.0, Dir.C2S, request))
+                session.events.append(AppEvent(0.005, Dir.S2C, response))
+            out.append(session)
+
+    def _ifolder(self, ctx: WindowContext, rate: float, out: list[TcpSession]) -> None:
+        """Novell iFolder sync clients: POST-heavy, uniform 32,780-B replies."""
+        servers = ctx.enterprise.servers(Role.IFOLDER_SERVER)
+        if not servers or rate <= 0:
+            return
+        server = servers[0]
+        for _ in range(ctx.count(_IFOLDER_RATE * rate)):
+            client = ctx.local_client()
+            if not ctx.crosses_router(client, server):
+                continue
+            session = TcpSession(
+                client_ip=client.ip,
+                server_ip=server.ip,
+                client_mac=ctx.mac_of(client),
+                server_mac=ctx.mac_of(server),
+                sport=ctx.ephemeral_port(),
+                dport=HTTP_PORT,
+                start=ctx.start_time(),
+                rtt=ctx.ent_rtt(),
+            )
+            request = http.build_request(
+                "POST", "/ifolder/sync", "ifolder", body=b"s" * 512,
+                user_agent="iFolderClient/2.0",
+            )
+            response = http.build_response(
+                200, "OK", "application/octet-stream", b"i" * _IFOLDER_REPLY_SIZE
+            )
+            session.events = [
+                AppEvent(0.0, Dir.C2S, request),
+                AppEvent(0.01, Dir.S2C, response),
+            ]
+            out.append(session)
+
+    # -- HTTPS ---------------------------------------------------------------
+
+    def _https(self, ctx: WindowContext, out: list[TcpSession]) -> None:
+        rng = ctx.rng
+        for _ in range(ctx.count(_HTTPS_RATE * ctx.config.dials.web_rate)):
+            client = ctx.local_client()
+            internal = rng.random() < 0.4
+            if internal:
+                server = ctx.off_subnet_server(Role.WEB_SERVER)
+                if server is None:
+                    continue
+                server_ip, server_mac, rtt = server.ip, ctx.mac_of(server), ctx.ent_rtt()
+            else:
+                server_ip, server_mac, rtt = self._wan_server(rng), ROUTER_MAC, ctx.wan_rtt()
+            out.append(self._tls_session(ctx, client, server_ip, server_mac, rtt))
+        # The D4 artifact: one host-pair making hundreds of short TLS
+        # connections in an hour (fail-and-retry above the SSL layer).
+        if ctx.config.name == "D4" and ctx.subnet.index % 18 == 7:
+            client = ctx.subnet.workstations[3]
+            server = ctx.off_subnet_server(Role.WEB_SERVER)
+            if server is not None:
+                for _ in range(ctx.count(750.0)):
+                    out.append(
+                        self._tls_session(
+                            ctx, client, server.ip, ctx.mac_of(server), ctx.ent_rtt(),
+                            short=True,
+                        )
+                    )
+
+    def _tls_session(
+        self,
+        ctx: WindowContext,
+        client: Host,
+        server_ip: int,
+        server_mac: int,
+        rtt: float,
+        short: bool = False,
+    ) -> TcpSession:
+        rng = ctx.rng
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=server_ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=HTTPS_PORT,
+            start=ctx.start_time(),
+            rtt=rtt,
+        )
+        random32 = bytes(rng.getrandbits(8) for _ in range(32))
+        session.events = [
+            AppEvent(0.0, Dir.C2S, tls.build_client_hello(random32)),
+            AppEvent(0.002, Dir.S2C, tls.build_server_hello(random32)),
+        ]
+        if short:
+            # Handshake, one application message each way, immediate close.
+            session.events.append(
+                AppEvent(0.001, Dir.C2S, tls.build_application_data(b"q" * 180))
+            )
+            session.events.append(
+                AppEvent(0.001, Dir.S2C, tls.build_application_data(b"r" * 240))
+            )
+        else:
+            size = LogNormal(median=9000, sigma=1.6).sample_int(rng, minimum=200)
+            session.events.append(
+                AppEvent(0.003, Dir.C2S, tls.build_application_data(b"q" * 400))
+            )
+            session.events.append(
+                AppEvent(0.005, Dir.S2C, tls.build_application_data(b"r" * size))
+            )
+        return session

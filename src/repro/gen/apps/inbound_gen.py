@@ -1,0 +1,141 @@
+"""Inbound wide-area traffic generator (§4's wan→ent flows).
+
+6-11% of the paper's flows originate *outside* the enterprise.  Beyond
+the server-subnet cases other generators already produce (WAN SMTP at the
+mail hubs, WAN queries at the DNS servers, inbound browsing at web
+servers), a national-lab site receives wide-area traffic all over:
+collaborators ssh/ftp into workstations, off-site monitors poll services,
+and external hosts ping internal machines.  This generator spreads that
+ambient inbound load across every monitored subnet.
+"""
+
+from __future__ import annotations
+
+from ...util.sampling import LogNormal
+from ..session import ROUTER_MAC, AppEvent, Dir, IcmpExchange, Outcome, TcpSession
+from .base import AppGenerator, WindowContext
+
+__all__ = ["InboundWanGenerator"]
+
+#: Inbound sessions per subnet-hour.
+_SSH_RATE = 200.0
+_FTP_RATE = 60.0
+_HTTP_RATE = 240.0
+_ICMP_RATE = 260.0
+_OTHER_RATE = 180.0
+
+_FTP_SIZE = LogNormal(median=2e6, sigma=1.3)
+
+
+class InboundWanGenerator(AppGenerator):
+    """Generates ambient WAN-originated sessions to monitored hosts."""
+
+    name = "inbound-wan"
+
+    def generate(self, ctx: WindowContext) -> list:
+        rate = ctx.config.dials.other_rate
+        sessions: list = []
+        for _ in range(ctx.count(_SSH_RATE * rate)):
+            sessions.append(self._ssh(ctx))
+        for _ in range(ctx.count(_FTP_RATE * rate)):
+            sessions.append(self._ftp(ctx))
+        for _ in range(ctx.count(_HTTP_RATE * rate)):
+            sessions.append(self._http(ctx))
+        for _ in range(ctx.count(_OTHER_RATE * rate)):
+            sessions.append(self._other(ctx))
+        for _ in range(ctx.count(_ICMP_RATE * rate)):
+            sessions.append(self._icmp(ctx))
+        return sessions
+
+    def _base(self, ctx: WindowContext, dport: int) -> TcpSession:
+        target = ctx.local_client()
+        return TcpSession(
+            client_ip=ctx.wan_ip(),
+            server_ip=target.ip,
+            client_mac=ROUTER_MAC,
+            server_mac=target.mac,
+            sport=ctx.ephemeral_port(),
+            dport=dport,
+            start=ctx.start_time(),
+            rtt=ctx.wan_rtt(),
+        )
+
+    def _ssh(self, ctx: WindowContext) -> TcpSession:
+        rng = ctx.rng
+        session = self._base(ctx, 22)
+        if rng.random() < 0.25:
+            # Most hosts do not run sshd; inbound attempts often fail.
+            session.outcome = (
+                Outcome.REJECTED if rng.random() < 0.6 else Outcome.UNANSWERED
+            )
+            return session
+        session.events = [
+            AppEvent(0.0, Dir.S2C, b"SSH-2.0-OpenSSH_3.9p1\r\n"),
+            AppEvent(0.02, Dir.C2S, b"SSH-2.0-OpenSSH_3.8\r\n"),
+            AppEvent(0.05, Dir.C2S, b"\x00" * 640),
+            AppEvent(0.05, Dir.S2C, b"\x00" * 760),
+        ]
+        for _ in range(rng.randrange(10, 120)):
+            session.events.append(AppEvent(rng.expovariate(1.2), Dir.C2S, b"k" * rng.randrange(1, 16)))
+            session.events.append(AppEvent(0.002, Dir.S2C, b"e" * rng.randrange(1, 80)))
+        return session
+
+    def _ftp(self, ctx: WindowContext) -> TcpSession:
+        rng = ctx.rng
+        session = self._base(ctx, 21)
+        if rng.random() < 0.4:
+            session.outcome = Outcome.REJECTED
+            return session
+        session.events = [
+            AppEvent(0.0, Dir.S2C, b"220 FTP ready\r\n"),
+            AppEvent(0.1, Dir.C2S, b"USER collaborator\r\nPASS ****\r\nRETR results.dat\r\n"),
+            AppEvent(0.1, Dir.S2C, b"150 Opening\r\n" + b"\x00" * _FTP_SIZE.sample_int(rng, minimum=1000)),
+            AppEvent(0.1, Dir.S2C, b"226 Done\r\n"),
+        ]
+        return session
+
+    def _http(self, ctx: WindowContext) -> TcpSession:
+        rng = ctx.rng
+        session = self._base(ctx, 80)
+        # Off-site visitors mostly reach real personal/project pages; the
+        # LBNL border filtered blind probing (WAN HTTP succeeds 95-99%).
+        if rng.random() < 0.04:
+            session.outcome = (
+                Outcome.REJECTED if rng.random() < 0.7 else Outcome.UNANSWERED
+            )
+            return session
+        from ...proto import http
+
+        session.events = [
+            AppEvent(0.0, Dir.C2S, http.build_request("GET", "/~user/", "host")),
+            AppEvent(0.05, Dir.S2C, http.build_response(
+                200, "OK", "text/html", b"p" * rng.randrange(500, 20_000)
+            )),
+        ]
+        return session
+
+    def _other(self, ctx: WindowContext) -> TcpSession:
+        rng = ctx.rng
+        session = self._base(ctx, rng.randrange(1024, 40_000))
+        if rng.random() < 0.6:
+            session.outcome = Outcome.UNANSWERED
+        else:
+            session.events = [
+                AppEvent(0.0, Dir.C2S, b"x" * rng.randrange(20, 400)),
+                AppEvent(0.05, Dir.S2C, b"y" * rng.randrange(20, 2_000)),
+            ]
+        return session
+
+    def _icmp(self, ctx: WindowContext) -> IcmpExchange:
+        target = ctx.local_client()
+        return IcmpExchange(
+            src_ip=ctx.wan_ip(),
+            dst_ip=target.ip,
+            src_mac=ROUTER_MAC,
+            dst_mac=target.mac,
+            start=ctx.start_time(),
+            rtt=ctx.wan_rtt(),
+            count=ctx.rng.randrange(1, 4),
+            answered=ctx.rng.random() < 0.8,
+            ident=ctx.rng.getrandbits(16),
+        )

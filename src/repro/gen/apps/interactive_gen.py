@@ -1,0 +1,117 @@
+"""Interactive workload generator: SSH, telnet, rlogin, X11.
+
+§3 notes interactive traffic's packet share is about twice its byte share
+(small packets), and that SSH doubles as a file-copy and tunneling tool —
+so a fraction of SSH sessions here carry bulk subtransfers.  SSH sessions
+also emit TCP keep-alives, which §6 excludes from retransmission
+analysis.
+"""
+
+from __future__ import annotations
+
+from ...util.sampling import LogNormal
+from ..session import ROUTER_MAC, AppEvent, Dir, TcpSession
+from .base import AppGenerator, WindowContext
+
+__all__ = ["InteractiveGenerator"]
+
+SSH_PORT = 22
+TELNET_PORT = 23
+RLOGIN_PORT = 513
+X11_PORT = 6000
+
+_SSH_RATE = 14.0
+_TELNET_RATE = 2.0
+_X11_RATE = 2.5
+
+_KEYSTROKES = LogNormal(median=120, sigma=1.0)
+_SCP_SIZE = LogNormal(median=4e6, sigma=1.4)
+
+
+class InteractiveGenerator(AppGenerator):
+    """Generates interactive login sessions."""
+
+    name = "interactive"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        rate = ctx.config.dials.interactive_rate
+        sessions: list[TcpSession] = []
+        for _ in range(ctx.count(_SSH_RATE * rate)):
+            sessions.append(self._ssh_session(ctx))
+        for _ in range(ctx.count(_TELNET_RATE * rate)):
+            sessions.append(self._char_session(ctx, TELNET_PORT))
+        for _ in range(ctx.count(_X11_RATE * rate)):
+            sessions.append(self._char_session(ctx, X11_PORT))
+        return sessions
+
+    def _ssh_session(self, ctx: WindowContext) -> TcpSession:
+        rng = ctx.rng
+        local = ctx.local_client()
+        roll = rng.random()
+        if roll < 0.15:
+            # Inbound: a remote user logging into a monitored host.
+            client_ip, client_mac = ctx.wan_ip(), ROUTER_MAC
+            server_ip, server_mac, rtt = local.ip, ctx.mac_of(local), ctx.wan_rtt()
+        elif roll < 0.45:
+            client_ip, client_mac = local.ip, ctx.mac_of(local)
+            server_ip, server_mac, rtt = ctx.wan_ip(), ROUTER_MAC, ctx.wan_rtt()
+        else:
+            peer = ctx.internal_peer()
+            client_ip, client_mac = local.ip, ctx.mac_of(local)
+            server_ip, server_mac, rtt = peer.ip, ctx.mac_of(peer), ctx.ent_rtt()
+        session = TcpSession(
+            client_ip=client_ip,
+            server_ip=server_ip,
+            client_mac=client_mac,
+            server_mac=server_mac,
+            sport=ctx.ephemeral_port(),
+            dport=SSH_PORT,
+            start=ctx.start_time(),
+            rtt=rtt,
+        )
+        session.events = [
+            AppEvent(0.0, Dir.S2C, b"SSH-2.0-OpenSSH_3.9p1\r\n"),
+            AppEvent(0.01, Dir.C2S, b"SSH-2.0-OpenSSH_3.8\r\n"),
+            AppEvent(0.02, Dir.C2S, b"\x00" * 640),  # key exchange
+            AppEvent(0.02, Dir.S2C, b"\x00" * 760),
+        ]
+        # Interactive keystroke/echo exchange: many tiny packets.
+        for _ in range(_KEYSTROKES.sample_int(rng, minimum=5)):
+            gap = rng.expovariate(1.0 / 0.8)
+            session.events.append(AppEvent(gap, Dir.C2S, b"k" * rng.randrange(1, 16)))
+            session.events.append(AppEvent(0.002, Dir.S2C, b"e" * rng.randrange(1, 80)))
+        if rng.random() < 0.15:
+            # SSH as a copy tool (scp/tunnel): a bulk subtransfer.  Session
+            # counts already carry the study scale, so sizes stay unscaled.
+            size = int(_SCP_SIZE.sample(rng))
+            direction = Dir.C2S if rng.random() < 0.5 else Dir.S2C
+            left = size
+            while left > 0:
+                chunk = min(256 * 1024, left)
+                session.events.append(AppEvent(0.002, direction, b"\x00" * chunk))
+                left -= chunk
+        session.keepalive_interval = 60.0
+        session.keepalive_count = rng.randrange(0, 4)
+        if session.keepalive_count:
+            session.close = "none"
+        return session
+
+    def _char_session(self, ctx: WindowContext, port: int) -> TcpSession:
+        rng = ctx.rng
+        client = ctx.local_client()
+        peer = ctx.internal_peer()
+        session = TcpSession(
+            client_ip=client.ip,
+            server_ip=peer.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(peer),
+            sport=ctx.ephemeral_port(),
+            dport=port,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+        )
+        for _ in range(_KEYSTROKES.sample_int(rng, minimum=3)):
+            gap = rng.expovariate(1.0 / 1.0)
+            session.events.append(AppEvent(gap, Dir.C2S, b"c" * rng.randrange(1, 8)))
+            session.events.append(AppEvent(0.002, Dir.S2C, b"s" * rng.randrange(1, 120)))
+        return session

@@ -1,0 +1,122 @@
+"""Link-layer and minor-transport generator: ARP, IPX, other non-IP
+EtherTypes, and the slim IP transports (IGMP, PIM, GRE, ESP, proto 224).
+
+Drives Table 2 (network-layer breakdown: IP ≥ 95%, the rest dominated by
+IPX and ARP in dataset-varying proportions) and the "additional transport
+protocols" note under Table 3.
+"""
+
+from __future__ import annotations
+
+from ...net.arp import ARP_REPLY, ARP_REQUEST
+from ...net.ethernet import (
+    BROADCAST_MAC,
+    ETHERTYPE_APPLETALK,
+    ETHERTYPE_DECNET,
+    EthernetFrame,
+)
+from ...net.ipv4 import (
+    PROTO_ESP,
+    PROTO_GRE,
+    PROTO_IGMP,
+    PROTO_PIM,
+    PROTO_UNIDENTIFIED_224,
+    Ipv4Packet,
+)
+from ...net.ipx import IPX_TYPE_SAP, IpxPacket
+from ...net.packet import CapturedPacket, make_arp_packet, make_ipx_packet
+from ..session import ROUTER_MAC, RawPackets
+from .base import AppGenerator, WindowContext
+
+__all__ = ["LinkGenerator"]
+
+#: Packets per subnet-hour.
+_ARP_RATE = 9000.0
+_IPX_RATE = 34000.0
+_OTHER_L2_RATE = 9000.0
+_MINOR_IP_RATE = 700.0
+
+
+class LinkGenerator(AppGenerator):
+    """Generates ARP, IPX, other non-IP frames, and minor IP transports."""
+
+    name = "link"
+
+    def generate(self, ctx: WindowContext) -> list[RawPackets]:
+        rng = ctx.rng
+        packets: list[CapturedPacket] = []
+        router_ip = ctx.subnet.subnet.host(ctx.subnet.subnet.num_hosts - 1) + 1
+        for _ in range(ctx.count(_ARP_RATE)):
+            requester = ctx.local_client()
+            target = rng.choice(ctx.subnet.hosts)
+            packets.append(
+                make_arp_packet(
+                    ts=ctx.start_time(),
+                    src_mac=ROUTER_MAC if rng.random() < 0.5 else requester.mac,
+                    dst_mac=BROADCAST_MAC,
+                    opcode=ARP_REQUEST if rng.random() < 0.8 else ARP_REPLY,
+                    sender_mac=requester.mac,
+                    sender_ip=requester.ip,
+                    target_mac=0,
+                    target_ip=target.ip if rng.random() < 0.8 else router_ip,
+                )
+            )
+        # IPX: SAP/RIP broadcast announcements from NetWare gear, the
+        # dominant non-IP protocol of Table 2.
+        ipx_scale = 1.0 if ctx.config.router == 0 else 0.45
+        for _ in range(ctx.count(_IPX_RATE * ipx_scale)):
+            host = ctx.local_client()
+            ipx = IpxPacket(
+                packet_type=IPX_TYPE_SAP,
+                dst_network=0,
+                dst_node=0xFFFFFFFFFFFF,
+                dst_socket=0x0452,
+                src_network=ctx.subnet.index + 1,
+                src_node=host.mac,
+                src_socket=0x0452,
+                payload=b"\x00\x02" + b"S" * 62,
+            )
+            packets.append(
+                make_ipx_packet(
+                    ts=ctx.start_time(),
+                    src_mac=host.mac,
+                    dst_mac=BROADCAST_MAC,
+                    ipx=ipx,
+                )
+            )
+        for _ in range(ctx.count(_OTHER_L2_RATE)):
+            host = ctx.local_client()
+            ethertype = ETHERTYPE_APPLETALK if rng.random() < 0.6 else ETHERTYPE_DECNET
+            frame = EthernetFrame(
+                dst_mac=BROADCAST_MAC,
+                src_mac=host.mac,
+                ethertype=ethertype,
+                payload=b"\x00" * 46,
+            )
+            data = frame.encode()
+            packets.append(
+                CapturedPacket(ts=ctx.start_time(), data=data, wire_len=len(data))
+            )
+        for _ in range(ctx.count(_MINOR_IP_RATE)):
+            host = ctx.local_client()
+            proto = rng.choice(
+                (PROTO_IGMP, PROTO_PIM, PROTO_GRE, PROTO_ESP, PROTO_UNIDENTIFIED_224)
+            )
+            peer = ctx.internal_peer()
+            ip = Ipv4Packet(
+                src_ip=host.ip,
+                dst_ip=peer.ip,
+                proto=proto,
+                payload=b"\x00" * (8 if proto == PROTO_IGMP else 60),
+            )
+            frame = EthernetFrame(
+                dst_mac=ROUTER_MAC,
+                src_mac=host.mac,
+                ethertype=0x0800,
+                payload=ip.encode(),
+            )
+            data = frame.encode()
+            packets.append(
+                CapturedPacket(ts=ctx.start_time(), data=data, wire_len=max(len(data), 60))
+            )
+        return [RawPackets(packets=packets)] if packets else []

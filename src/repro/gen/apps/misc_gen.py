@@ -1,0 +1,175 @@
+"""Miscellaneous application generator: the "misc", "name"-adjacent
+SrvLoc, and "other-tcp"/"other-udp" categories.
+
+Covers the Table 4 "misc" protocols (LPD, IPP, Oracle-SQL, MS-SQL,
+Steltor, MetaSys), SrvLoc (whose peer-to-peer response pattern produces
+the long internal fan-out tail of §4), and unclassified high-port
+traffic.  Like "net-mgnt", the misc connection share is stable across
+datasets (periodic probes and announcements).
+"""
+
+from __future__ import annotations
+
+from ...proto import misc
+from ...util.addr import ip_to_int
+from ...util.sampling import LogNormal
+from ..session import (
+    MULTICAST_MAC_BASE,
+    AppEvent,
+    Dir,
+    RawPackets,
+    TcpSession,
+    UdpExchange,
+)
+from ...net.packet import make_udp_packet
+from .base import AppGenerator, WindowContext
+
+__all__ = ["MiscGenerator"]
+
+LPD_PORT = 515
+IPP_PORT = 631
+ORACLE_PORT = 1521
+MSSQL_PORT = 1433
+STELTOR_PORT = 1627
+METASYS_PORT = 11001
+
+_MISC_TCP_RATE = 500.0
+_OTHER_TCP_RATE = 400.0
+_OTHER_UDP_RATE = 2400.0
+_SRVLOC_RATE = 2400.0
+#: Windows in which a SrvLoc responder bursts to many peers (fan-out tail).
+_SRVLOC_BURST_PROB = 0.25
+
+_SRVLOC_GROUP = ip_to_int("239.255.255.253")
+
+_MISC_REPLY = LogNormal(median=600, sigma=1.2)
+
+
+class MiscGenerator(AppGenerator):
+    """Generates misc/other-category traffic."""
+
+    name = "misc"
+
+    def generate(self, ctx: WindowContext) -> list:
+        dials = ctx.config.dials
+        sessions: list = []
+        self._misc_tcp(ctx, dials.misc_rate, sessions)
+        self._other_tcp(ctx, dials.other_rate, sessions)
+        self._other_udp(ctx, dials.other_rate, sessions)
+        self._srvloc(ctx, dials.name_rate, sessions)
+        return sessions
+
+    def _misc_tcp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        ports = (LPD_PORT, IPP_PORT, ORACLE_PORT, MSSQL_PORT, STELTOR_PORT, METASYS_PORT)
+        weights = (0.2, 0.15, 0.2, 0.2, 0.15, 0.1)
+        for _ in range(ctx.count(_MISC_TCP_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()
+            port = ctx.rng.choices(ports, weights=weights, k=1)[0]
+            reply_size = _MISC_REPLY.sample_int(ctx.rng, minimum=40)
+            session = TcpSession(
+                client_ip=client.ip,
+                server_ip=server.ip,
+                client_mac=ctx.mac_of(client),
+                server_mac=ctx.mac_of(server),
+                sport=ctx.ephemeral_port(),
+                dport=port,
+                start=ctx.start_time(),
+                rtt=ctx.ent_rtt(),
+                events=[
+                    AppEvent(0.0, Dir.C2S, b"\x01" + b"q" * 90),
+                    AppEvent(0.01, Dir.S2C, b"\x02" + b"r" * reply_size),
+                ],
+            )
+            out.append(session)
+
+    def _other_tcp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for _ in range(ctx.count(_OTHER_TCP_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()
+            size = _MISC_REPLY.sample_int(ctx.rng, minimum=20)
+            out.append(
+                TcpSession(
+                    client_ip=client.ip,
+                    server_ip=server.ip,
+                    client_mac=ctx.mac_of(client),
+                    server_mac=ctx.mac_of(server),
+                    sport=ctx.ephemeral_port(),
+                    dport=ctx.rng.randrange(10_000, 40_000),
+                    start=ctx.start_time(),
+                    rtt=ctx.ent_rtt(),
+                    events=[
+                        AppEvent(0.0, Dir.C2S, b"x" * 64),
+                        AppEvent(0.01, Dir.S2C, b"y" * size),
+                    ],
+                )
+            )
+
+    def _other_udp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for _ in range(ctx.count(_OTHER_UDP_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()
+            out.append(
+                UdpExchange(
+                    client_ip=client.ip,
+                    server_ip=server.ip,
+                    client_mac=ctx.mac_of(client),
+                    server_mac=ctx.mac_of(server),
+                    sport=ctx.ephemeral_port(),
+                    dport=ctx.rng.randrange(10_000, 50_000),
+                    start=ctx.start_time(),
+                    rtt=ctx.ent_rtt(),
+                    events=[
+                        AppEvent(0.0, Dir.C2S, b"u" * ctx.rng.randrange(20, 200)),
+                    ]
+                    + (
+                        [AppEvent(0.0, Dir.S2C, b"v" * ctx.rng.randrange(20, 400))]
+                        if ctx.rng.random() < 0.6
+                        else []
+                    ),
+                )
+            )
+
+    def _srvloc(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """SrvLoc: multicast requests plus unicast responder bursts.
+
+        The burst behaviour — one responder answering ~100+ distinct
+        requesters — creates the internal fan-out tail of Figure 2(b).
+        """
+        request = misc.build_srvloc_request()
+        for _ in range(ctx.count(_SRVLOC_RATE * rate)):
+            source = ctx.local_client()
+            out.append(
+                RawPackets(
+                    packets=[
+                        make_udp_packet(
+                            ts=ctx.start_time(),
+                            src_mac=source.mac,
+                            dst_mac=MULTICAST_MAC_BASE | (_SRVLOC_GROUP & 0x7FFFFF),
+                            src_ip=source.ip,
+                            dst_ip=_SRVLOC_GROUP,
+                            src_port=ctx.ephemeral_port(),
+                            dst_port=misc.SRVLOC_PORT,
+                            payload=request,
+                        )
+                    ]
+                )
+            )
+        if ctx.rng.random() < _SRVLOC_BURST_PROB:
+            responder = ctx.local_client()
+            peers = max(ctx.count(110.0 / max(ctx.scale, 1e-9)), 30)
+            for _ in range(min(peers, 220)):
+                requester = ctx.internal_peer()
+                out.append(
+                    UdpExchange(
+                        client_ip=responder.ip,
+                        server_ip=requester.ip,
+                        client_mac=ctx.mac_of(responder),
+                        server_mac=ctx.mac_of(requester),
+                        sport=misc.SRVLOC_PORT,
+                        dport=ctx.ephemeral_port(),
+                        start=ctx.start_time(),
+                        rtt=ctx.ent_rtt(),
+                        events=[AppEvent(0.0, Dir.C2S, request + b"\x00" * 30)],
+                    )
+                )

@@ -1,0 +1,198 @@
+"""NCP workload generator (§5.2.2, Tables 12/14, Figures 7-8).
+
+Models the paper's findings:
+
+* 40-80% of NCP connections consist **only** of periodic 1-byte TCP
+  keep-alive retransmissions — long-lived idle connections NCP keeps open
+  to detect runaway clients.  These carry no requests at all.
+* Active connections issue request mixes per Table 14 (read-dominated
+  bytes, with file/dir info, open/close, size, search, and a little NDS
+  directory service).
+* Message sizes are modal (Figure 8c/d): 14-byte read requests; replies
+  of 2 bytes (completion code only), 10 bytes (GetFileCurrentSize), 260
+  bytes (partial ReadFile), or ~8 KB data reads.
+* The top three host-pairs carry 35-62% of NCP bytes — concentrated, but
+  less extremely than NFS.
+* Connection attempts succeed 88-98% of the time; ~95% of subsequent
+  requests succeed, failures dominated by File/Dir Info.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from random import Random
+
+from ...proto import ncp
+from ...util.sampling import BoundedPareto, weighted_choice
+from ..session import AppEvent, Dir, Outcome, TcpSession
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["NcpGenerator"]
+
+#: NCP connections per subnet-hour (keep-alive-only ones included).
+_CONN_RATE = 150.0
+#: Fraction of connections that are keep-alive-only.
+_KEEPALIVE_ONLY_FRAC = 0.6
+#: Probability a server-subnet window hosts a heavy pair.
+_HEAVY_PAIR_PROB = 0.8
+_HEAVY_PAIR_BYTES = 0.9e9
+
+_LIGHT_REQUESTS = BoundedPareto(low=2, high=2000, alpha=0.75)
+
+_IO_SIZE = 8192
+
+
+class NcpGenerator(AppGenerator):
+    """Generates NCP connections for one window."""
+
+    name = "ncp"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        dials = ctx.config.dials
+        sessions: list[TcpSession] = []
+        for _ in range(ctx.count(_CONN_RATE * dials.ncp_rate)):
+            client = ctx.local_client()
+            server = ctx.off_subnet_server(Role.FILE_SERVER_NCP)
+            if server is None:
+                continue
+            sessions.extend(self._connection(ctx, client, server))
+        hours = ctx.duration / 3600.0
+        for server in ctx.subnet.servers(Role.FILE_SERVER_NCP):
+            if ctx.rng.random() > _HEAVY_PAIR_PROB:
+                continue
+            client = ctx.internal_peer()
+            budget = _HEAVY_PAIR_BYTES * dials.ncp_bulk * ctx.scale * hours
+            requests = max(int(budget / (0.45 * _IO_SIZE + 80)), 10)
+            sessions.append(self._active_session(ctx, client, server, requests))
+        return sessions
+
+    @staticmethod
+    def _pair_broken(client: Host, server: Host) -> bool:
+        """~8% of (client, server) pairs persistently refuse connections;
+        an operation between a host-pair nearly always behaves the same
+        way across a trace (§5)."""
+        key = client.ip.to_bytes(4, "big") + server.ip.to_bytes(4, "big")
+        digest = hashlib.blake2b(key, digest_size=4).digest()
+        return int.from_bytes(digest, "big") / 0xFFFFFFFF < 0.08
+
+    def _connection(self, ctx: WindowContext, client: Host, server: Host) -> list[TcpSession]:
+        rng = ctx.rng
+        if self._pair_broken(client, server):
+            # NCP clients retry endlessly after rejection — the behaviour
+            # that motivates the paper's host-pair success metric (§5).
+            retries = rng.randrange(8, 40)
+            sessions = []
+            for attempt in range(retries):
+                session = self._base_session(ctx, client, server)
+                session.start = min(session.start + attempt * 2.0, ctx.t1)
+                session.outcome = (
+                    Outcome.REJECTED if rng.random() < 0.7 else Outcome.UNANSWERED
+                )
+                sessions.append(session)
+            return sessions
+        if rng.random() < _KEEPALIVE_ONLY_FRAC:
+            return [self._keepalive_only(ctx, client, server)]
+        requests = _LIGHT_REQUESTS.sample_int(rng, minimum=1)
+        return [self._active_session(ctx, client, server, requests)]
+
+    def _base_session(self, ctx: WindowContext, client: Host, server: Host) -> TcpSession:
+        return TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=ncp.NCP_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+        )
+
+    def _keepalive_only(self, ctx: WindowContext, client: Host, server: Host) -> TcpSession:
+        """An idle NCP connection kept open by 1-byte TCP keep-alives."""
+        session = self._base_session(ctx, client, server)
+        remaining = max(ctx.t1 - session.start, 60.0)
+        session.keepalive_interval = 55.0 + ctx.rng.random() * 10.0
+        session.keepalive_count = max(int(remaining / session.keepalive_interval), 1)
+        session.close = "none"  # outlives the trace window
+        return session
+
+    def _active_session(
+        self, ctx: WindowContext, client: Host, server: Host, requests: int
+    ) -> TcpSession:
+        rng = ctx.rng
+        mix = ctx.config.dials.ncp_mix
+        rows = list(mix.keys())
+        weights = list(mix.values())
+        session = self._base_session(ctx, client, server)
+        sequence = 0
+        for index in range(requests):
+            row = weighted_choice(rng, rows, weights)
+            sequence = (sequence + 1) & 0xFF
+            request, reply = self._build_op(rng, row, sequence)
+            gap = rng.random() * 0.008
+            session.events.append(
+                AppEvent(gap if index else 0.0, Dir.C2S, ncp.frame_ncp_ip(request.encode()))
+            )
+            session.events.append(
+                AppEvent(0.0005, Dir.S2C, ncp.frame_ncp_ip(reply.encode()))
+            )
+        if rng.random() < 0.5:
+            # Long-lived connections also keep-alive between activity bursts.
+            session.keepalive_interval = 60.0
+            session.keepalive_count = rng.randrange(1, 6)
+            session.close = "none"
+        return session
+
+    @staticmethod
+    def _build_op(rng: Random, row: str, sequence: int) -> tuple[ncp.NcpRequest, ncp.NcpReply]:
+        """One request/reply pair shaped to the Figure 8 size modes."""
+        if row == "Read":
+            request = ncp.NcpRequest(sequence=sequence, function=ncp.FUNC_READ_FILE, data=b"\x00" * 6)
+            if rng.random() < 0.25:
+                reply_data = b"r" * 258  # the 260-byte partial-read mode
+            else:
+                reply_data = b"r" * (_IO_SIZE - 2)
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00" + reply_data)
+        elif row == "Write":
+            request = ncp.NcpRequest(
+                sequence=sequence, function=ncp.FUNC_WRITE_FILE, data=b"w" * _IO_SIZE
+            )
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00")
+        elif row == "FileDirInfo":
+            failed = rng.random() < 0.08  # File/Dir Info dominates failures
+            request = ncp.NcpRequest(
+                sequence=sequence, function=ncp.FUNC_FILE_DIR_INFO, data=b"\x00" * 30
+            )
+            reply = ncp.NcpReply(
+                sequence=sequence,
+                completion_code=0x9C if failed else 0,
+                data=b"\x00\x00" + (b"" if failed else b"i" * 120),
+            )
+        elif row == "File Open/Close":
+            opening = rng.random() < 0.5
+            request = ncp.NcpRequest(
+                sequence=sequence,
+                function=ncp.FUNC_OPEN_FILE if opening else ncp.FUNC_CLOSE_FILE,
+                data=b"\x00" * 24,
+            )
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00" + (b"h" * 6 if opening else b""))
+        elif row == "File Size":
+            request = ncp.NcpRequest(
+                sequence=sequence, function=ncp.FUNC_FILE_SIZE, data=b"\x00" * 6
+            )
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00" + b"s" * 8)  # 10-byte mode
+        elif row == "File Search":
+            request = ncp.NcpRequest(
+                sequence=sequence, function=ncp.FUNC_FILE_SEARCH, data=b"\x00" * 40
+            )
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00" + b"f" * 140)
+        elif row == "Directory Service":
+            request = ncp.NcpRequest(
+                sequence=sequence, function=ncp.FUNC_DIRECTORY_SERVICE, data=b"\x00" * 60
+            )
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00" + b"d" * 220)
+        else:
+            request = ncp.NcpRequest(sequence=sequence, function=23, data=b"\x00" * 12)
+            reply = ncp.NcpReply(sequence=sequence, data=b"\x00\x00")
+        return request, reply

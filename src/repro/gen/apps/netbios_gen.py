@@ -1,0 +1,119 @@
+"""Netbios Name Service workload generator (§5.1.3).
+
+Models the paper's findings: requests go overwhelmingly to the two main
+NBNS servers; the request mix is 81-85% name queries and 12-15% refreshes
+with a sprinkle of registrations/releases; 63-71% of queried names are
+workstation/server names and 22-32% domain/browser names; and — the
+headline — 36-50% of *distinct* queries fail with NXDOMAIN because
+loosely-managed names go stale.  Failure is a property of the *name*
+(re-querying the same stale name keeps failing), which we reproduce by
+hashing the name to decide its fate.  Requests are spread fairly evenly
+over clients (top ten clients < 40% of requests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ...proto import netbios
+from ...proto.dns import RCODE_NOERROR, RCODE_NXDOMAIN
+from ..session import AppEvent, Dir, UdpExchange
+from ..topology import Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["NetbiosNsGenerator"]
+
+NBNS_PORT = 137
+
+#: Requests per subnet-hour from monitored workstations.
+_CLIENT_RATE = 3600.0
+#: Inbound requests per hour to a monitored main NBNS server.
+_INBOUND_RATE = 8000.0
+
+#: Fraction of query targets that are stale (drives the NXDOMAIN rate).
+_STALE_FRAC = 0.42
+
+_HOST_NAMES = [f"WS{i:04d}" for i in range(300)] + [f"SRV{i:03d}" for i in range(40)]
+_DOMAIN_NAMES = [f"DOMAIN{i:02d}" for i in range(24)]
+
+
+def _name_is_stale(name: str) -> bool:
+    """Deterministically mark ~_STALE_FRAC of names as stale."""
+    digest = hashlib.blake2b(name.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big") / 0xFFFFFFFF < _STALE_FRAC
+
+
+class NetbiosNsGenerator(AppGenerator):
+    """Generates Netbios/NS request/response exchanges for one window."""
+
+    name = "netbios-ns"
+
+    def generate(self, ctx: WindowContext) -> list[UdpExchange]:
+        rate = ctx.config.dials.name_rate
+        sessions: list[UdpExchange] = []
+        servers = self._main_servers(ctx)
+        if not servers:
+            return sessions
+        for _ in range(ctx.count(_CLIENT_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.rng.choice(servers)
+            if not ctx.crosses_router(client, server):
+                continue
+            sessions.append(self._exchange(ctx, client, server))
+        # Inbound load when a main server sits on the monitored subnet.
+        for server in ctx.subnet.servers(Role.NBNS_SERVER):
+            for _ in range(ctx.count(_INBOUND_RATE * rate)):
+                client = ctx.internal_peer()
+                sessions.append(self._exchange(ctx, client, server))
+        return sessions
+
+    @staticmethod
+    def _main_servers(ctx: WindowContext):
+        return ctx.enterprise.servers(Role.NBNS_SERVER)
+
+    def _exchange(self, ctx: WindowContext, client, server) -> UdpExchange:
+        rng = ctx.rng
+        action = rng.random()
+        if action < 0.83:
+            opcode = netbios.NB_OPCODE_QUERY
+        elif action < 0.965:
+            opcode = netbios.NB_OPCODE_REFRESH
+        elif action < 0.99:
+            opcode = netbios.NB_OPCODE_REGISTRATION
+        else:
+            opcode = netbios.NB_OPCODE_RELEASE
+        if rng.random() < 0.67:
+            name = rng.choice(_HOST_NAMES)
+            suffix = netbios.NAME_TYPE_SERVER if name.startswith("SRV") else netbios.NAME_TYPE_WORKSTATION
+        else:
+            name = rng.choice(_DOMAIN_NAMES)
+            suffix = netbios.NAME_TYPE_DOMAIN if rng.random() < 0.5 else 0x1C
+        if opcode == netbios.NB_OPCODE_QUERY and _name_is_stale(name):
+            rcode = RCODE_NXDOMAIN
+        else:
+            rcode = RCODE_NOERROR
+        ident = rng.getrandbits(16)
+        request = netbios.NbnsPacket(ident=ident, opcode=opcode, name=name, suffix=suffix)
+        response = netbios.NbnsPacket(
+            ident=ident,
+            opcode=opcode,
+            name=name,
+            suffix=suffix,
+            is_response=True,
+            rcode=rcode,
+            addr=client.ip if rcode == RCODE_NOERROR else 0,
+        )
+        return UdpExchange(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=NBNS_PORT,
+            dport=NBNS_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+            events=[
+                AppEvent(0.0, Dir.C2S, request.encode()),
+                AppEvent(0.0, Dir.S2C, response.encode()),
+            ],
+        )

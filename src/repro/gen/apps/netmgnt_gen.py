@@ -1,0 +1,203 @@
+"""Network-management workload generator: NTP, SNMP, DHCP, ident, SAP,
+NetInfo, syslog — plus ordinary (non-scanner) ICMP echo traffic.
+
+The "net-mgnt" category's *connection* share is large and notably stable
+across datasets (§3 attributes this to periodic probes and
+announcements), while its byte share is tiny.  SAP multicast
+announcements alone contribute 5-10% of all connections.
+"""
+
+from __future__ import annotations
+
+from ...proto import misc
+from ...util.addr import ip_to_int
+from ..session import (
+    MULTICAST_MAC_BASE,
+    ROUTER_MAC,
+    AppEvent,
+    Dir,
+    IcmpExchange,
+    RawPackets,
+    UdpExchange,
+)
+from ...net.packet import make_udp_packet
+from .base import AppGenerator, WindowContext
+
+__all__ = ["NetMgntGenerator"]
+
+_NTP_RATE = 1500.0
+_SNMP_RATE = 900.0
+_DHCP_RATE = 120.0
+_IDENT_RATE = 60.0
+_SYSLOG_RATE = 250.0
+_NETINFO_RATE = 180.0
+_ICMP_RATE = 1600.0
+
+#: SAP multicast announcement sources per window (each announces steadily).
+_SAP_SOURCES = 8.0
+_SAP_GROUP = ip_to_int("224.2.127.254")
+_NETINFO_PORT = 1033
+
+
+class NetMgntGenerator(AppGenerator):
+    """Generates periodic network-management exchanges."""
+
+    name = "net-mgnt"
+
+    def generate(self, ctx: WindowContext) -> list:
+        rate = ctx.config.dials.netmgnt_rate
+        sessions: list = []
+        self._ntp(ctx, rate, sessions)
+        self._snmp(ctx, rate, sessions)
+        self._dhcp(ctx, rate, sessions)
+        self._small_udp(ctx, rate, sessions)
+        self._sap(ctx, rate, sessions)
+        self._icmp(ctx, rate, sessions)
+        return sessions
+
+    def _udp_pair(
+        self, ctx: WindowContext, client, server_host, dport: int,
+        request: bytes, response: bytes | None, sport: int | None = None,
+    ) -> UdpExchange:
+        events = [AppEvent(0.0, Dir.C2S, request)]
+        if response is not None:
+            events.append(AppEvent(0.0, Dir.S2C, response))
+        return UdpExchange(
+            client_ip=client.ip,
+            server_ip=server_host.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server_host),
+            sport=sport if sport is not None else ctx.ephemeral_port(),
+            dport=dport,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+            events=events,
+        )
+
+    def _ntp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for _ in range(ctx.count(_NTP_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()
+            out.append(
+                self._udp_pair(
+                    ctx, client, server, misc.NTP_PORT,
+                    misc.build_ntp(mode=3), misc.build_ntp(mode=4),
+                )
+            )
+
+    def _snmp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for _ in range(ctx.count(_SNMP_RATE * rate)):
+            manager = ctx.internal_peer()
+            agent = ctx.local_client()
+            request = misc.build_snmp_get()
+            out.append(
+                UdpExchange(
+                    client_ip=manager.ip,
+                    server_ip=agent.ip,
+                    client_mac=ctx.mac_of(manager),
+                    server_mac=ctx.mac_of(agent),
+                    sport=ctx.ephemeral_port(),
+                    dport=misc.SNMP_PORT,
+                    start=ctx.start_time(),
+                    rtt=ctx.ent_rtt(),
+                    events=[
+                        AppEvent(0.0, Dir.C2S, request),
+                        AppEvent(0.0, Dir.S2C, request + b"\x00" * 12),
+                    ],
+                )
+            )
+
+    def _dhcp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for _ in range(ctx.count(_DHCP_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()  # relayed through the router
+            out.append(
+                self._udp_pair(
+                    ctx, client, server, misc.DHCP_SERVER_PORT,
+                    misc.build_dhcp_discover(client.mac, ctx.rng.getrandbits(32)),
+                    misc.build_dhcp_discover(client.mac, ctx.rng.getrandbits(32)),
+                    sport=misc.DHCP_CLIENT_PORT,
+                )
+            )
+
+    def _small_udp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        for _ in range(ctx.count(_SYSLOG_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()
+            out.append(
+                self._udp_pair(
+                    ctx, client, server, misc.SYSLOG_PORT,
+                    misc.build_syslog(6, "daemon restarted"), None,
+                )
+            )
+        for _ in range(ctx.count(_NETINFO_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.internal_peer()
+            out.append(
+                self._udp_pair(
+                    ctx, client, server, _NETINFO_PORT,
+                    b"\x01\x02" + b"\x00" * 30, b"\x01\x03" + b"\x00" * 60,
+                )
+            )
+        for _ in range(ctx.count(_IDENT_RATE * rate)):
+            client = ctx.internal_peer()
+            server = ctx.local_client()
+            out.append(
+                self._udp_pair(
+                    ctx, client, server, misc.IDENT_PORT,
+                    b"40000, 25\r\n", b"40000, 25 : USERID : UNIX : user\r\n",
+                )
+            )
+
+    def _sap(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """Periodic SAP multicast announcements (5-10% of connections)."""
+        announcements = ctx.count(_SAP_SOURCES * rate * 240.0)
+        for _ in range(announcements):
+            if ctx.rng.random() < 0.4:
+                source = ctx.local_client()
+                src_mac = source.mac
+                src_ip = source.ip
+            else:
+                src_ip = ctx.wan_ip() if ctx.rng.random() < 0.6 else ctx.internal_peer().ip
+                src_mac = ROUTER_MAC
+            group = _SAP_GROUP
+            out.append(
+                RawPackets(
+                    packets=[
+                        make_udp_packet(
+                            ts=ctx.start_time(),
+                            src_mac=src_mac,
+                            dst_mac=MULTICAST_MAC_BASE | (group & 0x7FFFFF),
+                            src_ip=src_ip,
+                            dst_ip=group,
+                            src_port=misc.SAP_PORT,
+                            dst_port=misc.SAP_PORT,
+                            payload=misc.build_sap_announce(200),
+                        )
+                    ]
+                )
+            )
+
+    def _icmp(self, ctx: WindowContext, rate: float, out: list) -> None:
+        """Ordinary ping traffic (monitoring scripts, troubleshooting)."""
+        for _ in range(ctx.count(_ICMP_RATE * rate)):
+            client = ctx.local_client()
+            wan = ctx.rng.random() < 0.25
+            if wan:
+                dst_ip, dst_mac, rtt = ctx.wan_ip(), ROUTER_MAC, ctx.wan_rtt()
+            else:
+                peer = ctx.internal_peer()
+                dst_ip, dst_mac, rtt = peer.ip, ctx.mac_of(peer), ctx.ent_rtt()
+            out.append(
+                IcmpExchange(
+                    src_ip=client.ip,
+                    dst_ip=dst_ip,
+                    src_mac=ctx.mac_of(client),
+                    dst_mac=dst_mac,
+                    start=ctx.start_time(),
+                    rtt=rtt,
+                    count=ctx.rng.randrange(1, 5),
+                    answered=ctx.rng.random() < 0.9,
+                    ident=ctx.rng.getrandbits(16),
+                )
+            )

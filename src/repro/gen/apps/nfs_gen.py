@@ -1,0 +1,147 @@
+"""NFS workload generator (§5.2.2, Tables 12-13, Figures 7-8).
+
+Models the paper's findings:
+
+* Traffic is extremely concentrated: the three most active host-pairs
+  carry 89-94% of NFS bytes.  We generate a few *heavy* pairs (driven by
+  a per-dataset byte budget) plus a tail of light pairs, giving the
+  requests-per-host-pair distribution its 1→100k span (Figure 7a).
+* The request mix varies by dataset (Table 13) — read-heavy in D0,
+  getattr-heavy in D3, write-heavy in D4 — and is a dial.
+* Messages are dual-mode (Figure 8a/b): ~100-byte control calls/replies
+  vs ~8 KB read replies and write calls.
+* NFS runs over UDP for 90% of host-pairs but only 21% over TCP, with
+  wildly varying byte shares — transport is sampled per pair.
+* Requests succeed 84-95% of the time; failures are mostly LOOKUPs for
+  names that do not exist.
+* Clients issue requests back-to-back, usually ≤ 10 ms apart.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...proto import nfs
+from ...util.sampling import BoundedPareto, weighted_choice
+from ..session import AppEvent, Dir, TcpSession, UdpExchange
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["NfsGenerator"]
+
+#: Light client/server pairs per subnet-hour.
+_LIGHT_PAIR_RATE = 80.0
+#: Probability that a window containing an NFS server hosts a heavy pair.
+_HEAVY_PAIR_PROB = 0.6
+#: Byte budget per heavy pair before dataset dials and study scale.
+_HEAVY_PAIR_BYTES = 1.6e9
+
+_LIGHT_REQUESTS = BoundedPareto(low=3, high=1500, alpha=0.8)
+
+_ROW_TO_PROC = {
+    "Read": nfs.PROC_READ,
+    "Write": nfs.PROC_WRITE,
+    "GetAttr": nfs.PROC_GETATTR,
+    "LookUp": nfs.PROC_LOOKUP,
+    "Access": nfs.PROC_ACCESS,
+    "Other": nfs.PROC_READDIR,
+}
+
+_IO_SIZE = 8192  # the ~8 KB NFS transfer size (§5.2.2)
+_REQUEST_GAP = 0.004  # requests usually ≤10 ms apart
+
+
+class NfsGenerator(AppGenerator):
+    """Generates NFS request/reply traffic for one window."""
+
+    name = "nfs"
+
+    def generate(self, ctx: WindowContext) -> list:
+        dials = ctx.config.dials
+        sessions: list = []
+        for _ in range(ctx.count(_LIGHT_PAIR_RATE * dials.nfs_rate)):
+            client = ctx.local_client()
+            server = ctx.off_subnet_server(Role.FILE_SERVER_NFS)
+            if server is None:
+                continue
+            requests = _LIGHT_REQUESTS.sample_int(ctx.rng, minimum=1)
+            sessions.append(self._pair_session(ctx, client, server, requests))
+        # Heavy pairs: always candidates at server-subnet vantage points,
+        # occasionally visible from a heavy client's subnet too.
+        hours = ctx.duration / 3600.0
+        budget = _HEAVY_PAIR_BYTES * dials.nfs_bulk * ctx.scale * hours
+        for server in ctx.subnet.servers(Role.FILE_SERVER_NFS):
+            if ctx.rng.random() > _HEAVY_PAIR_PROB:
+                continue
+            client = ctx.internal_peer()
+            requests = self._requests_for_budget(ctx.rng, budget, dials.nfs_mix)
+            sessions.append(self._pair_session(ctx, client, server, requests))
+        if ctx.rng.random() < 0.10:
+            client = ctx.local_client()
+            server = ctx.off_subnet_server(Role.FILE_SERVER_NFS)
+            if server is not None:
+                requests = self._requests_for_budget(ctx.rng, budget, dials.nfs_mix)
+                sessions.append(self._pair_session(ctx, client, server, requests))
+        return sessions
+
+    @staticmethod
+    def _requests_for_budget(rng: Random, budget: float, mix: dict[str, float]) -> int:
+        """Request count whose expected data volume matches ``budget``."""
+        bytes_per_req = (
+            mix.get("Read", 0.0) * _IO_SIZE
+            + mix.get("Write", 0.0) * _IO_SIZE
+            + 120  # control overhead on every request
+        )
+        return max(int(budget / bytes_per_req), 10)
+
+    def _pair_session(
+        self, ctx: WindowContext, client: Host, server: Host, requests: int
+    ):
+        rng = ctx.rng
+        mix = ctx.config.dials.nfs_mix
+        rows = list(mix.keys())
+        weights = list(mix.values())
+        use_tcp = rng.random() < 0.20
+        events: list[AppEvent] = []
+        for index in range(requests):
+            proc = _ROW_TO_PROC[weighted_choice(rng, rows, weights)]
+            xid = rng.getrandbits(31)
+            call = nfs.RpcCall(xid=xid, proc=proc)
+            status = nfs.NFS3_OK
+            reply_data = b""
+            if proc == nfs.PROC_READ:
+                call.offset, call.count = index * _IO_SIZE, _IO_SIZE
+                reply_data = b"r" * _IO_SIZE
+            elif proc == nfs.PROC_WRITE:
+                call.offset = index * _IO_SIZE
+                call.data = b"w" * _IO_SIZE
+            elif proc == nfs.PROC_LOOKUP:
+                missing = rng.random() < 0.12  # ENOENT lookups (§5.2.2)
+                call.name = f"{'missing' if missing else 'file'}{rng.randrange(2000)}"
+                if missing:
+                    status = nfs.NFS3ERR_NOENT
+            elif proc == nfs.PROC_REMOVE:
+                call.name = f"file{rng.randrange(2000)}"
+            reply = nfs.RpcReply(xid=xid, proc=proc, status=status, data=reply_data)
+            call_bytes = call.encode()
+            reply_bytes = reply.encode()
+            if use_tcp:
+                call_bytes = nfs.frame_tcp_record(call_bytes)
+                reply_bytes = nfs.frame_tcp_record(reply_bytes)
+            gap = rng.random() * _REQUEST_GAP
+            events.append(AppEvent(gap if index else 0.0, Dir.C2S, call_bytes))
+            events.append(AppEvent(0.0005, Dir.S2C, reply_bytes))
+        common = dict(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=nfs.NFS_PORT,
+            start=ctx.start_time(),
+            rtt=ctx.ent_rtt(),
+            events=events,
+        )
+        if use_tcp:
+            return TcpSession(**common)
+        return UdpExchange(**common)

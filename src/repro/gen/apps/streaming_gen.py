@@ -1,0 +1,138 @@
+"""Streaming workload generator: RTSP, IPVideo, RealStream, multicast.
+
+§3 observes that *multicast* streaming carries 5-10% of all TCP/UDP
+payload bytes — more than unicast streaming.  We generate a small number
+of long-lived multicast video flows (size-scaled) plus RTSP-controlled
+unicast sessions.
+"""
+
+from __future__ import annotations
+
+from ...util.addr import ip_to_int
+from ...util.sampling import LogNormal
+from ..session import (
+    MULTICAST_MAC_BASE,
+    AppEvent,
+    Dir,
+    RawPackets,
+    TcpSession,
+    UdpExchange,
+)
+from ..topology import Role
+from ...net.packet import make_udp_packet
+from .base import AppGenerator, WindowContext
+
+__all__ = ["StreamingGenerator"]
+
+RTSP_PORT = 554
+REALSTREAM_PORT = 7070
+IPVIDEO_PORT = 5004
+
+#: Unicast streaming sessions per subnet-hour.
+_UNICAST_RATE = 3.0
+#: Multicast channels concurrently playing into a subnet (unscaled;
+#: channels run for the whole window, so volume scales with duration).
+_MULTICAST_CHANNELS = 0.9
+
+_UNICAST_SIZE = LogNormal(median=9e6, sigma=1.2)
+#: Multicast channel rate in bytes/second before the study scale.
+_MULTICAST_BPS = 32_000.0
+
+_MCAST_GROUP = ip_to_int("224.2.127.254")
+_PACKET_SIZE = 1316  # typical MPEG-TS over UDP payload
+
+
+class StreamingGenerator(AppGenerator):
+    """Generates unicast RTSP sessions and multicast video channels."""
+
+    name = "streaming"
+
+    def generate(self, ctx: WindowContext) -> list:
+        rate = ctx.config.dials.streaming_rate
+        sessions: list = []
+        # Like the multicast channels, unicast viewing sessions keep their
+        # real-world frequency and carry the study scale in their sizes —
+        # a few scaled-count sessions with unscaled multi-MB bodies would
+        # make tiny studies wildly noisy.
+        for _ in range(ctx.count(_UNICAST_RATE * rate / max(ctx.scale, 1e-9))):
+            sessions.extend(self._unicast_session(ctx))
+        from .base import poisson
+
+        for _ in range(poisson(ctx.rng, _MULTICAST_CHANNELS * rate)):
+            sessions.append(self._multicast_channel(ctx))
+        return sessions
+
+    def _unicast_session(self, ctx: WindowContext) -> list:
+        rng = ctx.rng
+        client = ctx.local_client()
+        server = ctx.off_subnet_server(Role.STREAM_SERVER)
+        if server is None:
+            return []
+        start = ctx.start_time()
+        control = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=RTSP_PORT if rng.random() < 0.7 else REALSTREAM_PORT,
+            start=start,
+            rtt=ctx.ent_rtt(),
+        )
+        control.events = [
+            AppEvent(0.0, Dir.C2S, b"DESCRIBE rtsp://server/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n"),
+            AppEvent(0.01, Dir.S2C, b"RTSP/1.0 200 OK\r\nCSeq: 1\r\n\r\n" + b"v=0\r\n" * 20),
+            AppEvent(0.02, Dir.C2S, b"SETUP rtsp://server/stream RTSP/1.0\r\nCSeq: 2\r\n\r\n"),
+            AppEvent(0.01, Dir.S2C, b"RTSP/1.0 200 OK\r\nCSeq: 2\r\n\r\n"),
+            AppEvent(0.02, Dir.C2S, b"PLAY rtsp://server/stream RTSP/1.0\r\nCSeq: 3\r\n\r\n"),
+            AppEvent(0.01, Dir.S2C, b"RTSP/1.0 200 OK\r\nCSeq: 3\r\n\r\n"),
+        ]
+        data = UdpExchange(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=IPVIDEO_PORT,
+            start=start + 0.2,
+            rtt=ctx.ent_rtt(),
+        )
+        total = int(_UNICAST_SIZE.sample(rng) * ctx.scale)
+        sent = 0
+        while sent < total:
+            data.events.append(AppEvent(0.01, Dir.S2C, b"\x00" * _PACKET_SIZE))
+            sent += _PACKET_SIZE
+        return [control, data]
+
+    def _multicast_channel(self, ctx: WindowContext) -> RawPackets:
+        """One multicast video channel playing into the monitored subnet."""
+        rng = ctx.rng
+        source = ctx.off_subnet_server(Role.STREAM_SERVER)
+        if source is None or rng.random() < 0.3:
+            # Some channels originate outside the enterprise.
+            src_ip = ctx.wan_ip()
+            src_mac = 0x00E0FE000001
+        else:
+            src_ip = source.ip
+            src_mac = ctx.mac_of(source)
+        group = _MCAST_GROUP + rng.randrange(16)
+        dst_mac = MULTICAST_MAC_BASE | (group & 0x7FFFFF)
+        total = int(_MULTICAST_BPS * ctx.duration * ctx.scale)
+        count = max(total // _PACKET_SIZE, 10)
+        span = ctx.duration * 0.9
+        start = ctx.t0 + 0.05 * ctx.duration
+        sport = ctx.ephemeral_port()  # one flow per channel, not per packet
+        packets = [
+            make_udp_packet(
+                ts=start + (index / count) * span,
+                src_mac=src_mac,
+                dst_mac=dst_mac,
+                src_ip=src_ip,
+                dst_ip=group,
+                src_port=sport,
+                dst_port=IPVIDEO_PORT,
+                payload=b"\x00" * _PACKET_SIZE,
+            )
+            for index in range(count)
+        ]
+        return RawPackets(packets=packets)

@@ -1,0 +1,427 @@
+"""Windows services workload generator (§5.2.1, Tables 9-11).
+
+Models the paper's findings:
+
+* Clients connect to the Netbios/SSN port (139/tcp) and the CIFS port
+  (445/tcp) **in parallel**, using whichever works; a sizable share of
+  servers listen only on 139, so 445 attempts are rejected — this is what
+  drives CIFS connection success down to 46-68% by host-pairs while
+  Netbios/SSN stays at 82-92% (Table 9).
+* After connecting on 139, the NBSS handshake itself succeeds 89-99% of
+  the time.
+* CIFS command mix (Table 10): DCE/RPC named pipes carry the most
+  messages and bytes, ahead of Windows File Sharing; "SMB Basic" session
+  plumbing is numerous but byte-light; LANMAN is a small remainder.
+* DCE/RPC functions (Table 11): printing (Spoolss, WritePrinter above
+  all) dominates at the D3/D4 vantage (major print server), while user
+  authentication (NetLogon/LsaRPC) dominates at the D0 vantage (major
+  domain controller) — both emerge here from server placement.
+* Endpoint Mapper connections (135/tcp) nearly always succeed, and map
+  clients to stand-alone DCE/RPC endpoints on ephemeral ports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from random import Random
+
+from ...proto import cifs, dcerpc
+from ...proto.netbios import NbssFrame, SSN_POSITIVE_RESPONSE, SSN_SESSION_MESSAGE
+from ...util.sampling import LogNormal
+from ..session import AppEvent, Dir, Outcome, TcpSession
+from ..topology import Host, Role
+from .base import AppGenerator, WindowContext
+
+__all__ = ["WindowsGenerator"]
+
+#: Client/server pair conversations per subnet-hour.
+_PAIR_RATE = 300.0
+#: Endpoint-mapper consultations per subnet-hour.
+_EPM_RATE = 40.0
+#: Inbound pair conversations per hour at a monitored major server.
+_SERVER_INBOUND_RATE = 2500.0
+
+_PRINT_JOB_SIZE = LogNormal(median=140_000, sigma=1.3)
+_FILE_IO_SIZE = LogNormal(median=32_000, sigma=1.4)
+
+_WRITE_CHUNK = 16_384
+
+
+def _listens_on_445(server_ip: int) -> bool:
+    """~55% of servers accept direct CIFS; the rest are 139-only (§5.2.1)."""
+    digest = hashlib.blake2b(server_ip.to_bytes(4, "big"), digest_size=4).digest()
+    return int.from_bytes(digest, "big") / 0xFFFFFFFF < 0.55
+
+
+class WindowsGenerator(AppGenerator):
+    """Generates Netbios/SSN, CIFS, DCE/RPC, and EPM sessions."""
+
+    name = "windows"
+
+    def generate(self, ctx: WindowContext) -> list[TcpSession]:
+        rate = ctx.config.dials.windows_rate
+        sessions: list[TcpSession] = []
+        for _ in range(ctx.count(_PAIR_RATE * rate)):
+            client = ctx.local_client()
+            server = self._pick_server(ctx)
+            if server is None or not ctx.crosses_router(client, server):
+                continue
+            sessions.extend(self._pair_conversation(ctx, client, server))
+        for server in self._monitored_major_servers(ctx):
+            for _ in range(ctx.count(_SERVER_INBOUND_RATE * rate)):
+                client = ctx.internal_peer()
+                sessions.extend(self._pair_conversation(ctx, client, server))
+        for _ in range(ctx.count(_EPM_RATE * rate)):
+            client = ctx.local_client()
+            server = ctx.off_subnet_server(Role.FILE_SERVER_CIFS)
+            if server is None:
+                continue
+            sessions.extend(self._epm_consultation(ctx, client, server))
+        return sessions
+
+    @staticmethod
+    def _monitored_major_servers(ctx: WindowContext) -> list[Host]:
+        return ctx.subnet.servers(Role.AUTH_SERVER) + ctx.subnet.servers(
+            Role.PRINT_SERVER
+        )
+
+    def _pick_server(self, ctx: WindowContext) -> Host | None:
+        roll = ctx.rng.random()
+        if roll < 0.45:
+            return ctx.off_subnet_server(Role.FILE_SERVER_CIFS)
+        if roll < 0.70:
+            return ctx.off_subnet_server(Role.PRINT_SERVER)
+        if roll < 0.90:
+            return ctx.off_subnet_server(Role.AUTH_SERVER)
+        return ctx.internal_peer()  # workstation-to-workstation attempts
+
+    # -- one client/server conversation --------------------------------------
+
+    def _pair_conversation(
+        self, ctx: WindowContext, client: Host, server: Host
+    ) -> list[TcpSession]:
+        """The parallel 139+445 connect, then CIFS activity on the winner."""
+        rng = ctx.rng
+        start = ctx.start_time()
+        sessions: list[TcpSession] = []
+        unanswered = rng.random() < 0.10
+        dual_connect = rng.random() < 0.75  # some clients try only one port
+        listens_445 = _listens_on_445(server.ip)
+        smb_payloads = None
+
+        def base(dport: int) -> TcpSession:
+            return TcpSession(
+                client_ip=client.ip,
+                server_ip=server.ip,
+                client_mac=ctx.mac_of(client),
+                server_mac=ctx.mac_of(server),
+                sport=ctx.ephemeral_port(),
+                dport=dport,
+                start=start + rng.random() * 0.01,
+                rtt=ctx.ent_rtt(),
+            )
+
+        if unanswered:
+            for dport in (cifs.SMB_PORT_NBSS, cifs.SMB_PORT_DIRECT) if dual_connect else (cifs.SMB_PORT_NBSS,):
+                session = base(dport)
+                session.outcome = Outcome.UNANSWERED
+                sessions.append(session)
+            return sessions
+
+        if dual_connect or not listens_445:
+            ssn = base(cifs.SMB_PORT_NBSS)
+            if rng.random() < 0.08:
+                ssn.outcome = Outcome.REJECTED
+            else:
+                handshake_ok = rng.random() < 0.95  # NBSS handshake (§5.2.1)
+                ssn.events = [
+                    AppEvent(
+                        0.0, Dir.C2S, NbssFrame.session_request("SERVER", "CLIENT").encode()
+                    ),
+                ]
+                if handshake_ok:
+                    ssn.events.append(
+                        AppEvent(0.002, Dir.S2C, NbssFrame(SSN_POSITIVE_RESPONSE).encode())
+                    )
+                    if not listens_445 or not dual_connect:
+                        smb_payloads = self._cifs_activity(ctx, server)
+                        self._append_smb(ssn, smb_payloads, rng)
+                else:
+                    ssn.events.append(
+                        AppEvent(0.002, Dir.S2C, NbssFrame(0x83, b"\x82").encode())
+                    )
+            sessions.append(ssn)
+
+        if dual_connect or listens_445:
+            direct = base(cifs.SMB_PORT_DIRECT)
+            if not listens_445:
+                direct.outcome = Outcome.REJECTED
+            else:
+                smb_payloads = self._cifs_activity(ctx, server)
+                self._append_smb(direct, smb_payloads, rng)
+            sessions.append(direct)
+        return sessions
+
+    @staticmethod
+    def _append_smb(session: TcpSession, payloads: list[tuple[int, bytes]], rng: Random) -> None:
+        """Wrap SMB messages in NBSS session-message framing on the wire."""
+        for direction, payload in payloads:
+            framed = NbssFrame(SSN_SESSION_MESSAGE, payload).encode()
+            session.events.append(
+                AppEvent(0.002 + rng.random() * 0.004, Dir(direction), framed)
+            )
+
+    # -- CIFS activity shaped by the server's role ---------------------------
+
+    def _cifs_activity(self, ctx: WindowContext, server: Host) -> list[tuple[int, bytes]]:
+        rng = ctx.rng
+        messages = self._smb_session_setup(rng)
+        if server.has_role(Role.PRINT_SERVER):
+            messages += self._print_job(rng)
+        elif server.has_role(Role.AUTH_SERVER):
+            messages += self._authentication(rng)
+        elif server.has_role(Role.FILE_SERVER_CIFS):
+            messages += self._file_sharing(rng)
+            if rng.random() < 0.25:
+                messages += self._lanman(rng)
+        else:
+            messages += self._lanman(rng)
+        messages += [
+            (Dir.C2S, cifs.SmbMessage(command=cifs.CMD_TREE_DISCONNECT).encode()),
+            (
+                Dir.S2C,
+                cifs.SmbMessage(command=cifs.CMD_TREE_DISCONNECT, is_response=True).encode(),
+            ),
+        ]
+        return messages
+
+    @staticmethod
+    def _smb_session_setup(rng: Random) -> list[tuple[int, bytes]]:
+        out = []
+        for command, name in (
+            (cifs.CMD_NEGOTIATE, ""),
+            (cifs.CMD_SESSION_SETUP_ANDX, ""),
+            (cifs.CMD_TREE_CONNECT_ANDX, "\\\\SERVER\\IPC$"),
+        ):
+            request = cifs.SmbMessage(command=command, name=name, mid=rng.getrandbits(15))
+            response = cifs.SmbMessage(
+                command=command, is_response=True, mid=request.mid, data=b"\x00" * 32
+            )
+            out.append((Dir.C2S, request.encode()))
+            out.append((Dir.S2C, response.encode()))
+        return out
+
+    def _print_job(self, rng: Random) -> list[tuple[int, bytes]]:
+        """Spoolss over the \\PIPE\\spoolss named pipe: one print job."""
+        out = self._pipe_open(rng, "\\spoolss")
+        out += self._rpc_on_pipe(rng, "\\PIPE\\SPOOLSS", dcerpc.IFACE_SPOOLSS)
+        for opnum in (dcerpc.OP_SPOOLSS_OPENPRINTER, dcerpc.OP_SPOOLSS_STARTDOC):
+            out += self._rpc_call(rng, "\\PIPE\\SPOOLSS", opnum, 96, 48)
+        job_size = _PRINT_JOB_SIZE.sample_int(rng, minimum=4000)
+        offset = 0
+        while offset < job_size:
+            chunk = min(_WRITE_CHUNK, job_size - offset)
+            out += self._rpc_call(
+                rng, "\\PIPE\\SPOOLSS", dcerpc.OP_SPOOLSS_WRITEPRINTER, chunk, 24
+            )
+            offset += chunk
+        for opnum in (dcerpc.OP_SPOOLSS_ENDDOC, dcerpc.OP_SPOOLSS_CLOSEPRINTER):
+            out += self._rpc_call(rng, "\\PIPE\\SPOOLSS", opnum, 48, 24)
+        return out
+
+    def _authentication(self, rng: Random) -> list[tuple[int, bytes]]:
+        """NetLogon SamLogon plus LsaRPC lookups against the DC."""
+        pipe = "\\PIPE\\NETLOGON" if rng.random() < 0.6 else "\\PIPE\\LSARPC"
+        iface = dcerpc.PIPE_INTERFACES[pipe]
+        out = self._pipe_open(rng, pipe.split("\\")[-1].lower())
+        out += self._rpc_on_pipe(rng, pipe, iface)
+        calls = rng.randrange(4, 12)
+        opnum = (
+            dcerpc.OP_NETLOGON_SAMLOGON
+            if iface == dcerpc.IFACE_NETLOGON
+            else dcerpc.OP_LSA_LOOKUPSIDS
+        )
+        for _ in range(calls):
+            out += self._rpc_call(rng, pipe, opnum, 760, 980)
+        return out
+
+    def _file_sharing(self, rng: Random) -> list[tuple[int, bytes]]:
+        """NTCreate + Read/WriteAndX against a file share."""
+        out: list[tuple[int, bytes]] = []
+        fid = rng.getrandbits(14)
+        create = cifs.SmbMessage(
+            command=cifs.CMD_NT_CREATE_ANDX, name=f"\\docs\\file{rng.randrange(4000)}.dat"
+        )
+        out.append((Dir.C2S, create.encode()))
+        out.append(
+            (Dir.S2C, cifs.SmbMessage(command=cifs.CMD_NT_CREATE_ANDX, is_response=True, fid=fid).encode())
+        )
+        size = _FILE_IO_SIZE.sample_int(rng, minimum=512)
+        reading = rng.random() < 0.7
+        offset = 0
+        while offset < size:
+            chunk = min(_WRITE_CHUNK, size - offset)
+            if reading:
+                request = cifs.SmbMessage(command=cifs.CMD_READ_ANDX, fid=fid)
+                response = cifs.SmbMessage(
+                    command=cifs.CMD_READ_ANDX, is_response=True, fid=fid, data=b"r" * chunk
+                )
+            else:
+                request = cifs.SmbMessage(
+                    command=cifs.CMD_WRITE_ANDX, fid=fid, data=b"w" * chunk
+                )
+                response = cifs.SmbMessage(
+                    command=cifs.CMD_WRITE_ANDX, is_response=True, fid=fid
+                )
+            out.append((Dir.C2S, request.encode()))
+            out.append((Dir.S2C, response.encode()))
+            offset += chunk
+        out.append((Dir.C2S, cifs.SmbMessage(command=cifs.CMD_CLOSE, fid=fid).encode()))
+        out.append(
+            (Dir.S2C, cifs.SmbMessage(command=cifs.CMD_CLOSE, is_response=True).encode())
+        )
+        # File-server sessions also chat over SrvSvc named pipes (share
+        # enumeration, session info) — DCE/RPC rides along with file IO.
+        if rng.random() < 0.7:
+            out += self._rpc_on_pipe(rng, "\\PIPE\\SRVSVC", dcerpc.IFACE_SRVSVC)
+            for _ in range(rng.randrange(2, 6)):
+                out += self._rpc_call(rng, "\\PIPE\\SRVSVC", 15, 140, 260)
+        return out
+
+    @staticmethod
+    def _lanman(rng: Random) -> list[tuple[int, bytes]]:
+        """LANMAN network-neighborhood management over its named pipe."""
+        request = cifs.SmbMessage(
+            command=cifs.CMD_TRANS, name=cifs.LANMAN_PIPE, data=b"\x00\x00WrLeh" + b"\x00" * 20
+        )
+        response = cifs.SmbMessage(
+            command=cifs.CMD_TRANS,
+            is_response=True,
+            name=cifs.LANMAN_PIPE,
+            data=b"\x00" * (200 + rng.randrange(1200)),
+        )
+        return [(Dir.C2S, request.encode()), (Dir.S2C, response.encode())]
+
+    @staticmethod
+    def _pipe_open(rng: Random, pipe_name: str) -> list[tuple[int, bytes]]:
+        fid = rng.getrandbits(14)
+        request = cifs.SmbMessage(command=cifs.CMD_NT_CREATE_ANDX, name=pipe_name)
+        response = cifs.SmbMessage(
+            command=cifs.CMD_NT_CREATE_ANDX, is_response=True, fid=fid
+        )
+        return [(Dir.C2S, request.encode()), (Dir.S2C, response.encode())]
+
+    @staticmethod
+    def _rpc_on_pipe(rng: Random, pipe: str, iface) -> list[tuple[int, bytes]]:
+        bind = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND, interface=iface)
+        ack = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND_ACK, interface=iface)
+        return [
+            (Dir.C2S, cifs.SmbMessage(command=cifs.CMD_TRANS, name=pipe, data=bind.encode()).encode()),
+            (
+                Dir.S2C,
+                cifs.SmbMessage(
+                    command=cifs.CMD_TRANS, is_response=True, name=pipe, data=ack.encode()
+                ).encode(),
+            ),
+        ]
+
+    @staticmethod
+    def _rpc_call(
+        rng: Random, pipe: str, opnum: int, req_bytes: int, resp_bytes: int
+    ) -> list[tuple[int, bytes]]:
+        call_id = rng.getrandbits(16)
+        request = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_REQUEST, call_id=call_id, opnum=opnum, data=b"q" * req_bytes
+        )
+        response = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_RESPONSE, call_id=call_id, opnum=opnum, data=b"s" * resp_bytes
+        )
+        return [
+            (
+                Dir.C2S,
+                cifs.SmbMessage(command=cifs.CMD_TRANS, name=pipe, data=request.encode()).encode(),
+            ),
+            (
+                Dir.S2C,
+                cifs.SmbMessage(
+                    command=cifs.CMD_TRANS, is_response=True, name=pipe, data=response.encode()
+                ).encode(),
+            ),
+        ]
+
+    # -- Endpoint Mapper + stand-alone DCE/RPC --------------------------------
+
+    def _epm_consultation(
+        self, ctx: WindowContext, client: Host, server: Host
+    ) -> list[TcpSession]:
+        rng = ctx.rng
+        start = ctx.start_time()
+        epm = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=dcerpc.EPMAPPER_PORT,
+            start=start,
+            rtt=ctx.ent_rtt(),
+        )
+        if rng.random() < 0.005:  # EPM succeeds 99-100% (Table 9)
+            epm.outcome = Outcome.UNANSWERED
+            return [epm]
+        bind = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND, interface=dcerpc.IFACE_EPMAPPER)
+        ack = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND_ACK, interface=dcerpc.IFACE_EPMAPPER)
+        map_req = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_REQUEST, opnum=dcerpc.OP_EPM_MAP, data=b"m" * 80
+        )
+        mapped_port = 1025 + rng.randrange(64)
+        map_resp = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_RESPONSE,
+            opnum=dcerpc.OP_EPM_MAP,
+            data=mapped_port.to_bytes(2, "big") + b"\x00" * 78,
+        )
+        epm.events = [
+            AppEvent(0.0, Dir.C2S, bind.encode()),
+            AppEvent(0.002, Dir.S2C, ack.encode()),
+            AppEvent(0.002, Dir.C2S, map_req.encode()),
+            AppEvent(0.002, Dir.S2C, map_resp.encode()),
+        ]
+        # The follow-up stand-alone DCE/RPC connection to the mapped port.
+        follow = TcpSession(
+            client_ip=client.ip,
+            server_ip=server.ip,
+            client_mac=ctx.mac_of(client),
+            server_mac=ctx.mac_of(server),
+            sport=ctx.ephemeral_port(),
+            dport=mapped_port,
+            start=start + 0.05,
+            rtt=ctx.ent_rtt(),
+        )
+        iface = dcerpc.IFACE_SRVSVC
+        bind2 = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND, interface=iface)
+        ack2 = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND_ACK, interface=iface)
+        follow.events = [
+            AppEvent(0.0, Dir.C2S, bind2.encode()),
+            AppEvent(0.002, Dir.S2C, ack2.encode()),
+        ]
+        for _ in range(rng.randrange(1, 5)):
+            call_id = rng.getrandbits(16)
+            follow.events.append(
+                AppEvent(
+                    0.004,
+                    Dir.C2S,
+                    dcerpc.DcerpcPdu(
+                        ptype=dcerpc.PDU_REQUEST, call_id=call_id, opnum=15, data=b"q" * 120
+                    ).encode(),
+                )
+            )
+            follow.events.append(
+                AppEvent(
+                    0.003,
+                    Dir.S2C,
+                    dcerpc.DcerpcPdu(
+                        ptype=dcerpc.PDU_RESPONSE, call_id=call_id, opnum=15, data=b"s" * 200
+                    ).encode(),
+                )
+            )
+        return [epm, follow]

@@ -1,0 +1,230 @@
+"""The capture model: tap windows, trace files, and dataset generation.
+
+Mirrors the paper's measurement apparatus (§2): taps on one central
+router could capture two subnets at a time, so an expect script cycled
+through the router's 18-22 subnets, producing one trace file per
+(subnet, round).  Each trace records traffic crossing the router to or
+from the monitored subnet — never traffic that stays inside the subnet —
+truncated to the dataset's snaplen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..net.packet import CapturedPacket
+from ..pcap.writer import PcapWriter
+from ..util.rng import SeedSequence
+from .apps.backup_gen import BackupGenerator
+from .apps.base import AppGenerator, WindowContext
+from .apps.bulk_gen import BulkGenerator
+from .apps.dns_gen import DnsGenerator
+from .apps.email_gen import EmailGenerator
+from .apps.http_gen import HttpGenerator
+from .apps.inbound_gen import InboundWanGenerator
+from .apps.interactive_gen import InteractiveGenerator
+from .apps.link_gen import LinkGenerator
+from .apps.misc_gen import MiscGenerator
+from .apps.netbios_gen import NetbiosNsGenerator
+from .apps.netmgnt_gen import NetMgntGenerator
+from .apps.nfs_gen import NfsGenerator
+from .apps.ncp_gen import NcpGenerator
+from .apps.scanner_gen import ScannerGenerator
+from .apps.streaming_gen import StreamingGenerator
+from .apps.windows_gen import WindowsGenerator
+from .datasets import DATASET_ORDER, DATASETS, DatasetConfig
+from .packetize import realize_all
+from .topology import Enterprise
+
+__all__ = [
+    "TapWindow",
+    "Trace",
+    "DatasetTraces",
+    "ALL_GENERATORS",
+    "schedule_windows",
+    "generate_dataset",
+    "generate_study",
+]
+
+#: Every application generator, in a stable order (stable RNG streams).
+ALL_GENERATORS: tuple[type[AppGenerator], ...] = (
+    LinkGenerator,
+    DnsGenerator,
+    NetbiosNsGenerator,
+    NetMgntGenerator,
+    MiscGenerator,
+    HttpGenerator,
+    InboundWanGenerator,
+    EmailGenerator,
+    WindowsGenerator,
+    NfsGenerator,
+    NcpGenerator,
+    BackupGenerator,
+    BulkGenerator,
+    InteractiveGenerator,
+    StreamingGenerator,
+    ScannerGenerator,
+)
+
+#: Nominal capture epochs, one per dataset (absolute values are cosmetic).
+_EPOCHS = {"D0": 1096873200.0, "D1": 1103097600.0, "D2": 1103184000.0,
+           "D3": 1105000000.0, "D4": 1105086400.0}
+
+
+@dataclass(frozen=True)
+class TapWindow:
+    """One (subnet, time-range) monitoring assignment."""
+
+    index: int
+    subnet_index: int
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class Trace:
+    """One written trace file and its capture metadata."""
+
+    dataset: str
+    window: TapWindow
+    path: Path
+    packet_count: int = 0
+    snaplen: int = 65535
+
+
+@dataclass
+class DatasetTraces:
+    """All traces of one generated dataset."""
+
+    config: DatasetConfig
+    traces: list[Trace] = field(default_factory=list)
+
+    @property
+    def total_packets(self) -> int:
+        return sum(trace.packet_count for trace in self.traces)
+
+
+def schedule_windows(config: DatasetConfig, enterprise: Enterprise) -> list[TapWindow]:
+    """Build the tap schedule: two subnets at a time, ``per_tap`` rounds."""
+    subnets = enterprise.subnets_of_router(config.router)[: config.num_subnets]
+    epoch = _EPOCHS.get(config.name, 1.1e9)
+    windows: list[TapWindow] = []
+    slot = 0
+    index = 0
+    for _round in range(config.per_tap):
+        for pair_start in range(0, len(subnets), 2):
+            pair = subnets[pair_start : pair_start + 2]
+            t0 = epoch + slot * config.tap_seconds
+            t1 = t0 + config.tap_seconds
+            for subnet in pair:
+                windows.append(
+                    TapWindow(index=index, subnet_index=subnet.index, t0=t0, t1=t1)
+                )
+                index += 1
+            slot += 1
+    return windows
+
+
+def _window_packets(
+    enterprise: Enterprise,
+    config: DatasetConfig,
+    window: TapWindow,
+    seed_seq: SeedSequence,
+    scale: float,
+) -> Iterator[CapturedPacket]:
+    """Generate the time-ordered packet stream for one window."""
+    subnet = enterprise.subnets[window.subnet_index]
+    window_seq = seed_seq.child(f"{config.name}:w{window.index}")
+    sessions = []
+    for generator_cls in ALL_GENERATORS:
+        generator = generator_cls()
+        ctx = WindowContext(
+            enterprise=enterprise,
+            subnet=subnet,
+            t0=window.t0,
+            t1=window.t1,
+            rng=window_seq.stream(generator.name),
+            config=config,
+            scale=scale,
+        )
+        sessions.extend(generator.generate(ctx))
+    realize_rng = window_seq.stream("realize")
+    yield from realize_all(sessions, realize_rng, window_end=window.t1)
+
+
+def generate_dataset(
+    name: str,
+    enterprise: Enterprise,
+    out_dir: str | Path,
+    seed: int = 0,
+    scale: float = 0.01,
+    max_windows: int | None = None,
+    capture_drop_rate: float = 0.0,
+) -> DatasetTraces:
+    """Generate one dataset's traces into ``out_dir``.
+
+    ``scale`` shrinks traffic volume relative to the paper's (1.0 would
+    approximate the full LBNL volume); ``max_windows`` truncates the tap
+    schedule, which is useful for fast tests.
+
+    ``capture_drop_rate`` silently drops that fraction of packets at the
+    capture point — the artifact §2 suspects in the real traces ("a TCP
+    receiver acknowledged data not present in the trace") even though
+    the kernel reported no drops.  Zero by default so the reproduced
+    tables stay exact; tests use it to verify the analyzers cope.
+    """
+    config = DATASETS[name]
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    seed_seq = SeedSequence(seed).child("traffic")
+    windows = schedule_windows(config, enterprise)
+    if max_windows is not None:
+        windows = windows[:max_windows]
+    result = DatasetTraces(config=config)
+    for window in windows:
+        path = out_path / f"{name}-w{window.index:03d}-subnet{window.subnet_index:02d}.pcap"
+        packets = _window_packets(enterprise, config, window, seed_seq, scale)
+        if capture_drop_rate > 0:
+            drop_rng = seed_seq.child(f"{name}:w{window.index}").stream("capture-drop")
+            packets = (
+                pkt for pkt in packets if drop_rng.random() >= capture_drop_rate
+            )
+        with PcapWriter.open(path, snaplen=config.snaplen) as writer:
+            count = writer.write_all(packets)
+        result.traces.append(
+            Trace(
+                dataset=name,
+                window=window,
+                path=path,
+                packet_count=count,
+                snaplen=config.snaplen,
+            )
+        )
+    return result
+
+
+def generate_study(
+    out_dir: str | Path,
+    seed: int = 0,
+    scale: float = 0.01,
+    datasets: Iterable[str] | None = None,
+    max_windows: int | None = None,
+    enterprise: Enterprise | None = None,
+) -> dict[str, DatasetTraces]:
+    """Generate all (or selected) datasets; returns {name: traces}."""
+    if enterprise is None:
+        enterprise = Enterprise(seed=seed)
+    names = list(datasets) if datasets is not None else list(DATASET_ORDER)
+    return {
+        name: generate_dataset(
+            name, enterprise, Path(out_dir) / name, seed=seed, scale=scale,
+            max_windows=max_windows,
+        )
+        for name in names
+    }

@@ -1,0 +1,247 @@
+"""The five dataset configurations (Table 1) and their workload dials.
+
+Most cross-dataset variation in the paper is a *vantage point* effect —
+D0-D2 tapped the router serving the mail and authentication subnets while
+D3-D4 tapped the router serving the main DNS/Netbios-NS servers and a
+major print server — and that variation is emergent here from topology
+placement plus the ``router`` field.  The dials below carry only what was
+genuinely workload (not vantage) variation: the IMAP→IMAP/S policy change
+between D0 and D1, the per-dataset NFS/NCP operation mixes of Tables
+13-14, the automated-HTTP-client activity of Table 6, and volume knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Dials", "DatasetConfig", "DATASETS", "DATASET_ORDER"]
+
+
+def _d(**kwargs: float) -> dict[str, float]:
+    return dict(**kwargs)
+
+
+@dataclass(frozen=True)
+class Dials:
+    """Per-dataset workload knobs (fractions and rate multipliers)."""
+
+    # -- email -----------------------------------------------------------
+    #: Fraction of IMAP sessions using IMAP over SSL (the D0→D1 policy
+    #: change of Table 8).
+    imap_tls_frac: float = 0.99
+    email_rate: float = 1.0
+
+    # -- web (Table 6 automated clients, per-window request rates) --------
+    scan1_rate: float = 1.0
+    google1_rate: float = 0.0
+    google2_rate: float = 1.0
+    ifolder_rate: float = 0.0
+    web_rate: float = 1.0
+
+    # -- network file systems (Tables 12-14) ------------------------------
+    #: NFS request-type mix; keys Read/Write/GetAttr/LookUp/Access/Other.
+    nfs_mix: dict[str, float] = field(
+        default_factory=lambda: _d(
+            Read=0.25, Write=0.01, GetAttr=0.53, LookUp=0.16, Access=0.04, Other=0.01
+        )
+    )
+    #: NCP request-type mix; keys match Table 14 rows.
+    ncp_mix: dict[str, float] = field(
+        default_factory=lambda: _d(
+            Read=0.44,
+            Write=0.21,
+            FileDirInfo=0.16,
+            **{"File Open/Close": 0.02, "File Size": 0.07, "File Search": 0.07},
+            **{"Directory Service": 0.007},
+            Other=0.03,
+        )
+    )
+    nfs_rate: float = 1.0
+    ncp_rate: float = 1.0
+    #: Multiplier on heavy-hitter NFS/NCP pair volume.
+    nfs_bulk: float = 1.0
+    ncp_bulk: float = 1.0
+
+    # -- backup (Table 15, and the ×5 D0→D4 swing of Figure 1a) -----------
+    backup_rate: float = 1.0
+
+    # -- everything else ---------------------------------------------------
+    windows_rate: float = 1.0
+    name_rate: float = 1.0
+    netmgnt_rate: float = 1.0
+    misc_rate: float = 1.0
+    streaming_rate: float = 1.0
+    interactive_rate: float = 1.0
+    bulk_rate: float = 1.0
+    other_rate: float = 1.0
+    scan_rate: float = 1.0
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """One dataset of Table 1."""
+
+    name: str
+    date: str
+    router: int
+    num_subnets: int
+    tap_seconds: float
+    per_tap: int
+    snaplen: int
+    dials: Dials
+
+    @property
+    def full_payload(self) -> bool:
+        """True when application payloads were captured (D0, D3, D4)."""
+        return self.snaplen >= 1500
+
+    @property
+    def num_windows(self) -> int:
+        """Total tap windows (= traces) in the dataset."""
+        return self.num_subnets * self.per_tap
+
+
+_D0_NFS_MIX = _d(Read=0.70, Write=0.15, GetAttr=0.09, LookUp=0.04, Access=0.005, Other=0.015)
+_D3_NFS_MIX = _d(Read=0.25, Write=0.01, GetAttr=0.53, LookUp=0.16, Access=0.04, Other=0.01)
+_D4_NFS_MIX = _d(Read=0.01, Write=0.19, GetAttr=0.50, LookUp=0.23, Access=0.05, Other=0.02)
+
+_D0_NCP_MIX = _d(
+    Read=0.42, Write=0.01, FileDirInfo=0.27,
+    **{"File Open/Close": 0.09, "File Size": 0.09, "File Search": 0.09, "Directory Service": 0.02},
+    Other=0.01,
+)
+_D3_NCP_MIX = _d(
+    Read=0.44, Write=0.21, FileDirInfo=0.16,
+    **{"File Open/Close": 0.02, "File Size": 0.07, "File Search": 0.07, "Directory Service": 0.007},
+    Other=0.023,
+)
+_D4_NCP_MIX = _d(
+    Read=0.41, Write=0.02, FileDirInfo=0.26,
+    **{"File Open/Close": 0.07, "File Size": 0.05, "File Search": 0.16, "Directory Service": 0.01},
+    Other=0.02,
+)
+
+DATASETS: dict[str, DatasetConfig] = {
+    "D0": DatasetConfig(
+        name="D0",
+        date="10/4/04",
+        router=0,
+        num_subnets=22,
+        tap_seconds=600.0,
+        per_tap=1,
+        snaplen=1500,
+        dials=Dials(
+            imap_tls_frac=0.46,  # pre-policy-change: IMAP4 and IMAP/S coexist (Table 8)
+            email_rate=1.0,
+            scan1_rate=1.0,
+            google1_rate=1.2,  # google1: 23% of D0 requests (Table 6)
+            google2_rate=0.8,
+            ifolder_rate=0.05,
+            nfs_mix=_D0_NFS_MIX,
+            ncp_mix=_D0_NCP_MIX,
+            nfs_bulk=7.5,  # D0: 6.3 GB NFS in a 10-minute-per-tap dataset
+            ncp_bulk=2.5,
+            ncp_rate=2.5,  # NCP conns outnumber NFS only in D0 (Table 12)
+            backup_rate=2.0,
+            bulk_rate=0.6,
+            windows_rate=1.0,
+        ),
+    ),
+    "D1": DatasetConfig(
+        name="D1",
+        date="12/15/04",
+        router=0,
+        num_subnets=22,
+        tap_seconds=3600.0,
+        per_tap=2,
+        snaplen=68,
+        dials=Dials(
+            imap_tls_frac=0.99,
+            google1_rate=0.0,
+            google2_rate=1.0,
+            ifolder_rate=0.05,
+            nfs_mix=_D3_NFS_MIX,
+            ncp_mix=_D3_NCP_MIX,
+            nfs_bulk=0.45,
+            ncp_bulk=0.40,
+            backup_rate=1.2,
+            bulk_rate=0.6,
+        ),
+    ),
+    "D2": DatasetConfig(
+        name="D2",
+        date="12/16/04",
+        router=0,
+        num_subnets=22,
+        tap_seconds=3600.0,
+        per_tap=1,
+        snaplen=68,
+        dials=Dials(
+            imap_tls_frac=0.99,
+            google1_rate=0.0,
+            google2_rate=1.0,
+            ifolder_rate=0.05,
+            nfs_mix=_D3_NFS_MIX,
+            ncp_mix=_D3_NCP_MIX,
+            nfs_bulk=0.55,
+            ncp_bulk=0.70,
+            backup_rate=1.0,
+            bulk_rate=0.6,
+        ),
+    ),
+    "D3": DatasetConfig(
+        name="D3",
+        date="1/6/05",
+        router=1,
+        num_subnets=18,
+        tap_seconds=3600.0,
+        per_tap=1,
+        snaplen=1500,
+        dials=Dials(
+            imap_tls_frac=0.99,
+            email_rate=0.5,  # no mail-server subnets behind router 1
+            scan1_rate=1.6,  # scan1: 45% of D3 internal requests (Table 6)
+            google1_rate=0.0,
+            google2_rate=0.6,
+            ifolder_rate=0.1,
+            nfs_mix=_D3_NFS_MIX,
+            ncp_mix=_D3_NCP_MIX,
+            nfs_bulk=0.18,
+            ncp_bulk=0.35,
+            nfs_rate=0.8,
+            ncp_rate=0.5,
+            backup_rate=0.5,
+            bulk_rate=0.45,
+            interactive_rate=0.6,
+        ),
+    ),
+    "D4": DatasetConfig(
+        name="D4",
+        date="1/7/05",
+        router=1,
+        num_subnets=18,
+        tap_seconds=3600.0,
+        per_tap=2,  # "1-2" in Table 1; we schedule 1.5 rounds as 2 for half
+        snaplen=1500,
+        dials=Dials(
+            imap_tls_frac=0.99,
+            email_rate=0.5,
+            scan1_rate=1.0,
+            google1_rate=0.05,
+            google2_rate=0.4,
+            ifolder_rate=1.0,  # iFolder: 10% of D4 requests, 9% of bytes
+            nfs_mix=_D4_NFS_MIX,
+            ncp_mix=_D4_NCP_MIX,
+            nfs_bulk=0.18,
+            ncp_bulk=0.30,
+            nfs_rate=0.9,
+            ncp_rate=0.5,
+            backup_rate=0.4,  # the ×5 backup swing from D0 (Figure 1a)
+            bulk_rate=0.45,
+            interactive_rate=0.6,
+        ),
+    ),
+}
+
+#: Datasets in paper order.
+DATASET_ORDER = ["D0", "D1", "D2", "D3", "D4"]

@@ -1,0 +1,134 @@
+"""Realize abstract sessions into a time-ordered packet stream."""
+
+from __future__ import annotations
+
+import heapq
+from random import Random
+from typing import Iterable, Iterator
+
+from ..net.icmp import ICMP_ECHO_REPLY, ICMP_ECHO_REQUEST
+from ..net.packet import CapturedPacket, make_icmp_packet, make_udp_packet
+from .session import Dir, IcmpExchange, RawPackets, Session, TcpSession, UdpExchange
+from .tcpsim import realize_tcp
+
+__all__ = ["realize_session", "realize_all"]
+
+
+def realize_session(
+    session: Session, rng: Random, window_end: float | None = None
+) -> list[CapturedPacket]:
+    """Expand one session into its wire packets (any session kind).
+
+    The returned list is sorted by timestamp: TCP emission interleaves
+    delayed ACKs with data segments, so the raw emission order can be
+    locally out of order (Timsort makes the fix-up nearly free on the
+    mostly-sorted input).
+    """
+    if isinstance(session, TcpSession):
+        packets = realize_tcp(session, rng, window_end)
+    elif isinstance(session, UdpExchange):
+        packets = _realize_udp(session, window_end)
+    elif isinstance(session, IcmpExchange):
+        packets = _realize_icmp(session, window_end)
+    elif isinstance(session, RawPackets):
+        packets = [
+            pkt
+            for pkt in session.packets
+            if window_end is None or pkt.ts <= window_end
+        ]
+    else:
+        raise TypeError(f"unknown session type: {type(session).__name__}")
+    packets.sort(key=lambda pkt: pkt.ts)
+    return packets
+
+
+def _realize_udp(session: UdpExchange, window_end: float | None) -> list[CapturedPacket]:
+    packets: list[CapturedPacket] = []
+    clock = session.start
+    last_dir: Dir | None = None
+    for event in session.events:
+        clock += event.dt
+        if last_dir is not None and event.direction != last_dir:
+            clock += session.rtt / 2.0
+        last_dir = event.direction
+        if window_end is not None and clock > window_end:
+            break
+        if event.direction is Dir.C2S:
+            src_ip, dst_ip = session.client_ip, session.server_ip
+            src_mac, dst_mac = session.client_mac, session.server_mac
+            sport, dport = session.sport, session.dport
+        else:
+            src_ip, dst_ip = session.server_ip, session.client_ip
+            src_mac, dst_mac = session.server_mac, session.client_mac
+            sport, dport = session.dport, session.sport
+        packets.append(
+            make_udp_packet(
+                ts=clock,
+                src_mac=src_mac,
+                dst_mac=dst_mac,
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=sport,
+                dst_port=dport,
+                payload=event.payload,
+            )
+        )
+    return packets
+
+
+def _realize_icmp(session: IcmpExchange, window_end: float | None) -> list[CapturedPacket]:
+    packets: list[CapturedPacket] = []
+    for index in range(session.count):
+        ts = session.start + index * session.interval
+        if window_end is not None and ts > window_end:
+            break
+        packets.append(
+            make_icmp_packet(
+                ts=ts,
+                src_mac=session.src_mac,
+                dst_mac=session.dst_mac,
+                src_ip=session.src_ip,
+                dst_ip=session.dst_ip,
+                icmp_type=ICMP_ECHO_REQUEST,
+                ident=session.ident,
+                sequence=index,
+                payload=b"\x00" * 48,
+            )
+        )
+        if session.answered:
+            reply_ts = ts + session.rtt
+            if window_end is not None and reply_ts > window_end:
+                continue
+            packets.append(
+                make_icmp_packet(
+                    ts=reply_ts,
+                    src_mac=session.dst_mac,
+                    dst_mac=session.src_mac,
+                    src_ip=session.dst_ip,
+                    dst_ip=session.src_ip,
+                    icmp_type=ICMP_ECHO_REPLY,
+                    ident=session.ident,
+                    sequence=index,
+                    payload=b"\x00" * 48,
+                )
+            )
+    return packets
+
+
+def realize_all(
+    sessions: Iterable[Session],
+    rng: Random,
+    window_end: float | None = None,
+) -> Iterator[CapturedPacket]:
+    """Realize many sessions and merge them into timestamp order.
+
+    Each session's packets are already time-ordered, so a k-way heap
+    merge keeps memory proportional to the number of sessions, not the
+    number of packets.
+    """
+    streams = []
+    for session in sessions:
+        packets = realize_session(session, rng, window_end)
+        if packets:
+            streams.append(packets)
+    yield from heapq.merge(*streams, key=lambda pkt: pkt.ts)

@@ -1,0 +1,145 @@
+"""Abstract application sessions, later realized into packets.
+
+Application generators describe traffic as :class:`TcpSession` /
+:class:`UdpExchange` / :class:`IcmpExchange` / :class:`RawPackets`
+objects: who talks to whom, when, over what ports, and the exact
+application payload bytes exchanged.  :mod:`repro.gen.tcpsim` and
+:mod:`repro.gen.packetize` turn these into wire packets with working
+TCP/UDP mechanics.  Keeping the two stages separate lets the application
+generators stay purely about *workload* while transport mechanics
+(handshakes, segmentation, acks, loss, keep-alives) live in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Dir",
+    "Outcome",
+    "AppEvent",
+    "TcpSession",
+    "UdpExchange",
+    "IcmpExchange",
+    "RawPackets",
+    "Session",
+    "ROUTER_MAC",
+    "MULTICAST_MAC_BASE",
+]
+
+#: MAC used for packets entering a subnet from elsewhere (the router port).
+ROUTER_MAC = 0x00E0FE000001
+
+#: Base MAC for IPv4 multicast destinations (01:00:5e + low 23 bits).
+MULTICAST_MAC_BASE = 0x01005E000000
+
+
+class Dir(enum.IntEnum):
+    """Direction of one application event."""
+
+    C2S = 0
+    S2C = 1
+
+
+class Outcome(enum.Enum):
+    """How a TCP connection attempt fares (drives success-rate analyses)."""
+
+    SUCCESS = "success"
+    REJECTED = "rejected"  # SYN answered by RST
+    UNANSWERED = "unanswered"  # SYN retransmitted, never answered
+
+
+@dataclass
+class AppEvent:
+    """One application-level send.
+
+    ``dt`` is the think/processing delay *before* this event, measured
+    from the completion of the previous one.
+    """
+
+    dt: float
+    direction: Dir
+    payload: bytes
+
+
+@dataclass
+class TcpSession:
+    """A TCP connection described at the application level.
+
+    The realizer adds the three-way handshake, MSS segmentation,
+    acknowledgments, optional periodic keep-alives, loss-driven
+    retransmissions, and the close (FIN exchange, RST, or nothing when
+    the session outlives the trace window).
+    """
+
+    client_ip: int
+    server_ip: int
+    client_mac: int
+    server_mac: int
+    sport: int
+    dport: int
+    start: float
+    rtt: float
+    events: list[AppEvent] = field(default_factory=list)
+    outcome: Outcome = Outcome.SUCCESS
+    #: Per-segment loss probability.  ``None`` lets the realizer apply an
+    #: ambient rate (lower inside the enterprise than across the WAN, per
+    #: §6's Figure 10); set explicitly for outliers like the lossy
+    #: Veritas connection.
+    loss_rate: float | None = None
+    keepalive_interval: float | None = None
+    keepalive_count: int = 0
+    end_idle: float = 0.0
+    close: str = "fin"  # "fin" | "rst" | "none"
+    mss: int = 1460
+
+    @property
+    def app_bytes(self) -> int:
+        """Total application payload bytes in both directions."""
+        return sum(len(event.payload) for event in self.events)
+
+
+@dataclass
+class UdpExchange:
+    """A sequence of UDP datagrams between two endpoints.
+
+    A single :class:`UdpExchange` corresponds to one "connection" in the
+    paper's UDP flow accounting (same 5-tuple, nearby in time).
+    """
+
+    client_ip: int
+    server_ip: int
+    client_mac: int
+    server_mac: int
+    sport: int
+    dport: int
+    start: float
+    rtt: float
+    events: list[AppEvent] = field(default_factory=list)
+
+
+@dataclass
+class IcmpExchange:
+    """Echo request/reply pairs (or unanswered probes) between two hosts."""
+
+    src_ip: int
+    dst_ip: int
+    src_mac: int
+    dst_mac: int
+    start: float
+    rtt: float
+    count: int = 1
+    answered: bool = True
+    interval: float = 1.0
+    ident: int = 1
+
+
+@dataclass
+class RawPackets:
+    """Pre-built packets (ARP, IPX, and other non-IP traffic)."""
+
+    packets: list = field(default_factory=list)
+
+
+Session = TcpSession | UdpExchange | IcmpExchange | RawPackets

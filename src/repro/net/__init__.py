@@ -1,0 +1,83 @@
+"""Wire-format packet layer: Ethernet, ARP, IPX, IPv4, TCP, UDP, ICMP."""
+
+from .arp import ARP_REPLY, ARP_REQUEST, ArpPacket
+from .checksum import internet_checksum, pseudo_header
+from .ethernet import (
+    BROADCAST_MAC,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPX,
+    EthernetFrame,
+)
+from .icmp import (
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    IcmpMessage,
+)
+from .ipv4 import (
+    PROTO_ESP,
+    PROTO_GRE,
+    PROTO_ICMP,
+    PROTO_IGMP,
+    PROTO_PIM,
+    PROTO_TCP,
+    PROTO_UDP,
+    Ipv4Packet,
+)
+from .ipx import IpxPacket
+from .packet import (
+    CapturedPacket,
+    DecodedPacket,
+    decode_packet,
+    make_arp_packet,
+    make_icmp_packet,
+    make_ipx_packet,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from .tcp import ACK, FIN, PSH, RST, SYN, URG, TcpSegment, flags_to_str
+from .udp import UdpDatagram
+
+__all__ = [
+    "ARP_REPLY",
+    "ARP_REQUEST",
+    "ArpPacket",
+    "internet_checksum",
+    "pseudo_header",
+    "BROADCAST_MAC",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_IPX",
+    "EthernetFrame",
+    "ICMP_DEST_UNREACH",
+    "ICMP_ECHO_REPLY",
+    "ICMP_ECHO_REQUEST",
+    "IcmpMessage",
+    "PROTO_ESP",
+    "PROTO_GRE",
+    "PROTO_ICMP",
+    "PROTO_IGMP",
+    "PROTO_PIM",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Ipv4Packet",
+    "IpxPacket",
+    "CapturedPacket",
+    "DecodedPacket",
+    "decode_packet",
+    "make_arp_packet",
+    "make_icmp_packet",
+    "make_ipx_packet",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "ACK",
+    "FIN",
+    "PSH",
+    "RST",
+    "SYN",
+    "URG",
+    "TcpSegment",
+    "flags_to_str",
+    "UdpDatagram",
+]

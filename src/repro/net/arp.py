@@ -1,0 +1,61 @@
+"""ARP for IPv4 over Ethernet (RFC 826).
+
+ARP is the second-largest non-IP protocol in the paper's traces (Table 2:
+5-27% of non-IP packets), emitted mostly as broadcast who-has requests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["ARP_REQUEST", "ARP_REPLY", "ARP_LEN", "ArpPacket"]
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+ARP_LEN = 28
+
+_HEADER = struct.Struct("!HHBBH6s4s6s4s")
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An Ethernet/IPv4 ARP packet."""
+
+    opcode: int
+    sender_mac: int
+    sender_ip: int
+    target_mac: int
+    target_ip: int
+
+    def encode(self) -> bytes:
+        """Serialize to the 28-byte wire format."""
+        return _HEADER.pack(
+            1,  # hardware type: Ethernet
+            0x0800,  # protocol type: IPv4
+            6,  # hardware address length
+            4,  # protocol address length
+            self.opcode,
+            self.sender_mac.to_bytes(6, "big"),
+            self.sender_ip.to_bytes(4, "big"),
+            self.target_mac.to_bytes(6, "big"),
+            self.target_ip.to_bytes(4, "big"),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ArpPacket":
+        """Parse wire bytes; raises ValueError on short or non-IPv4 ARP."""
+        if len(data) < ARP_LEN:
+            raise ValueError(f"too short for ARP: {len(data)}")
+        (htype, ptype, hlen, plen, opcode, smac, sip, tmac, tip) = _HEADER.unpack_from(
+            data
+        )
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError("not Ethernet/IPv4 ARP")
+        return cls(
+            opcode=opcode,
+            sender_mac=int.from_bytes(smac, "big"),
+            sender_ip=int.from_bytes(sip, "big"),
+            target_mac=int.from_bytes(tmac, "big"),
+            target_ip=int.from_bytes(tip, "big"),
+        )

@@ -1,0 +1,52 @@
+"""The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header.
+
+Every IPv4/TCP/UDP/ICMP header the generator emits carries a correct
+checksum, and the analysis engine can verify them; this keeps the pcap
+files honest enough to be inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import array
+import struct
+import sys
+
+try:  # numpy makes the word sum ~10x faster; fall back to stdlib without it
+    import numpy as _np
+
+    _WORD_DTYPE = _np.dtype(">u2")
+except ImportError:  # pragma: no cover - numpy is present in the dev env
+    _np = None
+    _WORD_DTYPE = None
+
+from ..util.addr import ip_to_bytes
+
+__all__ = ["internet_checksum", "pseudo_header"]
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    The generator checksums every TCP segment it emits, so this is on the
+    hottest path of trace generation; the word sum runs vectorized under
+    numpy, or at ``array('H')`` speed without it.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    if _np is not None:
+        total = int(_np.frombuffer(data, dtype=_WORD_DTYPE).sum(dtype=_np.uint64))
+    else:
+        words = array.array("H", data)
+        if _LITTLE_ENDIAN:
+            words.byteswap()
+        total = sum(words)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, proto: int, length: int) -> bytes:
+    """Build the IPv4 pseudo-header used in TCP/UDP checksums."""
+    return ip_to_bytes(src_ip) + ip_to_bytes(dst_ip) + struct.pack("!BBH", 0, proto, length)

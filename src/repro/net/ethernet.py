@@ -1,0 +1,73 @@
+"""Ethernet II framing.
+
+The traces the paper studies were captured on Ethernet; Table 2's
+network-layer breakdown is a breakdown over EtherTypes (IPv4 vs ARP vs
+IPX vs other).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "ETH_HEADER_LEN",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPX",
+    "ETHERTYPE_APPLETALK",
+    "ETHERTYPE_DECNET",
+    "BROADCAST_MAC",
+    "EthernetFrame",
+]
+
+ETH_HEADER_LEN = 14
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPX = 0x8137
+ETHERTYPE_APPLETALK = 0x809B
+ETHERTYPE_DECNET = 0x6003
+
+BROADCAST_MAC = 0xFFFFFFFFFFFF
+
+_HEADER = struct.Struct("!6s6sH")
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame: addresses, EtherType, and opaque payload."""
+
+    dst_mac: int
+    src_mac: int
+    ethertype: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes (header + payload, no FCS)."""
+        return (
+            _HEADER.pack(
+                self.dst_mac.to_bytes(6, "big"),
+                self.src_mac.to_bytes(6, "big"),
+                self.ethertype,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        """Parse wire bytes into a frame; raises ValueError if too short."""
+        if len(data) < ETH_HEADER_LEN:
+            raise ValueError(f"frame too short for Ethernet header: {len(data)}")
+        dst, src, ethertype = _HEADER.unpack_from(data)
+        return cls(
+            dst_mac=int.from_bytes(dst, "big"),
+            src_mac=int.from_bytes(src, "big"),
+            ethertype=ethertype,
+            payload=data[ETH_HEADER_LEN:],
+        )
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when addressed to ff:ff:ff:ff:ff:ff."""
+        return self.dst_mac == BROADCAST_MAC

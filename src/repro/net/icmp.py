@@ -1,0 +1,70 @@
+"""ICMP messages (RFC 792).
+
+ICMP accounts for 5-8% of connections in the paper's traces (Table 3) and
+is the probe of choice for the external scanners that the scan filter
+removes (§3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import internet_checksum
+
+__all__ = [
+    "ICMP_HEADER_LEN",
+    "ICMP_ECHO_REPLY",
+    "ICMP_DEST_UNREACH",
+    "ICMP_ECHO_REQUEST",
+    "ICMP_TIME_EXCEEDED",
+    "IcmpMessage",
+]
+
+ICMP_HEADER_LEN = 8
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACH = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+_HEADER = struct.Struct("!BBHHH")
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP message; echo messages carry (ident, sequence)."""
+
+    icmp_type: int
+    code: int = 0
+    ident: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize with a correct ICMP checksum."""
+        header = _HEADER.pack(self.icmp_type, self.code, 0, self.ident, self.sequence)
+        checksum = internet_checksum(header + self.payload)
+        return (
+            _HEADER.pack(self.icmp_type, self.code, checksum, self.ident, self.sequence)
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IcmpMessage":
+        """Parse wire bytes; raises ValueError when too short."""
+        if len(data) < ICMP_HEADER_LEN:
+            raise ValueError(f"too short for ICMP: {len(data)}")
+        icmp_type, code, _checksum, ident, sequence = _HEADER.unpack_from(data)
+        return cls(
+            icmp_type=icmp_type,
+            code=code,
+            ident=ident,
+            sequence=sequence,
+            payload=data[ICMP_HEADER_LEN:],
+        )
+
+    @property
+    def is_echo(self) -> bool:
+        """True for echo request/reply messages."""
+        return self.icmp_type in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY)

@@ -1,0 +1,52 @@
+"""UDP datagram header (RFC 768).
+
+UDP carries most of the *connections* in every dataset (68-87%, Table 3):
+name service, network management, and other transaction-style protocols.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import internet_checksum, pseudo_header
+from .ipv4 import PROTO_UDP
+
+__all__ = ["UDP_HEADER_LEN", "UdpDatagram"]
+
+UDP_HEADER_LEN = 8
+
+_HEADER = struct.Struct("!HHHH")
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram: ports, length, checksum, payload."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def encode(self, src_ip: int, dst_ip: int) -> bytes:
+        """Serialize with a correct checksum over the pseudo-header."""
+        length = UDP_HEADER_LEN + len(self.payload)
+        header = _HEADER.pack(self.src_port, self.dst_port, length, 0)
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted 0 means "no checksum"
+        return _HEADER.pack(self.src_port, self.dst_port, length, checksum) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UdpDatagram":
+        """Parse wire bytes; payload may be capture-truncated."""
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError(f"too short for UDP: {len(data)}")
+        src_port, dst_port, length, _checksum = _HEADER.unpack_from(data)
+        if length < UDP_HEADER_LEN:
+            raise ValueError(f"bad UDP length: {length}")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            payload=data[UDP_HEADER_LEN:length],
+        )

@@ -1,0 +1,15 @@
+"""pcap (libpcap v2.4) trace file reading and writing."""
+
+from .reader import PcapReader, read_pcap
+from .records import LINKTYPE_ETHERNET, PCAP_MAGIC, PcapGlobalHeader
+from .writer import PcapWriter, write_pcap
+
+__all__ = [
+    "PcapReader",
+    "read_pcap",
+    "LINKTYPE_ETHERNET",
+    "PCAP_MAGIC",
+    "PcapGlobalHeader",
+    "PcapWriter",
+    "write_pcap",
+]

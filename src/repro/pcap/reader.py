@@ -1,0 +1,71 @@
+"""Streaming pcap reader."""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from ..net.packet import CapturedPacket
+from .records import GLOBAL_HEADER, RECORD_HEADER, PcapGlobalHeader
+
+__all__ = ["PcapReader", "read_pcap"]
+
+
+class PcapReader:
+    """Iterates :class:`CapturedPacket` records out of a pcap stream.
+
+    Handles both byte orders.  A record header that claims more captured
+    bytes than remain in the file raises ``ValueError`` — silent
+    truncation at the *file* level (as opposed to the per-packet snaplen)
+    indicates a corrupt trace and should never pass unnoticed.
+    """
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        header_bytes = stream.read(GLOBAL_HEADER.size)
+        self.header, self._swapped = PcapGlobalHeader.decode(header_bytes)
+        self._record = struct.Struct(">IIII") if self._swapped else RECORD_HEADER
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PcapReader":
+        """Open ``path`` and parse its global header."""
+        return cls(io.open(path, "rb"))
+
+    @property
+    def snaplen(self) -> int:
+        """The capture snaplen recorded in the file header."""
+        return self.header.snaplen
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        while True:
+            header = self._stream.read(self._record.size)
+            if not header:
+                return
+            if len(header) < self._record.size:
+                raise ValueError("truncated pcap record header")
+            ts_sec, ts_usec, caplen, wire_len = self._record.unpack(header)
+            data = self._stream.read(caplen)
+            if len(data) < caplen:
+                raise ValueError("truncated pcap record body")
+            yield CapturedPacket(
+                ts=ts_sec + ts_usec / 1e6, data=data, wire_len=wire_len
+            )
+
+    def close(self) -> None:
+        """Close the underlying stream."""
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_pcap(path: str | Path) -> list[CapturedPacket]:
+    """Read every packet record from ``path`` into a list."""
+    with PcapReader.open(path) as reader:
+        return list(reader)

@@ -1,0 +1,76 @@
+"""Binary layout of the classic pcap (libpcap v2.4) file format.
+
+The generator writes traces in this format and the analysis engine reads
+them back, so the serialization boundary between the two halves of the
+reproduction is the same one the original study had (tcpdump files).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "PCAP_MAGIC",
+    "PCAP_MAGIC_SWAPPED",
+    "LINKTYPE_ETHERNET",
+    "GLOBAL_HEADER",
+    "RECORD_HEADER",
+    "PcapGlobalHeader",
+]
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+
+GLOBAL_HEADER = struct.Struct("<IHHiIII")
+RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapGlobalHeader:
+    """The 24-byte pcap file header."""
+
+    snaplen: int
+    linktype: int = LINKTYPE_ETHERNET
+    version_major: int = 2
+    version_minor: int = 4
+    thiszone: int = 0
+    sigfigs: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize in little-endian byte order."""
+        return GLOBAL_HEADER.pack(
+            PCAP_MAGIC,
+            self.version_major,
+            self.version_minor,
+            self.thiszone,
+            self.sigfigs,
+            self.snaplen,
+            self.linktype,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["PcapGlobalHeader", bool]:
+        """Parse the file header; returns (header, byte_swapped)."""
+        if len(data) < GLOBAL_HEADER.size:
+            raise ValueError("truncated pcap global header")
+        magic = struct.unpack_from("<I", data)[0]
+        if magic == PCAP_MAGIC:
+            swapped = False
+            fmt = GLOBAL_HEADER
+        elif magic == PCAP_MAGIC_SWAPPED:
+            swapped = True
+            fmt = struct.Struct(">IHHiIII")
+        else:
+            raise ValueError(f"not a pcap file (magic {magic:#010x})")
+        (_, major, minor, thiszone, sigfigs, snaplen, linktype) = fmt.unpack_from(data)
+        header = cls(
+            snaplen=snaplen,
+            linktype=linktype,
+            version_major=major,
+            version_minor=minor,
+            thiszone=thiszone,
+            sigfigs=sigfigs,
+        )
+        return header, swapped

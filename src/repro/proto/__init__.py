@@ -1,0 +1,23 @@
+"""Application-layer protocol message encoding and decoding.
+
+Each module implements the wire format for one protocol family the paper
+analyzes; the generator uses the builders, the analysis engine uses the
+parsers, and nothing is shared between the two except these formats.
+"""
+
+from . import backupproto, cifs, dcerpc, dns, http, imap, misc, ncp, netbios, nfs, smtp, tls
+
+__all__ = [
+    "backupproto",
+    "cifs",
+    "dcerpc",
+    "dns",
+    "http",
+    "imap",
+    "misc",
+    "ncp",
+    "netbios",
+    "nfs",
+    "smtp",
+    "tls",
+]

@@ -1,0 +1,83 @@
+"""Backup application protocols — §5.2.3, Table 15.
+
+The paper observes three backup systems: Veritas (separate control and
+data connections; data flows strictly client → server), Dantz (control
+and data multiplexed on one connection, with substantial volume in *both*
+directions), and "Connected" (a small service backing up to an external
+site).  These are proprietary protocols, so we model a minimal shared
+record framing (magic + record type + length) with per-product magic
+values — enough structure for an analyzer to identify the product and
+measure per-direction volume, which is exactly what Table 15 reports.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "VERITAS_CTRL_PORT",
+    "VERITAS_DATA_PORT",
+    "DANTZ_PORT",
+    "CONNECTED_PORT",
+    "REC_CONTROL",
+    "REC_DATA",
+    "BackupRecord",
+    "MAGIC_VERITAS",
+    "MAGIC_DANTZ",
+    "MAGIC_CONNECTED",
+    "parse_backup_stream",
+]
+
+VERITAS_CTRL_PORT = 13720  # bprd
+VERITAS_DATA_PORT = 13724  # vnetd
+DANTZ_PORT = 497  # retrospect
+CONNECTED_PORT = 16384
+
+MAGIC_VERITAS = b"VRTS"
+MAGIC_DANTZ = b"DNTZ"
+MAGIC_CONNECTED = b"CNBK"
+
+REC_CONTROL = 1
+REC_DATA = 2
+
+_HEADER = struct.Struct("!4sBI")
+
+
+@dataclass(frozen=True)
+class BackupRecord:
+    """One framed backup-protocol record."""
+
+    magic: bytes
+    rec_type: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(self.magic, self.rec_type, len(self.payload)) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["BackupRecord", int]:
+        """Parse one record; returns (record, bytes_consumed)."""
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated backup record header")
+        magic, rec_type, length = _HEADER.unpack_from(data)
+        if magic not in (MAGIC_VERITAS, MAGIC_DANTZ, MAGIC_CONNECTED):
+            raise ValueError(f"unknown backup magic {magic!r}")
+        payload = data[_HEADER.size : _HEADER.size + length]
+        return cls(magic, rec_type, payload), _HEADER.size + len(payload)
+
+
+def parse_backup_stream(stream: bytes) -> list[BackupRecord]:
+    """Parse one direction of a backup connection into records."""
+    records: list[BackupRecord] = []
+    offset = 0
+    while offset + _HEADER.size <= len(stream):
+        try:
+            record, consumed = BackupRecord.decode(stream[offset:])
+        except ValueError:
+            break
+        records.append(record)
+        offset += consumed
+        if len(record.payload) < consumed - _HEADER.size:
+            break
+    return records

@@ -1,0 +1,225 @@
+"""SMB/CIFS message format — the Windows-services workhorse of §5.2.1.
+
+The paper finds CIFS traffic intermingled over 139/tcp (layered on
+Netbios/SSN) and 445/tcp (direct), used interchangeably, and breaks CIFS
+commands into "SMB Basic", "RPC Pipes", "Windows File Sharing", and
+"LANMAN" (Table 10).  We implement the SMB1 header and the specific
+commands needed to reproduce that breakdown, including the Trans command
+that carries DCE/RPC named-pipe traffic and LANMAN management calls.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "SMB_PORT_NBSS",
+    "SMB_PORT_DIRECT",
+    "CMD_CLOSE",
+    "CMD_TRANS",
+    "CMD_ECHO",
+    "CMD_READ_ANDX",
+    "CMD_WRITE_ANDX",
+    "CMD_TREE_DISCONNECT",
+    "CMD_NEGOTIATE",
+    "CMD_SESSION_SETUP_ANDX",
+    "CMD_LOGOFF_ANDX",
+    "CMD_TREE_CONNECT_ANDX",
+    "CMD_NT_CREATE_ANDX",
+    "STATUS_SUCCESS",
+    "STATUS_ACCESS_DENIED",
+    "LANMAN_PIPE",
+    "SmbMessage",
+    "parse_smb_stream",
+    "command_category",
+]
+
+SMB_PORT_NBSS = 139
+SMB_PORT_DIRECT = 445
+
+CMD_CLOSE = 0x04
+CMD_TRANS = 0x25
+CMD_ECHO = 0x2B
+CMD_READ_ANDX = 0x2E
+CMD_WRITE_ANDX = 0x2F
+CMD_TREE_DISCONNECT = 0x71
+CMD_NEGOTIATE = 0x72
+CMD_SESSION_SETUP_ANDX = 0x73
+CMD_LOGOFF_ANDX = 0x74
+CMD_TREE_CONNECT_ANDX = 0x75
+CMD_NT_CREATE_ANDX = 0xA2
+
+STATUS_SUCCESS = 0x00000000
+STATUS_ACCESS_DENIED = 0xC0000022
+
+LANMAN_PIPE = "\\PIPE\\LANMAN"
+
+_SMB_MAGIC = b"\xffSMB"
+_FLAGS_RESPONSE = 0x80
+
+# protocol(4) command(1) status(4) flags(1) flags2(2) pid_high(2)
+# signature(8) reserved(2) tid(2) pid(2) uid(2) mid(2)
+_HEADER = struct.Struct("<4sBIBHH8sHHHHH")
+SMB_HEADER_LEN = _HEADER.size
+
+_BASIC_COMMANDS = frozenset(
+    {
+        CMD_NEGOTIATE,
+        CMD_SESSION_SETUP_ANDX,
+        CMD_LOGOFF_ANDX,
+        CMD_TREE_CONNECT_ANDX,
+        CMD_TREE_DISCONNECT,
+        CMD_NT_CREATE_ANDX,
+        CMD_CLOSE,
+        CMD_ECHO,
+    }
+)
+
+
+@dataclass
+class SmbMessage:
+    """One SMB1 message.
+
+    ``name`` carries the command-specific string operand: the share path
+    for TreeConnect, the created file/pipe name for NTCreate, or the pipe
+    name for Trans.  ``data`` carries the opaque command payload (the
+    DCE/RPC fragment for Trans on an RPC pipe; file bytes for
+    Read/WriteAndX).
+    """
+
+    command: int
+    is_response: bool = False
+    status: int = STATUS_SUCCESS
+    tid: int = 0
+    uid: int = 0
+    mid: int = 0
+    name: str = ""
+    fid: int = 0
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize: 32-byte header, then a command-shaped body."""
+        flags = _FLAGS_RESPONSE if self.is_response else 0
+        header = _HEADER.pack(
+            _SMB_MAGIC,
+            self.command,
+            self.status,
+            flags,
+            0x0001,  # flags2: long names
+            0,
+            b"\x00" * 8,
+            0,
+            self.tid,
+            0xFEFF,
+            self.uid,
+            self.mid,
+        )
+        body = self._encode_body()
+        return header + body
+
+    def _encode_body(self) -> bytes:
+        name_bytes = self.name.encode("latin-1")
+        if self.command == CMD_TRANS:
+            # wct=1 param word holds the fid; data = name + NUL + payload.
+            payload = name_bytes + b"\x00" + self.data
+            return struct.pack("<BHH", 1, self.fid, len(payload)) + payload
+        if self.command in (CMD_READ_ANDX, CMD_WRITE_ANDX):
+            return struct.pack("<BHH", 1, self.fid, len(self.data)) + self.data
+        if self.command in (CMD_TREE_CONNECT_ANDX, CMD_NT_CREATE_ANDX):
+            payload = name_bytes + b"\x00" + self.data
+            return struct.pack("<BHH", 1, self.fid, len(payload)) + payload
+        # Basic commands: wct=0, optional opaque data.
+        return struct.pack("<BH", 0, len(self.data)) + self.data
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SmbMessage":
+        """Parse one SMB message from ``data`` (a single NBSS payload)."""
+        if len(data) < SMB_HEADER_LEN:
+            raise ValueError("truncated SMB header")
+        (
+            magic,
+            command,
+            status,
+            flags,
+            _flags2,
+            _pid_high,
+            _signature,
+            _reserved,
+            tid,
+            _pid,
+            uid,
+            mid,
+        ) = _HEADER.unpack_from(data)
+        if magic != _SMB_MAGIC:
+            raise ValueError("not an SMB message")
+        msg = cls(
+            command=command,
+            is_response=bool(flags & _FLAGS_RESPONSE),
+            status=status,
+            tid=tid,
+            uid=uid,
+            mid=mid,
+        )
+        msg._decode_body(data[SMB_HEADER_LEN:])
+        return msg
+
+    def _decode_body(self, body: bytes) -> None:
+        if not body:
+            return
+        wct = body[0]
+        if wct == 1 and len(body) >= 5:
+            self.fid, bcc = struct.unpack_from("<HH", body, 1)
+            payload = body[5 : 5 + bcc]
+            if self.command in (CMD_TRANS, CMD_TREE_CONNECT_ANDX, CMD_NT_CREATE_ANDX):
+                name_bytes, _, rest = payload.partition(b"\x00")
+                self.name = name_bytes.decode("latin-1")
+                self.data = rest
+            else:
+                self.data = payload
+        elif wct == 0 and len(body) >= 3:
+            bcc = struct.unpack_from("<H", body, 1)[0]
+            self.data = body[3 : 3 + bcc]
+
+    @property
+    def is_rpc_pipe(self) -> bool:
+        """True for Trans messages on a DCE/RPC named pipe."""
+        if self.command != CMD_TRANS:
+            return False
+        return self.name.upper().startswith("\\PIPE\\") and not self.is_lanman
+
+    @property
+    def is_lanman(self) -> bool:
+        """True for Trans messages on the LANMAN management pipe."""
+        return self.command == CMD_TRANS and self.name.upper() == LANMAN_PIPE
+
+    @property
+    def wire_size(self) -> int:
+        """The encoded size of this message."""
+        return len(self.encode())
+
+
+def command_category(msg: SmbMessage) -> str:
+    """Classify a CIFS message into the Table 10 rows."""
+    if msg.command == CMD_TRANS:
+        return "LANMAN" if msg.is_lanman else "RPC Pipes"
+    if msg.command in (CMD_READ_ANDX, CMD_WRITE_ANDX):
+        return "Windows File Sharing"
+    if msg.command in _BASIC_COMMANDS:
+        return "SMB Basic"
+    return "Other"
+
+
+def parse_smb_stream(payloads: list[bytes]) -> list[SmbMessage]:
+    """Parse a sequence of NBSS session-message payloads into SMB messages.
+
+    Payloads that do not start with the SMB magic (e.g. capture-truncated
+    fragments) are skipped rather than aborting the whole connection.
+    """
+    messages: list[SmbMessage] = []
+    for payload in payloads:
+        try:
+            messages.append(SmbMessage.decode(payload))
+        except ValueError:
+            continue
+    return messages

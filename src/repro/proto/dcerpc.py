@@ -1,0 +1,175 @@
+"""DCE/RPC PDUs and well-known interfaces (§5.2.1, Table 11).
+
+DCE/RPC emerges in the paper as the most active component of CIFS
+traffic, dominated by Spoolss printing (WritePrinter in particular) at
+the print-server vantage points (D3/D4) and by NetLogon/LsaRPC user
+authentication at the D0 vantage point.  Clients reach services either
+through named pipes over CIFS or through stand-alone TCP/UDP endpoints
+discovered via the Endpoint Mapper.
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid
+from dataclasses import dataclass
+
+__all__ = [
+    "PDU_REQUEST",
+    "PDU_RESPONSE",
+    "PDU_FAULT",
+    "PDU_BIND",
+    "PDU_BIND_ACK",
+    "IFACE_SPOOLSS",
+    "IFACE_NETLOGON",
+    "IFACE_LSARPC",
+    "IFACE_SRVSVC",
+    "IFACE_EPMAPPER",
+    "IFACE_NAMES",
+    "OP_SPOOLSS_WRITEPRINTER",
+    "OP_SPOOLSS_OPENPRINTER",
+    "OP_SPOOLSS_STARTDOC",
+    "OP_SPOOLSS_ENDDOC",
+    "OP_SPOOLSS_CLOSEPRINTER",
+    "OP_NETLOGON_SAMLOGON",
+    "OP_LSA_LOOKUPSIDS",
+    "OP_EPM_MAP",
+    "PIPE_INTERFACES",
+    "DcerpcPdu",
+    "parse_pdu_stream",
+    "function_label",
+    "EPMAPPER_PORT",
+]
+
+PDU_REQUEST = 0
+PDU_RESPONSE = 2
+PDU_FAULT = 3
+PDU_BIND = 11
+PDU_BIND_ACK = 12
+
+EPMAPPER_PORT = 135
+
+IFACE_SPOOLSS = uuid.UUID("12345678-1234-abcd-ef00-0123456789ab")
+IFACE_NETLOGON = uuid.UUID("12345678-1234-abcd-ef00-01234567cffb")
+IFACE_LSARPC = uuid.UUID("12345778-1234-abcd-ef00-0123456789ab")
+IFACE_SRVSVC = uuid.UUID("4b324fc8-1670-01d3-1278-5a47bf6ee188")
+IFACE_EPMAPPER = uuid.UUID("e1af8308-5d1f-11c9-91a4-08002b14a0fa")
+
+IFACE_NAMES = {
+    IFACE_SPOOLSS: "Spoolss",
+    IFACE_NETLOGON: "NetLogon",
+    IFACE_LSARPC: "LsaRPC",
+    IFACE_SRVSVC: "SrvSvc",
+    IFACE_EPMAPPER: "EpMapper",
+}
+
+# The named pipes through which each interface is reached over CIFS.
+PIPE_INTERFACES = {
+    "\\PIPE\\SPOOLSS": IFACE_SPOOLSS,
+    "\\PIPE\\NETLOGON": IFACE_NETLOGON,
+    "\\PIPE\\LSARPC": IFACE_LSARPC,
+    "\\PIPE\\SRVSVC": IFACE_SRVSVC,
+}
+
+# Operation numbers (opnums) for the functions Table 11 breaks out.
+OP_SPOOLSS_OPENPRINTER = 1
+OP_SPOOLSS_STARTDOC = 17
+OP_SPOOLSS_WRITEPRINTER = 19
+OP_SPOOLSS_ENDDOC = 23
+OP_SPOOLSS_CLOSEPRINTER = 29
+OP_NETLOGON_SAMLOGON = 2
+OP_LSA_LOOKUPSIDS = 15
+OP_EPM_MAP = 3
+
+# ver(1) ver_minor(1) ptype(1) pfc_flags(1) drep(4) frag_len(2)
+# auth_len(2) call_id(4)
+_COMMON_HEADER = struct.Struct("<BBBB4sHHI")
+_REQUEST_EXTRA = struct.Struct("<IHH")  # alloc_hint, context_id, opnum
+
+
+@dataclass
+class DcerpcPdu:
+    """One connection-oriented DCE/RPC PDU.
+
+    Bind PDUs carry ``interface``; request/response PDUs carry ``opnum``
+    and stub ``data``.
+    """
+
+    ptype: int
+    call_id: int = 1
+    opnum: int = 0
+    interface: uuid.UUID | None = None
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize with a correct fragment length."""
+        body = bytearray()
+        if self.ptype in (PDU_BIND, PDU_BIND_ACK):
+            iface = self.interface or IFACE_EPMAPPER
+            # max_xmit, max_recv, assoc_group, one context element
+            body += struct.pack("<HHI", 4280, 4280, 0)
+            body += struct.pack("<B3xHH", 1, 0, 1)  # 1 ctx, id 0, 1 xfer syntax
+            body += iface.bytes_le + struct.pack("<HH", 1, 0)
+            body += IFACE_EPMAPPER.bytes_le + struct.pack("<HH", 2, 0)
+        elif self.ptype in (PDU_REQUEST, PDU_RESPONSE, PDU_FAULT):
+            body += _REQUEST_EXTRA.pack(len(self.data), 0, self.opnum)
+            body += self.data
+        frag_len = _COMMON_HEADER.size + len(body)
+        header = _COMMON_HEADER.pack(
+            5, 0, self.ptype, 0x03, b"\x10\x00\x00\x00", frag_len, 0, self.call_id
+        )
+        return header + bytes(body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DcerpcPdu":
+        """Parse one PDU from the start of ``data``."""
+        if len(data) < _COMMON_HEADER.size:
+            raise ValueError("truncated DCE/RPC header")
+        ver, _minor, ptype, _flags, _drep, frag_len, _auth_len, call_id = (
+            _COMMON_HEADER.unpack_from(data)
+        )
+        if ver != 5:
+            raise ValueError(f"not DCE/RPC v5 (got {ver})")
+        pdu = cls(ptype=ptype, call_id=call_id)
+        body = data[_COMMON_HEADER.size : frag_len]
+        # Bind body: max_xmit(2) max_recv(2) assoc_group(4) ctx_header(8),
+        # then the abstract-syntax interface UUID.
+        if ptype in (PDU_BIND, PDU_BIND_ACK) and len(body) >= 16 + 16:
+            pdu.interface = uuid.UUID(bytes_le=bytes(body[16 : 16 + 16]))
+        elif ptype in (PDU_REQUEST, PDU_RESPONSE, PDU_FAULT) and len(body) >= _REQUEST_EXTRA.size:
+            _alloc, _ctx, pdu.opnum = _REQUEST_EXTRA.unpack_from(body)
+            pdu.data = bytes(body[_REQUEST_EXTRA.size :])
+        return pdu
+
+    @property
+    def frag_len(self) -> int:
+        """Total encoded length of this PDU."""
+        return len(self.encode())
+
+
+def parse_pdu_stream(stream: bytes) -> list[DcerpcPdu]:
+    """Parse a back-to-back sequence of PDUs; stops at truncation."""
+    pdus: list[DcerpcPdu] = []
+    offset = 0
+    while offset + _COMMON_HEADER.size <= len(stream):
+        frag_len = struct.unpack_from("<H", stream, offset + 8)[0]
+        if frag_len < _COMMON_HEADER.size or offset + frag_len > len(stream):
+            break
+        try:
+            pdus.append(DcerpcPdu.decode(stream[offset : offset + frag_len]))
+        except ValueError:
+            break
+        offset += frag_len
+    return pdus
+
+
+def function_label(interface: uuid.UUID | None, opnum: int) -> str:
+    """Map (interface, opnum) to the Table 11 row labels."""
+    name = IFACE_NAMES.get(interface, "Other") if interface else "Other"
+    if name == "Spoolss":
+        if opnum == OP_SPOOLSS_WRITEPRINTER:
+            return "Spoolss/WritePrinter"
+        return "Spoolss/other"
+    if name in ("NetLogon", "LsaRPC"):
+        return name
+    return "Other"

@@ -1,0 +1,227 @@
+"""DNS wire format (RFC 1035) — queries, responses, and name compression.
+
+Name-service traffic dominates connection counts in every dataset (45-65%
+of connections, §3) and §5.1.3 analyzes DNS request types (A/AAAA/PTR/MX),
+return codes (NOERROR vs NXDOMAIN), and latency.  The Netbios Name Service
+reuses this header layout with its own name encoding (see
+:mod:`repro.proto.netbios`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "QTYPE_A",
+    "QTYPE_NS",
+    "QTYPE_PTR",
+    "QTYPE_MX",
+    "QTYPE_TXT",
+    "QTYPE_AAAA",
+    "QTYPE_NB",
+    "RCODE_NOERROR",
+    "RCODE_FORMERR",
+    "RCODE_SERVFAIL",
+    "RCODE_NXDOMAIN",
+    "QTYPE_NAMES",
+    "DnsQuestion",
+    "DnsRecord",
+    "DnsMessage",
+    "encode_name",
+    "decode_name",
+]
+
+QTYPE_A = 1
+QTYPE_NS = 2
+QTYPE_PTR = 12
+QTYPE_MX = 15
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+QTYPE_NB = 32  # Netbios general name service
+
+RCODE_NOERROR = 0
+RCODE_FORMERR = 1
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+
+QTYPE_NAMES = {
+    QTYPE_A: "A",
+    QTYPE_NS: "NS",
+    QTYPE_PTR: "PTR",
+    QTYPE_MX: "MX",
+    QTYPE_TXT: "TXT",
+    QTYPE_AAAA: "AAAA",
+    QTYPE_NB: "NB",
+}
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted domain name as DNS labels (no compression)."""
+    out = bytearray()
+    for label in name.rstrip(".").split("."):
+        if not label:
+            continue
+        encoded = label.encode("ascii")
+        if len(encoded) > 63:
+            raise ValueError(f"label too long: {label!r}")
+        out.append(len(encoded))
+        out += encoded
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a possibly-compressed name; returns (name, next_offset)."""
+    labels: list[str] = []
+    jumped = False
+    next_offset = offset
+    seen: set[int] = set()
+    while True:
+        if offset >= len(data):
+            raise ValueError("name runs past end of message")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 1 >= len(data):
+                raise ValueError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if pointer in seen:
+                raise ValueError("compression pointer loop")
+            seen.add(pointer)
+            if not jumped:
+                next_offset = offset + 2
+                jumped = True
+            offset = pointer
+            continue
+        if length == 0:
+            if not jumped:
+                next_offset = offset + 1
+            break
+        offset += 1
+        if offset + length > len(data):
+            raise ValueError("label runs past end of message")
+        labels.append(data[offset : offset + length].decode("ascii", "replace"))
+        offset += length
+    return ".".join(labels), next_offset
+
+
+@dataclass(frozen=True)
+class DnsQuestion:
+    """One entry of the question section."""
+
+    name: str
+    qtype: int
+    qclass: int = 1  # IN
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """One resource record (answer/authority/additional)."""
+
+    name: str
+    rtype: int
+    rdata: bytes
+    ttl: int = 3600
+    rclass: int = 1
+
+    def encode(self) -> bytes:
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl, len(self.rdata))
+            + self.rdata
+        )
+
+
+@dataclass
+class DnsMessage:
+    """A complete DNS message."""
+
+    ident: int
+    is_response: bool = False
+    opcode: int = 0
+    rcode: int = RCODE_NOERROR
+    recursion_desired: bool = True
+    questions: list[DnsQuestion] = field(default_factory=list)
+    answers: list[DnsRecord] = field(default_factory=list)
+    authority: list[DnsRecord] = field(default_factory=list)
+    additional: list[DnsRecord] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """Serialize (names uncompressed)."""
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000
+        flags |= (self.opcode & 0xF) << 11
+        if self.recursion_desired:
+            flags |= 0x0100
+        flags |= self.rcode & 0xF
+        out = bytearray(
+            _HEADER.pack(
+                self.ident,
+                flags,
+                len(self.questions),
+                len(self.answers),
+                len(self.authority),
+                len(self.additional),
+            )
+        )
+        for question in self.questions:
+            out += question.encode()
+        for section in (self.answers, self.authority, self.additional):
+            for record in section:
+                out += record.encode()
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        """Parse a DNS message (handles compressed names)."""
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated DNS header")
+        ident, flags, qd, an, ns, ar = _HEADER.unpack_from(data)
+        msg = cls(
+            ident=ident,
+            is_response=bool(flags & 0x8000),
+            opcode=(flags >> 11) & 0xF,
+            rcode=flags & 0xF,
+            recursion_desired=bool(flags & 0x0100),
+        )
+        offset = _HEADER.size
+        for _ in range(qd):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise ValueError("truncated question")
+            qtype, qclass = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            msg.questions.append(DnsQuestion(name=name, qtype=qtype, qclass=qclass))
+        for count, section in ((an, msg.answers), (ns, msg.authority), (ar, msg.additional)):
+            for _ in range(count):
+                name, offset = decode_name(data, offset)
+                if offset + 10 > len(data):
+                    raise ValueError("truncated resource record")
+                rtype, rclass, ttl, rdlen = struct.unpack_from("!HHIH", data, offset)
+                offset += 10
+                if offset + rdlen > len(data):
+                    raise ValueError("truncated rdata")
+                section.append(
+                    DnsRecord(
+                        name=name,
+                        rtype=rtype,
+                        rclass=rclass,
+                        ttl=ttl,
+                        rdata=data[offset : offset + rdlen],
+                    )
+                )
+                offset += rdlen
+        return msg
+
+    @property
+    def qtype_name(self) -> str:
+        """The first question's type as a string, or "?"."""
+        if not self.questions:
+            return "?"
+        return QTYPE_NAMES.get(self.questions[0].qtype, str(self.questions[0].qtype))

@@ -1,0 +1,306 @@
+"""HTTP/1.1 message building and parsing (§5.1.1 of the paper).
+
+The generator builds request/response byte streams with realistic headers
+(conditional GETs, content types, status codes); the HTTP analyzer parses
+the reassembled connection streams back into
+:class:`HttpRequest`/:class:`HttpResponse` sequences to reproduce Tables
+6-7 and Figures 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "build_request",
+    "build_response",
+    "parse_requests",
+    "parse_responses",
+    "CONDITIONAL_HEADERS",
+]
+
+CONDITIONAL_HEADERS = (
+    "if-modified-since",
+    "if-none-match",
+    "if-unmodified-since",
+    "if-match",
+    "if-range",
+)
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+
+
+@dataclass
+class HttpRequest:
+    """A parsed HTTP request."""
+
+    method: str
+    uri: str
+    version: str = "HTTP/1.1"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def is_conditional(self) -> bool:
+        """True when the request carries any conditional header (RFC 2616)."""
+        return any(name in self.headers for name in CONDITIONAL_HEADERS)
+
+    @property
+    def host(self) -> str:
+        """The Host header, or empty string."""
+        return self.headers.get("host", "")
+
+    @property
+    def user_agent(self) -> str:
+        """The User-Agent header, or empty string."""
+        return self.headers.get("user-agent", "")
+
+
+@dataclass
+class HttpResponse:
+    """A parsed HTTP response."""
+
+    status: int
+    reason: str = ""
+    version: str = "HTTP/1.1"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    body_len: int = -1  # Content-Length when body was capture-truncated
+
+    @property
+    def content_type(self) -> str:
+        """The media type without parameters, e.g. ``"image/gif"``."""
+        value = self.headers.get("content-type", "")
+        return value.split(";")[0].strip().lower()
+
+    @property
+    def content_category(self) -> str:
+        """The top-level type (text/image/application/other) as in Table 7."""
+        ctype = self.content_type
+        top = ctype.split("/")[0] if ctype else ""
+        if top in ("text", "image", "application"):
+            return top
+        return "other"
+
+    @property
+    def body_size(self) -> int:
+        """The response body size on the wire (Content-Length if truncated)."""
+        if self.body_len >= 0:
+            return self.body_len
+        return len(self.body)
+
+
+def build_request(
+    method: str,
+    uri: str,
+    host: str,
+    headers: dict[str, str] | None = None,
+    body: bytes = b"",
+    user_agent: str = "Mozilla/4.0",
+) -> bytes:
+    """Serialize an HTTP/1.1 request."""
+    lines = [f"{method} {uri} HTTP/1.1".encode()]
+    all_headers = {"Host": host, "User-Agent": user_agent}
+    if body:
+        all_headers["Content-Length"] = str(len(body))
+    if headers:
+        all_headers.update(headers)
+    for name, value in all_headers.items():
+        lines.append(f"{name}: {value}".encode())
+    return _CRLF.join(lines) + _HEADER_END + body
+
+
+def build_response(
+    status: int,
+    reason: str,
+    content_type: str = "",
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+    chunked: bool = False,
+    chunk_size: int = 4096,
+) -> bytes:
+    """Serialize an HTTP/1.1 response.
+
+    With ``chunked`` the body uses Transfer-Encoding: chunked framing
+    (common for dynamically generated pages in the trace era) instead of
+    an explicit Content-Length.
+    """
+    lines = [f"HTTP/1.1 {status} {reason}".encode()]
+    all_headers: dict[str, str] = {"Server": "Apache"}
+    if chunked:
+        all_headers["Transfer-Encoding"] = "chunked"
+    else:
+        all_headers["Content-Length"] = str(len(body))
+    if content_type:
+        all_headers["Content-Type"] = content_type
+    if headers:
+        all_headers.update(headers)
+    for name, value in all_headers.items():
+        lines.append(f"{name}: {value}".encode())
+    head = _CRLF.join(lines) + _HEADER_END
+    if not chunked:
+        return head + body
+    out = bytearray(head)
+    for offset in range(0, len(body), chunk_size):
+        chunk = body[offset : offset + chunk_size]
+        out += f"{len(chunk):x}".encode() + _CRLF + chunk + _CRLF
+    out += b"0" + _CRLF + _CRLF
+    return bytes(out)
+
+
+def _consume_chunked(stream: bytes) -> tuple[bytes, int, bool]:
+    """Decode a chunked body from ``stream``'s head.
+
+    Returns (body, bytes_consumed, complete).  An incomplete final chunk
+    (capture truncation) yields what was recovered with complete=False.
+    """
+    body = bytearray()
+    offset = 0
+    while True:
+        line_end = stream.find(_CRLF, offset)
+        if line_end < 0:
+            return bytes(body), offset, False
+        size_text = stream[offset:line_end].split(b";")[0].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            return bytes(body), offset, False
+        offset = line_end + 2
+        if size == 0:
+            # Trailer section: skip to the blank line.
+            trailer_end = stream.find(_CRLF, offset)
+            if trailer_end == offset:
+                return bytes(body), offset + 2, True
+            if trailer_end < 0:
+                return bytes(body), offset, False
+            end = stream.find(_HEADER_END, offset)
+            if end < 0:
+                return bytes(body), offset, False
+            return bytes(body), end + len(_HEADER_END), True
+        chunk = stream[offset : offset + size]
+        body += chunk
+        if len(chunk) < size:
+            return bytes(body), offset + len(chunk), False
+        offset += size + 2  # skip the chunk's trailing CRLF
+
+
+def _parse_headers(block: bytes) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in block.split(_CRLF):
+        name, sep, value = line.partition(b":")
+        if not sep:
+            continue
+        try:
+            headers[name.decode("latin-1").strip().lower()] = value.decode(
+                "latin-1"
+            ).strip()
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+            continue
+    return headers
+
+
+def _split_message(stream: bytes) -> tuple[bytes, bytes, bytes] | None:
+    """Split ``stream`` into (start_line, header_block, rest_after_headers).
+
+    Returns ``None`` when no complete header section is present yet.
+    """
+    end = stream.find(_HEADER_END)
+    if end < 0:
+        return None
+    head = stream[:end]
+    first, sep, header_block = head.partition(_CRLF)
+    if not sep:
+        header_block = b""
+    return first, header_block, stream[end + len(_HEADER_END) :]
+
+
+def parse_requests(stream: bytes, truncated: bool = False) -> list[HttpRequest]:
+    """Parse a client-side connection byte stream into requests.
+
+    Handles persistent connections (multiple pipelined messages).  With
+    ``truncated`` set (snaplen-limited captures), bodies may be shorter
+    than their Content-Length; parsing then consumes what is present.
+    """
+    requests: list[HttpRequest] = []
+    rest = stream
+    while rest:
+        split = _split_message(rest)
+        if split is None:
+            break
+        first, header_block, rest = split
+        parts = first.decode("latin-1", "replace").split(" ", 2)
+        if len(parts) < 2 or not parts[0].isalpha():
+            break
+        method = parts[0].upper()
+        uri = parts[1] if len(parts) > 1 else "/"
+        version = parts[2] if len(parts) > 2 else "HTTP/1.0"
+        headers = _parse_headers(header_block)
+        length = int(headers.get("content-length", "0") or 0)
+        body = rest[:length]
+        rest = rest[min(length, len(rest)) :]
+        requests.append(
+            HttpRequest(method=method, uri=uri, version=version, headers=headers, body=body)
+        )
+        if len(body) < length and not truncated:
+            break
+    return requests
+
+
+def parse_responses(stream: bytes, truncated: bool = False) -> list[HttpResponse]:
+    """Parse a server-side connection byte stream into responses.
+
+    ``body_len`` records the advertised Content-Length whenever the
+    captured body falls short of it, so size analyses (Figure 4) remain
+    correct for header-only captures.
+    """
+    responses: list[HttpResponse] = []
+    rest = stream
+    while rest:
+        split = _split_message(rest)
+        if split is None:
+            break
+        first, header_block, rest = split
+        parts = first.decode("latin-1", "replace").split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            break
+        try:
+            status = int(parts[1])
+        except ValueError:
+            break
+        reason = parts[2] if len(parts) > 2 else ""
+        headers = _parse_headers(header_block)
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            body, consumed, complete = _consume_chunked(rest)
+            rest = rest[consumed:]
+            responses.append(
+                HttpResponse(
+                    status=status,
+                    reason=reason,
+                    version=parts[0],
+                    headers=headers,
+                    body=body,
+                )
+            )
+            if not complete and not truncated:
+                break
+            continue
+        length = int(headers.get("content-length", "0") or 0)
+        body = rest[:length]
+        rest = rest[min(length, len(rest)) :]
+        body_len = length if len(body) < length else -1
+        responses.append(
+            HttpResponse(
+                status=status,
+                reason=reason,
+                version=parts[0],
+                headers=headers,
+                body=body,
+                body_len=body_len,
+            )
+        )
+        if len(body) < length and not truncated:
+            break
+    return responses

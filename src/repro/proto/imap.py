@@ -1,0 +1,116 @@
+"""IMAP4 dialogue building and parsing (RFC 3501) — §5.1.2.
+
+Cleartext IMAP4 appears mainly in D0 (before LBNL's policy change forced
+IMAP over SSL, Table 8).  The generator emits tagged command dialogues
+(LOGIN/SELECT/FETCH polling/LOGOUT); the analyzer recovers command
+counts and fetched-message volume.  IMAP/S sessions instead use the TLS
+layer in :mod:`repro.proto.tls` and are analyzed at the transport level,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ImapSession", "build_client_stream", "build_server_stream", "parse_session"]
+
+_CRLF = b"\r\n"
+
+
+@dataclass
+class ImapSession:
+    """A parsed IMAP session: commands issued and data volume fetched."""
+
+    commands: list[str] = field(default_factory=list)
+    fetched_bytes: int = 0
+    logged_in: bool = False
+    logout_seen: bool = False
+
+    @property
+    def poll_count(self) -> int:
+        """Number of NOOP/CHECK polls (IMAP clients poll every ~10 min)."""
+        return sum(1 for cmd in self.commands if cmd in ("NOOP", "CHECK"))
+
+
+def build_client_stream(
+    user: str,
+    polls: int,
+    fetches: int,
+) -> bytes:
+    """Serialize the client half: login, select, polls, fetches, logout."""
+    tag = 0
+
+    def next_tag() -> str:
+        nonlocal tag
+        tag += 1
+        return f"a{tag:04d}"
+
+    lines = [
+        f"{next_tag()} LOGIN {user} ******".encode(),
+        f"{next_tag()} SELECT INBOX".encode(),
+    ]
+    for _ in range(polls):
+        lines.append(f"{next_tag()} NOOP".encode())
+    for i in range(fetches):
+        lines.append(f"{next_tag()} FETCH {i + 1} (RFC822)".encode())
+    lines.append(f"{next_tag()} LOGOUT".encode())
+    return _CRLF.join(lines) + _CRLF
+
+
+def build_server_stream(
+    message_sizes: list[int],
+    exists: int | None = None,
+) -> bytes:
+    """Serialize the server half, including FETCH literals.
+
+    ``message_sizes`` gives the RFC822 literal size for each FETCH the
+    client issued; fetched message bodies are filled with a repeating
+    pattern (contents never matter to the analyses).
+    """
+    out = bytearray(b"* OK IMAP4rev1 ready" + _CRLF)
+    out += b"a0001 OK LOGIN completed" + _CRLF
+    count = exists if exists is not None else len(message_sizes)
+    out += f"* {count} EXISTS".encode() + _CRLF
+    out += b"a0002 OK SELECT completed" + _CRLF
+    for index, size in enumerate(message_sizes):
+        literal = (b"x" * size)[:size]
+        out += f"* {index + 1} FETCH (RFC822 {{{size}}}".encode() + _CRLF
+        out += literal + b")" + _CRLF
+        out += f"a{index + 3:04d} OK FETCH completed".encode() + _CRLF
+    out += b"* BYE logging out" + _CRLF
+    return bytes(out)
+
+
+def parse_session(client_stream: bytes, server_stream: bytes) -> ImapSession:
+    """Recover an :class:`ImapSession` from the two connection halves."""
+    session = ImapSession()
+    for raw_line in client_stream.split(_CRLF):
+        line = raw_line.decode("latin-1", "replace")
+        parts = line.split(" ", 2)
+        if len(parts) < 2 or not parts[0]:
+            continue
+        command = parts[1].upper()
+        session.commands.append(command)
+        if command == "LOGOUT":
+            session.logout_seen = True
+    # Walk the server stream counting FETCH literal bytes; literals are
+    # announced as {N} at the end of an untagged FETCH line.
+    rest = server_stream
+    while rest:
+        line, sep, rest = rest.partition(_CRLF)
+        if not sep:
+            break
+        text = line.decode("latin-1", "replace")
+        if text.startswith("a0001 OK LOGIN"):
+            session.logged_in = True
+        if text.startswith("*") and "FETCH" in text and text.endswith("}"):
+            brace = text.rfind("{")
+            if brace < 0:
+                continue
+            try:
+                size = int(text[brace + 1 : -1])
+            except ValueError:
+                continue
+            session.fetched_bytes += size
+            rest = rest[min(size, len(rest)) :]  # skip the literal body
+    return session

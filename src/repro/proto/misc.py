@@ -1,0 +1,127 @@
+"""Small transaction protocols: NTP, SNMP, DHCP, SrvLoc, SAP, syslog, ident.
+
+These populate the "net-mgnt", "name", and "misc" application categories
+whose *connection counts* dominate the traces (Figure 1b) while their byte
+volumes stay tiny.  The paper analyzes them only at the category level, so
+we implement compact but structurally correct payload builders (correct
+lengths, version fields, and ports) rather than full codecs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "NTP_PORT",
+    "SNMP_PORT",
+    "DHCP_SERVER_PORT",
+    "DHCP_CLIENT_PORT",
+    "SRVLOC_PORT",
+    "SAP_PORT",
+    "SYSLOG_PORT",
+    "IDENT_PORT",
+    "build_ntp",
+    "build_snmp_get",
+    "build_dhcp_discover",
+    "build_srvloc_request",
+    "build_sap_announce",
+    "build_syslog",
+]
+
+NTP_PORT = 123
+SNMP_PORT = 161
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+SRVLOC_PORT = 427
+SAP_PORT = 9875  # Session Announcement Protocol (multicast)
+SYSLOG_PORT = 514
+IDENT_PORT = 113
+
+
+def build_ntp(mode: int = 3) -> bytes:
+    """A 48-byte NTPv3 packet (mode 3 = client, 4 = server)."""
+    first = (0 << 6) | (3 << 3) | mode  # LI=0, VN=3
+    return struct.pack("!B", first) + b"\x00" * 47
+
+
+def build_snmp_get(community: bytes = b"public") -> bytes:
+    """A minimal BER-encoded SNMPv1 GetRequest for sysUpTime."""
+    oid = bytes([0x06, 0x08, 0x2B, 6, 1, 2, 1, 1, 3, 0])
+    varbind = bytes([0x30, len(oid) + 2]) + oid + bytes([0x05, 0x00])
+    varbind_list = bytes([0x30, len(varbind)]) + varbind
+    pdu_body = (
+        bytes([0x02, 0x01, 0x01])  # request-id
+        + bytes([0x02, 0x01, 0x00])  # error-status
+        + bytes([0x02, 0x01, 0x00])  # error-index
+        + varbind_list
+    )
+    pdu = bytes([0xA0, len(pdu_body)]) + pdu_body
+    body = (
+        bytes([0x02, 0x01, 0x00])  # version 1
+        + bytes([0x04, len(community)])
+        + community
+        + pdu
+    )
+    return bytes([0x30, len(body)]) + body
+
+
+def build_dhcp_discover(client_mac: int, xid: int = 0x12345678) -> bytes:
+    """A BOOTP/DHCP DISCOVER message (236-byte fixed part + options)."""
+    fixed = struct.pack(
+        "!BBBBIHH4s4s4s4s16s64s128s",
+        1,  # op: BOOTREQUEST
+        1,  # htype: Ethernet
+        6,  # hlen
+        0,  # hops
+        xid,
+        0,  # secs
+        0x8000,  # flags: broadcast
+        b"\x00" * 4,
+        b"\x00" * 4,
+        b"\x00" * 4,
+        b"\x00" * 4,
+        client_mac.to_bytes(6, "big") + b"\x00" * 10,
+        b"\x00" * 64,
+        b"\x00" * 128,
+    )
+    options = b"\x63\x82\x53\x63"  # magic cookie
+    options += bytes([53, 1, 1])  # DHCP message type: DISCOVER
+    options += bytes([255])
+    return fixed + options
+
+
+def build_srvloc_request(service_type: str = "service:printer") -> bytes:
+    """An SLPv2 service request (RFC 2608 header + service type)."""
+    body = struct.pack("!H", 0)  # empty previous-responder list
+    body += struct.pack("!H", len(service_type)) + service_type.encode()
+    body += struct.pack("!HHH", 0, 0, 0)  # scope, predicate, SPI
+    length = 16 + len(body)
+    header = struct.pack(
+        "!BBBHHBBBBH",
+        2,  # version
+        1,  # function: SrvRqst
+        0,
+        length & 0xFFFF,
+        0,  # flags
+        0,
+        0,
+        0,  # next-ext offset
+        0,
+        1,  # xid
+    )
+    header += struct.pack("!H", 2) + b"en"
+    return header + body
+
+
+def build_sap_announce(session_len: int = 200) -> bytes:
+    """A SAP (RFC 2974) announcement wrapping an SDP body."""
+    header = struct.pack("!BBH", 0x20, 0, 0)  # v=1, IPv4, no auth
+    header += b"\x00" * 4  # originating source
+    sdp = (b"v=0\r\no=stream\r\n" + b"a=x" * (session_len // 3))[:session_len]
+    return header + b"application/sdp\x00" + sdp
+
+
+def build_syslog(severity: int, message: str) -> bytes:
+    """A classic BSD syslog datagram."""
+    priority = (16 << 3) | (severity & 7)  # facility local0
+    return f"<{priority}>{message}".encode()

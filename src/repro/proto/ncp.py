@@ -1,0 +1,191 @@
+"""NCP (NetWare Core Protocol) over TCP — §5.2.2.
+
+NCP is "a veritable kitchen-sink protocol supporting hundreds of message
+types, but primarily used within the enterprise for file-sharing and
+print service" (paper, footnote 3).  We implement the NCP-over-IP framing
+(RFC-less, but standard: a 'DmdT' signature header) plus the request and
+reply message formats, covering the function groups Table 14 breaks out:
+read, write, file/dir info, open/close, file size, search, and NDS
+directory service.  Requests carry 14-byte read headers and replies carry
+the 2-byte completion-code-only mode the paper highlights in Figure 8.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "NCP_PORT",
+    "NCP_REQUEST",
+    "NCP_REPLY",
+    "FUNC_CLOSE_FILE",
+    "FUNC_FILE_SEARCH",
+    "FUNC_FILE_DIR_INFO",
+    "FUNC_OPEN_FILE",
+    "FUNC_FILE_SIZE",
+    "FUNC_READ_FILE",
+    "FUNC_WRITE_FILE",
+    "FUNC_DIRECTORY_SERVICE",
+    "FUNC_TABLE_ROWS",
+    "NcpRequest",
+    "NcpReply",
+    "frame_ncp_ip",
+    "parse_ncp_ip_stream",
+    "function_table_row",
+]
+
+NCP_PORT = 524
+
+NCP_REQUEST = 0x2222
+NCP_REPLY = 0x3333
+
+# Function codes (classic NetWare function numbers where they exist).
+FUNC_FILE_SEARCH = 62
+FUNC_OPEN_FILE = 66
+FUNC_CLOSE_FILE = 66 + 200  # distinguished pseudo-code; NetWare reuses 66
+FUNC_FILE_SIZE = 71
+FUNC_READ_FILE = 72
+FUNC_WRITE_FILE = 73
+FUNC_FILE_DIR_INFO = 87
+FUNC_DIRECTORY_SERVICE = 104
+
+FUNC_TABLE_ROWS = {
+    FUNC_READ_FILE: "Read",
+    FUNC_WRITE_FILE: "Write",
+    FUNC_FILE_DIR_INFO: "FileDirInfo",
+    FUNC_OPEN_FILE: "File Open/Close",
+    FUNC_CLOSE_FILE: "File Open/Close",
+    FUNC_FILE_SIZE: "File Size",
+    FUNC_FILE_SEARCH: "File Search",
+    FUNC_DIRECTORY_SERVICE: "Directory Service",
+}
+
+_NCPIP_SIGNATURE = b"DmdT"
+_NCPIP_HEADER = struct.Struct("!4sI")
+# type(2) sequence(1) connection_low(1) task(1) connection_high(1)
+_REQ_HEADER = struct.Struct("!HBBBBBB")  # + function, subfunction
+_REP_HEADER = struct.Struct("!HBBBBBB")  # + completion code, status
+
+
+@dataclass
+class NcpRequest:
+    """An NCP request message."""
+
+    sequence: int
+    function: int
+    subfunction: int = 0
+    connection: int = 1
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize the request (read requests are 14 bytes, Figure 8c)."""
+        function = self.function
+        subfunction = self.subfunction
+        if function == FUNC_CLOSE_FILE:
+            function, subfunction = FUNC_OPEN_FILE, 1
+        header = _REQ_HEADER.pack(
+            NCP_REQUEST,
+            self.sequence & 0xFF,
+            self.connection & 0xFF,
+            1,  # task
+            (self.connection >> 8) & 0xFF,
+            function,
+            subfunction,
+        )
+        return header + self.data
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NcpRequest":
+        """Parse a request; raises ValueError when not an NCP request."""
+        if len(data) < _REQ_HEADER.size:
+            raise ValueError("truncated NCP request")
+        (ncp_type, sequence, conn_low, _task, conn_high, function, subfunction) = (
+            _REQ_HEADER.unpack_from(data)
+        )
+        if ncp_type != NCP_REQUEST:
+            raise ValueError(f"not an NCP request (type {ncp_type:#06x})")
+        if function == FUNC_OPEN_FILE and subfunction == 1:
+            function, subfunction = FUNC_CLOSE_FILE, 0
+        return cls(
+            sequence=sequence,
+            function=function,
+            subfunction=subfunction,
+            connection=(conn_high << 8) | conn_low,
+            data=data[_REQ_HEADER.size :],
+        )
+
+
+@dataclass
+class NcpReply:
+    """An NCP reply message.
+
+    A bare completion-code reply encodes to the 2-byte-payload mode the
+    paper calls out; GetFileCurrentSize replies carry 10 bytes, and read
+    replies carry file data.
+    """
+
+    sequence: int
+    completion_code: int = 0
+    connection: int = 1
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        header = _REP_HEADER.pack(
+            NCP_REPLY,
+            self.sequence & 0xFF,
+            self.connection & 0xFF,
+            1,
+            (self.connection >> 8) & 0xFF,
+            self.completion_code,
+            0,  # connection status
+        )
+        return header + self.data
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NcpReply":
+        """Parse a reply; raises ValueError when not an NCP reply."""
+        if len(data) < _REP_HEADER.size:
+            raise ValueError("truncated NCP reply")
+        (ncp_type, sequence, conn_low, _task, conn_high, completion, _status) = (
+            _REP_HEADER.unpack_from(data)
+        )
+        if ncp_type != NCP_REPLY:
+            raise ValueError(f"not an NCP reply (type {ncp_type:#06x})")
+        return cls(
+            sequence=sequence,
+            completion_code=completion,
+            connection=(conn_high << 8) | conn_low,
+            data=data[_REP_HEADER.size :],
+        )
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the completion code signals success."""
+        return self.completion_code == 0
+
+
+def frame_ncp_ip(message: bytes) -> bytes:
+    """Apply NCP-over-IP framing: 'DmdT' signature + total length."""
+    return _NCPIP_HEADER.pack(_NCPIP_SIGNATURE, _NCPIP_HEADER.size + len(message)) + message
+
+
+def parse_ncp_ip_stream(stream: bytes) -> list[bytes]:
+    """Split one direction of a 524/tcp connection into NCP messages."""
+    messages: list[bytes] = []
+    offset = 0
+    while offset + _NCPIP_HEADER.size <= len(stream):
+        signature, total = _NCPIP_HEADER.unpack_from(stream, offset)
+        if signature != _NCPIP_SIGNATURE or total < _NCPIP_HEADER.size:
+            break
+        payload = stream[offset + _NCPIP_HEADER.size : offset + total]
+        messages.append(payload)
+        if len(payload) < total - _NCPIP_HEADER.size:
+            break
+        offset += total
+    return messages
+
+
+def function_table_row(function: int) -> str:
+    """Map an NCP function to its Table 14 row label."""
+    return FUNC_TABLE_ROWS.get(function, "Other")

@@ -1,0 +1,215 @@
+"""Netbios Name Service (RFC 1002, UDP 137) and Session Service (TCP 139).
+
+§5.1.3 analyzes Netbios/NS request types (query vs refresh vs register),
+queried name types (workstation/server vs domain/browser), and its high
+NXDOMAIN rate (36-50% of distinct queries).  §5.2.1 analyzes the
+Netbios/SSN session handshake that fronts CIFS on port 139.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .dns import RCODE_NOERROR, RCODE_NXDOMAIN
+
+__all__ = [
+    "NB_OPCODE_QUERY",
+    "NB_OPCODE_REGISTRATION",
+    "NB_OPCODE_RELEASE",
+    "NB_OPCODE_WACK",
+    "NB_OPCODE_REFRESH",
+    "NAME_TYPE_WORKSTATION",
+    "NAME_TYPE_SERVER",
+    "NAME_TYPE_DOMAIN",
+    "NAME_TYPE_BROWSER",
+    "NbnsPacket",
+    "encode_netbios_name",
+    "decode_netbios_name",
+    "SSN_SESSION_MESSAGE",
+    "SSN_SESSION_REQUEST",
+    "SSN_POSITIVE_RESPONSE",
+    "SSN_NEGATIVE_RESPONSE",
+    "SSN_KEEPALIVE",
+    "NbssFrame",
+    "parse_nbss_stream",
+]
+
+NB_OPCODE_QUERY = 0
+NB_OPCODE_REGISTRATION = 5
+NB_OPCODE_RELEASE = 6
+NB_OPCODE_WACK = 7
+NB_OPCODE_REFRESH = 8
+
+# Netbios name suffix bytes ("type" indications, §5.1.3).
+NAME_TYPE_WORKSTATION = 0x00
+NAME_TYPE_SERVER = 0x20
+NAME_TYPE_DOMAIN = 0x1B
+NAME_TYPE_BROWSER = 0x1D
+
+_NBNS_HEADER = struct.Struct("!HHHHHH")
+
+
+def encode_netbios_name(name: str, suffix: int) -> bytes:
+    """First-level encode a Netbios name (RFC 1001 §14.1).
+
+    The 15-character name plus 1 suffix byte becomes 32 nibble-encoded
+    characters, wrapped as a single DNS label plus a root label.
+    """
+    padded = name.upper().ljust(15)[:15].encode("ascii") + bytes([suffix])
+    encoded = bytearray()
+    for byte in padded:
+        encoded.append(ord("A") + (byte >> 4))
+        encoded.append(ord("A") + (byte & 0xF))
+    return bytes([32]) + bytes(encoded) + b"\x00"
+
+
+def decode_netbios_name(data: bytes, offset: int) -> tuple[str, int, int]:
+    """Decode a first-level-encoded name; returns (name, suffix, next_offset)."""
+    if offset >= len(data):
+        raise ValueError("name offset past end")
+    length = data[offset]
+    if length != 32:
+        raise ValueError(f"not a Netbios name label (len {length})")
+    offset += 1
+    if offset + 33 > len(data):
+        raise ValueError("truncated Netbios name")
+    raw = bytearray()
+    for i in range(0, 32, 2):
+        high = data[offset + i] - ord("A")
+        low = data[offset + i + 1] - ord("A")
+        if not (0 <= high <= 15 and 0 <= low <= 15):
+            raise ValueError("bad nibble encoding")
+        raw.append((high << 4) | low)
+    offset += 32
+    if data[offset] != 0:
+        raise ValueError("missing root label")
+    offset += 1
+    return raw[:15].decode("ascii", "replace").rstrip(), raw[15], offset
+
+
+@dataclass
+class NbnsPacket:
+    """A Netbios Name Service request or response."""
+
+    ident: int
+    opcode: int
+    name: str
+    suffix: int
+    is_response: bool = False
+    rcode: int = RCODE_NOERROR
+    addr: int = 0  # answer address for positive query responses
+
+    def encode(self) -> bytes:
+        """Serialize; positive query responses carry one NB answer record."""
+        flags = (self.opcode & 0xF) << 11
+        if self.is_response:
+            flags |= 0x8000 | 0x0400  # response + authoritative
+        flags |= self.rcode & 0xF
+        has_answer = self.is_response and self.rcode == RCODE_NOERROR
+        out = bytearray(
+            _NBNS_HEADER.pack(
+                self.ident,
+                flags,
+                0 if self.is_response else 1,
+                1 if has_answer else 0,
+                0,
+                0,
+            )
+        )
+        encoded_name = encode_netbios_name(self.name, self.suffix)
+        if not self.is_response:
+            out += encoded_name + struct.pack("!HH", 32, 1)  # NB, IN
+        else:
+            out += encoded_name + struct.pack("!HHIH", 32, 1, 300, 6)
+            out += struct.pack("!H", 0)  # flags: B-node, unique
+            out += self.addr.to_bytes(4, "big")
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NbnsPacket":
+        """Parse a Netbios/NS packet."""
+        if len(data) < _NBNS_HEADER.size:
+            raise ValueError("truncated NBNS header")
+        ident, flags, qd, an, _ns, _ar = _NBNS_HEADER.unpack_from(data)
+        is_response = bool(flags & 0x8000)
+        opcode = (flags >> 11) & 0xF
+        rcode = flags & 0xF
+        name, suffix, offset = decode_netbios_name(data, _NBNS_HEADER.size)
+        addr = 0
+        if is_response and an and rcode == RCODE_NOERROR:
+            # Skip rtype/rclass/ttl/rdlen + nb_flags to the address.
+            addr_offset = offset + 10 + 2
+            if addr_offset + 4 <= len(data):
+                addr = int.from_bytes(data[addr_offset : addr_offset + 4], "big")
+        return cls(
+            ident=ident,
+            opcode=opcode,
+            name=name,
+            suffix=suffix,
+            is_response=is_response,
+            rcode=rcode,
+            addr=addr,
+        )
+
+    @property
+    def failed(self) -> bool:
+        """True for NXDOMAIN responses (the stale-name failures of §5.1.3)."""
+        return self.is_response and self.rcode == RCODE_NXDOMAIN
+
+    @property
+    def name_category(self) -> str:
+        """"host" for workstation/server names, "domain" for domain/browser."""
+        if self.suffix in (NAME_TYPE_WORKSTATION, NAME_TYPE_SERVER, 0x03):
+            return "host"
+        if self.suffix in (NAME_TYPE_DOMAIN, 0x1C, NAME_TYPE_BROWSER, 0x1E):
+            return "domain"
+        return "other"
+
+
+SSN_SESSION_MESSAGE = 0x00
+SSN_SESSION_REQUEST = 0x81
+SSN_POSITIVE_RESPONSE = 0x82
+SSN_NEGATIVE_RESPONSE = 0x83
+SSN_KEEPALIVE = 0x85
+
+
+@dataclass(frozen=True)
+class NbssFrame:
+    """One Netbios Session Service frame (the 4-byte-header framing on 139/tcp)."""
+
+    frame_type: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        length = len(self.payload)
+        if length > 0x1FFFF:
+            raise ValueError("NBSS payload too long")
+        return struct.pack("!BBH", self.frame_type, (length >> 16) & 1, length & 0xFFFF) + self.payload
+
+    @staticmethod
+    def session_request(called: str, calling: str) -> "NbssFrame":
+        """Build the session-request frame carrying both endpoint names."""
+        payload = encode_netbios_name(called, NAME_TYPE_SERVER) + encode_netbios_name(
+            calling, NAME_TYPE_WORKSTATION
+        )
+        return NbssFrame(SSN_SESSION_REQUEST, payload)
+
+
+def parse_nbss_stream(stream: bytes) -> list[NbssFrame]:
+    """Parse one direction of a 139/tcp connection into NBSS frames.
+
+    Stops quietly at a truncated final frame (snaplen-limited captures).
+    """
+    frames: list[NbssFrame] = []
+    offset = 0
+    while offset + 4 <= len(stream):
+        frame_type = stream[offset]
+        length = ((stream[offset + 1] & 1) << 16) | struct.unpack_from("!H", stream, offset + 2)[0]
+        offset += 4
+        payload = stream[offset : offset + length]
+        frames.append(NbssFrame(frame_type, payload))
+        if len(payload) < length:
+            break
+        offset += length
+    return frames

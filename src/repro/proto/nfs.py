@@ -1,0 +1,236 @@
+"""ONC RPC (RFC 1831) framing and NFSv3 (RFC 1813) procedures — §5.2.2.
+
+NFS is one of the two main network file system protocols in the traces
+(Tables 12-13, Figures 7-8).  The paper observes it running over both UDP
+(90% of host-pairs) and TCP (21%), with dual-mode message sizes (~100 B
+control vs ~8 KB read/write) and request mixes dominated by read, write,
+and getattr.  We implement RPC call/reply framing (including TCP record
+marking), the NFSv3 procedure set, and simple argument/result encodings
+that carry the fields the analyses need.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "NFS_PROGRAM",
+    "NFS_VERSION",
+    "NFS_PORT",
+    "PROC_NULL",
+    "PROC_GETATTR",
+    "PROC_LOOKUP",
+    "PROC_ACCESS",
+    "PROC_READ",
+    "PROC_WRITE",
+    "PROC_CREATE",
+    "PROC_REMOVE",
+    "PROC_READDIR",
+    "PROC_FSSTAT",
+    "PROC_NAMES",
+    "NFS3_OK",
+    "NFS3ERR_NOENT",
+    "NFS3ERR_ACCES",
+    "RpcCall",
+    "RpcReply",
+    "frame_tcp_record",
+    "parse_tcp_records",
+    "proc_table_row",
+]
+
+NFS_PROGRAM = 100003
+NFS_VERSION = 3
+NFS_PORT = 2049
+
+PROC_NULL = 0
+PROC_GETATTR = 1
+PROC_LOOKUP = 3
+PROC_ACCESS = 4
+PROC_READ = 6
+PROC_WRITE = 7
+PROC_CREATE = 8
+PROC_REMOVE = 12
+PROC_READDIR = 16
+PROC_FSSTAT = 18
+
+PROC_NAMES = {
+    PROC_NULL: "Null",
+    PROC_GETATTR: "GetAttr",
+    PROC_LOOKUP: "LookUp",
+    PROC_ACCESS: "Access",
+    PROC_READ: "Read",
+    PROC_WRITE: "Write",
+    PROC_CREATE: "Create",
+    PROC_REMOVE: "Remove",
+    PROC_READDIR: "ReadDir",
+    PROC_FSSTAT: "FsStat",
+}
+
+NFS3_OK = 0
+NFS3ERR_NOENT = 2
+NFS3ERR_ACCES = 13
+
+_CALL_MSG = 0
+_REPLY_MSG = 1
+
+_FHANDLE = b"\xab" * 32  # opaque 32-byte file handle placeholder
+_ATTR_BLOB = b"\x00" * 84  # fattr3 is 84 bytes on the wire
+
+
+@dataclass
+class RpcCall:
+    """An ONC RPC call carrying an NFSv3 procedure.
+
+    ``data`` holds write payload bytes for WRITE calls; name-bearing
+    calls (LOOKUP/CREATE/REMOVE) put the object name in ``name``.
+    """
+
+    xid: int
+    proc: int
+    name: str = ""
+    offset: int = 0
+    count: int = 0
+    data: bytes = b""
+    program: int = NFS_PROGRAM
+    version: int = NFS_VERSION
+
+    def encode(self) -> bytes:
+        """Serialize call header + procedure arguments."""
+        header = struct.pack(
+            "!IIIIII", self.xid, _CALL_MSG, 2, self.program, self.version, self.proc
+        )
+        # AUTH_UNIX credential (empty machine name) + AUTH_NONE verifier.
+        cred_body = struct.pack("!II", 0, 0) + struct.pack("!III", 0, 0, 0)
+        header += struct.pack("!II", 1, len(cred_body)) + cred_body
+        header += struct.pack("!II", 0, 0)
+        return header + self._encode_args()
+
+    def _encode_args(self) -> bytes:
+        args = struct.pack("!I", len(_FHANDLE)) + _FHANDLE
+        if self.proc in (PROC_LOOKUP, PROC_CREATE, PROC_REMOVE):
+            name_bytes = self.name.encode()
+            pad = (4 - len(name_bytes) % 4) % 4
+            args += struct.pack("!I", len(name_bytes)) + name_bytes + b"\x00" * pad
+        elif self.proc == PROC_READ:
+            args += struct.pack("!QI", self.offset, self.count)
+        elif self.proc == PROC_WRITE:
+            pad = (4 - len(self.data) % 4) % 4
+            args += struct.pack("!QII", self.offset, len(self.data), 0)
+            args += struct.pack("!I", len(self.data)) + self.data + b"\x00" * pad
+        elif self.proc == PROC_ACCESS:
+            args += struct.pack("!I", 0x3F)
+        return args
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RpcCall":
+        """Parse a call message; tolerates truncated argument bodies."""
+        if len(data) < 24:
+            raise ValueError("truncated RPC call header")
+        xid, msg_type, rpc_vers, program, version, proc = struct.unpack_from("!IIIIII", data)
+        if msg_type != _CALL_MSG:
+            raise ValueError("not an RPC call")
+        if rpc_vers != 2:
+            raise ValueError(f"unsupported RPC version {rpc_vers}")
+        call = cls(xid=xid, proc=proc, program=program, version=version)
+        offset = 24
+        # Skip credential and verifier.
+        for _ in range(2):
+            if offset + 8 > len(data):
+                return call
+            _flavor, length = struct.unpack_from("!II", data, offset)
+            offset += 8 + length + (4 - length % 4) % 4
+        call._decode_args(data[offset:])
+        return call
+
+    def _decode_args(self, args: bytes) -> None:
+        if len(args) < 4:
+            return
+        fh_len = struct.unpack_from("!I", args)[0]
+        offset = 4 + fh_len
+        if self.proc in (PROC_LOOKUP, PROC_CREATE, PROC_REMOVE):
+            if offset + 4 <= len(args):
+                name_len = struct.unpack_from("!I", args, offset)[0]
+                self.name = args[offset + 4 : offset + 4 + name_len].decode(
+                    "latin-1", "replace"
+                )
+        elif self.proc == PROC_READ and offset + 12 <= len(args):
+            self.offset, self.count = struct.unpack_from("!QI", args, offset)
+        elif self.proc == PROC_WRITE and offset + 16 <= len(args):
+            self.offset, count, _stable = struct.unpack_from("!QII", args, offset)
+            self.count = count
+            data_off = offset + 20
+            self.data = args[data_off : data_off + count]
+
+
+@dataclass
+class RpcReply:
+    """An ONC RPC accepted reply carrying NFSv3 results."""
+
+    xid: int
+    proc: int = PROC_NULL  # replies do not carry the proc; set by matching
+    status: int = NFS3_OK
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize reply header + procedure results."""
+        header = struct.pack("!II", self.xid, _REPLY_MSG)
+        header += struct.pack("!I", 0)  # MSG_ACCEPTED
+        header += struct.pack("!II", 0, 0)  # AUTH_NONE verifier
+        header += struct.pack("!I", 0)  # SUCCESS accept state
+        body = struct.pack("!I", self.status)
+        if self.status == NFS3_OK:
+            if self.proc == PROC_READ:
+                pad = (4 - len(self.data) % 4) % 4
+                body += _ATTR_BLOB + struct.pack("!III", len(self.data), 1, len(self.data))
+                body += self.data + b"\x00" * pad
+            elif self.proc == PROC_WRITE:
+                body += _ATTR_BLOB + struct.pack("!II", len(self.data), 0)
+            elif self.proc in (PROC_GETATTR, PROC_LOOKUP, PROC_ACCESS):
+                body += _ATTR_BLOB
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RpcReply":
+        """Parse a reply message (status only; results stay opaque)."""
+        if len(data) < 8:
+            raise ValueError("truncated RPC reply header")
+        xid, msg_type = struct.unpack_from("!II", data)
+        if msg_type != _REPLY_MSG:
+            raise ValueError("not an RPC reply")
+        reply = cls(xid=xid)
+        # xid(4) type(4) reply_stat(4) verf(8) accept_stat(4), then the
+        # NFS status starts the procedure results at offset 24.
+        if len(data) >= 28:
+            reply.status = struct.unpack_from("!I", data, 24)[0]
+            reply.data = data[28:]
+        return reply
+
+
+def frame_tcp_record(message: bytes) -> bytes:
+    """Apply RPC record marking (RFC 1831 §10) for TCP transport."""
+    return struct.pack("!I", 0x80000000 | len(message)) + message
+
+
+def parse_tcp_records(stream: bytes) -> list[bytes]:
+    """Split a TCP byte stream into RPC record payloads."""
+    records: list[bytes] = []
+    offset = 0
+    while offset + 4 <= len(stream):
+        marker = struct.unpack_from("!I", stream, offset)[0]
+        length = marker & 0x7FFFFFFF
+        offset += 4
+        payload = stream[offset : offset + length]
+        records.append(payload)
+        if len(payload) < length:
+            break
+        offset += length
+    return records
+
+
+def proc_table_row(proc: int) -> str:
+    """Map an NFS procedure to its Table 13 row label."""
+    label = PROC_NAMES.get(proc, "Other")
+    if label in ("Read", "Write", "GetAttr", "LookUp", "Access"):
+        return label
+    return "Other"

@@ -1,0 +1,114 @@
+"""SMTP dialogue building and parsing (RFC 2821) — §5.1.2.
+
+SMTP is one of the two dominant email protocols in the traces (Table 8).
+The generator emits full command/reply dialogues carrying a message body;
+the email analyzer recovers envelope counts, message sizes, and the
+success/failure of the transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SmtpDialogue", "build_client_stream", "build_server_stream", "parse_dialogue"]
+
+_CRLF = b"\r\n"
+
+
+@dataclass
+class SmtpDialogue:
+    """One SMTP transaction as seen on a connection.
+
+    ``message_size`` is the DATA payload length in bytes; ``accepted``
+    reflects whether the server's final reply to DATA was 250.
+    """
+
+    client_helo: str = ""
+    mail_from: str = ""
+    rcpt_to: list[str] = field(default_factory=list)
+    message_size: int = 0
+    accepted: bool = False
+    quit_seen: bool = False
+
+
+def build_client_stream(
+    helo: str,
+    mail_from: str,
+    rcpt_to: list[str],
+    message: bytes,
+) -> bytes:
+    """Serialize the client half of an SMTP transaction."""
+    lines = [f"EHLO {helo}".encode(), f"MAIL FROM:<{mail_from}>".encode()]
+    for rcpt in rcpt_to:
+        lines.append(f"RCPT TO:<{rcpt}>".encode())
+    lines.append(b"DATA")
+    out = _CRLF.join(lines) + _CRLF
+    out += message
+    if not message.endswith(_CRLF):
+        out += _CRLF
+    out += b"." + _CRLF + b"QUIT" + _CRLF
+    return out
+
+
+def build_server_stream(
+    banner_host: str,
+    num_rcpt: int,
+    accept: bool = True,
+) -> bytes:
+    """Serialize the server half of an SMTP transaction."""
+    lines = [
+        f"220 {banner_host} ESMTP".encode(),
+        f"250 {banner_host} Hello".encode(),
+        b"250 2.1.0 Ok",  # MAIL FROM
+    ]
+    for _ in range(num_rcpt):
+        lines.append(b"250 2.1.5 Ok")
+    lines.append(b"354 End data with <CR><LF>.<CR><LF>")
+    if accept:
+        lines.append(b"250 2.0.0 Ok: queued")
+    else:
+        lines.append(b"554 5.7.1 Rejected")
+    lines.append(b"221 2.0.0 Bye")
+    return _CRLF.join(lines) + _CRLF
+
+
+def parse_dialogue(client_stream: bytes, server_stream: bytes) -> SmtpDialogue:
+    """Recover an :class:`SmtpDialogue` from the two connection halves.
+
+    Tolerates truncated streams (header-only captures yield empty or
+    partial dialogues rather than errors).
+    """
+    dialogue = SmtpDialogue()
+    in_data = False
+    data_bytes = 0
+    for raw_line in client_stream.split(_CRLF):
+        if in_data:
+            if raw_line == b".":
+                in_data = False
+                continue
+            data_bytes += len(raw_line) + 2
+            continue
+        line = raw_line.decode("latin-1", "replace")
+        upper = line.upper()
+        if upper.startswith(("EHLO ", "HELO ")):
+            dialogue.client_helo = line[5:].strip()
+        elif upper.startswith("MAIL FROM:"):
+            dialogue.mail_from = line[10:].strip().strip("<>")
+        elif upper.startswith("RCPT TO:"):
+            dialogue.rcpt_to.append(line[8:].strip().strip("<>"))
+        elif upper == "DATA":
+            in_data = True
+        elif upper == "QUIT":
+            dialogue.quit_seen = True
+    dialogue.message_size = data_bytes
+    # The reply that matters for acceptance is the one following the
+    # 354 go-ahead; scan the server stream for it.
+    saw_354 = False
+    for raw_line in server_stream.split(_CRLF):
+        line = raw_line.decode("latin-1", "replace")
+        if line.startswith("354"):
+            saw_354 = True
+        elif saw_354 and line[:3].isdigit():
+            dialogue.accepted = line.startswith("250")
+            break
+    return dialogue

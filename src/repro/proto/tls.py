@@ -1,0 +1,134 @@
+"""TLS record layer — enough structure for encrypted-protocol analysis.
+
+The paper analyzes IMAP/S, HTTPS, and POP/S at the *transport* level
+because payloads are encrypted (§5.1.2), but it does observe handshake
+completion ("the hosts complete the SSL handshake successfully and
+exchange a pair of application messages", §5.1.1).  We implement the TLS
+record framing and handshake message types so the generator can emit
+realistic encrypted sessions and the analyzer can confirm handshakes and
+count application-data bytes without decrypting anything.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "CONTENT_CHANGE_CIPHER_SPEC",
+    "CONTENT_ALERT",
+    "CONTENT_HANDSHAKE",
+    "CONTENT_APPLICATION_DATA",
+    "HANDSHAKE_CLIENT_HELLO",
+    "HANDSHAKE_SERVER_HELLO",
+    "TlsRecord",
+    "build_client_hello",
+    "build_server_hello",
+    "build_application_data",
+    "parse_records",
+    "stream_summary",
+]
+
+CONTENT_CHANGE_CIPHER_SPEC = 20
+CONTENT_ALERT = 21
+CONTENT_HANDSHAKE = 22
+CONTENT_APPLICATION_DATA = 23
+
+HANDSHAKE_CLIENT_HELLO = 1
+HANDSHAKE_SERVER_HELLO = 2
+
+TLS_VERSION = 0x0301  # TLS 1.0, contemporary with the 2004-05 traces
+
+_RECORD_HEADER = struct.Struct("!BHH")
+
+
+@dataclass(frozen=True)
+class TlsRecord:
+    """One TLS record: content type, version, opaque fragment."""
+
+    content_type: int
+    fragment: bytes
+    version: int = TLS_VERSION
+
+    def encode(self) -> bytes:
+        return _RECORD_HEADER.pack(self.content_type, self.version, len(self.fragment)) + self.fragment
+
+    @property
+    def handshake_type(self) -> int | None:
+        """The handshake message type, for handshake records."""
+        if self.content_type == CONTENT_HANDSHAKE and self.fragment:
+            return self.fragment[0]
+        return None
+
+
+def build_client_hello(random_bytes: bytes = b"\x00" * 32) -> bytes:
+    """A minimal ClientHello record."""
+    body = struct.pack("!H", TLS_VERSION) + random_bytes[:32].ljust(32, b"\x00")
+    body += b"\x00"  # empty session id
+    body += struct.pack("!H", 2) + b"\x00\x35"  # one cipher suite
+    body += b"\x01\x00"  # null compression
+    msg = bytes([HANDSHAKE_CLIENT_HELLO]) + len(body).to_bytes(3, "big") + body
+    return TlsRecord(CONTENT_HANDSHAKE, msg).encode()
+
+
+def build_server_hello(random_bytes: bytes = b"\x00" * 32) -> bytes:
+    """A minimal ServerHello + ChangeCipherSpec pair of records."""
+    body = struct.pack("!H", TLS_VERSION) + random_bytes[:32].ljust(32, b"\x00")
+    body += b"\x00" + b"\x00\x35" + b"\x00"
+    msg = bytes([HANDSHAKE_SERVER_HELLO]) + len(body).to_bytes(3, "big") + body
+    hello = TlsRecord(CONTENT_HANDSHAKE, msg).encode()
+    ccs = TlsRecord(CONTENT_CHANGE_CIPHER_SPEC, b"\x01").encode()
+    return hello + ccs
+
+
+def build_application_data(payload: bytes, max_fragment: int = 16384) -> bytes:
+    """Wrap ``payload`` into one or more application-data records."""
+    out = bytearray()
+    for i in range(0, len(payload), max_fragment):
+        out += TlsRecord(CONTENT_APPLICATION_DATA, payload[i : i + max_fragment]).encode()
+    return bytes(out)
+
+
+def parse_records(stream: bytes) -> list[TlsRecord]:
+    """Parse a connection half into TLS records; stops at truncation."""
+    records: list[TlsRecord] = []
+    offset = 0
+    while offset + _RECORD_HEADER.size <= len(stream):
+        content_type, version, length = _RECORD_HEADER.unpack_from(stream, offset)
+        if content_type not in (
+            CONTENT_CHANGE_CIPHER_SPEC,
+            CONTENT_ALERT,
+            CONTENT_HANDSHAKE,
+            CONTENT_APPLICATION_DATA,
+        ):
+            break
+        offset += _RECORD_HEADER.size
+        fragment = stream[offset : offset + length]
+        records.append(TlsRecord(content_type, fragment, version))
+        if len(fragment) < length:
+            break
+        offset += length
+    return records
+
+
+def stream_summary(stream: bytes) -> dict[str, int]:
+    """Summarize one half of a TLS connection.
+
+    Returns counts of handshake records, application-data records, and
+    application-data bytes — the quantities the paper's encrypted-traffic
+    analyses rely on.
+    """
+    handshakes = 0
+    app_records = 0
+    app_bytes = 0
+    for record in parse_records(stream):
+        if record.content_type == CONTENT_HANDSHAKE:
+            handshakes += 1
+        elif record.content_type == CONTENT_APPLICATION_DATA:
+            app_records += 1
+            app_bytes += len(record.fragment)
+    return {
+        "handshake_records": handshakes,
+        "app_records": app_records,
+        "app_bytes": app_bytes,
+    }

@@ -1,0 +1,25 @@
+"""Reporting layer: reproduce every table and figure of the paper."""
+
+from . import figures, tables
+from .ascii_plot import plot_cdf_figure
+from .categories import CATEGORY_ORDER, CategoryBreakdown, CategoryStats, category_breakdown
+from .findings import table5
+from .export import export_figure_csv, export_study, export_table_csv
+from .model import CdfFigure, SeriesFigure, Table
+
+__all__ = [
+    "figures",
+    "tables",
+    "CATEGORY_ORDER",
+    "CategoryBreakdown",
+    "CategoryStats",
+    "category_breakdown",
+    "CdfFigure",
+    "SeriesFigure",
+    "Table",
+    "export_figure_csv",
+    "export_study",
+    "export_table_csv",
+    "plot_cdf_figure",
+    "table5",
+]

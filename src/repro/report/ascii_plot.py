@@ -1,0 +1,98 @@
+"""ASCII rendering of CDF figures.
+
+The paper's figures are log-x CDF plots; this renders the reproduced
+curves on a character grid so benchmark output and examples can show the
+*shape* (crossovers, modes, tails) and not just quantile tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..util.stats import Cdf
+from .model import CdfFigure
+
+__all__ = ["plot_cdf_figure"]
+
+_MARKERS = "*+ox#@%&"
+
+
+def _x_transform(log_x: bool):
+    if log_x:
+        return lambda x: math.log10(max(x, 1e-12))
+    return lambda x: x
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6 or magnitude < 1e-3:
+        return f"{value:.0e}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def plot_cdf_figure(
+    figure: CdfFigure,
+    width: int = 72,
+    height: int = 18,
+    max_curves: int = 8,
+) -> str:
+    """Render a :class:`CdfFigure` as an ASCII plot.
+
+    Curves beyond ``max_curves`` are dropped (with a note) — the paper's
+    own figures rarely carry more than eight series legibly.
+    """
+    curves = [(name, cdf) for name, cdf in figure.series.items() if len(cdf)]
+    dropped = curves[max_curves:]
+    curves = curves[:max_curves]
+    if not curves:
+        return f"{figure.id}: {figure.title}\n(no samples)"
+
+    transform = _x_transform(figure.log_x)
+    x_min = min(cdf.min for _, cdf in curves)
+    x_max = max(cdf.max for _, cdf in curves)
+    if figure.log_x:
+        x_min = max(x_min, 1e-6)
+        x_max = max(x_max, x_min * 10)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    t_min, t_max = transform(x_min), transform(x_max)
+    span = t_max - t_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, (_name, cdf) in enumerate(curves):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        for column in range(width):
+            t = t_min + span * column / (width - 1)
+            x = 10**t if figure.log_x else t
+            F = cdf(x)
+            row = height - 1 - min(int(F * (height - 1) + 0.5), height - 1)
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    lines = [f"{figure.id}: {figure.title}"]
+    for index, row in enumerate(grid):
+        F_label = 1.0 - index / (height - 1)
+        prefix = f"{F_label:4.2f} |" if index % 4 == 0 or index == height - 1 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = _format_tick(x_min)
+    mid = _format_tick(10 ** (t_min + span / 2) if figure.log_x else t_min + span / 2)
+    right = _format_tick(x_max)
+    axis = " " * 6 + left
+    middle_at = 6 + width // 2 - len(mid) // 2
+    axis = axis.ljust(middle_at) + mid
+    axis = axis.ljust(6 + width - len(right)) + right
+    lines.append(axis)
+    lines.append(f"       x: {figure.xlabel}" + ("  [log scale]" if figure.log_x else ""))
+    legend = "       " + "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name} (N={len(cdf)})"
+        for i, (name, cdf) in enumerate(curves)
+    )
+    lines.append(legend)
+    if dropped:
+        lines.append(f"       (+{len(dropped)} curves not shown)")
+    return "\n".join(lines)

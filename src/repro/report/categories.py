@@ -1,0 +1,147 @@
+"""Per-category traffic aggregation — the substrate of Figure 1.
+
+Splits each dataset's (scan-filtered) connections into the Table 4
+application categories, each with connection/byte/packet counts further
+split into enterprise-internal, WAN-involving, and multicast shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..analysis.classify import classify_conn
+from ..analysis.conn import ConnRecord, Locality
+from ..util.addr import Subnet
+from ..analysis.conn import DEFAULT_INTERNAL_NET
+
+__all__ = ["CategoryStats", "CategoryBreakdown", "category_breakdown", "CATEGORY_ORDER"]
+
+#: Figure 1's category order.
+CATEGORY_ORDER = [
+    "web",
+    "email",
+    "net-file",
+    "backup",
+    "bulk",
+    "name",
+    "interactive",
+    "windows",
+    "streaming",
+    "net-mgnt",
+    "misc",
+    "other-tcp",
+    "other-udp",
+]
+
+
+@dataclass
+class CategoryStats:
+    """Aggregates for one application category."""
+
+    conns: int = 0
+    payload_bytes: int = 0
+    packets: int = 0
+    ent_conns: int = 0
+    wan_conns: int = 0
+    mcast_conns: int = 0
+    ent_bytes: int = 0
+    wan_bytes: int = 0
+    mcast_bytes: int = 0
+
+
+@dataclass
+class CategoryBreakdown:
+    """All categories of one dataset."""
+
+    stats: dict[str, CategoryStats] = field(default_factory=dict)
+
+    @property
+    def total_conns(self) -> int:
+        return sum(cat.conns for cat in self.stats.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(cat.payload_bytes for cat in self.stats.values())
+
+    def conn_fraction(self, category: str, where: str = "all") -> float:
+        """Category's share of unicast connections.
+
+        ``where`` is "all", "ent", or "wan"; the fraction's denominator
+        is always the all-category unicast total (Figure 1 stacks ent and
+        wan shares of the same bar).
+        """
+        total = self.total_conns
+        if not total:
+            return 0.0
+        stats = self.stats.get(category)
+        if stats is None:
+            return 0.0
+        value = {"all": stats.conns, "ent": stats.ent_conns, "wan": stats.wan_conns}[where]
+        return value / total
+
+    def byte_fraction(self, category: str, where: str = "all") -> float:
+        """Category's share of unicast payload bytes."""
+        total = self.total_bytes
+        if not total:
+            return 0.0
+        stats = self.stats.get(category)
+        if stats is None:
+            return 0.0
+        value = {
+            "all": stats.payload_bytes,
+            "ent": stats.ent_bytes,
+            "wan": stats.wan_bytes,
+        }[where]
+        return value / total
+
+    def multicast_byte_fraction(self, category: str) -> float:
+        """Category's multicast bytes over all (unicast+multicast) bytes."""
+        total = self.total_bytes + sum(c.mcast_bytes for c in self.stats.values())
+        stats = self.stats.get(category)
+        if stats is None or not total:
+            return 0.0
+        return stats.mcast_bytes / total
+
+    def multicast_conn_fraction(self, category: str) -> float:
+        """Category's multicast connections over all connections."""
+        total = self.total_conns + sum(c.mcast_conns for c in self.stats.values())
+        stats = self.stats.get(category)
+        if stats is None or not total:
+            return 0.0
+        return stats.mcast_conns / total
+
+
+def category_breakdown(
+    conns: Iterable[ConnRecord],
+    windows_endpoints: set[tuple[int, int]] | None = None,
+    internal_net: Subnet = DEFAULT_INTERNAL_NET,
+    include_icmp: bool = False,
+) -> CategoryBreakdown:
+    """Aggregate connections into Table 4 categories.
+
+    Multicast flows are tracked separately from the unicast ent/wan split
+    (Figure 1 plots unicast; §3's multicast findings use the rest).  ICMP
+    is excluded by default, like the TCP/UDP application breakdown.
+    """
+    breakdown = CategoryBreakdown()
+    for conn in conns:
+        if conn.proto == "icmp" and not include_icmp:
+            continue
+        _proto, category = classify_conn(conn, windows_endpoints)
+        stats = breakdown.stats.setdefault(category, CategoryStats())
+        where = conn.locality(internal_net)
+        if where in (Locality.MCAST_INT, Locality.MCAST_EXT):
+            stats.mcast_conns += 1
+            stats.mcast_bytes += conn.total_bytes
+            continue
+        stats.conns += 1
+        stats.payload_bytes += conn.total_bytes
+        stats.packets += conn.total_pkts
+        if where is Locality.ENT_ENT:
+            stats.ent_conns += 1
+            stats.ent_bytes += conn.total_bytes
+        else:
+            stats.wan_conns += 1
+            stats.wan_bytes += conn.total_bytes
+    return breakdown

@@ -1,0 +1,83 @@
+"""Export reproduced artifacts to files (CSV + plain text).
+
+Downstream users typically want the figures as data, not prose:
+``export_study`` writes every table as CSV, every CDF curve as (x, F(x))
+points, and the per-trace series — enough to re-plot the paper with any
+tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .model import CdfFigure, SeriesFigure, Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from ..core.study import StudyResults
+
+__all__ = ["export_table_csv", "export_figure_csv", "export_study"]
+
+_TABLE_NUMBERS = tuple(range(1, 16))
+_FIGURE_NUMBERS = tuple(range(1, 11))
+
+
+def export_table_csv(table: Table, path: str | Path) -> Path:
+    """Write one table as CSV; returns the path written."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+    return path
+
+
+def export_figure_csv(figure: CdfFigure | SeriesFigure, path: str | Path) -> Path:
+    """Write one figure's curves/series as long-format CSV."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if isinstance(figure, CdfFigure):
+            writer.writerow(["curve", "x", "F"])
+            for name, points in figure.points().items():
+                for x, F in points:
+                    writer.writerow([name, x, F])
+        else:
+            writer.writerow(["series", "index", "value"])
+            for name, values in figure.series.items():
+                for index, value in enumerate(values):
+                    writer.writerow([name, index, value])
+    return path
+
+
+def _flatten(built) -> list[tuple[str, object]]:
+    """Expand a figure() result into (suffix, artifact) pairs."""
+    if isinstance(built, (Table, CdfFigure, SeriesFigure)):
+        return [("", built)]
+    if isinstance(built, dict):
+        return [(f"_{key}", item) for key, item in built.items()]
+    return [(f"_{chr(ord('a') + i)}", item) for i, item in enumerate(built)]
+
+
+def export_study(results: "StudyResults", out_dir: str | Path) -> list[Path]:
+    """Export every table and figure of a study; returns written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for number in _TABLE_NUMBERS:
+        table = results.table(number)
+        written.append(export_table_csv(table, out / f"table{number:02d}.csv"))
+        (out / f"table{number:02d}.txt").write_text(table.render() + "\n")
+        written.append(out / f"table{number:02d}.txt")
+    for number in _FIGURE_NUMBERS:
+        built = results.figure(number)
+        for suffix, artifact in _flatten(built):
+            base = f"figure{number:02d}{suffix}"
+            if isinstance(artifact, Table):
+                written.append(export_table_csv(artifact, out / f"{base}.csv"))
+            else:
+                written.append(export_figure_csv(artifact, out / f"{base}.csv"))
+            (out / f"{base}.txt").write_text(artifact.render() + "\n")
+            written.append(out / f"{base}.txt")
+    return written

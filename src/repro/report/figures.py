@@ -1,0 +1,204 @@
+"""Builders for every figure in the paper (Figures 1-10).
+
+Figure 1 is a stacked-bar chart, represented here as a table of
+percentages with enterprise/WAN splits; the CDF figures come back as
+:class:`CdfFigure` objects whose curves mirror the paper's series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..analysis.analyzers.email import EmailReport
+from ..analysis.analyzers.http import HttpReport
+from ..analysis.analyzers.ncp import NcpReport
+from ..analysis.analyzers.nfs import NfsReport
+from ..analysis.engine import DatasetAnalysis
+from ..analysis.load import load_report
+from ..analysis.locality import fan_stats
+from ..util.fmt import fmt_pct
+from ..util.stats import Cdf
+from .categories import CATEGORY_ORDER, CategoryBreakdown
+from .model import CdfFigure, SeriesFigure, Table
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+]
+
+_FULL_PAYLOAD_SETS = ("D0", "D3", "D4")
+
+
+def figure1(
+    breakdowns: Mapping[str, CategoryBreakdown], by: str = "bytes"
+) -> Table:
+    """Figure 1: % of payload bytes (or connections) per app category.
+
+    Each dataset contributes a ``total (ent part)`` cell per category,
+    mirroring the solid-vs-hollow bars of the paper.
+    """
+    names = list(breakdowns)
+    table = Table(
+        f"Figure 1{'a' if by == 'bytes' else 'b'}",
+        f"Application category % of {by} — 'total% (ent%)'",
+        ["category"] + names,
+    )
+    for category in CATEGORY_ORDER:
+        cells = []
+        for name in names:
+            breakdown = breakdowns[name]
+            if by == "bytes":
+                total = breakdown.byte_fraction(category, "all")
+                ent = breakdown.byte_fraction(category, "ent")
+            else:
+                total = breakdown.conn_fraction(category, "all")
+                ent = breakdown.conn_fraction(category, "ent")
+            cells.append(f"{total * 100:.1f} ({ent * 100:.1f})")
+        table.add_row(category, *cells)
+    return table
+
+
+def figure2(analyses: Mapping[str, DatasetAnalysis], datasets=("D2", "D3")) -> tuple[CdfFigure, CdfFigure]:
+    """Figure 2: fan-in and fan-out CDFs (enterprise vs WAN peers)."""
+    fan_in = CdfFigure("Figure 2a", "Locality in host communication: fan-in", "peers")
+    fan_out = CdfFigure("Figure 2b", "Locality in host communication: fan-out", "peers")
+    for name in datasets:
+        if name not in analyses:
+            continue
+        stats = fan_stats(analyses[name].filtered_conns(), analyses[name].internal_net)
+        fan_in.add(f"{name} - enterprise", stats.fan_in_ent)
+        fan_in.add(f"{name} - WAN", stats.fan_in_wan)
+        fan_out.add(f"{name} - enterprise", stats.fan_out_ent)
+        fan_out.add(f"{name} - WAN", stats.fan_out_wan)
+    return fan_in, fan_out
+
+
+def figure3(analyses: Mapping[str, DatasetAnalysis]) -> CdfFigure:
+    """Figure 3: HTTP fan-out per client, enterprise vs WAN servers."""
+    figure = CdfFigure("Figure 3", "HTTP fan-out (servers per client)", "number of peers per source")
+    for name, analysis in analyses.items():
+        if name not in _FULL_PAYLOAD_SETS:
+            continue
+        report: HttpReport = analysis.analyzer_results["http"]
+        figure.add(f"ent:{name}", report.fanout_cdf("ent"))
+        figure.add(f"wan:{name}", report.fanout_cdf("wan"))
+    return figure
+
+
+def figure4(analyses: Mapping[str, DatasetAnalysis]) -> CdfFigure:
+    """Figure 4: HTTP reply sizes."""
+    figure = CdfFigure("Figure 4", "Size of HTTP reply, when present", "size (bytes)")
+    for name, analysis in analyses.items():
+        if name not in _FULL_PAYLOAD_SETS:
+            continue
+        report: HttpReport = analysis.analyzer_results["http"]
+        figure.add(f"ent:{name}", report.reply_size_cdf("ent"))
+        figure.add(f"wan:{name}", report.reply_size_cdf("wan"))
+    return figure
+
+
+def figure5(analyses: Mapping[str, DatasetAnalysis]) -> tuple[CdfFigure, CdfFigure]:
+    """Figure 5: SMTP and IMAP/S connection durations."""
+    smtp = CdfFigure("Figure 5a", "SMTP connection durations", "seconds")
+    imaps = CdfFigure("Figure 5b", "IMAP/S connection durations", "seconds")
+    for name, analysis in analyses.items():
+        report: EmailReport = analysis.analyzer_results["email"]
+        smtp.add(f"ent:{name}", report.duration_cdf("SMTP", "ent"))
+        smtp.add(f"wan:{name}", report.duration_cdf("SMTP", "wan"))
+        if name != "D0":  # the paper leaves D0 off the IMAP/S plot
+            imaps.add(f"ent:{name}", report.duration_cdf("SIMAP", "ent"))
+            if name in ("D1", "D2"):  # D3/D4 lack busy IMAP/S servers
+                imaps.add(f"wan:{name}", report.duration_cdf("SIMAP", "wan"))
+    return smtp, imaps
+
+
+def figure6(analyses: Mapping[str, DatasetAnalysis]) -> tuple[CdfFigure, CdfFigure]:
+    """Figure 6: SMTP and IMAP/S flow sizes."""
+    smtp = CdfFigure("Figure 6a", "SMTP flow size (client to server)", "bytes")
+    imaps = CdfFigure("Figure 6b", "IMAP/S flow size (server to client)", "bytes")
+    for name, analysis in analyses.items():
+        report: EmailReport = analysis.analyzer_results["email"]
+        smtp.add(f"ent:{name}", report.flow_size_cdf("SMTP", "ent"))
+        smtp.add(f"wan:{name}", report.flow_size_cdf("SMTP", "wan"))
+        if name != "D0":
+            imaps.add(f"ent:{name}", report.flow_size_cdf("SIMAP", "ent"))
+            if name in ("D1", "D2"):
+                imaps.add(f"wan:{name}", report.flow_size_cdf("SIMAP", "wan"))
+    return smtp, imaps
+
+
+def figure7(analyses: Mapping[str, DatasetAnalysis]) -> tuple[CdfFigure, CdfFigure]:
+    """Figure 7: NFS/NCP requests per client-server pair."""
+    nfs = CdfFigure("Figure 7a", "NFS requests per host-pair", "requests")
+    ncp = CdfFigure("Figure 7b", "NCP requests per host-pair", "requests")
+    for name, analysis in analyses.items():
+        if name not in _FULL_PAYLOAD_SETS:
+            continue
+        nfs_report: NfsReport = analysis.analyzer_results["nfs"]
+        ncp_report: NcpReport = analysis.analyzer_results["ncp"]
+        nfs.add(f"ent:{name}", nfs_report.requests_per_pair_cdf())
+        ncp.add(f"ent:{name}", ncp_report.requests_per_pair_cdf())
+    return nfs, ncp
+
+
+def figure8(analyses: Mapping[str, DatasetAnalysis]) -> dict[str, CdfFigure]:
+    """Figure 8: NFS/NCP request and reply size distributions."""
+    figures = {
+        "nfs_request": CdfFigure("Figure 8a", "NFS request sizes", "bytes"),
+        "nfs_reply": CdfFigure("Figure 8b", "NFS reply sizes", "bytes"),
+        "ncp_request": CdfFigure("Figure 8c", "NCP request sizes", "bytes"),
+        "ncp_reply": CdfFigure("Figure 8d", "NCP reply sizes", "bytes"),
+    }
+    for name, analysis in analyses.items():
+        if name not in _FULL_PAYLOAD_SETS:
+            continue
+        nfs_report: NfsReport = analysis.analyzer_results["nfs"]
+        ncp_report: NcpReport = analysis.analyzer_results["ncp"]
+        figures["nfs_request"].add(f"ent:{name}", Cdf(nfs_report.request_sizes))
+        figures["nfs_reply"].add(f"ent:{name}", Cdf(nfs_report.reply_sizes))
+        figures["ncp_request"].add(f"ent:{name}", Cdf(ncp_report.request_sizes))
+        figures["ncp_reply"].add(f"ent:{name}", Cdf(ncp_report.reply_sizes))
+    return figures
+
+
+def figure9(analysis: DatasetAnalysis) -> tuple[CdfFigure, CdfFigure]:
+    """Figure 9: utilization distributions for one dataset (D4 in the paper)."""
+    report = load_report(analysis.traces)
+    peaks = CdfFigure(
+        "Figure 9a", f"Peak utilization per trace ({analysis.name})", "Mbps", log_x=True
+    )
+    for scale, cdf in report.peak_cdfs.items():
+        peaks.add(f"{scale:.0f} second{'s' if scale > 1 else ''}", cdf)
+    util = CdfFigure(
+        "Figure 9b", f"Per-second utilization summaries ({analysis.name})", "Mbps"
+    )
+    for label in ("minimum", "p25", "median", "p75", "mean", "maximum"):
+        util.add(label, report.utilization_cdfs[label])
+    return peaks, util
+
+
+def figure10(analyses: Mapping[str, DatasetAnalysis]) -> SeriesFigure:
+    """Figure 10: TCP retransmission rate per trace, enterprise vs WAN."""
+    figure = SeriesFigure(
+        "Figure 10",
+        "TCP retransmission rate across traces (keep-alives excluded, "
+        ">=1000 packets per category)",
+        "fraction of retransmitted packets",
+    )
+    ent: list[float] = []
+    wan: list[float] = []
+    for analysis in analyses.values():
+        report = load_report(analysis.traces)
+        ent.extend(report.retransmit_rates["ent"])
+        wan.extend(report.retransmit_rates["wan"])
+    figure.add("ENT", ent)
+    figure.add("WAN", wan)
+    return figure

@@ -1,0 +1,131 @@
+"""Report data model: tables and figures with plain-text rendering.
+
+Every reproduced table/figure is a structured object first (so tests and
+benchmarks can assert on values) and a rendered string second (so the
+benchmark harness can print the same rows the paper reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..util.stats import Cdf
+
+__all__ = ["Table", "CdfFigure", "SeriesFigure"]
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A labeled grid, like the paper's tables."""
+
+    id: str
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (first cell is the row label)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"{self.id}: row has {len(cells)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(list(cells))
+
+    def cell(self, row_label: str, column: str) -> object:
+        """Look up one cell by row label and column name."""
+        try:
+            col_index = self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"{self.id}: no column {column!r}") from None
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[col_index]
+        raise KeyError(f"{self.id}: no row {row_label!r}")
+
+    def render(self) -> str:
+        """Render as aligned plain text."""
+        grid = [self.columns] + [[_fmt_cell(cell) for cell in row] for row in self.rows]
+        widths = [max(len(line[i]) for line in grid) for i in range(len(self.columns))]
+        lines = [f"{self.id}: {self.title}"]
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in grid[1:]:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+@dataclass
+class CdfFigure:
+    """A figure made of one or more empirical CDF curves."""
+
+    id: str
+    title: str
+    xlabel: str
+    series: dict[str, Cdf] = field(default_factory=dict)
+    log_x: bool = True
+
+    def add(self, name: str, cdf: Cdf) -> None:
+        """Add one curve; empty samples are kept (rendered as N=0)."""
+        self.series[name] = cdf
+
+    def render(self, quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)) -> str:
+        """Render each curve's key quantiles as text."""
+        lines = [f"{self.id}: {self.title}  [x: {self.xlabel}]"]
+        name_width = max((len(name) for name in self.series), default=4)
+        header = "curve".ljust(name_width) + "  N     " + "  ".join(
+            f"p{int(q * 100):<6}" for q in quantiles
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, cdf in self.series.items():
+            if not len(cdf):
+                lines.append(f"{name.ljust(name_width)}  0     (no samples)")
+                continue
+            values = "  ".join(f"{cdf.quantile(q):<7.4g}" for q in quantiles)
+            lines.append(f"{name.ljust(name_width)}  {len(cdf):<5d} {values}")
+        return "\n".join(lines)
+
+    def points(self, max_points: int = 120) -> dict[str, list[tuple[float, float]]]:
+        """Plot-ready (x, F(x)) points per curve."""
+        return {name: cdf.points(max_points) for name, cdf in self.series.items()}
+
+    def render_plot(self, width: int = 72, height: int = 18) -> str:
+        """Render the curves as an ASCII plot (see report.ascii_plot)."""
+        from .ascii_plot import plot_cdf_figure
+
+        return plot_cdf_figure(self, width=width, height=height)
+
+
+@dataclass
+class SeriesFigure:
+    """A figure of named point series (e.g. per-trace retransmission rates)."""
+
+    id: str
+    title: str
+    ylabel: str
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        self.series[name] = list(values)
+
+    def render(self) -> str:
+        lines = [f"{self.id}: {self.title}  [y: {self.ylabel}]"]
+        for name, values in self.series.items():
+            if not values:
+                lines.append(f"  {name}: (no points)")
+                continue
+            top = sorted(values, reverse=True)[:3]
+            mean = sum(values) / len(values)
+            lines.append(
+                f"  {name}: n={len(values)} mean={mean:.4g} "
+                f"max={top[0]:.4g} top3={[round(v, 4) for v in top]}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,437 @@
+"""Builders for every table in the paper (Tables 1-15).
+
+Each function takes analysis products and returns a :class:`Table` whose
+rows mirror the paper's layout.  Percentages are rendered with the same
+conventions the paper uses (sub-1% values keep one decimal).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..analysis.analyzers.backup import BackupReport
+from ..analysis.analyzers.email import EmailReport
+from ..analysis.analyzers.http import AUTO_CLASSES, HttpReport
+from ..analysis.analyzers.ncp import NcpReport
+from ..analysis.analyzers.nfs import NfsReport
+from ..analysis.analyzers.windows import WindowsReport
+from ..analysis.classify import CATEGORIES
+from ..analysis.engine import DatasetAnalysis
+from ..util.fmt import fmt_mb, fmt_pct
+from .categories import CategoryBreakdown
+from .model import Table
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "table14",
+    "table15",
+]
+
+_FULL_PAYLOAD_SETS = ("D0", "D3", "D4")
+
+
+def _dataset_columns(names) -> list[str]:
+    return ["row"] + list(names)
+
+
+def table1(
+    analyses: Mapping[str, DatasetAnalysis],
+    trace_meta: Mapping[str, dict],
+) -> Table:
+    """Table 1: dataset characteristics.
+
+    ``trace_meta`` carries per-dataset generation metadata: date,
+    duration, per-tap count, subnets, snaplen, and monitored-subnet host
+    sets (the analysis alone cannot know which subnets were tapped).
+    """
+    names = list(analyses)
+    table = Table("Table 1", "Dataset characteristics", _dataset_columns(names))
+    rows: dict[str, list[object]] = {
+        label: [] for label in (
+            "Date", "Duration", "Per Tap", "# Subnets", "# Packets",
+            "Snaplen", "Mon. Hosts", "LBNL Hosts", "Remote Hosts",
+        )
+    }
+    for name in names:
+        analysis = analyses[name]
+        meta = trace_meta[name]
+        internal_net = analysis.internal_net
+        internal: set[int] = set()
+        remote: set[int] = set()
+        monitored: set[int] = set()
+        subnets = meta.get("monitored_subnets", [])
+        for conn in analysis.conns:
+            for ip in (conn.orig_ip, conn.resp_ip):
+                if ip in internal_net:
+                    internal.add(ip)
+                    if any(ip in subnet for subnet in subnets):
+                        monitored.add(ip)
+                elif not (0xE0000000 <= ip <= 0xEFFFFFFF):
+                    remote.add(ip)
+        rows["Date"].append(meta.get("date", "?"))
+        rows["Duration"].append(meta.get("duration", "?"))
+        rows["Per Tap"].append(meta.get("per_tap", "?"))
+        rows["# Subnets"].append(meta.get("num_subnets", "?"))
+        rows["# Packets"].append(analysis.total_packets)
+        rows["Snaplen"].append(meta.get("snaplen", "?"))
+        rows["Mon. Hosts"].append(len(monitored))
+        rows["LBNL Hosts"].append(len(internal))
+        rows["Remote Hosts"].append(len(remote))
+    for label, cells in rows.items():
+        table.add_row(label, *cells)
+    return table
+
+
+def table2(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 2: network-layer protocol fractions."""
+    names = list(analyses)
+    table = Table("Table 2", "Network layer breakdown (packets)", _dataset_columns(names))
+    per_dataset = {name: analyses[name].l2_totals() for name in names}
+
+    def frac(name: str, key: str) -> float:
+        totals = per_dataset[name]
+        total = sum(totals.values())
+        return totals.get(key, 0) / total if total else 0.0
+
+    def non_ip_frac(name: str, key: str) -> float:
+        totals = per_dataset[name]
+        non_ip = sum(v for k, v in totals.items() if k != "ip")
+        return totals.get(key, 0) / non_ip if non_ip else 0.0
+
+    table.add_row("IP", *[fmt_pct(frac(n, "ip")) for n in names])
+    table.add_row("!IP", *[fmt_pct(1.0 - frac(n, "ip")) for n in names])
+    table.add_row("ARP", *[fmt_pct(non_ip_frac(n, "arp")) for n in names])
+    table.add_row("IPX", *[fmt_pct(non_ip_frac(n, "ipx")) for n in names])
+    table.add_row("Other", *[fmt_pct(non_ip_frac(n, "other")) for n in names])
+    return table
+
+
+def table3(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 3: transport breakdown — payload bytes and connections.
+
+    Computed over scan-filtered connections, as in the paper.
+    """
+    names = list(analyses)
+    table = Table("Table 3", "Transport breakdown (post scan-filter)", _dataset_columns(names))
+    stats = {}
+    for name in names:
+        bytes_by = {"tcp": 0, "udp": 0, "icmp": 0}
+        conns_by = {"tcp": 0, "udp": 0, "icmp": 0}
+        for conn in analyses[name].filtered_conns():
+            if conn.proto in bytes_by:
+                bytes_by[conn.proto] += conn.total_bytes
+                conns_by[conn.proto] += 1
+        stats[name] = (bytes_by, conns_by)
+    table.add_row(
+        "Bytes (GB)", *[f"{sum(stats[n][0].values()) / 1e9:.3f}" for n in names]
+    )
+    for proto in ("tcp", "udp", "icmp"):
+        table.add_row(
+            f"{proto.upper()} bytes",
+            *[
+                fmt_pct(stats[n][0][proto] / max(sum(stats[n][0].values()), 1))
+                for n in names
+            ],
+        )
+    table.add_row("Conns (K)", *[f"{sum(stats[n][1].values()) / 1e3:.2f}" for n in names])
+    for proto in ("tcp", "udp", "icmp"):
+        table.add_row(
+            f"{proto.upper()} conns",
+            *[
+                fmt_pct(stats[n][1][proto] / max(sum(stats[n][1].values()), 1))
+                for n in names
+            ],
+        )
+    # "We observe a number of additional transport protocols ... each of
+    # which make up only a slim portion of the traffic" (§3).
+    proto_names = {2: "IGMP", 47: "GRE", 50: "ESP", 103: "PIM", 224: "224"}
+    table.add_row(
+        "Other transports",
+        *[
+            ",".join(
+                proto_names.get(proto, str(proto))
+                for proto in sorted(analyses[n].other_transport_totals())
+            )
+            or "-"
+            for n in names
+        ],
+    )
+    return table
+
+
+def table4() -> Table:
+    """Table 4: application categories and constituent protocols (static)."""
+    table = Table("Table 4", "Application categories", ["category", "protocols"])
+    for category, protocols in CATEGORIES.items():
+        table.add_row(category, ", ".join(protocols))
+    return table
+
+
+def _http_reports(analyses: Mapping[str, DatasetAnalysis]) -> dict[str, HttpReport]:
+    return {
+        name: analysis.analyzer_results["http"]
+        for name, analysis in analyses.items()
+        if name in _FULL_PAYLOAD_SETS and "http" in analysis.analyzer_results
+    }
+
+
+def table6(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 6: internal HTTP traffic from automated clients."""
+    reports = _http_reports(analyses)
+    names = list(reports)
+    columns = ["row"] + [f"{n}/req" for n in names] + [f"{n}/data" for n in names]
+    table = Table("Table 6", "Automated internal HTTP clients", columns)
+    table.add_row(
+        "Total",
+        *[reports[n].internal_requests_total for n in names],
+        *[fmt_mb(reports[n].internal_bytes_total) for n in names],
+    )
+    for klass in AUTO_CLASSES:
+        table.add_row(
+            klass,
+            *[fmt_pct(reports[n].auto_request_fraction(klass)) for n in names],
+            *[fmt_pct(reports[n].auto_bytes_fraction(klass)) for n in names],
+        )
+    table.add_row(
+        "All",
+        *[
+            fmt_pct(sum(reports[n].auto_request_fraction(k) for k in AUTO_CLASSES))
+            for n in names
+        ],
+        *[
+            fmt_pct(sum(reports[n].auto_bytes_fraction(k) for k in AUTO_CLASSES))
+            for n in names
+        ],
+    )
+    return table
+
+
+def table7(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 7: HTTP replies by content type (range across datasets)."""
+    reports = _http_reports(analyses)
+    table = Table(
+        "Table 7",
+        "HTTP reply content types (min%-max% across datasets)",
+        ["type", "ent req", "wan req", "ent data", "wan data"],
+    )
+
+    def span(kind: str, where: str, by: str) -> str:
+        values = [
+            (report.internal if where == "ent" else report.wan).content_fraction(kind, by)
+            for report in reports.values()
+        ]
+        if not values:
+            return "-"
+        return f"{min(values) * 100:.0f}%-{max(values) * 100:.0f}%"
+
+    for kind in ("text", "image", "application", "other"):
+        table.add_row(
+            kind,
+            span(kind, "ent", "requests"),
+            span(kind, "wan", "requests"),
+            span(kind, "ent", "bytes"),
+            span(kind, "wan", "bytes"),
+        )
+    return table
+
+
+def table8(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 8: email traffic size by protocol."""
+    names = list(analyses)
+    table = Table("Table 8", "Email traffic size", _dataset_columns(names))
+    reports: dict[str, EmailReport] = {
+        name: analyses[name].analyzer_results["email"] for name in names
+    }
+    for label in ("SMTP", "SIMAP", "IMAP4"):
+        table.add_row(label, *[fmt_mb(reports[n].protocol_bytes(label)) for n in names])
+    table.add_row(
+        "Other",
+        *[
+            fmt_mb(
+                reports[n].total_bytes()
+                - sum(reports[n].protocol_bytes(k) for k in ("SMTP", "SIMAP", "IMAP4"))
+            )
+            for n in names
+        ],
+    )
+    return table
+
+
+def _windows_reports(analyses: Mapping[str, DatasetAnalysis]) -> dict[str, WindowsReport]:
+    return {
+        name: analysis.analyzer_results["windows"]
+        for name, analysis in analyses.items()
+        if name in _FULL_PAYLOAD_SETS and "windows" in analysis.analyzer_results
+    }
+
+
+def table9(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 9: Windows connection success rates by host-pairs."""
+    reports = _windows_reports(analyses)
+    table = Table(
+        "Table 9",
+        "Windows connection success (by host-pairs, internal traffic)",
+        ["row", "Netbios/SSN", "CIFS", "Endpoint Mapper"],
+    )
+    channels = ["Netbios/SSN", "CIFS", "Endpoint Mapper"]
+
+    def spans(metric: str) -> list[str]:
+        cells = []
+        for channel in channels:
+            values = [
+                getattr(report.success[channel], metric)
+                for report in reports.values()
+                if channel in report.success and report.success[channel].total
+            ]
+            if not values:
+                cells.append("-")
+            else:
+                cells.append(f"{min(values) * 100:.0f}%-{max(values) * 100:.0f}%")
+        return cells
+
+    totals = []
+    for channel in channels:
+        counts = [
+            report.success[channel].total
+            for report in reports.values()
+            if channel in report.success
+        ]
+        totals.append(f"{min(counts)}-{max(counts)}" if counts else "-")
+    table.add_row("Total pairs", *totals)
+    table.add_row("Successful", *spans("success_rate"))
+    table.add_row("Rejected", *spans("rejected_rate"))
+    table.add_row("Unanswered", *spans("unanswered_rate"))
+    return table
+
+
+def table10(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 10: CIFS command breakdown."""
+    reports = _windows_reports(analyses)
+    names = list(reports)
+    columns = ["row"] + [f"{n}/req" for n in names] + [f"{n}/data" for n in names]
+    table = Table("Table 10", "CIFS command breakdown", columns)
+    table.add_row(
+        "Total",
+        *[sum(reports[n].cifs_requests.values()) for n in names],
+        *[fmt_mb(sum(reports[n].cifs_bytes.values())) for n in names],
+    )
+    for category in ("SMB Basic", "RPC Pipes", "Windows File Sharing", "LANMAN", "Other"):
+        table.add_row(
+            category,
+            *[fmt_pct(reports[n].cifs_request_fraction(category)) for n in names],
+            *[fmt_pct(reports[n].cifs_bytes_fraction(category)) for n in names],
+        )
+    return table
+
+
+def table11(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 11: DCE/RPC function breakdown."""
+    reports = _windows_reports(analyses)
+    names = list(reports)
+    columns = ["row"] + [f"{n}/req" for n in names] + [f"{n}/data" for n in names]
+    table = Table("Table 11", "DCE/RPC function breakdown", columns)
+    table.add_row(
+        "Total",
+        *[sum(reports[n].rpc_requests.values()) for n in names],
+        *[fmt_mb(sum(reports[n].rpc_bytes.values())) for n in names],
+    )
+    for label in ("NetLogon", "LsaRPC", "Spoolss/WritePrinter", "Spoolss/other", "Other"):
+        table.add_row(
+            label,
+            *[fmt_pct(reports[n].rpc_request_fraction(label)) for n in names],
+            *[fmt_pct(reports[n].rpc_bytes_fraction(label)) for n in names],
+        )
+    return table
+
+
+def table12(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 12: NFS/NCP connection and byte volumes."""
+    names = list(analyses)
+    columns = ["row"] + [f"{n}/conns" for n in names] + [f"{n}/bytes" for n in names]
+    table = Table("Table 12", "NFS/NCP size", columns)
+    nfs: dict[str, NfsReport] = {n: analyses[n].analyzer_results["nfs"] for n in names}
+    ncp: dict[str, NcpReport] = {n: analyses[n].analyzer_results["ncp"] for n in names}
+    table.add_row(
+        "NFS",
+        *[nfs[n].conns for n in names],
+        *[fmt_mb(nfs[n].total_bytes) for n in names],
+    )
+    table.add_row(
+        "NCP",
+        *[ncp[n].conns for n in names],
+        *[fmt_mb(ncp[n].total_bytes) for n in names],
+    )
+    return table
+
+
+def table13(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 13: NFS request breakdown."""
+    names = [n for n in analyses if n in _FULL_PAYLOAD_SETS]
+    columns = ["row"] + [f"{n}/req" for n in names] + [f"{n}/data" for n in names]
+    table = Table("Table 13", "NFS request breakdown", columns)
+    reports: dict[str, NfsReport] = {n: analyses[n].analyzer_results["nfs"] for n in names}
+    table.add_row(
+        "Total",
+        *[sum(reports[n].requests_by_type.values()) for n in names],
+        *[fmt_mb(sum(reports[n].bytes_by_type.values())) for n in names],
+    )
+    for row in ("Read", "Write", "GetAttr", "LookUp", "Access", "Other"):
+        table.add_row(
+            row,
+            *[fmt_pct(reports[n].request_type_fraction(row)) for n in names],
+            *[fmt_pct(reports[n].bytes_type_fraction(row)) for n in names],
+        )
+    return table
+
+
+def table14(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 14: NCP request breakdown."""
+    names = [n for n in analyses if n in _FULL_PAYLOAD_SETS]
+    columns = ["row"] + [f"{n}/req" for n in names] + [f"{n}/data" for n in names]
+    table = Table("Table 14", "NCP request breakdown", columns)
+    reports: dict[str, NcpReport] = {n: analyses[n].analyzer_results["ncp"] for n in names}
+    table.add_row(
+        "Total",
+        *[sum(reports[n].requests_by_type.values()) for n in names],
+        *[fmt_mb(sum(reports[n].bytes_by_type.values())) for n in names],
+    )
+    rows = (
+        "Read", "Write", "FileDirInfo", "File Open/Close", "File Size",
+        "File Search", "Directory Service", "Other",
+    )
+    for row in rows:
+        table.add_row(
+            row,
+            *[fmt_pct(reports[n].request_type_fraction(row)) for n in names],
+            *[fmt_pct(reports[n].bytes_type_fraction(row)) for n in names],
+        )
+    return table
+
+
+def table15(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Table 15: backup applications (aggregated across datasets)."""
+    table = Table(
+        "Table 15", "Backup applications", ["application", "Connections", "Bytes"]
+    )
+    products = ("VERITAS-BACKUP-CTRL", "VERITAS-BACKUP-DATA", "DANTZ", "CONNECTED-BACKUP")
+    totals = {name: [0, 0] for name in products}
+    for analysis in analyses.values():
+        report: BackupReport = analysis.analyzer_results["backup"]
+        for product in products:
+            totals[product][0] += report.conns(product)
+            totals[product][1] += report.bytes(product)
+    for product in products:
+        conns, nbytes = totals[product]
+        table.add_row(product, conns, fmt_mb(nbytes))
+    return table

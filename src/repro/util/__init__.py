@@ -1,0 +1,52 @@
+"""Shared utilities: addresses, seeded RNG streams, statistics, sampling."""
+
+from .addr import Subnet, int_to_ip, int_to_mac, ip_to_int, is_broadcast, is_multicast, mac_to_int
+from .fmt import fmt_bytes, fmt_count, fmt_duration, fmt_mb, fmt_pct
+from .rng import SeedSequence, substream
+from .sampling import (
+    BoundedPareto,
+    Choice,
+    Constant,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    weighted_choice,
+    zipf_weights,
+)
+from .stats import Cdf, Summary, fraction_table, geometric_mean, summarize
+from .timeline import ByteTimeline
+
+__all__ = [
+    "Subnet",
+    "int_to_ip",
+    "int_to_mac",
+    "ip_to_int",
+    "is_broadcast",
+    "is_multicast",
+    "mac_to_int",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_duration",
+    "fmt_mb",
+    "fmt_pct",
+    "SeedSequence",
+    "substream",
+    "BoundedPareto",
+    "Choice",
+    "Constant",
+    "Distribution",
+    "Exponential",
+    "LogNormal",
+    "Mixture",
+    "Uniform",
+    "weighted_choice",
+    "zipf_weights",
+    "Cdf",
+    "Summary",
+    "fraction_table",
+    "geometric_mean",
+    "summarize",
+    "ByteTimeline",
+]

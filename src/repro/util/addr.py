@@ -1,0 +1,168 @@
+"""IPv4 and MAC address helpers.
+
+Addresses are carried as plain integers throughout the generator and the
+analysis engine (packets per trace run into the millions, so we avoid
+allocating an object per address).  This module holds the conversions and
+the subnet arithmetic built on top of the integer representation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "ip_to_bytes",
+    "bytes_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "is_multicast",
+    "is_broadcast",
+    "Subnet",
+]
+
+BROADCAST_IP = 0xFFFFFFFF
+_MULTICAST_LO = ip_base = 0xE0000000  # 224.0.0.0
+_MULTICAST_HI = 0xEFFFFFFF  # 239.255.255.255
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer.
+
+    >>> hex(ip_to_int("10.0.0.1"))
+    '0xa000001'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit address: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_to_bytes(value: int) -> bytes:
+    """Pack an integer IPv4 address into 4 network-order bytes."""
+    return struct.pack("!I", value)
+
+
+def bytes_to_ip(data: bytes) -> int:
+    """Unpack 4 network-order bytes into an integer IPv4 address."""
+    if len(data) != 4:
+        raise ValueError(f"need 4 bytes, got {len(data)}")
+    return struct.unpack("!I", data)[0]
+
+
+def mac_to_int(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` notation into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"not a MAC address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part, 16)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_mac(value: int) -> str:
+    """Render a 48-bit integer as colon-separated hex notation."""
+    if not 0 <= value <= 0xFFFFFFFFFFFF:
+        raise ValueError(f"not a 48-bit address: {value!r}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0))
+
+
+def mac_to_bytes(value: int) -> bytes:
+    """Pack an integer MAC address into 6 network-order bytes."""
+    return value.to_bytes(6, "big")
+
+
+def bytes_to_mac(data: bytes) -> int:
+    """Unpack 6 network-order bytes into an integer MAC address."""
+    if len(data) != 6:
+        raise ValueError(f"need 6 bytes, got {len(data)}")
+    return int.from_bytes(data, "big")
+
+
+def is_multicast(ip: int) -> bool:
+    """True for class-D (224/4) destinations."""
+    return _MULTICAST_LO <= ip <= _MULTICAST_HI
+
+
+def is_broadcast(ip: int) -> bool:
+    """True for the limited-broadcast address 255.255.255.255."""
+    return ip == BROADCAST_IP
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An IPv4 subnet expressed as ``network`` (int) and prefix length.
+
+    The generator allocates one :class:`Subnet` per monitored LBNL subnet
+    and hands out host addresses from it sequentially.
+    """
+
+    network: int
+    prefix: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix <= 32:
+            raise ValueError(f"bad prefix length: {self.prefix}")
+        if self.network & ~self.netmask:
+            raise ValueError(
+                f"network {int_to_ip(self.network)} has host bits set for /{self.prefix}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse ``a.b.c.d/nn`` notation."""
+        addr, _, prefix = text.partition("/")
+        if not prefix:
+            raise ValueError(f"missing prefix length: {text!r}")
+        return cls(ip_to_int(addr), int(prefix))
+
+    @property
+    def netmask(self) -> int:
+        """The subnet mask as a 32-bit integer."""
+        if self.prefix == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix)) & 0xFFFFFFFF
+
+    @property
+    def broadcast(self) -> int:
+        """The subnet's directed-broadcast address."""
+        return self.network | (~self.netmask & 0xFFFFFFFF)
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of assignable host addresses (excludes network/broadcast)."""
+        total = 1 << (32 - self.prefix)
+        return max(total - 2, 0)
+
+    def host(self, index: int) -> int:
+        """Return the ``index``-th assignable host address (0-based)."""
+        if not 0 <= index < self.num_hosts:
+            raise IndexError(f"host index {index} out of range for /{self.prefix}")
+        return self.network + 1 + index
+
+    def __contains__(self, ip: int) -> bool:
+        return (ip & self.netmask) == self.network
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.prefix}"

@@ -1,0 +1,67 @@
+"""Human-readable formatting for reported quantities.
+
+The reporting layer renders the paper's tables as aligned text; these
+helpers format byte counts, percentages, and counts the way the paper
+prints them (e.g. "13.12 GB", "66%", "0.16 M").
+"""
+
+from __future__ import annotations
+
+__all__ = ["fmt_bytes", "fmt_pct", "fmt_count", "fmt_mb", "fmt_duration"]
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary-ish magnitude suffix.
+
+    Uses decimal (1000-based) steps like the paper's MB/GB figures.
+    """
+    value = float(nbytes)
+    for unit in _BYTE_UNITS[:-1]:
+        if abs(value) < 1000:
+            return f"{value:.2f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1000.0
+    return f"{value:.2f} {_BYTE_UNITS[-1]}"
+
+
+def fmt_mb(nbytes: float) -> str:
+    """Format a byte count in whole megabytes, as in Tables 6-15."""
+    mb = nbytes / 1e6
+    if mb < 1:
+        return f"{mb:.1f}MB"
+    return f"{mb:.0f}MB"
+
+
+def fmt_pct(fraction: float, precision: int = 0) -> str:
+    """Format a 0..1 fraction as a percentage.
+
+    Mirrors the paper's convention of showing sub-1% values with a
+    decimal ("0.2%") while rounding larger values ("26%").
+    """
+    pct = fraction * 100.0
+    if 0 < pct < 1 and precision == 0:
+        return f"{pct:.1f}%"
+    return f"{pct:.{precision}f}%"
+
+
+def fmt_count(value: float) -> str:
+    """Format a count with K/M suffixes ("17.8M packets")."""
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.1f}K"
+    return f"{value:.0f}"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration using the largest sensible unit."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.1f} hr"

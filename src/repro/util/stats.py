@@ -1,0 +1,136 @@
+"""Empirical statistics used throughout the analysis and reporting layers.
+
+The paper reports most of its results either as fractions of a total or as
+empirical CDFs (Figures 2-8).  :class:`Cdf` is the reproduction's common
+currency for the latter; :func:`fraction_table` for the former.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["Cdf", "Summary", "summarize", "fraction_table", "geometric_mean"]
+
+
+class Cdf:
+    """An empirical cumulative distribution function.
+
+    Stores the sorted sample; evaluation is O(log n).  The ``n`` attribute
+    mirrors the ``N=`` annotations in the paper's figure keys.
+    """
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self._sorted = sorted(samples)
+        self.n = len(self._sorted)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __call__(self, x: float) -> float:
+        """Return P(X <= x); 0.0 for an empty sample."""
+        if not self.n:
+            return 0.0
+        return bisect.bisect_right(self._sorted, x) / self.n
+
+    def quantile(self, q: float) -> float:
+        """Return the q-th quantile (0 <= q <= 1) of the sample."""
+        if not self.n:
+            raise ValueError("quantile of empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if q == 1.0:
+            return self._sorted[-1]
+        return self._sorted[int(q * self.n)]
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        if not self.n:
+            raise ValueError("min of empty CDF")
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        if not self.n:
+            raise ValueError("max of empty CDF")
+        return self._sorted[-1]
+
+    def points(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """Return (x, F(x)) pairs suitable for plotting or text rendering.
+
+        Downsamples evenly in rank space so huge samples stay printable.
+        """
+        if not self.n:
+            return []
+        step = max(self.n // max_points, 1)
+        pts = [
+            (self._sorted[i], (i + 1) / self.n)
+            for i in range(0, self.n, step)
+        ]
+        if pts[-1][0] != self._sorted[-1]:
+            pts.append((self._sorted[-1], 1.0))
+        return pts
+
+    def samples(self) -> Sequence[float]:
+        """The sorted underlying sample (read-only view by convention)."""
+        return self._sorted
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus-mean summary of a sample."""
+
+    n: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``samples`` (must be non-empty)."""
+    cdf = Cdf(samples)
+    if not cdf.n:
+        raise ValueError("cannot summarize an empty sample")
+    data = cdf.samples()
+    return Summary(
+        n=cdf.n,
+        mean=sum(data) / cdf.n,
+        minimum=cdf.min,
+        p25=cdf.quantile(0.25),
+        median=cdf.median,
+        p75=cdf.quantile(0.75),
+        maximum=cdf.max,
+    )
+
+
+def fraction_table(counts: Mapping[str, float]) -> dict[str, float]:
+    """Normalize a {key: count} mapping into {key: fraction}.
+
+    An all-zero (or empty) input yields all-zero fractions rather than
+    raising, since empty traffic classes are routine in small traces.
+    """
+    total = sum(counts.values())
+    if total <= 0:
+        return {key: 0.0 for key in counts}
+    return {key: value / total for key, value in counts.items()}
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples."""
+    if not samples:
+        raise ValueError("geometric mean of empty sample")
+    if any(s <= 0 for s in samples):
+        raise ValueError("geometric mean requires positive samples")
+    return math.exp(sum(math.log(s) for s in samples) / len(samples))

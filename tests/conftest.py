@@ -1,0 +1,36 @@
+"""Shared fixtures: a small end-to-end study reused across test modules.
+
+Generating and analyzing traces takes seconds even at tiny scale, so the
+expensive fixtures are session-scoped and every test that needs realistic
+analysis output shares them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import run_study
+from repro.gen.topology import Enterprise
+
+
+@pytest.fixture(scope="session")
+def enterprise() -> Enterprise:
+    """A deterministic topology shared by generator tests."""
+    return Enterprise(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A quick two-dataset study (D0 full-payload, D1 header-only).
+
+    Twelve windows cover the mail/auth/NFS server subnets plus ordinary
+    client subnets, which keeps the category mix representative at this
+    tiny scale.
+    """
+    return run_study(seed=42, scale=0.004, datasets=("D0", "D1"), max_windows=12)
+
+
+@pytest.fixture(scope="session")
+def d3_study():
+    """A D3 study covering the router-1 vantage (print/DNS servers)."""
+    return run_study(seed=42, scale=0.006, datasets=("D3",), max_windows=10)

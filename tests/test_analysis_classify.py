@@ -1,0 +1,95 @@
+"""Tests for application classification (repro.analysis.classify)."""
+
+from repro.analysis.classify import (
+    CATEGORIES,
+    classify_conn,
+    classify_port,
+    is_known_service_port,
+)
+from repro.analysis.conn import ConnRecord
+
+
+def _conn(proto="tcp", resp_port=80, orig_port=40000, resp_ip=2, orig_ip=1):
+    return ConnRecord(
+        proto=proto, orig_ip=orig_ip, resp_ip=resp_ip,
+        orig_port=orig_port, resp_port=resp_port, first_ts=0.0, last_ts=1.0,
+    )
+
+
+class TestPortMap:
+    def test_table4_categories_complete(self):
+        expected = {
+            "backup", "bulk", "email", "interactive", "name", "net-file",
+            "net-mgnt", "streaming", "web", "windows", "misc",
+        }
+        assert set(CATEGORIES) == expected
+
+    def test_web(self):
+        assert classify_port("tcp", 80) == ("HTTP", "web")
+        assert classify_port("tcp", 443) == ("HTTPS", "web")
+
+    def test_email(self):
+        for port, name in ((25, "SMTP"), (143, "IMAP4"), (993, "IMAP/S"),
+                           (110, "POP3"), (995, "POP/S"), (389, "LDAP")):
+            assert classify_port("tcp", port) == (name, "email")
+
+    def test_name_services(self):
+        assert classify_port("udp", 53) == ("DNS", "name")
+        assert classify_port("udp", 137) == ("Netbios-NS", "name")
+        assert classify_port("udp", 427) == ("SrvLoc", "name")
+
+    def test_windows(self):
+        assert classify_port("tcp", 139) == ("Netbios-SSN", "windows")
+        assert classify_port("tcp", 445) == ("CIFS/SMB", "windows")
+        assert classify_port("tcp", 135) == ("DCE/RPC", "windows")
+
+    def test_net_file(self):
+        assert classify_port("tcp", 2049) == ("NFS", "net-file")
+        assert classify_port("udp", 2049) == ("NFS", "net-file")
+        assert classify_port("tcp", 524) == ("NCP", "net-file")
+
+    def test_backup(self):
+        assert classify_port("tcp", 497) == ("Dantz", "backup")
+        assert classify_port("tcp", 13720) == ("Veritas", "backup")
+        assert classify_port("tcp", 16384) == ("connected-backup", "backup")
+
+    def test_x11_range(self):
+        assert classify_port("tcp", 6000) == ("X11", "interactive")
+        assert classify_port("tcp", 6063) == ("X11", "interactive")
+        assert classify_port("tcp", 6064) is None
+
+    def test_unknown(self):
+        assert classify_port("tcp", 31337) is None
+        assert classify_port("udp", 31337) is None
+
+    def test_is_known(self):
+        assert is_known_service_port("tcp", 22)
+        assert not is_known_service_port("tcp", 31337)
+
+
+class TestClassifyConn:
+    def test_by_responder_port(self):
+        proto, category = classify_conn(_conn(resp_port=25))
+        assert (proto, category) == ("SMTP", "email")
+
+    def test_symmetric_port_falls_back_to_orig(self):
+        conn = _conn(proto="udp", resp_port=40000, orig_port=137)
+        assert classify_conn(conn) == ("Netbios-NS", "name")
+
+    def test_icmp(self):
+        assert classify_conn(_conn(proto="icmp", resp_port=0)) == ("ICMP", "icmp")
+
+    def test_other_fallback(self):
+        assert classify_conn(_conn(resp_port=31337, orig_port=31000)) == ("other", "other-tcp")
+        assert classify_conn(_conn(proto="udp", resp_port=31337, orig_port=31000)) == (
+            "other", "other-udp",
+        )
+
+    def test_dynamic_windows_endpoints(self):
+        conn = _conn(resp_port=1027, orig_port=40001, resp_ip=99)
+        assert classify_conn(conn)[1] == "other-tcp"
+        assert classify_conn(conn, {(99, 1027)}) == ("DCE/RPC", "windows")
+
+    def test_dynamic_endpoint_requires_ip_match(self):
+        conn = _conn(resp_port=1027, orig_port=40001, resp_ip=98)
+        assert classify_conn(conn, {(99, 1027)})[1] == "other-tcp"

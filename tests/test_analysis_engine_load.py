@@ -1,0 +1,154 @@
+"""Tests for the dataset analysis engine and load analysis (§6)."""
+
+import random
+
+from repro.analysis.engine import Analyzer, DatasetAnalyzer
+from repro.analysis.load import load_report
+from repro.gen.packetize import realize_all
+from repro.gen.session import AppEvent, Dir, TcpSession
+from repro.util.addr import ip_to_int
+
+_ENT_A = ip_to_int("131.243.1.40")
+_ENT_B = ip_to_int("131.243.8.8")
+_WAN = ip_to_int("66.35.250.10")
+
+
+def _bulk_session(client, server, nbytes, start=100.0, rtt=0.0005, loss=0.0, dport=13724):
+    return TcpSession(
+        client_ip=client, server_ip=server, client_mac=1, server_mac=2,
+        sport=53000, dport=dport, start=start, rtt=rtt, loss_rate=loss,
+        events=[AppEvent(0.0, Dir.C2S, b"\x00" * nbytes)],
+    )
+
+
+def _analyze(sessions, name="T", full_payload=True, analyzers=()):
+    engine = DatasetAnalyzer(name, full_payload=full_payload, analyzers=analyzers)
+    packets = list(realize_all(sessions, random.Random(8)))
+    engine.process_packets(packets, label="trace0")
+    return engine
+
+
+class TestDatasetAnalyzer:
+    def test_trace_stats_packets(self):
+        engine = _analyze([_bulk_session(_ENT_A, _ENT_B, 50_000)])
+        analysis = engine.finish()
+        assert analysis.total_packets == analysis.traces[0].packets > 30
+
+    def test_l2_counts_all_ip(self):
+        engine = _analyze([_bulk_session(_ENT_A, _ENT_B, 10_000)])
+        analysis = engine.finish()
+        totals = analysis.l2_totals()
+        assert totals["ip"] == analysis.total_packets
+
+    def test_utilization_timeline_built(self):
+        engine = _analyze([_bulk_session(_ENT_A, _ENT_B, 500_000)])
+        analysis = engine.finish()
+        assert analysis.traces[0].utilization is not None
+        assert analysis.traces[0].utilization_summary().maximum > 0
+
+    def test_retransmit_attribution_ent_vs_wan(self):
+        sessions = [
+            _bulk_session(_ENT_A, _ENT_B, 2_000_000, loss=0.05),
+            _bulk_session(_ENT_A, _WAN, 2_000_000, rtt=0.03, loss=0.0),
+        ]
+        engine = _analyze(sessions)
+        stats = engine.finish().traces[0]
+        assert stats.retransmits["ent"] > 0
+        assert stats.retransmits["wan"] == 0
+
+    def test_retransmit_rate_requires_1000_packets(self):
+        engine = _analyze([_bulk_session(_ENT_A, _ENT_B, 5_000)])
+        stats = engine.finish().traces[0]
+        assert stats.retransmit_rate("ent") is None
+
+    def test_scanner_detection_in_finish(self):
+        sweep = [
+            _bulk_session(_ENT_A, _ENT_B + offset, 10, start=100.0 + offset, dport=80)
+            for offset in range(60)
+        ]
+        engine = _analyze(sweep)
+        analysis = engine.finish()
+        assert _ENT_A in analysis.scanner_sources
+        assert analysis.removed_conns == 60
+        assert analysis.filtered_conns() == []
+
+    def test_known_scanners_passed_through(self):
+        engine = _analyze([_bulk_session(_ENT_A, _ENT_B, 1000)])
+        analysis = engine.finish(known_scanners=[_ENT_A])
+        assert _ENT_A in analysis.scanner_sources
+        assert analysis.filtered_conns() == []
+
+    def test_analyzers_receive_scanner_set(self):
+        class Probe(Analyzer):
+            name = "probe"
+
+            def result(self):
+                return set(self.scanners)
+
+        probe = Probe()
+        engine = _analyze([_bulk_session(_ENT_A, _ENT_B, 1000)], analyzers=[probe])
+        analysis = engine.finish(known_scanners=[12345])
+        assert analysis.analyzer_results["probe"] == {12345}
+
+    def test_multiple_traces_indexed(self):
+        engine = DatasetAnalyzer("T")
+        packets = list(realize_all([_bulk_session(_ENT_A, _ENT_B, 1000)], random.Random(1)))
+        engine.process_packets(packets, label="t0")
+        engine.process_packets(packets, label="t1")
+        analysis = engine.finish()
+        assert len(analysis.traces) == 2
+        assert {conn.trace_index for conn in analysis.conns} == {0, 1}
+
+
+class TestLoadReport:
+    def _stats(self, sessions):
+        engine = _analyze(sessions)
+        return engine.finish().traces
+
+    def test_peak_cdfs_ordering(self):
+        # Two bursts 15 s apart so the trace spans a 10-second window.
+        session = _bulk_session(_ENT_A, _ENT_B, 3_000_000)
+        session.events.append(AppEvent(15.0, Dir.C2S, b"\x00" * 1_000_000))
+        report = load_report(self._stats([session]))
+        peak_1s = report.peak_cdfs[1.0].max
+        peak_10s = report.peak_cdfs[10.0].max
+        assert peak_1s >= peak_10s > 0
+
+    def test_retransmit_rates_collected(self):
+        traces = self._stats([_bulk_session(_ENT_A, _ENT_B, 3_000_000, loss=0.03)])
+        report = load_report(traces)
+        assert report.retransmit_rates["ent"]
+        assert report.max_retransmit_rate("ent") > 0.001
+
+    def test_fraction_above(self):
+        traces = self._stats([_bulk_session(_ENT_A, _ENT_B, 3_000_000, loss=0.08)])
+        report = load_report(traces)
+        assert report.fraction_above("ent", 0.005) == 1.0
+        assert report.fraction_above("wan", 0.005) == 0.0
+
+    def test_empty_traces(self):
+        report = load_report([])
+        assert report.retransmit_rates == {"ent": [], "wan": []}
+
+
+class TestMinorTransports:
+    def test_minor_ip_protocols_counted(self):
+        from repro.net.ethernet import EthernetFrame
+        from repro.net.ipv4 import Ipv4Packet, PROTO_IGMP, PROTO_GRE
+        from repro.net.packet import CapturedPacket
+
+        engine = DatasetAnalyzer("T")
+        packets = []
+        for proto in (PROTO_IGMP, PROTO_IGMP, PROTO_GRE):
+            ip = Ipv4Packet(src_ip=_ENT_A, dst_ip=_ENT_B, proto=proto,
+                            payload=b"\x00" * 8)
+            frame = EthernetFrame(dst_mac=1, src_mac=2, ethertype=0x0800,
+                                  payload=ip.encode())
+            data = frame.encode()
+            packets.append(CapturedPacket(ts=1.0, data=data, wire_len=len(data)))
+        engine.process_packets(packets, label="t")
+        analysis = engine.finish()
+        totals = analysis.other_transport_totals()
+        assert totals[PROTO_IGMP] == 2
+        assert totals[PROTO_GRE] == 1
+        assert analysis.conns == []  # no flows for minor transports

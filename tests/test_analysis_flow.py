@@ -1,0 +1,157 @@
+"""Tests for the flow table (repro.analysis.flow)."""
+
+import random
+
+import pytest
+
+from repro.analysis.conn import ConnState
+from repro.analysis.flow import FlowTable
+from repro.gen.packetize import realize_session
+from repro.gen.session import AppEvent, Dir, Outcome, TcpSession, UdpExchange
+from repro.net.icmp import ICMP_ECHO_REPLY, ICMP_ECHO_REQUEST
+from repro.net.packet import decode_packet, make_icmp_packet, make_udp_packet
+
+
+def _run_tcp_session(**kwargs):
+    base = dict(
+        client_ip=0x83F30101, server_ip=0x83F30201, client_mac=1, server_mac=2,
+        sport=44000, dport=80, start=10.0, rtt=0.001, loss_rate=0.0,
+    )
+    base.update(kwargs)
+    session = TcpSession(**base)
+    table = FlowTable(collect_payload=True)
+    for pkt in realize_session(session, random.Random(4)):
+        table.process(decode_packet(pkt))
+    return table.flush()
+
+
+class TestTcpFlows:
+    def test_single_connection_single_record(self):
+        results = _run_tcp_session(events=[AppEvent(0.0, Dir.C2S, b"GET /\r\n\r\n")])
+        assert len(results) == 1
+        record = results[0].record
+        assert record.proto == "tcp"
+        assert record.orig_ip == 0x83F30101
+        assert record.resp_port == 80
+        assert record.state == ConnState.SF
+
+    def test_byte_accounting(self):
+        results = _run_tcp_session(events=[
+            AppEvent(0.0, Dir.C2S, b"q" * 700),
+            AppEvent(0.01, Dir.S2C, b"r" * 9000),
+        ])
+        record = results[0].record
+        assert record.orig_bytes == 700
+        assert record.resp_bytes == 9000
+
+    def test_stream_collection_for_web_port(self):
+        results = _run_tcp_session(events=[
+            AppEvent(0.0, Dir.C2S, b"GET / HTTP/1.1\r\n\r\n"),
+            AppEvent(0.01, Dir.S2C, b"HTTP/1.1 200 OK\r\n\r\n"),
+        ])
+        result = results[0]
+        assert result.orig_stream == b"GET / HTTP/1.1\r\n\r\n"
+        assert result.resp_stream == b"HTTP/1.1 200 OK\r\n\r\n"
+
+    def test_stream_not_collected_for_unknown_port(self):
+        results = _run_tcp_session(
+            dport=34567, events=[AppEvent(0.0, Dir.C2S, b"opaque")]
+        )
+        assert results[0].orig_stream == b""
+
+    def test_rejected_connection_state(self):
+        results = _run_tcp_session(outcome=Outcome.REJECTED)
+        assert results[0].record.state == ConnState.REJ
+        assert results[0].record.attempt_failed
+
+    def test_unanswered_connection_state(self):
+        results = _run_tcp_session(outcome=Outcome.UNANSWERED)
+        assert results[0].record.state == ConnState.S0
+
+    def test_keepalive_retransmits_tracked(self):
+        results = _run_tcp_session(
+            events=[AppEvent(0.0, Dir.C2S, b"x" * 100)],
+            keepalive_interval=5.0, keepalive_count=4, close="none",
+        )
+        record = results[0].record
+        assert record.keepalive_retransmits == 4
+        assert record.retransmits == 0
+
+    def test_orientation_from_syn(self):
+        """Even though the server's port is unknown (34567), the SYN
+        sender is the originator."""
+        results = _run_tcp_session(dport=34567)
+        assert results[0].record.orig_port == 44000
+
+
+class TestUdpFlows:
+    def test_exchange_is_one_flow(self):
+        table = FlowTable()
+        for i in range(6):
+            table.process(decode_packet(make_udp_packet(
+                10.0 + i, 1, 2, 0x83F30101, 0x83F30201, 40000, 53, b"q",
+            )))
+        results = table.flush()
+        assert len(results) == 1
+        assert results[0].record.orig_pkts == 6
+
+    def test_reply_counts_as_responder(self):
+        table = FlowTable()
+        table.process(decode_packet(make_udp_packet(1.0, 1, 2, 10, 20, 40000, 53, b"q" * 30)))
+        table.process(decode_packet(make_udp_packet(1.1, 2, 1, 20, 10, 53, 40000, b"r" * 90)))
+        (result,) = table.flush()
+        assert result.record.orig_bytes == 30
+        assert result.record.resp_bytes == 90
+
+    def test_timeout_splits_flows(self):
+        table = FlowTable()
+        table.process(decode_packet(make_udp_packet(1.0, 1, 2, 10, 20, 40000, 53, b"a")))
+        table.process(decode_packet(make_udp_packet(500.0, 1, 2, 10, 20, 40000, 53, b"b")))
+        results = table.flush()
+        assert len(results) == 2
+
+    def test_service_port_orients_flow(self):
+        """Seeing only the reply, the DNS port marks its sender as responder."""
+        table = FlowTable()
+        table.process(decode_packet(make_udp_packet(1.0, 2, 1, 20, 10, 53, 40000, b"r")))
+        (result,) = table.flush()
+        assert result.record.resp_port == 53
+        assert result.record.orig_ip == 10
+
+    def test_observer_called_per_datagram(self):
+        seen = []
+        table = FlowTable(udp_observer=lambda rec, fo, pkt: seen.append((fo, pkt.payload)))
+        table.process(decode_packet(make_udp_packet(1.0, 1, 2, 10, 20, 40000, 53, b"q")))
+        table.process(decode_packet(make_udp_packet(1.1, 2, 1, 20, 10, 53, 40000, b"r")))
+        assert seen == [(True, b"q"), (False, b"r")]
+
+
+class TestIcmpFlows:
+    def test_echo_pair_one_flow(self):
+        table = FlowTable()
+        table.process(decode_packet(make_icmp_packet(1.0, 1, 2, 10, 20, ICMP_ECHO_REQUEST, ident=7)))
+        table.process(decode_packet(make_icmp_packet(1.1, 2, 1, 20, 10, ICMP_ECHO_REPLY, ident=7)))
+        results = table.flush()
+        assert len(results) == 1
+        record = results[0].record
+        assert record.proto == "icmp"
+        assert record.orig_ip == 10
+        assert record.orig_pkts == 1
+        assert record.resp_pkts == 1
+
+    def test_sweep_creates_flow_per_target(self):
+        table = FlowTable()
+        for target in range(30):
+            table.process(decode_packet(make_icmp_packet(
+                1.0 + target, 1, 2, 999, 1000 + target, ICMP_ECHO_REQUEST,
+            )))
+        assert len(table.flush()) == 30
+
+
+class TestNonIp:
+    def test_arp_ignored_by_flow_table(self):
+        from repro.net.packet import make_arp_packet
+
+        table = FlowTable()
+        table.process(decode_packet(make_arp_packet(1.0, 1, 0xFFFFFFFFFFFF, 1, 1, 10, 0, 20)))
+        assert table.flush() == []

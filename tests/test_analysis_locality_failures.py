@@ -1,0 +1,148 @@
+"""Tests for locality/origin analysis and host-pair success accounting."""
+
+from repro.analysis.conn import ConnRecord, ConnState, Locality, locality_of
+from repro.analysis.failures import host_pair_success, raw_connection_success
+from repro.analysis.locality import fan_stats, origin_breakdown
+from repro.util.addr import ip_to_int
+
+_ENT_A = ip_to_int("131.243.1.10")
+_ENT_B = ip_to_int("131.243.2.20")
+_ENT_C = ip_to_int("131.243.3.30")
+_WAN_X = ip_to_int("8.8.8.8")
+_MCAST = ip_to_int("224.2.127.254")
+
+
+def _conn(orig, resp, state=ConnState.SF, orig_port=40000, resp_port=80):
+    return ConnRecord(
+        proto="tcp", orig_ip=orig, resp_ip=resp, orig_port=orig_port,
+        resp_port=resp_port, first_ts=0.0, last_ts=1.0, state=state,
+    )
+
+
+class TestLocality:
+    def test_ent_ent(self):
+        assert locality_of(_ENT_A, _ENT_B) == Locality.ENT_ENT
+
+    def test_ent_wan(self):
+        assert locality_of(_ENT_A, _WAN_X) == Locality.ENT_WAN
+
+    def test_wan_ent(self):
+        assert locality_of(_WAN_X, _ENT_A) == Locality.WAN_ENT
+
+    def test_multicast_internal_source(self):
+        assert locality_of(_ENT_A, _MCAST) == Locality.MCAST_INT
+
+    def test_multicast_external_source(self):
+        assert locality_of(_WAN_X, _MCAST) == Locality.MCAST_EXT
+
+    def test_broadcast_treated_as_multicast_class(self):
+        assert locality_of(_ENT_A, 0xFFFFFFFF) == Locality.MCAST_INT
+
+    def test_conn_helpers(self):
+        conn = _conn(_ENT_A, _WAN_X)
+        assert conn.involves_wan()
+        assert not _conn(_ENT_A, _ENT_B).involves_wan()
+
+
+class TestOriginBreakdown:
+    def test_fractions(self):
+        conns = (
+            [_conn(_ENT_A, _ENT_B)] * 7
+            + [_conn(_ENT_A, _WAN_X)] * 2
+            + [_conn(_WAN_X, _ENT_A)] * 1
+        )
+        breakdown = origin_breakdown(conns)
+        assert breakdown.fraction(Locality.ENT_ENT) == 0.7
+        assert breakdown.fraction(Locality.ENT_WAN) == 0.2
+        assert breakdown.fraction(Locality.WAN_ENT) == 0.1
+
+    def test_empty(self):
+        assert origin_breakdown([]).fraction(Locality.ENT_ENT) == 0.0
+
+
+class TestFanStats:
+    def test_fan_out_counts_distinct_responders(self):
+        conns = [
+            _conn(_ENT_A, _ENT_B),
+            _conn(_ENT_A, _ENT_B),  # duplicate peer
+            _conn(_ENT_A, _ENT_C),
+            _conn(_ENT_A, _WAN_X),
+        ]
+        stats = fan_stats(conns)
+        assert stats.fan_out_ent.max == 2
+        assert stats.fan_out_wan.max == 1
+
+    def test_fan_in_counts_distinct_originators(self):
+        conns = [_conn(_ENT_A, _ENT_C), _conn(_ENT_B, _ENT_C)]
+        stats = fan_stats(conns)
+        assert stats.fan_in_ent.max == 2
+
+    def test_only_internal_fractions(self):
+        conns = [
+            _conn(_ENT_A, _ENT_B),  # A: internal-only fan-out
+            _conn(_ENT_C, _ENT_B),
+            _conn(_ENT_C, _WAN_X),  # C: mixed fan-out
+        ]
+        stats = fan_stats(conns)
+        assert stats.only_internal_fan_out == 0.5
+
+    def test_wan_originators_not_counted_as_monitored_fanout(self):
+        conns = [_conn(_WAN_X, _ENT_A)]
+        stats = fan_stats(conns)
+        assert len(stats.fan_out_ent) == 0
+        assert stats.fan_in_wan.max == 1
+
+
+class TestHostPairSuccess:
+    def test_pair_scored_once(self):
+        conns = [_conn(_ENT_A, _ENT_B, ConnState.SF)] * 10
+        outcome = host_pair_success(conns)
+        assert outcome.total == 1
+        assert outcome.successful == 1
+
+    def test_retry_storm_counts_one_failed_pair(self):
+        """The NCP scenario: endless rejected retries = ONE failed pair."""
+        conns = [_conn(_ENT_A, _ENT_B, ConnState.REJ)] * 50 + [
+            _conn(_ENT_A, _ENT_C, ConnState.SF)
+        ]
+        outcome = host_pair_success(conns)
+        assert outcome.total == 2
+        assert outcome.successful == 1
+        assert outcome.rejected == 1
+        assert outcome.success_rate == 0.5
+
+    def test_raw_metric_skewed_by_retries(self):
+        """The ablation: the naive metric collapses under retry storms."""
+        conns = [_conn(_ENT_A, _ENT_B, ConnState.REJ)] * 50 + [
+            _conn(_ENT_A, _ENT_C, ConnState.SF)
+        ]
+        raw = raw_connection_success(conns)
+        pair = host_pair_success(conns)
+        assert raw.success_rate < 0.05
+        assert pair.success_rate == 0.5
+
+    def test_majority_outcome_wins(self):
+        conns = [_conn(_ENT_A, _ENT_B, ConnState.SF)] * 3 + [
+            _conn(_ENT_A, _ENT_B, ConnState.REJ)
+        ]
+        outcome = host_pair_success(conns)
+        assert outcome.successful == 1
+
+    def test_unanswered_pairs(self):
+        conns = [_conn(_ENT_A, _ENT_B, ConnState.S0)] * 3
+        outcome = host_pair_success(conns)
+        assert outcome.unanswered == 1
+        assert outcome.unanswered_rate == 1.0
+
+    def test_select_filter(self):
+        conns = [
+            _conn(_ENT_A, _ENT_B, ConnState.SF, resp_port=445),
+            _conn(_ENT_A, _ENT_B, ConnState.REJ, resp_port=139),
+        ]
+        outcome = host_pair_success(conns, select=lambda c: c.resp_port == 445)
+        assert outcome.total == 1
+        assert outcome.successful == 1
+
+    def test_empty(self):
+        outcome = host_pair_success([])
+        assert outcome.success_rate == 0.0

@@ -1,0 +1,142 @@
+"""Tests for the extension analyses: host roles and scan characterization."""
+
+from repro.analysis.conn import ConnRecord, ConnState
+from repro.analysis.roles import classify_roles
+from repro.analysis.scans import characterize_scanners
+from repro.util.addr import ip_to_int
+
+_SERVER = ip_to_int("131.243.5.5")
+_WAN = ip_to_int("8.8.8.8")
+
+
+def _client(i: int) -> int:
+    return ip_to_int("131.243.1.0") + 1 + i
+
+
+def _conn(orig, resp, resp_port=25, state=ConnState.SF, proto="tcp",
+          ts=0.0, resp_bytes=100):
+    return ConnRecord(
+        proto=proto, orig_ip=orig, resp_ip=resp, orig_port=40000,
+        resp_port=resp_port, first_ts=ts, last_ts=ts + 0.1, state=state,
+        orig_bytes=50, resp_bytes=resp_bytes,
+    )
+
+
+class TestRoleClassification:
+    def test_server_detected_from_distinct_clients(self):
+        conns = [_conn(_client(i), _SERVER, 25) for i in range(8)]
+        report = classify_roles(conns)
+        profile = report.profiles[_SERVER]
+        assert "smtp-server" in profile.roles
+        assert profile.kind == "server"
+
+    def test_few_clients_not_a_server(self):
+        conns = [_conn(_client(i), _SERVER, 25) for i in range(3)]
+        report = classify_roles(conns)
+        assert report.profiles[_SERVER].roles == []
+
+    def test_repeat_clients_counted_once(self):
+        conns = [_conn(_client(0), _SERVER, 25) for _ in range(50)]
+        report = classify_roles(conns)
+        assert report.profiles[_SERVER].served["SMTP"] == 1
+
+    def test_rejected_probes_do_not_create_servers(self):
+        """A scanner's rejected probes must not make hosts look like
+        servers."""
+        conns = [
+            _conn(_client(0), _SERVER + i, 445, state=ConnState.REJ)
+            for i in range(60)
+        ]
+        report = classify_roles(conns)
+        assert all(not p.roles for ip, p in report.profiles.items() if ip != _client(0))
+
+    def test_client_kind_from_fanout(self):
+        conns = [_conn(_client(0), _SERVER + i, 80) for i in range(5)]
+        report = classify_roles(conns)
+        assert report.profiles[_client(0)].kind == "client"
+
+    def test_mixed_kind(self):
+        conns = [_conn(_client(i), _SERVER, 53, proto="udp") for i in range(8)]
+        conns += [_conn(_SERVER, _WAN + i, 53, proto="udp") for i in range(5)]
+        report = classify_roles(conns)
+        assert report.profiles[_SERVER].kind == "mixed"
+
+    def test_wan_hosts_not_profiled(self):
+        conns = [_conn(_WAN, _SERVER, 25)]
+        report = classify_roles(conns)
+        assert _WAN not in report.profiles
+
+    def test_servers_for_ordering(self):
+        busy, quiet = _SERVER, _SERVER + 1
+        conns = [_conn(_client(i), busy, 80) for i in range(20)]
+        conns += [_conn(_client(i), quiet, 80) for i in range(6)]
+        report = classify_roles(conns)
+        ranked = report.servers_for("HTTP")
+        assert [p.ip for p in ranked] == [busy, quiet]
+
+    def test_kind_counts(self):
+        conns = [_conn(_client(i), _SERVER, 25) for i in range(8)]
+        counts = classify_roles(conns).kind_counts()
+        assert counts["server"] == 1
+        assert counts["quiet"] == 8  # single-peer clients are quiet
+
+
+class TestScanCharacterization:
+    def _sweep(self, source, count=60, port=445, state=ConnState.REJ, proto="tcp"):
+        return [
+            _conn(source, ip_to_int("131.243.9.0") + i, port, state=state,
+                  proto=proto, ts=i * 0.05, resp_bytes=0)
+            for i in range(count)
+        ]
+
+    def test_profile_built(self):
+        scanner = ip_to_int("131.243.2.99")
+        report = characterize_scanners(self._sweep(scanner))
+        profile = report.profiles[scanner]
+        assert profile.distinct_targets == 60
+        assert profile.conns == 60
+        assert profile.outcomes["REJ"] == 60
+        assert profile.ports[445] == 60
+        assert not profile.is_icmp_scanner
+
+    def test_probe_rate(self):
+        scanner = ip_to_int("131.243.2.99")
+        report = characterize_scanners(self._sweep(scanner))
+        # 60 probes over ~3 seconds.
+        assert 10 < report.profiles[scanner].probe_rate < 40
+
+    def test_icmp_scanner_flagged(self):
+        scanner = _WAN
+        report = characterize_scanners(self._sweep(scanner, proto="icmp", state=ConnState.EST))
+        assert report.profiles[scanner].is_icmp_scanner
+
+    def test_engaged_services_tracked(self):
+        """§3: scanners engage otherwise-idle services."""
+        scanner = ip_to_int("131.243.2.99")
+        conns = self._sweep(scanner, count=59)
+        conns.append(_conn(scanner, ip_to_int("131.243.9.200"), 445,
+                           state=ConnState.SF, ts=99.0, resp_bytes=300))
+        report = characterize_scanners(conns)
+        assert 445 in report.engaged_service_ports()
+        assert report.profiles[scanner].answered_fraction > 0
+
+    def test_removed_fraction(self):
+        scanner = ip_to_int("131.243.2.99")
+        conns = self._sweep(scanner) + [
+            _conn(_client(i), _SERVER, 25) for i in range(60)
+        ]
+        report = characterize_scanners(conns)
+        assert report.removed_fraction == 0.5
+
+    def test_known_scanner_profiled_even_below_threshold(self):
+        scanner = ip_to_int("131.243.2.99")
+        conns = self._sweep(scanner, count=10)
+        report = characterize_scanners(conns, known_scanners=[scanner])
+        assert report.profiles[scanner].conns == 10
+
+    def test_by_extent_ordering(self):
+        wide = ip_to_int("131.243.2.99")
+        narrow = ip_to_int("131.243.2.98")
+        conns = self._sweep(wide, count=80) + self._sweep(narrow, count=55)
+        report = characterize_scanners(conns)
+        assert [p.source for p in report.by_extent()] == [wide, narrow]

@@ -1,0 +1,85 @@
+"""Tests for the §3 scanner heuristic (repro.analysis.scanfilter)."""
+
+from repro.analysis.conn import ConnRecord
+from repro.analysis.scanfilter import filter_scanners, find_scanners
+
+
+def _conn(orig, resp, ts):
+    return ConnRecord(
+        proto="tcp", orig_ip=orig, resp_ip=resp, orig_port=40000, resp_port=80,
+        first_ts=ts, last_ts=ts + 0.1,
+    )
+
+
+def _sweep(source, base, count, ascending=True, start_ts=0.0):
+    """A scanner contacting `count` hosts in address order."""
+    targets = range(count) if ascending else range(count - 1, -1, -1)
+    return [
+        _conn(source, base + offset, start_ts + i * 0.1)
+        for i, offset in enumerate(targets)
+    ]
+
+
+class TestHeuristic:
+    def test_ascending_sweep_detected(self):
+        conns = _sweep(999, 10_000, 60)
+        assert find_scanners(conns) == {999}
+
+    def test_descending_sweep_detected(self):
+        conns = _sweep(999, 10_000, 60, ascending=False)
+        assert find_scanners(conns) == {999}
+
+    def test_below_host_threshold_not_detected(self):
+        conns = _sweep(999, 10_000, 50)  # needs MORE than 50
+        assert find_scanners(conns) == set()
+
+    def test_random_order_not_detected(self):
+        import random
+
+        rng = random.Random(1)
+        offsets = list(range(80))
+        rng.shuffle(offsets)
+        conns = [_conn(999, 10_000 + off, i * 0.1) for i, off in enumerate(offsets)]
+        assert find_scanners(conns) == set()
+
+    def test_busy_server_not_flagged(self):
+        """A server contacted *by* many hosts is not a scanner."""
+        conns = [_conn(10_000 + i, 555, i * 0.1) for i in range(100)]
+        assert find_scanners(conns) == set()
+
+    def test_mostly_ordered_with_noise_detected(self):
+        """>=45 in-order contacts suffice even with stragglers after."""
+        conns = _sweep(999, 10_000, 55)
+        conns.append(_conn(999, 9_000, 100.0))
+        conns.append(_conn(999, 30_000, 101.0))
+        assert find_scanners(conns) == {999}
+
+    def test_known_scanners_always_included(self):
+        assert find_scanners([], known_scanners=[42]) == {42}
+
+    def test_repeat_contacts_use_first_time(self):
+        conns = _sweep(999, 10_000, 60)
+        # Re-contact earlier targets later; must not break detection.
+        conns += [_conn(999, 10_000 + i, 1000.0 + i) for i in range(5)]
+        assert find_scanners(conns) == {999}
+
+
+class TestFilter:
+    def test_removes_scanner_traffic(self):
+        scanner_conns = _sweep(999, 10_000, 60)
+        normal = [_conn(1, 2, 0.5), _conn(3, 4, 0.6)]
+        result = filter_scanners(scanner_conns + normal)
+        assert result.scanners == {999}
+        assert result.removed == 60
+        assert len(result.kept) == 2
+
+    def test_removed_fraction(self):
+        scanner_conns = _sweep(999, 10_000, 60)
+        normal = [_conn(i, i + 1, 0.1) for i in range(140)]
+        result = filter_scanners(scanner_conns + normal)
+        assert result.removed_fraction == 60 / 200
+
+    def test_empty_input(self):
+        result = filter_scanners([])
+        assert result.removed_fraction == 0.0
+        assert result.kept == []

@@ -1,0 +1,158 @@
+"""Tests for TCP flow state (repro.analysis.tcpstate)."""
+
+from repro.analysis.conn import ConnState
+from repro.analysis.tcpstate import TcpDirectionState, TcpFlowState
+from repro.net.tcp import ACK, FIN, PSH, RST, SYN
+
+
+def _segment(state: TcpFlowState, from_orig: bool, seq: int, flags: int, payload: bytes = b""):
+    state.on_segment(from_orig, seq, flags, payload, len(payload))
+
+
+class TestHandshakeStates:
+    def test_full_handshake(self):
+        state = TcpFlowState()
+        _segment(state, True, 100, SYN)
+        _segment(state, False, 500, SYN | ACK)
+        _segment(state, True, 101, ACK)
+        assert state.established
+        assert state.final_state() == ConnState.EST
+
+    def test_clean_close(self):
+        state = TcpFlowState()
+        _segment(state, True, 100, SYN)
+        _segment(state, False, 500, SYN | ACK)
+        _segment(state, True, 101, ACK)
+        _segment(state, True, 101, FIN | ACK)
+        _segment(state, False, 501, FIN | ACK)
+        _segment(state, True, 103, ACK)
+        assert state.final_state() == ConnState.SF
+
+    def test_rejected(self):
+        state = TcpFlowState()
+        _segment(state, True, 100, SYN)
+        _segment(state, False, 0, RST | ACK)
+        assert state.final_state() == ConnState.REJ
+        assert not state.established
+
+    def test_unanswered(self):
+        state = TcpFlowState()
+        for _ in range(3):
+            _segment(state, True, 100, SYN)
+        assert state.final_state() == ConnState.S0
+
+    def test_reset_after_established(self):
+        state = TcpFlowState()
+        _segment(state, True, 100, SYN)
+        _segment(state, False, 500, SYN | ACK)
+        _segment(state, True, 101, RST | ACK)
+        assert state.final_state() == ConnState.RSTO
+
+    def test_midstream_pickup(self):
+        state = TcpFlowState()
+        _segment(state, True, 5000, ACK | PSH, b"data")
+        assert state.final_state() == ConnState.OTH
+        assert state.established  # data flowing implies it was established
+
+
+class TestRetransmissionDetection:
+    def _established(self, collect=False) -> TcpFlowState:
+        state = TcpFlowState(collect)
+        _segment(state, True, 100, SYN)
+        _segment(state, False, 500, SYN | ACK)
+        _segment(state, True, 101, ACK)
+        return state
+
+    def test_no_retransmits_in_order(self):
+        state = self._established()
+        _segment(state, True, 101, ACK, b"a" * 100)
+        _segment(state, True, 201, ACK, b"b" * 100)
+        assert state.orig.retransmits == 0
+
+    def test_duplicate_segment_counted(self):
+        state = self._established()
+        _segment(state, True, 101, ACK | PSH, b"a" * 100)
+        _segment(state, True, 101, ACK | PSH, b"a" * 100)
+        assert state.orig.retransmits == 1
+        assert state.orig.retransmit_bytes == 100
+
+    def test_keepalive_counted_separately(self):
+        """A 1-byte probe just below next_seq is a keep-alive, not loss."""
+        state = self._established()
+        _segment(state, True, 101, ACK, b"data")
+        _segment(state, True, 104, ACK, b"\x00")  # seq = next_seq - 1
+        assert state.orig.keepalive_retransmits == 1
+        assert state.orig.retransmits == 0
+
+    def test_one_byte_deep_retransmit_not_keepalive(self):
+        state = self._established()
+        _segment(state, True, 101, ACK, b"0123456789")
+        _segment(state, True, 101, ACK, b"\x00")  # 1 byte but 10 below next
+        assert state.orig.keepalive_retransmits == 0
+        assert state.orig.retransmits == 1
+
+    def test_directions_tracked_independently(self):
+        state = self._established()
+        _segment(state, False, 501, ACK, b"x" * 50)
+        _segment(state, False, 501, ACK, b"x" * 50)
+        assert state.resp.retransmits == 1
+        assert state.orig.retransmits == 0
+
+
+class TestStreamReassembly:
+    def _established(self) -> TcpFlowState:
+        state = TcpFlowState(collect_stream=True)
+        _segment(state, True, 100, SYN)
+        _segment(state, False, 500, SYN | ACK)
+        _segment(state, True, 101, ACK)
+        return state
+
+    def test_in_order_stream(self):
+        state = self._established()
+        _segment(state, True, 101, ACK, b"hello ")
+        _segment(state, True, 107, ACK | PSH, b"world")
+        assert bytes(state.orig.stream) == b"hello world"
+        assert not state.orig.stream_gap
+
+    def test_retransmission_not_duplicated_in_stream(self):
+        state = self._established()
+        _segment(state, True, 101, ACK, b"abc")
+        _segment(state, True, 101, ACK, b"abc")
+        assert bytes(state.orig.stream) == b"abc"
+
+    def test_snaplen_truncation_padded(self):
+        """Capture-truncated payload tails become zero padding so framing
+        offsets stay correct (the snaplen-1500 artifact)."""
+        state = self._established()
+        state.on_segment(True, 101, ACK, b"abcd", 10)  # 6 bytes missing
+        state.on_segment(True, 111, ACK, b"tail", 4)
+        assert bytes(state.orig.stream) == b"abcd" + b"\x00" * 6 + b"tail"
+        assert state.orig.stream_gap
+
+    def test_sequence_gap_padded(self):
+        state = self._established()
+        _segment(state, True, 101, ACK, b"aa")
+        _segment(state, True, 113, ACK, b"bb")  # 10-byte hole
+        assert bytes(state.orig.stream) == b"aa" + b"\x00" * 10 + b"bb"
+        assert state.orig.stream_gap
+
+    def test_stream_not_collected_when_disabled(self):
+        state = TcpFlowState(collect_stream=False)
+        _segment(state, True, 100, SYN)
+        _segment(state, True, 101, ACK, b"data")
+        assert not state.orig.stream
+
+
+class TestDirectionState:
+    def test_fin_consumes_sequence(self):
+        direction = TcpDirectionState()
+        direction.on_segment(100, SYN, b"", 0)
+        direction.on_segment(101, ACK | FIN, b"", 0)
+        assert direction.fin_seen
+
+    def test_seq_wraparound(self):
+        direction = TcpDirectionState()
+        direction.on_segment(2**32 - 50, ACK, b"a" * 100, 100)
+        # next_seq wrapped: a segment at 50 is in-order, not a retransmit.
+        direction.on_segment(50, ACK, b"b" * 10, 10)
+        assert direction.retransmits == 0

@@ -1,0 +1,206 @@
+"""Tests for the NFS, NCP, and backup analyzers."""
+
+import random
+
+from repro.analysis.analyzers.backup import BackupAnalyzer
+from repro.analysis.analyzers.ncp import NcpAnalyzer
+from repro.analysis.analyzers.nfs import NfsAnalyzer
+from repro.analysis.flow import FlowTable
+from repro.gen.packetize import realize_session
+from repro.gen.session import AppEvent, Dir, TcpSession, UdpExchange
+from repro.net.packet import decode_packet, make_udp_packet
+from repro.proto import backupproto as bp
+from repro.proto import ncp, nfs
+from repro.util.addr import ip_to_int
+
+_CLIENT = ip_to_int("131.243.1.30")
+_SERVER = ip_to_int("131.243.6.6")
+
+
+def _run(analyzer, sessions, full_payload=True):
+    table = FlowTable(collect_payload=full_payload, udp_observer=analyzer.on_udp)
+    rng = random.Random(6)
+    for session in sessions:
+        for pkt in realize_session(session, rng):
+            table.process(decode_packet(pkt))
+    for result in table.flush():
+        analyzer.on_connection(result, full_payload)
+    return analyzer.result()
+
+
+class TestNfsAnalyzer:
+    def _udp_exchange(self, ops):
+        events = []
+        for xid, (proc, status, data) in enumerate(ops):
+            call = nfs.RpcCall(xid=xid, proc=proc,
+                               data=data if proc == nfs.PROC_WRITE else b"")
+            reply = nfs.RpcReply(
+                xid=xid, proc=proc, status=status,
+                data=data if proc == nfs.PROC_READ else b"",
+            )
+            events.append(AppEvent(0.002, Dir.C2S, call.encode()))
+            events.append(AppEvent(0.0005, Dir.S2C, reply.encode()))
+        return UdpExchange(
+            client_ip=_CLIENT, server_ip=_SERVER, client_mac=1, server_mac=2,
+            sport=50000, dport=2049, start=1.0, rtt=0.0004, events=events,
+        )
+
+    def test_request_mix_counted(self):
+        report = _run(NfsAnalyzer(), [self._udp_exchange([
+            (nfs.PROC_READ, nfs.NFS3_OK, b"r" * 8192),
+            (nfs.PROC_GETATTR, nfs.NFS3_OK, b""),
+            (nfs.PROC_GETATTR, nfs.NFS3_OK, b""),
+        ])])
+        assert report.requests_by_type["Read"] == 1
+        assert report.requests_by_type["GetAttr"] == 2
+        assert report.request_type_fraction("GetAttr") == 2 / 3
+
+    def test_bytes_attributed_to_type(self):
+        report = _run(NfsAnalyzer(), [self._udp_exchange([
+            (nfs.PROC_READ, nfs.NFS3_OK, b"r" * 8192),
+            (nfs.PROC_ACCESS, nfs.NFS3_OK, b""),
+        ])])
+        assert report.bytes_by_type["Read"] > 8192
+        assert report.bytes_by_type["Access"] < 400
+
+    def test_dual_mode_sizes(self):
+        report = _run(NfsAnalyzer(), [self._udp_exchange([
+            (nfs.PROC_READ, nfs.NFS3_OK, b"r" * 8192),
+            (nfs.PROC_GETATTR, nfs.NFS3_OK, b""),
+        ])])
+        assert min(report.reply_sizes) < 200
+        assert max(report.reply_sizes) > 8000
+
+    def test_failures_counted(self):
+        report = _run(NfsAnalyzer(), [self._udp_exchange([
+            (nfs.PROC_LOOKUP, nfs.NFS3ERR_NOENT, b""),
+            (nfs.PROC_GETATTR, nfs.NFS3_OK, b""),
+        ])])
+        assert report.replies_failed == 1
+        assert report.request_success_rate() == 0.5
+        assert report.failed_by_type["LookUp"] == 1
+
+    def test_udp_pairs_tracked(self):
+        report = _run(NfsAnalyzer(), [self._udp_exchange([
+            (nfs.PROC_GETATTR, nfs.NFS3_OK, b""),
+        ])])
+        assert report.udp_pair_fraction() == 1.0
+        assert report.tcp_pair_fraction() == 0.0
+
+    def test_tcp_records_parsed(self):
+        call = nfs.RpcCall(xid=1, proc=nfs.PROC_READ, count=8192)
+        reply = nfs.RpcReply(xid=1, proc=nfs.PROC_READ, data=b"r" * 8192)
+        session = TcpSession(
+            client_ip=_CLIENT, server_ip=_SERVER, client_mac=1, server_mac=2,
+            sport=50001, dport=2049, start=1.0, rtt=0.0004, loss_rate=0.0,
+            events=[
+                AppEvent(0.0, Dir.C2S, nfs.frame_tcp_record(call.encode())),
+                AppEvent(0.001, Dir.S2C, nfs.frame_tcp_record(reply.encode())),
+            ],
+        )
+        report = _run(NfsAnalyzer(), [session])
+        assert report.requests_by_type["Read"] == 1
+        assert report.tcp_pairs
+
+    def test_requests_per_pair(self):
+        report = _run(NfsAnalyzer(), [self._udp_exchange(
+            [(nfs.PROC_GETATTR, nfs.NFS3_OK, b"")] * 7
+        )])
+        assert report.requests_per_pair[(_CLIENT, _SERVER)] == 7
+
+
+class TestNcpAnalyzer:
+    def _ncp_session(self, ops=None, keepalives=0):
+        events = []
+        for seq, (function, data, reply_data) in enumerate(ops or [], start=1):
+            request = ncp.NcpRequest(sequence=seq, function=function, data=data)
+            reply = ncp.NcpReply(sequence=seq, data=reply_data)
+            events.append(AppEvent(0.002, Dir.C2S, ncp.frame_ncp_ip(request.encode())))
+            events.append(AppEvent(0.0005, Dir.S2C, ncp.frame_ncp_ip(reply.encode())))
+        return TcpSession(
+            client_ip=_CLIENT, server_ip=_SERVER, client_mac=1, server_mac=2,
+            sport=51000 + len(events), dport=524, start=1.0, rtt=0.0004,
+            events=events, loss_rate=0.0,
+            keepalive_interval=30.0 if keepalives else None,
+            keepalive_count=keepalives,
+            close="none" if keepalives else "fin",
+        )
+
+    def test_request_mix(self):
+        report = _run(NcpAnalyzer(), [self._ncp_session([
+            (ncp.FUNC_READ_FILE, b"\x00" * 6, b"\x00\x00" + b"r" * 8190),
+            (ncp.FUNC_FILE_SEARCH, b"\x00" * 40, b"\x00\x00" + b"f" * 140),
+        ])])
+        assert report.requests_by_type["Read"] == 1
+        assert report.requests_by_type["File Search"] == 1
+
+    def test_read_dominates_bytes(self):
+        report = _run(NcpAnalyzer(), [self._ncp_session([
+            (ncp.FUNC_READ_FILE, b"\x00" * 6, b"\x00\x00" + b"r" * 8190),
+            (ncp.FUNC_FILE_SEARCH, b"\x00" * 40, b"\x00\x00" + b"f" * 140),
+        ])])
+        assert report.bytes_type_fraction("Read") > 0.9
+
+    def test_modal_reply_sizes(self):
+        report = _run(NcpAnalyzer(), [self._ncp_session([
+            (ncp.FUNC_WRITE_FILE, b"w" * 100, b"\x00\x00"),           # 2-byte mode
+            (ncp.FUNC_FILE_SIZE, b"\x00" * 6, b"\x00\x00" + b"s" * 8),  # 10-byte
+            (ncp.FUNC_READ_FILE, b"\x00" * 6, b"\x00\x00" + b"r" * 258),  # 260-byte
+        ])])
+        assert sorted(report.reply_sizes) == [2, 10, 260]
+
+    def test_read_request_14_byte_mode(self):
+        report = _run(NcpAnalyzer(), [self._ncp_session([
+            (ncp.FUNC_READ_FILE, b"\x00" * 6, b"\x00\x00"),
+        ])])
+        assert report.request_sizes == [14]
+
+    def test_keepalive_only_connection_detected(self):
+        report = _run(NcpAnalyzer(), [self._ncp_session(keepalives=5)])
+        assert report.keepalive_only_conns == 1
+        assert report.keepalive_only_fraction() == 1.0
+
+    def test_active_connection_not_keepalive_only(self):
+        report = _run(NcpAnalyzer(), [self._ncp_session(
+            ops=[(ncp.FUNC_READ_FILE, b"\x00" * 6, b"\x00\x00")], keepalives=0,
+        )])
+        assert report.keepalive_only_conns == 0
+
+
+class TestBackupAnalyzer:
+    def _backup_session(self, dport, c2s_bytes, s2c_bytes=0):
+        events = []
+        if c2s_bytes:
+            record = bp.BackupRecord(bp.MAGIC_DANTZ, bp.REC_DATA, b"\x00" * c2s_bytes)
+            events.append(AppEvent(0.01, Dir.C2S, record.encode()))
+        if s2c_bytes:
+            record = bp.BackupRecord(bp.MAGIC_DANTZ, bp.REC_DATA, b"\x00" * s2c_bytes)
+            events.append(AppEvent(0.01, Dir.S2C, record.encode()))
+        return TcpSession(
+            client_ip=_CLIENT, server_ip=_SERVER, client_mac=1, server_mac=2,
+            sport=52000 + dport % 100, dport=dport, start=1.0, rtt=0.0004,
+            events=events, loss_rate=0.0,
+        )
+
+    def test_products_identified_by_port(self):
+        report = _run(BackupAnalyzer(), [
+            self._backup_session(bp.VERITAS_DATA_PORT, 100_000),
+            self._backup_session(bp.DANTZ_PORT, 100_000, 80_000),
+            self._backup_session(bp.CONNECTED_PORT, 10_000),
+        ])
+        assert report.conns("VERITAS-BACKUP-DATA") == 1
+        assert report.conns("DANTZ") == 1
+        assert report.conns("CONNECTED-BACKUP") == 1
+
+    def test_veritas_one_way(self):
+        report = _run(BackupAnalyzer(), [
+            self._backup_session(bp.VERITAS_DATA_PORT, 500_000),
+        ])
+        assert report.reverse_fraction("VERITAS-BACKUP-DATA") < 0.01
+
+    def test_dantz_bidirectional(self):
+        report = _run(BackupAnalyzer(), [
+            self._backup_session(bp.DANTZ_PORT, 300_000, 200_000),
+        ])
+        assert report.bidirectional_fraction("DANTZ") == 1.0
+        assert report.reverse_fraction("DANTZ") > 0.3

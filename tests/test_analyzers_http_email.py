@@ -1,0 +1,202 @@
+"""Tests for the HTTP and email analyzers, driven through the flow table."""
+
+import random
+
+from repro.analysis.analyzers.email import EmailAnalyzer
+from repro.analysis.analyzers.http import HttpAnalyzer, _client_class
+from repro.analysis.flow import FlowTable
+from repro.gen.packetize import realize_session
+from repro.gen.session import AppEvent, Dir, Outcome, TcpSession
+from repro.net.packet import decode_packet
+from repro.proto import http, smtp, tls
+from repro.util.addr import ip_to_int
+
+_CLIENT = ip_to_int("131.243.1.10")
+_SERVER = ip_to_int("131.243.9.10")
+_WAN = ip_to_int("8.8.8.8")
+
+
+def _run(analyzer, sessions, full_payload=True):
+    table = FlowTable(collect_payload=full_payload)
+    rng = random.Random(11)
+    for session in sessions:
+        for pkt in realize_session(session, rng):
+            table.process(decode_packet(pkt))
+    for result in table.flush():
+        analyzer.on_connection(result, full_payload)
+    return analyzer.result()
+
+
+def _web_session(server_ip=_SERVER, requests=None, dport=80, outcome=Outcome.SUCCESS,
+                 client_ip=_CLIENT):
+    session = TcpSession(
+        client_ip=client_ip, server_ip=server_ip, client_mac=1, server_mac=2,
+        sport=44000 + random.Random(str(requests)).randrange(1000), dport=dport,
+        start=5.0, rtt=0.001, outcome=outcome, loss_rate=0.0,
+    )
+    for request_bytes, response_bytes in requests or []:
+        session.events.append(AppEvent(0.01, Dir.C2S, request_bytes))
+        session.events.append(AppEvent(0.01, Dir.S2C, response_bytes))
+    return session
+
+
+class TestClientClassification:
+    def test_signatures(self):
+        google_ips = []
+        assert _client_class("Mozilla/4.0", 1, google_ips) == "user"
+        assert _client_class("SiteScanner/2.0", 1, google_ips) == "scan1"
+        assert _client_class("iFolderClient/2.0", 1, google_ips) == "ifolder"
+
+    def test_google_bots_split_by_ip(self):
+        google_ips = []
+        first = _client_class("googlebot-appliance", 100, google_ips)
+        second = _client_class("googlebot-appliance", 200, google_ips)
+        assert {first, second} == {"google1", "google2"}
+        # Stable per IP.
+        assert _client_class("googlebot-appliance", 100, google_ips) == first
+
+
+class TestHttpAnalyzer:
+    def test_request_response_accounting(self):
+        request = http.build_request("GET", "/a", "h")
+        response = http.build_response(200, "OK", "image/gif", b"g" * 500)
+        report = _run(HttpAnalyzer(), [_web_session(requests=[(request, response)])])
+        assert report.internal.requests == 1
+        assert report.internal.data_bytes == 500
+        assert report.internal.content_requests["image"] == 1
+
+    def test_conditional_get_tracking(self):
+        conditional = http.build_request(
+            "GET", "/c", "h", headers={"If-Modified-Since": "x"}
+        )
+        not_modified = http.build_response(304, "Not Modified")
+        plain = http.build_request("GET", "/p", "h")
+        ok = http.build_response(200, "OK", "text/html", b"t" * 100)
+        report = _run(
+            HttpAnalyzer(),
+            [_web_session(requests=[(conditional, not_modified), (plain, ok)])],
+        )
+        assert report.conditional_fraction("ent") == 0.5
+        assert report.internal.successful_requests == 2
+
+    def test_automated_clients_split_from_users(self):
+        scanner_req = http.build_request("GET", "/x", "h", user_agent="SiteScanner/2.0")
+        resp404 = http.build_response(404, "Not Found", "text/html", b"nf")
+        user_req = http.build_request("GET", "/y", "h")
+        ok = http.build_response(200, "OK", "text/html", b"y" * 300)
+        report = _run(HttpAnalyzer(), [
+            _web_session(requests=[(scanner_req, resp404)]),
+            _web_session(requests=[(user_req, ok)], client_ip=_CLIENT + 1),
+        ])
+        assert report.auto_requests["scan1"] == 1
+        assert report.internal_requests_total == 2
+        assert report.internal.requests == 1  # user-only stats
+
+    def test_wan_fanout_separated(self):
+        request = http.build_request("GET", "/", "h")
+        ok = http.build_response(200, "OK", "text/plain", b"z")
+        sessions = [
+            _web_session(server_ip=_WAN + i, requests=[(request, ok)])
+            for i in range(5)
+        ] + [_web_session(server_ip=_SERVER, requests=[(request, ok)])]
+        report = _run(HttpAnalyzer(), sessions)
+        assert report.fanout_cdf("wan").max == 5
+        assert report.fanout_cdf("ent").max == 1
+
+    def test_success_rates_by_host_pair(self):
+        ok_pair = _web_session(requests=[(http.build_request("GET", "/", "h"),
+                                          http.build_response(200, "OK"))])
+        rejected = _web_session(server_ip=_SERVER + 1, outcome=Outcome.REJECTED)
+        report = _run(HttpAnalyzer(), [ok_pair, rejected])
+        assert report.success_internal.total == 2
+        assert report.success_internal.successful == 1
+        assert report.success_internal.rejected == 1
+
+    def test_https_handshake_confirmed(self):
+        session = _web_session(dport=443, requests=None)
+        session.events = [
+            AppEvent(0.0, Dir.C2S, tls.build_client_hello()),
+            AppEvent(0.01, Dir.S2C, tls.build_server_hello()),
+            AppEvent(0.01, Dir.C2S, tls.build_application_data(b"q" * 100)),
+        ]
+        report = _run(HttpAnalyzer(), [session])
+        assert report.https_conns == 1
+        assert report.https_handshakes_ok == 1
+
+    def test_header_only_capture_still_counts_conns(self):
+        session = _web_session(requests=[(http.build_request("GET", "/", "h"),
+                                          http.build_response(200, "OK"))])
+        report = _run(HttpAnalyzer(), [session], full_payload=False)
+        assert report.internal.requests == 0  # no payload to parse
+        assert report.success_internal.total == 1  # conns still tracked
+
+
+class TestEmailAnalyzer:
+    def _smtp_session(self, internal=True, size=2000):
+        message = b"Subject: t\r\n\r\n" + b"m" * size
+        client_stream = smtp.build_client_stream("h", "a@x", ["b@y"], message)
+        server_stream = smtp.build_server_stream("mail", 1)
+        split = server_stream.find(b"\r\n") + 2
+        session = TcpSession(
+            client_ip=_CLIENT, server_ip=_SERVER if internal else _WAN,
+            client_mac=1, server_mac=2, sport=45000, dport=25,
+            start=1.0, rtt=0.0005 if internal else 0.05, loss_rate=0.0,
+        )
+        session.events = [
+            AppEvent(0.0, Dir.S2C, server_stream[:split]),
+            AppEvent(0.02, Dir.C2S, client_stream),
+            AppEvent(0.02, Dir.S2C, server_stream[split:]),
+        ]
+        return session
+
+    def test_smtp_dialogue_parsed(self):
+        report = _run(EmailAnalyzer(), [self._smtp_session()])
+        assert report.smtp_dialogues == 1
+        assert report.smtp_accepted == 1
+        assert report.protocols["SMTP"].conns == 1
+        assert report.protocols["SMTP"].bytes > 2000
+
+    def test_flow_sizes_use_client_direction_for_smtp(self):
+        report = _run(EmailAnalyzer(), [self._smtp_session(size=5000)])
+        (size,) = report.protocols["SMTP"].flow_sizes_ent
+        assert size > 5000
+
+    def test_locality_split(self):
+        report = _run(EmailAnalyzer(), [
+            self._smtp_session(internal=True), self._smtp_session(internal=False),
+        ])
+        assert len(report.protocols["SMTP"].durations_ent) == 1
+        assert len(report.protocols["SMTP"].durations_wan) == 1
+
+    def test_wan_duration_exceeds_internal(self):
+        report = _run(EmailAnalyzer(), [
+            self._smtp_session(internal=True), self._smtp_session(internal=False),
+        ])
+        assert (
+            report.protocols["SMTP"].durations_wan[0]
+            > report.protocols["SMTP"].durations_ent[0]
+        )
+
+    def test_imaps_transport_level(self):
+        session = TcpSession(
+            client_ip=_CLIENT, server_ip=_SERVER, client_mac=1, server_mac=2,
+            sport=46000, dport=993, start=1.0, rtt=0.0005, loss_rate=0.0,
+            events=[
+                AppEvent(0.0, Dir.C2S, tls.build_client_hello()),
+                AppEvent(0.01, Dir.S2C, tls.build_server_hello()),
+                AppEvent(0.01, Dir.S2C, tls.build_application_data(b"m" * 4000)),
+            ],
+        )
+        report = _run(EmailAnalyzer(), [session])
+        assert report.protocols["SIMAP"].conns == 1
+        (size,) = report.protocols["SIMAP"].flow_sizes_ent
+        assert size > 4000
+
+    def test_dominant_fraction(self):
+        report = _run(EmailAnalyzer(), [self._smtp_session()])
+        assert report.dominant_fraction() == 1.0
+
+    def test_success_rates_keyed_by_locality(self):
+        report = _run(EmailAnalyzer(), [self._smtp_session()])
+        assert report.success["SMTP/ent"].successful == 1
+        assert report.success["SMTP/wan"].total == 0

@@ -1,0 +1,137 @@
+"""Tests for the DNS and Netbios/NS analyzers (per-datagram path)."""
+
+from repro.analysis.analyzers.dns import DnsAnalyzer
+from repro.analysis.analyzers.netbios import NetbiosAnalyzer
+from repro.analysis.flow import FlowTable
+from repro.net.packet import decode_packet, make_udp_packet
+from repro.proto import dns, netbios
+from repro.proto.dns import RCODE_NOERROR, RCODE_NXDOMAIN
+from repro.util.addr import ip_to_int
+
+_CLIENT = ip_to_int("131.243.1.10")
+_SERVER = ip_to_int("131.243.5.5")
+_WAN = ip_to_int("8.8.4.4")
+
+
+def _feed(analyzer, datagrams):
+    """datagrams: (ts, src, dst, sport, dport, payload)."""
+    table = FlowTable(udp_observer=analyzer.on_udp)
+    for ts, src, dst, sport, dport, payload in datagrams:
+        table.process(decode_packet(
+            make_udp_packet(ts, 1, 2, src, dst, sport, dport, payload)
+        ))
+    table.flush()
+    return analyzer.result()
+
+
+class TestDnsAnalyzer:
+    def _exchange(self, ts, qtype, rcode, client=_CLIENT, server=_SERVER,
+                  latency=0.0004, name="h.example", ident=7):
+        query = dns.DnsMessage(ident=ident, questions=[dns.DnsQuestion(name, qtype)])
+        response = dns.DnsMessage(
+            ident=ident, is_response=True, rcode=rcode,
+            questions=[dns.DnsQuestion(name, qtype)],
+        )
+        return [
+            (ts, client, server, 40000, 53, query.encode()),
+            (ts + latency, server, client, 53, 40000, response.encode()),
+        ]
+
+    def test_request_types_counted(self):
+        datagrams = (
+            self._exchange(1.0, dns.QTYPE_A, RCODE_NOERROR, ident=1)
+            + self._exchange(2.0, dns.QTYPE_AAAA, RCODE_NOERROR, ident=2)
+            + self._exchange(3.0, dns.QTYPE_A, RCODE_NXDOMAIN, ident=3)
+        )
+        report = _feed(DnsAnalyzer(), datagrams)
+        assert report.internal.qtypes["A"] == 2
+        assert report.internal.qtypes["AAAA"] == 1
+
+    def test_rcodes_counted(self):
+        datagrams = (
+            self._exchange(1.0, dns.QTYPE_A, RCODE_NOERROR, ident=1)
+            + self._exchange(2.0, dns.QTYPE_A, RCODE_NXDOMAIN, ident=2)
+        )
+        report = _feed(DnsAnalyzer(), datagrams)
+        assert report.internal.rcode_fraction(RCODE_NOERROR) == 0.5
+        assert report.internal.rcode_fraction(RCODE_NXDOMAIN) == 0.5
+
+    def test_latency_measured(self):
+        report = _feed(DnsAnalyzer(), self._exchange(1.0, dns.QTYPE_A, RCODE_NOERROR,
+                                                     latency=0.02))
+        (latency,) = report.internal.latencies
+        assert 0.015 < latency < 0.025
+
+    def test_wan_side_separate(self):
+        datagrams = self._exchange(1.0, dns.QTYPE_A, RCODE_NOERROR,
+                                   client=_SERVER, server=_WAN, latency=0.02)
+        report = _feed(DnsAnalyzer(), datagrams)
+        assert report.wan.requests == 1
+        assert report.internal.requests == 0
+
+    def test_requests_per_client(self):
+        datagrams = (
+            self._exchange(1.0, dns.QTYPE_A, RCODE_NOERROR, ident=1)
+            + self._exchange(2.0, dns.QTYPE_A, RCODE_NOERROR, ident=2)
+            + self._exchange(3.0, dns.QTYPE_A, RCODE_NOERROR,
+                             client=_CLIENT + 1, ident=3)
+        )
+        report = _feed(DnsAnalyzer(), datagrams)
+        assert report.top_client_share(1) == 2 / 3
+
+    def test_garbage_payload_ignored(self):
+        report = _feed(DnsAnalyzer(), [(1.0, _CLIENT, _SERVER, 40000, 53, b"\x01")])
+        assert report.internal.requests == 0
+
+
+class TestNetbiosAnalyzer:
+    def _exchange(self, ts, name, opcode=netbios.NB_OPCODE_QUERY,
+                  rcode=RCODE_NOERROR, client=_CLIENT, suffix=0x00, ident=9):
+        request = netbios.NbnsPacket(ident=ident, opcode=opcode, name=name, suffix=suffix)
+        response = netbios.NbnsPacket(
+            ident=ident, opcode=opcode, name=name, suffix=suffix,
+            is_response=True, rcode=rcode,
+        )
+        return [
+            (ts, client, _SERVER, 137, 137, request.encode()),
+            (ts + 0.001, _SERVER, client, 137, 137, response.encode()),
+        ]
+
+    def test_request_types(self):
+        datagrams = (
+            self._exchange(1.0, "WS01")
+            + self._exchange(2.0, "WS01", opcode=netbios.NB_OPCODE_REFRESH)
+        )
+        report = _feed(NetbiosAnalyzer(), datagrams)
+        assert report.request_types["query"] == 1
+        assert report.request_types["refresh"] == 1
+
+    def test_name_types(self):
+        datagrams = (
+            self._exchange(1.0, "WS01", suffix=netbios.NAME_TYPE_WORKSTATION)
+            + self._exchange(2.0, "DOM", suffix=netbios.NAME_TYPE_DOMAIN)
+        )
+        report = _feed(NetbiosAnalyzer(), datagrams)
+        assert report.name_types["host"] == 1
+        assert report.name_types["domain"] == 1
+
+    def test_distinct_query_failure_rate(self):
+        """The stale-name metric counts distinct (client, name) queries."""
+        datagrams = []
+        for i in range(5):  # repeated failures of the same stale name
+            datagrams += self._exchange(float(i), "STALE", rcode=RCODE_NXDOMAIN, ident=i)
+        datagrams += self._exchange(10.0, "ALIVE", rcode=RCODE_NOERROR, ident=99)
+        report = _feed(NetbiosAnalyzer(), datagrams)
+        assert report.distinct_query_failure_rate() == 0.5
+
+    def test_top_clients_share(self):
+        datagrams = []
+        for i in range(10):
+            datagrams += self._exchange(float(i), f"N{i}", client=_CLIENT + i, ident=i)
+        report = _feed(NetbiosAnalyzer(), datagrams)
+        assert report.top_clients_share(10) == 1.0
+        assert report.top_clients_share(1) == 0.1
+
+    def test_non_nbns_traffic_ignored(self):
+        report = _feed(NetbiosAnalyzer(), [(1.0, _CLIENT, _SERVER, 40000, 53, b"data")])
+        assert report.requests == 0

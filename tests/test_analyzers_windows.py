@@ -1,0 +1,158 @@
+"""Tests for the Windows services analyzer (CIFS/DCE-RPC/NBSS/EPM)."""
+
+import random
+
+from repro.analysis.analyzers.windows import WindowsAnalyzer
+from repro.analysis.flow import FlowTable
+from repro.gen.packetize import realize_session
+from repro.gen.session import AppEvent, Dir, Outcome, TcpSession
+from repro.net.packet import decode_packet
+from repro.proto import cifs, dcerpc
+from repro.proto.netbios import NbssFrame, SSN_POSITIVE_RESPONSE, SSN_SESSION_MESSAGE
+from repro.util.addr import ip_to_int
+
+_CLIENT = ip_to_int("131.243.1.20")
+_SERVER = ip_to_int("131.243.7.7")
+
+
+def _run(sessions):
+    analyzer = WindowsAnalyzer()
+    table = FlowTable(collect_payload=True)
+    rng = random.Random(5)
+    for session in sessions:
+        for pkt in realize_session(session, rng):
+            table.process(decode_packet(pkt))
+    for result in table.flush():
+        analyzer.on_connection(result, True)
+    return analyzer, analyzer.result()
+
+
+def _session(dport, events=None, outcome=Outcome.SUCCESS, server=_SERVER):
+    return TcpSession(
+        client_ip=_CLIENT, server_ip=server, client_mac=1, server_mac=2,
+        sport=47000 + dport, dport=dport, start=1.0, rtt=0.0005,
+        events=events or [], outcome=outcome, loss_rate=0.0,
+    )
+
+
+def _framed(direction, message):
+    return AppEvent(0.01, direction, NbssFrame(SSN_SESSION_MESSAGE, message.encode()).encode())
+
+
+class TestCifsAccounting:
+    def test_command_categories(self):
+        events = [
+            _framed(Dir.C2S, cifs.SmbMessage(command=cifs.CMD_NEGOTIATE)),
+            _framed(Dir.S2C, cifs.SmbMessage(command=cifs.CMD_NEGOTIATE, is_response=True)),
+            _framed(Dir.C2S, cifs.SmbMessage(command=cifs.CMD_READ_ANDX, fid=1)),
+            _framed(Dir.S2C, cifs.SmbMessage(command=cifs.CMD_READ_ANDX, fid=1,
+                                             is_response=True, data=b"r" * 400)),
+        ]
+        _, report = _run([_session(445, events)])
+        assert report.cifs_requests["SMB Basic"] == 1
+        assert report.cifs_requests["Windows File Sharing"] == 1
+        assert report.cifs_bytes["Windows File Sharing"] > 400
+
+    def test_rpc_over_pipe_functions(self):
+        call = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_REQUEST, opnum=dcerpc.OP_SPOOLSS_WRITEPRINTER,
+            data=b"j" * 600,
+        )
+        events = [
+            _framed(Dir.C2S, cifs.SmbMessage(
+                command=cifs.CMD_TRANS, name="\\PIPE\\SPOOLSS", data=call.encode(),
+            )),
+        ]
+        _, report = _run([_session(445, events)])
+        assert report.rpc_requests["Spoolss/WritePrinter"] == 1
+        assert report.rpc_bytes["Spoolss/WritePrinter"] == 600
+        assert report.cifs_requests["RPC Pipes"] == 1
+
+    def test_netlogon_via_139(self):
+        call = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_REQUEST, opnum=dcerpc.OP_NETLOGON_SAMLOGON, data=b"a" * 100,
+        )
+        events = [
+            AppEvent(0.0, Dir.C2S, NbssFrame.session_request("S", "C").encode()),
+            AppEvent(0.01, Dir.S2C, NbssFrame(SSN_POSITIVE_RESPONSE).encode()),
+            _framed(Dir.C2S, cifs.SmbMessage(
+                command=cifs.CMD_TRANS, name="\\PIPE\\NETLOGON", data=call.encode(),
+            )),
+        ]
+        _, report = _run([_session(139, events)])
+        assert report.rpc_requests["NetLogon"] == 1
+        assert report.nbss_handshake_success_rate() == 1.0
+
+
+class TestEndpointMapper:
+    def _epm_session(self, mapped_port):
+        map_resp = dcerpc.DcerpcPdu(
+            ptype=dcerpc.PDU_RESPONSE, opnum=dcerpc.OP_EPM_MAP,
+            data=mapped_port.to_bytes(2, "big") + b"\x00" * 30,
+        )
+        return _session(135, [
+            AppEvent(0.0, Dir.C2S, dcerpc.DcerpcPdu(
+                ptype=dcerpc.PDU_REQUEST, opnum=dcerpc.OP_EPM_MAP, data=b"m" * 40,
+            ).encode()),
+            AppEvent(0.01, Dir.S2C, map_resp.encode()),
+        ])
+
+    def test_endpoint_learned(self):
+        analyzer, report = _run([self._epm_session(1055)])
+        assert (_SERVER, 1055) in report.endpoints
+        assert analyzer.windows_endpoints == report.endpoints
+
+    def test_standalone_rpc_classified_by_bind(self):
+        bind = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_BIND, interface=dcerpc.IFACE_LSARPC)
+        call = dcerpc.DcerpcPdu(ptype=dcerpc.PDU_REQUEST,
+                                opnum=dcerpc.OP_LSA_LOOKUPSIDS, data=b"q" * 50)
+        standalone = _session(1055, [
+            AppEvent(0.0, Dir.C2S, bind.encode()),
+            AppEvent(0.01, Dir.C2S, call.encode()),
+        ])
+        _, report = _run([self._epm_session(1055), standalone])
+        assert report.rpc_requests["LsaRPC"] == 1
+
+
+class TestSuccessRates:
+    def test_channels_scored_separately(self):
+        sessions = [
+            _session(139, [AppEvent(0.0, Dir.C2S, NbssFrame.session_request("S", "C").encode())]),
+            _session(445, outcome=Outcome.REJECTED),
+            _session(135, [AppEvent(0.0, Dir.C2S, b"x")]),
+        ]
+        _, report = _run(sessions)
+        assert report.success["Netbios/SSN"].successful == 1
+        assert report.success["CIFS"].rejected == 1
+        assert report.success["Endpoint Mapper"].successful == 1
+
+    def test_scanner_sources_excluded(self):
+        analyzer = WindowsAnalyzer()
+        table = FlowTable(collect_payload=True)
+        rng = random.Random(5)
+        scanner_ip = ip_to_int("131.243.2.99")
+        sessions = [
+            _session(445, outcome=Outcome.REJECTED),
+        ]
+        scan = TcpSession(
+            client_ip=scanner_ip, server_ip=_SERVER, client_mac=1, server_mac=2,
+            sport=48000, dport=445, start=1.0, rtt=0.0005,
+            outcome=Outcome.REJECTED, loss_rate=0.0,
+        )
+        for session in sessions + [scan]:
+            for pkt in realize_session(session, rng):
+                table.process(decode_packet(pkt))
+        for result in table.flush():
+            analyzer.on_connection(result, True)
+        analyzer.scanners = {scanner_ip}
+        report = analyzer.result()
+        assert report.success["CIFS"].total == 1  # scanner pair dropped
+
+    def test_wan_traffic_ignored(self):
+        wan_session = TcpSession(
+            client_ip=ip_to_int("9.9.9.9"), server_ip=_SERVER,
+            client_mac=1, server_mac=2, sport=49000, dport=445,
+            start=1.0, rtt=0.05, loss_rate=0.0,
+        )
+        _, report = _run([wan_session])
+        assert "CIFS" not in report.success or report.success["CIFS"].total == 0

@@ -1,0 +1,40 @@
+"""Tests for the repro-study command-line interface."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+class TestCli:
+    def test_small_run_prints_tables_and_figures(self, capsys):
+        code = main([
+            "--seed", "3", "--scale", "0.002", "--datasets", "D0",
+            "--max-windows", "4", "--tables", "2", "3", "--figures", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "Figure 1a" in out
+        assert "Figure 1b" in out
+
+    def test_no_tables_no_figures(self, capsys):
+        code = main([
+            "--seed", "3", "--scale", "0.002", "--datasets", "D0",
+            "--max-windows", "2", "--tables", "--figures",
+        ])
+        assert code == 0
+        assert "Table" not in capsys.readouterr().out
+
+    def test_out_dir_keeps_traces(self, tmp_path, capsys):
+        main([
+            "--seed", "3", "--scale", "0.002", "--datasets", "D0",
+            "--max-windows", "2", "--tables", "--figures",
+            "--out-dir", str(tmp_path),
+        ])
+        pcaps = list((tmp_path / "D0").glob("*.pcap"))
+        assert len(pcaps) == 2
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["--datasets", "D9"])

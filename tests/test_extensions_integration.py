@@ -1,0 +1,58 @@
+"""Integration tests for the extension analyses over a real small study."""
+
+from repro.analysis.roles import classify_roles
+from repro.analysis.scans import characterize_scanners
+from repro.gen.topology import Role
+
+
+class TestRolesOverStudy:
+    def test_real_servers_rediscovered(self, small_study):
+        """Traffic-only role inference re-finds placed servers."""
+        analysis = small_study.analyses["D0"]
+        report = classify_roles(
+            analysis.filtered_conns(), analysis.internal_net,
+            analysis.windows_endpoints,
+        )
+        truth = {h.ip for h in small_study.enterprise.servers(Role.SMTP_SERVER)}
+        inferred = {p.ip for p in report.servers_for("SMTP")}
+        assert truth & inferred
+
+    def test_most_hosts_are_not_servers(self, small_study):
+        analysis = small_study.analyses["D1"]
+        report = classify_roles(analysis.filtered_conns(), analysis.internal_net)
+        counts = report.kind_counts()
+        total = sum(counts.values())
+        assert counts["server"] + counts["mixed"] < 0.1 * total
+
+    def test_profiles_internal_only(self, small_study):
+        analysis = small_study.analyses["D0"]
+        report = classify_roles(analysis.filtered_conns(), analysis.internal_net)
+        assert all(ip in analysis.internal_net for ip in report.profiles)
+
+
+class TestScansOverStudy:
+    def test_scanners_characterized(self, small_study):
+        analysis = small_study.analyses["D1"]
+        known = tuple(
+            h.ip for h in small_study.enterprise.servers(Role.SCANNER)
+        )
+        report = characterize_scanners(analysis.conns, known_scanners=known)
+        assert report.profiles
+        widest = report.by_extent()[0]
+        assert widest.distinct_targets > 30
+        assert widest.conns >= widest.distinct_targets
+
+    def test_scan_fraction_matches_engine(self, small_study):
+        analysis = small_study.analyses["D1"]
+        report = characterize_scanners(analysis.conns)
+        engine_fraction = analysis.removed_conns / len(analysis.conns)
+        # The characterization and the engine's own filter see similar
+        # scan volume (the engine additionally knows the site's scanners).
+        assert abs(report.removed_fraction - engine_fraction) < 0.1
+
+    def test_internal_tcp_and_external_icmp_scanners(self, small_study):
+        analysis = small_study.analyses["D1"]
+        report = characterize_scanners(analysis.conns)
+        kinds = {profile.is_icmp_scanner for profile in report.profiles.values()}
+        # Both scanner species appear in hour-long datasets.
+        assert kinds == {True, False}

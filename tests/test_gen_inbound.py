@@ -1,0 +1,84 @@
+"""Tests for the inbound-WAN generator (the §4 wan→ent flows)."""
+
+import random
+
+from repro.gen.apps.base import WindowContext
+from repro.gen.apps.inbound_gen import InboundWanGenerator
+from repro.gen.datasets import DATASETS
+from repro.gen.session import IcmpExchange, Outcome, TcpSession
+from repro.gen.topology import ENTERPRISE_NET
+
+
+def _ctx(enterprise, seed=3, scale=0.05):
+    config = DATASETS["D3"]
+    subnet = enterprise.subnets_of_router(1)[0]
+    return WindowContext(
+        enterprise=enterprise, subnet=subnet, t0=0.0, t1=3600.0,
+        rng=random.Random(seed), config=config, scale=scale,
+    )
+
+
+class TestInboundWanGenerator:
+    def test_sources_are_external_targets_internal(self, enterprise):
+        sessions = InboundWanGenerator().generate(_ctx(enterprise))
+        assert sessions
+        for session in sessions:
+            if isinstance(session, TcpSession):
+                assert session.client_ip not in ENTERPRISE_NET
+                assert session.server_ip in ENTERPRISE_NET
+            elif isinstance(session, IcmpExchange):
+                assert session.src_ip not in ENTERPRISE_NET
+                assert session.dst_ip in ENTERPRISE_NET
+
+    def test_targets_on_monitored_subnet(self, enterprise):
+        ctx = _ctx(enterprise)
+        for session in InboundWanGenerator().generate(ctx):
+            target = getattr(session, "server_ip", None) or session.dst_ip
+            assert target in ctx.subnet.subnet
+
+    def test_wan_rtts(self, enterprise):
+        sessions = [
+            s for s in InboundWanGenerator().generate(_ctx(enterprise))
+            if isinstance(s, TcpSession)
+        ]
+        assert sum(1 for s in sessions if s.rtt > 0.005) > len(sessions) // 2
+
+    def test_service_mix(self, enterprise):
+        ports = set()
+        for seed in range(5):
+            for session in InboundWanGenerator().generate(_ctx(enterprise, seed=seed)):
+                if isinstance(session, TcpSession):
+                    ports.add(session.dport)
+        assert {21, 22, 80} <= ports
+
+    def test_some_attempts_fail(self, enterprise):
+        outcomes = set()
+        for seed in range(5):
+            for session in InboundWanGenerator().generate(_ctx(enterprise, seed=seed)):
+                if isinstance(session, TcpSession):
+                    outcomes.add(session.outcome)
+        assert Outcome.SUCCESS in outcomes
+        assert Outcome.REJECTED in outcomes or Outcome.UNANSWERED in outcomes
+
+
+class TestAnalyzeDataset:
+    def test_wrapper_matches_manual_pipeline(self, enterprise, tmp_path):
+        from repro.core.study import analyze_dataset
+        from repro.gen.capture import generate_dataset
+
+        traces = generate_dataset("D0", enterprise, tmp_path, seed=2, scale=0.002,
+                                  max_windows=2)
+        analysis = analyze_dataset("D0", traces)
+        assert analysis.name == "D0"
+        assert analysis.full_payload
+        assert analysis.total_packets == traces.total_packets
+        assert "http" in analysis.analyzer_results
+
+    def test_known_scanners_forwarded(self, enterprise, tmp_path):
+        from repro.core.study import analyze_dataset
+        from repro.gen.capture import generate_dataset
+
+        traces = generate_dataset("D0", enterprise, tmp_path, seed=2, scale=0.002,
+                                  max_windows=2)
+        analysis = analyze_dataset("D0", traces, known_scanners=(12345,))
+        assert 12345 in analysis.scanner_sources

@@ -1,0 +1,155 @@
+"""Tests for the TCP realizer (repro.gen.tcpsim)."""
+
+import random
+
+import pytest
+
+from repro.gen.packetize import realize_session
+from repro.gen.session import AppEvent, Dir, Outcome, TcpSession
+from repro.net.packet import decode_packet
+from repro.net.tcp import ACK, FIN, RST, SYN
+
+
+def _session(**kwargs) -> TcpSession:
+    base = dict(
+        client_ip=0x83F30101, server_ip=0x83F30201, client_mac=1, server_mac=2,
+        sport=40000, dport=80, start=100.0, rtt=0.001, loss_rate=0.0,
+    )
+    base.update(kwargs)
+    return TcpSession(**base)
+
+
+def _decode_all(session, seed=1, window_end=None):
+    return [decode_packet(p) for p in realize_session(session, random.Random(seed), window_end)]
+
+
+class TestHandshakeAndClose:
+    def test_three_way_handshake(self):
+        packets = _decode_all(_session())
+        assert packets[0].tcp_flags == SYN
+        assert packets[1].tcp_flags == SYN | ACK
+        assert packets[2].tcp_flags == ACK
+
+    def test_fin_teardown(self):
+        packets = _decode_all(_session())
+        fins = [p for p in packets if p.tcp_flags & FIN]
+        assert len(fins) == 2
+        assert fins[0].src_ip != fins[1].src_ip
+
+    def test_rst_close(self):
+        packets = _decode_all(_session(close="rst"))
+        assert packets[-1].tcp_flags & RST
+
+    def test_no_close(self):
+        packets = _decode_all(_session(close="none"))
+        assert not any(p.tcp_flags & (FIN | RST) for p in packets)
+
+    def test_rejected(self):
+        packets = _decode_all(_session(outcome=Outcome.REJECTED))
+        assert len(packets) == 2
+        assert packets[1].tcp_flags & RST
+        assert packets[1].src_ip == 0x83F30201  # server sends the RST
+
+    def test_unanswered_syn_retries(self):
+        packets = _decode_all(_session(outcome=Outcome.UNANSWERED))
+        assert len(packets) == 3
+        assert all(p.tcp_flags == SYN for p in packets)
+        assert [round(p.ts - 100.0) for p in packets] == [0, 3, 9]
+
+
+class TestDataTransfer:
+    def test_payload_delivered_in_order(self):
+        payload = bytes(range(256)) * 20  # 5120 bytes
+        session = _session(events=[AppEvent(0.0, Dir.C2S, payload)])
+        packets = _decode_all(session)
+        data = b"".join(
+            p.payload for p in packets
+            if p.src_ip == session.client_ip and p.payload_len and not p.tcp_flags & SYN
+        )
+        assert data == payload
+
+    def test_mss_segmentation(self):
+        session = _session(events=[AppEvent(0.0, Dir.S2C, b"z" * 4000)], mss=1460)
+        packets = _decode_all(session)
+        data_segments = [p for p in packets if p.src_ip == session.server_ip and p.payload_len]
+        assert [p.payload_len for p in data_segments] == [1460, 1460, 1080]
+
+    def test_sequence_numbers_advance(self):
+        session = _session(events=[AppEvent(0.0, Dir.C2S, b"a" * 3000)])
+        packets = [p for p in _decode_all(session)
+                   if p.src_ip == session.client_ip and p.payload_len]
+        assert packets[1].seq == packets[0].seq + packets[0].payload_len
+
+    def test_bidirectional_events(self):
+        session = _session(events=[
+            AppEvent(0.0, Dir.C2S, b"request"),
+            AppEvent(0.01, Dir.S2C, b"response-body"),
+        ])
+        packets = _decode_all(session)
+        c2s = sum(p.payload_len for p in packets if p.src_ip == session.client_ip)
+        s2c = sum(p.payload_len for p in packets if p.src_ip == session.server_ip)
+        assert c2s == len(b"request")
+        assert s2c == len(b"response-body")
+
+    def test_timestamps_monotone(self):
+        session = _session(events=[
+            AppEvent(0.0, Dir.C2S, b"q" * 2000),
+            AppEvent(0.05, Dir.S2C, b"r" * 9000),
+        ])
+        packets = realize_session(session, random.Random(1))
+        timestamps = [p.ts for p in packets]
+        assert timestamps == sorted(timestamps)
+
+
+class TestLossAndKeepalive:
+    def test_explicit_loss_produces_retransmissions(self):
+        session = _session(
+            events=[AppEvent(0.0, Dir.C2S, b"d" * 200_000)], loss_rate=0.2
+        )
+        packets = _decode_all(session)
+        seqs = [p.seq for p in packets if p.src_ip == session.client_ip and p.payload_len]
+        assert len(seqs) > len(set(seqs))  # duplicated sequence numbers
+
+    def test_zero_loss_has_no_retransmissions(self):
+        session = _session(events=[AppEvent(0.0, Dir.C2S, b"d" * 100_000)], loss_rate=0.0)
+        packets = _decode_all(session)
+        seqs = [p.seq for p in packets if p.src_ip == session.client_ip and p.payload_len]
+        assert len(seqs) == len(set(seqs))
+
+    def test_ambient_loss_applied_when_unset(self):
+        """loss_rate=None lets the realizer pick a small ambient rate."""
+        session = _session(events=[AppEvent(0.0, Dir.C2S, b"d" * 3_000_000)],
+                           loss_rate=None, rtt=0.05)
+        packets = _decode_all(session, seed=3)
+        seqs = [p.seq for p in packets if p.src_ip == session.client_ip and p.payload_len]
+        assert len(seqs) > len(set(seqs))
+
+    def test_keepalives_are_one_byte_below_next_seq(self):
+        session = _session(
+            events=[AppEvent(0.0, Dir.C2S, b"hello")],
+            keepalive_interval=10.0, keepalive_count=3, close="none",
+        )
+        packets = _decode_all(session)
+        probes = [p for p in packets
+                  if p.src_ip == session.client_ip and p.payload_len == 1]
+        assert len(probes) == 3
+        assert len({p.seq for p in probes}) == 1  # same probe seq each time
+
+
+class TestWindowEnd:
+    def test_packets_after_window_dropped(self):
+        session = _session(
+            start=100.0,
+            events=[AppEvent(0.0, Dir.C2S, b"x"), AppEvent(500.0, Dir.S2C, b"y")],
+        )
+        packets = realize_session(session, random.Random(1), window_end=150.0)
+        assert all(p.ts <= 150.0 for p in packets)
+        assert packets  # the early part is still captured
+
+
+class TestChecksumIntegrity:
+    def test_all_packets_decode(self):
+        session = _session(events=[AppEvent(0.0, Dir.C2S, b"q" * 10_000)])
+        for pkt in realize_session(session, random.Random(2)):
+            decoded = decode_packet(pkt)
+            assert decoded.proto == 6

@@ -1,0 +1,139 @@
+"""Tests for the high-level packet model (craft + flat decode)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPX
+from repro.net.icmp import ICMP_ECHO_REQUEST
+from repro.net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.net.ipx import IpxPacket
+from repro.net.packet import (
+    CapturedPacket,
+    decode_packet,
+    make_arp_packet,
+    make_icmp_packet,
+    make_ipx_packet,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from repro.net.tcp import ACK, PSH, SYN
+
+
+class TestCapturedPacket:
+    def test_truncate(self):
+        pkt = CapturedPacket(ts=1.0, data=b"x" * 100, wire_len=100)
+        cut = pkt.truncate(68)
+        assert cut.caplen == 68
+        assert cut.wire_len == 100
+        assert cut.truncated
+
+    def test_truncate_noop_when_short(self):
+        pkt = CapturedPacket(ts=1.0, data=b"x" * 50, wire_len=50)
+        assert pkt.truncate(68) is pkt
+
+
+class TestTcpCraftDecode:
+    def test_fields_survive(self):
+        pkt = make_tcp_packet(
+            ts=2.5, src_mac=0xA, dst_mac=0xB,
+            src_ip=0x83F30101, dst_ip=0x83F30202,
+            src_port=44000, dst_port=25, seq=777, ack=888,
+            flags=ACK | PSH, payload=b"MAIL FROM:<a@b>\r\n",
+        )
+        d = decode_packet(pkt)
+        assert d.ts == 2.5
+        assert d.src_mac == 0xA and d.dst_mac == 0xB
+        assert d.src_ip == 0x83F30101 and d.dst_ip == 0x83F30202
+        assert d.proto == PROTO_TCP
+        assert (d.src_port, d.dst_port) == (44000, 25)
+        assert (d.seq, d.ack) == (777, 888)
+        assert d.tcp_flags == ACK | PSH
+        assert d.payload == b"MAIL FROM:<a@b>\r\n"
+        assert d.payload_len == len(d.payload)
+
+    def test_syn_with_mss(self):
+        pkt = make_tcp_packet(1, 1, 2, 3, 4, 5, 6, 0, 0, SYN, mss=1460)
+        d = decode_packet(pkt)
+        assert d.tcp_flags == SYN
+        assert d.payload_len == 0
+
+    def test_full_mss_wire_len(self):
+        pkt = make_tcp_packet(1, 1, 2, 3, 4, 5, 6, 0, 0, ACK, payload=b"z" * 1460)
+        assert pkt.wire_len == 14 + 20 + 20 + 1460
+
+    def test_snaplen_68_recovers_transport_header(self):
+        """The D1/D2 scenario: headers survive, payload does not."""
+        pkt = make_tcp_packet(1, 1, 2, 3, 4, 5, 80, 9, 0, ACK | PSH, payload=b"w" * 1000)
+        d = decode_packet(pkt.truncate(68))
+        assert d.src_port == 5 and d.dst_port == 80
+        assert d.payload_len == 1000  # true length recovered from IP header
+        assert len(d.payload) < 1000
+        assert d.payload_truncated
+
+    def test_snaplen_1500_truncates_full_mss_frame(self):
+        """A 1514-byte frame under snaplen 1500 loses 14 payload bytes."""
+        pkt = make_tcp_packet(1, 1, 2, 3, 4, 5, 80, 9, 0, ACK, payload=b"w" * 1460)
+        d = decode_packet(pkt.truncate(1500))
+        assert d.payload_len == 1460
+        assert len(d.payload) == 1446
+
+
+class TestUdpCraftDecode:
+    def test_fields_survive(self):
+        pkt = make_udp_packet(3.0, 1, 2, 10, 20, 5353, 53, payload=b"query")
+        d = decode_packet(pkt)
+        assert d.proto == PROTO_UDP
+        assert (d.src_port, d.dst_port) == (5353, 53)
+        assert d.payload == b"query"
+
+    def test_truncated_udp(self):
+        pkt = make_udp_packet(1, 1, 2, 3, 4, 5, 6, payload=b"u" * 500)
+        d = decode_packet(pkt.truncate(68))
+        assert d.payload_len == 500
+        assert len(d.payload) < 500
+
+
+class TestIcmpCraftDecode:
+    def test_fields_survive(self):
+        pkt = make_icmp_packet(1.0, 1, 2, 3, 4, ICMP_ECHO_REQUEST, ident=9, sequence=2)
+        d = decode_packet(pkt)
+        assert d.proto == PROTO_ICMP
+        assert d.icmp_type == ICMP_ECHO_REQUEST
+
+
+class TestNonIpDecode:
+    def test_arp(self):
+        pkt = make_arp_packet(1.0, 5, 0xFFFFFFFFFFFF, 1, 5, 100, 0, 200)
+        d = decode_packet(pkt)
+        assert d.ethertype == ETHERTYPE_ARP
+        assert d.src_ip is None
+        assert not d.is_ip
+        assert pkt.wire_len == 60  # padded to Ethernet minimum
+
+    def test_ipx(self):
+        ipx = IpxPacket(0x04, 0, 1, 1, 0, 2, 2, payload=b"sap")
+        pkt = make_ipx_packet(1.0, 2, 0xFFFFFFFFFFFF, ipx)
+        d = decode_packet(pkt)
+        assert d.ethertype == ETHERTYPE_IPX
+        assert d.proto is None
+
+    def test_runt_frame_raises(self):
+        with pytest.raises(ValueError):
+            decode_packet(CapturedPacket(ts=0.0, data=b"\x00" * 8, wire_len=8))
+
+
+@given(
+    sport=st.integers(min_value=1, max_value=65535),
+    dport=st.integers(min_value=1, max_value=65535),
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+    payload=st.binary(max_size=1460),
+)
+def test_tcp_craft_decode_property(sport, dport, seq, payload):
+    """Any crafted TCP packet decodes back to its inputs."""
+    pkt = make_tcp_packet(0.0, 1, 2, 3, 4, sport, dport, seq, 0, ACK, payload=payload)
+    d = decode_packet(pkt)
+    assert d.src_port == sport
+    assert d.dst_port == dport
+    assert d.seq == seq
+    assert d.payload == payload

@@ -1,0 +1,132 @@
+"""Tests for the pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import CapturedPacket, make_udp_packet
+from repro.pcap.reader import PcapReader, read_pcap
+from repro.pcap.records import PCAP_MAGIC, PcapGlobalHeader
+from repro.pcap.writer import PcapWriter, write_pcap
+
+
+def _sample_packets(n=5):
+    return [
+        make_udp_packet(float(i) + 0.25, 1, 2, 3, 4, 1000 + i, 53, payload=b"q" * (i * 10))
+        for i in range(n)
+    ]
+
+
+class TestGlobalHeader:
+    def test_round_trip(self):
+        header = PcapGlobalHeader(snaplen=1500)
+        decoded, swapped = PcapGlobalHeader.decode(header.encode())
+        assert decoded.snaplen == 1500
+        assert decoded.version_major == 2 and decoded.version_minor == 4
+        assert not swapped
+
+    def test_swapped_magic(self):
+        data = bytearray(PcapGlobalHeader(snaplen=96).encode())
+        # Byte-swap every field to simulate an opposite-endian writer.
+        swapped = struct.pack(
+            ">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 96, 1
+        )
+        decoded, was_swapped = PcapGlobalHeader.decode(swapped)
+        assert was_swapped
+        assert decoded.snaplen == 96
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError):
+            PcapGlobalHeader.decode(b"\x00" * 24)
+
+
+class TestRoundTrip:
+    def test_memory_round_trip(self):
+        packets = _sample_packets()
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=65535)
+        writer.write_all(packets)
+        buffer.seek(0)
+        back = list(PcapReader(buffer))
+        assert len(back) == len(packets)
+        for original, restored in zip(packets, back):
+            assert restored.data == original.data
+            assert restored.wire_len == original.wire_len
+            assert restored.ts == pytest.approx(original.ts, abs=1e-6)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        packets = _sample_packets(8)
+        assert write_pcap(path, packets) == 8
+        assert len(read_pcap(path)) == 8
+
+    def test_snaplen_truncation(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        big = make_udp_packet(1.0, 1, 2, 3, 4, 5, 6, payload=b"z" * 1000)
+        write_pcap(path, [big], snaplen=68)
+        with PcapReader.open(path) as reader:
+            assert reader.snaplen == 68
+            (packet,) = list(reader)
+        assert packet.caplen == 68
+        assert packet.wire_len == big.wire_len
+        assert packet.truncated
+
+    def test_timestamp_microsecond_rounding(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        # A timestamp whose fractional part rounds up to the next second.
+        writer.write(CapturedPacket(ts=1.9999996, data=b"\x00" * 14, wire_len=14))
+        buffer.seek(0)
+        (packet,) = list(PcapReader(buffer))
+        assert packet.ts == pytest.approx(2.0, abs=1e-5)
+
+    def test_empty_file(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.seek(0)
+        assert list(PcapReader(buffer)) == []
+
+
+class TestCorruption:
+    def test_truncated_record_header(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(CapturedPacket(ts=0.0, data=b"\x00" * 20, wire_len=20))
+        data = buffer.getvalue()[:-25]  # cut into the record
+        with pytest.raises(ValueError):
+            list(PcapReader(io.BytesIO(data)))
+
+    def test_truncated_record_body(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(CapturedPacket(ts=0.0, data=b"\x00" * 20, wire_len=20))
+        data = buffer.getvalue()[:-5]
+        with pytest.raises(ValueError):
+            list(PcapReader(io.BytesIO(data)))
+
+    def test_writer_rejects_bad_snaplen(self):
+        with pytest.raises(ValueError):
+            PcapWriter(io.BytesIO(), snaplen=0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            st.binary(min_size=14, max_size=200),
+        ),
+        max_size=20,
+    )
+)
+def test_pcap_round_trip_property(specs):
+    """Arbitrary packet contents survive a write/read cycle."""
+    packets = [CapturedPacket(ts=ts, data=data, wire_len=len(data)) for ts, data in specs]
+    buffer = io.BytesIO()
+    PcapWriter(buffer).write_all(packets)
+    buffer.seek(0)
+    back = list(PcapReader(buffer))
+    assert [p.data for p in back] == [p.data for p in packets]
+    assert [p.wire_len for p in back] == [p.wire_len for p in packets]

@@ -1,0 +1,115 @@
+"""Tests for repro.proto.cifs (SMB messages and Table 10 categories)."""
+
+import pytest
+
+from repro.proto.cifs import (
+    CMD_CLOSE,
+    CMD_ECHO,
+    CMD_NEGOTIATE,
+    CMD_NT_CREATE_ANDX,
+    CMD_READ_ANDX,
+    CMD_SESSION_SETUP_ANDX,
+    CMD_TRANS,
+    CMD_TREE_CONNECT_ANDX,
+    CMD_WRITE_ANDX,
+    LANMAN_PIPE,
+    SMB_HEADER_LEN,
+    STATUS_ACCESS_DENIED,
+    SmbMessage,
+    command_category,
+    parse_smb_stream,
+)
+
+
+class TestSmbMessage:
+    def test_basic_round_trip(self):
+        msg = SmbMessage(command=CMD_NEGOTIATE, mid=42)
+        back = SmbMessage.decode(msg.encode())
+        assert back.command == CMD_NEGOTIATE
+        assert back.mid == 42
+        assert not back.is_response
+
+    def test_response_flag(self):
+        msg = SmbMessage(command=CMD_SESSION_SETUP_ANDX, is_response=True)
+        assert SmbMessage.decode(msg.encode()).is_response
+
+    def test_status_survives(self):
+        msg = SmbMessage(command=CMD_TREE_CONNECT_ANDX, is_response=True,
+                         status=STATUS_ACCESS_DENIED)
+        assert SmbMessage.decode(msg.encode()).status == STATUS_ACCESS_DENIED
+
+    def test_trans_carries_pipe_name_and_data(self):
+        msg = SmbMessage(command=CMD_TRANS, name="\\PIPE\\SPOOLSS", fid=7, data=b"\x05" * 40)
+        back = SmbMessage.decode(msg.encode())
+        assert back.name == "\\PIPE\\SPOOLSS"
+        assert back.fid == 7
+        assert back.data == b"\x05" * 40
+
+    def test_nt_create_carries_filename(self):
+        msg = SmbMessage(command=CMD_NT_CREATE_ANDX, name="\\docs\\report.doc")
+        assert SmbMessage.decode(msg.encode()).name == "\\docs\\report.doc"
+
+    def test_read_write_carry_data(self):
+        for command in (CMD_READ_ANDX, CMD_WRITE_ANDX):
+            msg = SmbMessage(command=command, fid=3, data=b"d" * 512)
+            back = SmbMessage.decode(msg.encode())
+            assert back.data == b"d" * 512
+            assert back.fid == 3
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError):
+            SmbMessage.decode(b"\x00" * 40)
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            SmbMessage.decode(b"\xffSMB")
+
+    def test_header_length(self):
+        assert SMB_HEADER_LEN == 32
+
+
+class TestCategories:
+    def test_rpc_pipe_detection(self):
+        msg = SmbMessage(command=CMD_TRANS, name="\\PIPE\\NETLOGON")
+        assert msg.is_rpc_pipe
+        assert not msg.is_lanman
+        assert command_category(msg) == "RPC Pipes"
+
+    def test_lanman_detection(self):
+        msg = SmbMessage(command=CMD_TRANS, name=LANMAN_PIPE)
+        assert msg.is_lanman
+        assert not msg.is_rpc_pipe
+        assert command_category(msg) == "LANMAN"
+
+    def test_lanman_case_insensitive(self):
+        msg = SmbMessage(command=CMD_TRANS, name="\\pipe\\lanman")
+        assert msg.is_lanman
+
+    def test_file_sharing(self):
+        assert command_category(SmbMessage(command=CMD_READ_ANDX)) == "Windows File Sharing"
+        assert command_category(SmbMessage(command=CMD_WRITE_ANDX)) == "Windows File Sharing"
+
+    def test_basic_commands(self):
+        for command in (CMD_NEGOTIATE, CMD_SESSION_SETUP_ANDX, CMD_TREE_CONNECT_ANDX,
+                        CMD_NT_CREATE_ANDX, CMD_CLOSE, CMD_ECHO):
+            assert command_category(SmbMessage(command=command)) == "SMB Basic"
+
+    def test_unknown_command_is_other(self):
+        assert command_category(SmbMessage(command=0x99)) == "Other"
+
+
+class TestStreamParsing:
+    def test_parses_sequence(self):
+        payloads = [
+            SmbMessage(command=CMD_NEGOTIATE).encode(),
+            SmbMessage(command=CMD_NEGOTIATE, is_response=True).encode(),
+            SmbMessage(command=CMD_TRANS, name="\\PIPE\\LSARPC", data=b"x").encode(),
+        ]
+        messages = parse_smb_stream(payloads)
+        assert len(messages) == 3
+
+    def test_skips_garbage_payloads(self):
+        payloads = [b"\x00garbage", SmbMessage(command=CMD_CLOSE).encode()]
+        messages = parse_smb_stream(payloads)
+        assert len(messages) == 1
+        assert messages[0].command == CMD_CLOSE

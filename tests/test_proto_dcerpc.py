@@ -1,0 +1,103 @@
+"""Tests for repro.proto.dcerpc."""
+
+import pytest
+
+from repro.proto.dcerpc import (
+    IFACE_EPMAPPER,
+    IFACE_LSARPC,
+    IFACE_NETLOGON,
+    IFACE_SPOOLSS,
+    OP_SPOOLSS_WRITEPRINTER,
+    PDU_BIND,
+    PDU_BIND_ACK,
+    PDU_FAULT,
+    PDU_REQUEST,
+    PDU_RESPONSE,
+    PIPE_INTERFACES,
+    DcerpcPdu,
+    function_label,
+    parse_pdu_stream,
+)
+
+
+class TestPduRoundTrip:
+    def test_request(self):
+        pdu = DcerpcPdu(ptype=PDU_REQUEST, call_id=77, opnum=19, data=b"stub" * 10)
+        back = DcerpcPdu.decode(pdu.encode())
+        assert back.ptype == PDU_REQUEST
+        assert back.call_id == 77
+        assert back.opnum == 19
+        assert back.data == b"stub" * 10
+
+    def test_response(self):
+        pdu = DcerpcPdu(ptype=PDU_RESPONSE, opnum=3, data=b"r" * 64)
+        back = DcerpcPdu.decode(pdu.encode())
+        assert back.ptype == PDU_RESPONSE
+        assert back.data == b"r" * 64
+
+    def test_bind_interface(self):
+        for iface in (IFACE_SPOOLSS, IFACE_NETLOGON, IFACE_LSARPC, IFACE_EPMAPPER):
+            pdu = DcerpcPdu(ptype=PDU_BIND, interface=iface)
+            assert DcerpcPdu.decode(pdu.encode()).interface == iface
+
+    def test_bind_ack(self):
+        pdu = DcerpcPdu(ptype=PDU_BIND_ACK, interface=IFACE_SPOOLSS)
+        assert DcerpcPdu.decode(pdu.encode()).interface == IFACE_SPOOLSS
+
+    def test_fault(self):
+        pdu = DcerpcPdu(ptype=PDU_FAULT, opnum=2)
+        assert DcerpcPdu.decode(pdu.encode()).ptype == PDU_FAULT
+
+    def test_frag_len_consistent(self):
+        pdu = DcerpcPdu(ptype=PDU_REQUEST, opnum=1, data=b"x" * 100)
+        assert pdu.frag_len == len(pdu.encode())
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(DcerpcPdu(ptype=PDU_REQUEST).encode())
+        data[0] = 4
+        with pytest.raises(ValueError):
+            DcerpcPdu.decode(bytes(data))
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            DcerpcPdu.decode(b"\x05\x00")
+
+
+class TestStreamParsing:
+    def test_back_to_back_pdus(self):
+        stream = (
+            DcerpcPdu(ptype=PDU_BIND, interface=IFACE_SPOOLSS).encode()
+            + DcerpcPdu(ptype=PDU_BIND_ACK, interface=IFACE_SPOOLSS).encode()
+            + DcerpcPdu(ptype=PDU_REQUEST, opnum=19, data=b"q").encode()
+            + DcerpcPdu(ptype=PDU_RESPONSE, opnum=19, data=b"s").encode()
+        )
+        pdus = parse_pdu_stream(stream)
+        assert [p.ptype for p in pdus] == [PDU_BIND, PDU_BIND_ACK, PDU_REQUEST, PDU_RESPONSE]
+
+    def test_stops_at_truncation(self):
+        stream = DcerpcPdu(ptype=PDU_REQUEST, opnum=1, data=b"x" * 100).encode()
+        pdus = parse_pdu_stream(stream[:-50])
+        assert pdus == []
+
+    def test_empty(self):
+        assert parse_pdu_stream(b"") == []
+
+
+class TestFunctionLabels:
+    def test_writeprinter(self):
+        assert function_label(IFACE_SPOOLSS, OP_SPOOLSS_WRITEPRINTER) == "Spoolss/WritePrinter"
+
+    def test_spoolss_other(self):
+        assert function_label(IFACE_SPOOLSS, 1) == "Spoolss/other"
+
+    def test_auth_interfaces(self):
+        assert function_label(IFACE_NETLOGON, 2) == "NetLogon"
+        assert function_label(IFACE_LSARPC, 15) == "LsaRPC"
+
+    def test_unknown(self):
+        assert function_label(None, 5) == "Other"
+        assert function_label(IFACE_EPMAPPER, 3) == "Other"
+
+    def test_pipe_interface_map(self):
+        assert PIPE_INTERFACES["\\PIPE\\SPOOLSS"] == IFACE_SPOOLSS
+        assert PIPE_INTERFACES["\\PIPE\\NETLOGON"] == IFACE_NETLOGON

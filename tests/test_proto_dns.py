@@ -1,0 +1,129 @@
+"""Tests for repro.proto.dns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.proto.dns import (
+    QTYPE_A,
+    QTYPE_AAAA,
+    QTYPE_MX,
+    QTYPE_PTR,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    DnsMessage,
+    DnsQuestion,
+    DnsRecord,
+    decode_name,
+    encode_name,
+)
+
+
+class TestNameEncoding:
+    def test_round_trip(self):
+        encoded = encode_name("mail.internal.example")
+        name, offset = decode_name(encoded, 0)
+        assert name == "mail.internal.example"
+        assert offset == len(encoded)
+
+    def test_root(self):
+        assert encode_name("") == b"\x00"
+
+    def test_trailing_dot_ignored(self):
+        assert encode_name("a.b.") == encode_name("a.b")
+
+    def test_rejects_long_label(self):
+        with pytest.raises(ValueError):
+            encode_name("x" * 64 + ".com")
+
+    def test_compression_pointer(self):
+        # "example" at offset 0; a pointer to it at the end.
+        base = encode_name("example")
+        data = base + b"\xc0\x00"
+        name, offset = decode_name(data, len(base))
+        assert name == "example"
+        assert offset == len(data)
+
+    def test_pointer_loop_detected(self):
+        data = b"\xc0\x00"
+        with pytest.raises(ValueError):
+            decode_name(data, 0)
+
+    def test_runs_past_end(self):
+        with pytest.raises(ValueError):
+            decode_name(b"\x05ab", 0)
+
+
+class TestDnsMessage:
+    def test_query_round_trip(self):
+        msg = DnsMessage(ident=0x1234, questions=[DnsQuestion("host.example", QTYPE_A)])
+        back = DnsMessage.decode(msg.encode())
+        assert back.ident == 0x1234
+        assert not back.is_response
+        assert back.recursion_desired
+        assert back.questions[0].name == "host.example"
+        assert back.questions[0].qtype == QTYPE_A
+
+    def test_response_with_answer(self):
+        msg = DnsMessage(
+            ident=1,
+            is_response=True,
+            questions=[DnsQuestion("a.example", QTYPE_A)],
+            answers=[DnsRecord("a.example", QTYPE_A, b"\x0a\x00\x00\x01", ttl=60)],
+        )
+        back = DnsMessage.decode(msg.encode())
+        assert back.is_response
+        assert back.rcode == RCODE_NOERROR
+        assert back.answers[0].rdata == b"\x0a\x00\x00\x01"
+        assert back.answers[0].ttl == 60
+
+    def test_nxdomain(self):
+        msg = DnsMessage(
+            ident=2, is_response=True, rcode=RCODE_NXDOMAIN,
+            questions=[DnsQuestion("gone.example", QTYPE_A)],
+        )
+        assert DnsMessage.decode(msg.encode()).rcode == RCODE_NXDOMAIN
+
+    def test_qtype_name(self):
+        for qtype, label in ((QTYPE_A, "A"), (QTYPE_AAAA, "AAAA"), (QTYPE_PTR, "PTR"), (QTYPE_MX, "MX")):
+            msg = DnsMessage(ident=1, questions=[DnsQuestion("x", qtype)])
+            assert msg.qtype_name == label
+
+    def test_qtype_name_empty(self):
+        assert DnsMessage(ident=1).qtype_name == "?"
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError):
+            DnsMessage.decode(b"\x00" * 6)
+
+    def test_truncated_question(self):
+        msg = DnsMessage(ident=1, questions=[DnsQuestion("abc.example", QTYPE_A)])
+        with pytest.raises(ValueError):
+            DnsMessage.decode(msg.encode()[:-2])
+
+    def test_multiple_sections(self):
+        msg = DnsMessage(
+            ident=5, is_response=True,
+            questions=[DnsQuestion("m.example", QTYPE_MX)],
+            answers=[DnsRecord("m.example", QTYPE_MX, b"\x00\x0a" + encode_name("mx.m.example"))],
+            authority=[DnsRecord("example", 2, encode_name("ns.example"))],
+            additional=[DnsRecord("ns.example", QTYPE_A, b"\x01\x02\x03\x04")],
+        )
+        back = DnsMessage.decode(msg.encode())
+        assert len(back.answers) == 1
+        assert len(back.authority) == 1
+        assert len(back.additional) == 1
+
+
+@given(
+    ident=st.integers(min_value=0, max_value=0xFFFF),
+    labels=st.lists(st.text(alphabet="abcdefghij", min_size=1, max_size=10), min_size=1, max_size=4),
+    qtype=st.sampled_from([QTYPE_A, QTYPE_AAAA, QTYPE_PTR, QTYPE_MX]),
+)
+def test_dns_round_trip_property(ident, labels, qtype):
+    name = ".".join(labels)
+    msg = DnsMessage(ident=ident, questions=[DnsQuestion(name, qtype)])
+    back = DnsMessage.decode(msg.encode())
+    assert back.ident == ident
+    assert back.questions[0].name == name
+    assert back.questions[0].qtype == qtype

@@ -1,0 +1,82 @@
+"""Tests for repro.proto.smtp and repro.proto.imap."""
+
+from repro.proto import imap, smtp
+
+
+class TestSmtpDialogue:
+    def _round_trip(self, rcpts, message, accept=True):
+        client = smtp.build_client_stream("relay.example", "alice@example", rcpts, message)
+        server = smtp.build_server_stream("mail.example", len(rcpts), accept)
+        return smtp.parse_dialogue(client, server)
+
+    def test_basic_transaction(self):
+        dialogue = self._round_trip(["bob@peer"], b"Subject: hi\r\n\r\nbody\r\n")
+        assert dialogue.client_helo == "relay.example"
+        assert dialogue.mail_from == "alice@example"
+        assert dialogue.rcpt_to == ["bob@peer"]
+        assert dialogue.accepted
+        assert dialogue.quit_seen
+
+    def test_multiple_recipients(self):
+        dialogue = self._round_trip(["a@x", "b@y", "c@z"], b"m\r\n")
+        assert len(dialogue.rcpt_to) == 3
+
+    def test_message_size_counts_data_section(self):
+        message = b"Subject: s\r\n\r\n" + b"x" * 1000 + b"\r\n"
+        dialogue = self._round_trip(["r@x"], message)
+        assert abs(dialogue.message_size - len(message)) < 20
+
+    def test_rejected_message(self):
+        dialogue = self._round_trip(["r@x"], b"m\r\n", accept=False)
+        assert not dialogue.accepted
+
+    def test_empty_streams(self):
+        dialogue = smtp.parse_dialogue(b"", b"")
+        assert dialogue.mail_from == ""
+        assert not dialogue.accepted
+
+    def test_dot_stuffed_terminator_not_confused(self):
+        # A lone "." line inside DATA ends the message; content before it counts.
+        client = smtp.build_client_stream("h", "a@x", ["b@y"], b"line1\r\nline2\r\n")
+        dialogue = smtp.parse_dialogue(client, smtp.build_server_stream("s", 1))
+        assert dialogue.quit_seen
+
+    def test_server_stream_contains_go_ahead(self):
+        server = smtp.build_server_stream("mail.example", 1)
+        assert b"354" in server
+        assert server.startswith(b"220 mail.example")
+
+
+class TestImapSession:
+    def test_basic_session(self):
+        client = imap.build_client_stream("user", polls=3, fetches=2)
+        server = imap.build_server_stream([500, 1500])
+        session = imap.parse_session(client, server)
+        assert session.poll_count == 3
+        assert session.fetched_bytes == 2000
+        assert session.logged_in
+        assert session.logout_seen
+
+    def test_no_fetches(self):
+        client = imap.build_client_stream("user", polls=1, fetches=0)
+        server = imap.build_server_stream([])
+        session = imap.parse_session(client, server)
+        assert session.fetched_bytes == 0
+
+    def test_commands_recorded_in_order(self):
+        client = imap.build_client_stream("user", polls=0, fetches=1)
+        session = imap.parse_session(client, b"")
+        assert session.commands[:2] == ["LOGIN", "SELECT"]
+        assert session.commands[-1] == "LOGOUT"
+
+    def test_literal_bytes_not_misparsed_as_lines(self):
+        # A fetched message containing CRLFs must not break literal skipping.
+        body_size = 300
+        server = imap.build_server_stream([body_size])
+        session = imap.parse_session(imap.build_client_stream("u", 0, 1), server)
+        assert session.fetched_bytes == body_size
+
+    def test_empty_streams(self):
+        session = imap.parse_session(b"", b"")
+        assert session.commands == []
+        assert not session.logged_in

@@ -1,0 +1,189 @@
+"""Tests for repro.proto.http."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.proto.http import (
+    HttpRequest,
+    HttpResponse,
+    build_request,
+    build_response,
+    parse_requests,
+    parse_responses,
+)
+
+
+class TestBuildParseRequests:
+    def test_simple_get(self):
+        data = build_request("GET", "/index.html", "www.example.com")
+        (request,) = parse_requests(data)
+        assert request.method == "GET"
+        assert request.uri == "/index.html"
+        assert request.host == "www.example.com"
+        assert not request.is_conditional
+
+    def test_conditional_get(self):
+        data = build_request(
+            "GET", "/x", "h", headers={"If-Modified-Since": "yesterday"}
+        )
+        (request,) = parse_requests(data)
+        assert request.is_conditional
+
+    def test_if_none_match_is_conditional(self):
+        data = build_request("GET", "/x", "h", headers={"If-None-Match": '"tag"'})
+        assert parse_requests(data)[0].is_conditional
+
+    def test_post_with_body(self):
+        data = build_request("POST", "/sync", "ifolder", body=b"payload-bytes")
+        (request,) = parse_requests(data)
+        assert request.method == "POST"
+        assert request.body == b"payload-bytes"
+
+    def test_user_agent(self):
+        data = build_request("GET", "/", "h", user_agent="googlebot-appliance")
+        assert parse_requests(data)[0].user_agent == "googlebot-appliance"
+
+    def test_pipelined_requests(self):
+        data = build_request("GET", "/a", "h") + build_request("GET", "/b", "h")
+        requests = parse_requests(data)
+        assert [r.uri for r in requests] == ["/a", "/b"]
+
+    def test_incomplete_headers_returns_partial(self):
+        data = build_request("GET", "/a", "h") + b"GET /b HTTP/1.1\r\nHost:"
+        assert len(parse_requests(data)) == 1
+
+    def test_garbage_stops_parsing(self):
+        assert parse_requests(b"\x00\x01\x02\r\n\r\n") == []
+
+    def test_truncated_body_with_flag(self):
+        data = build_request("POST", "/x", "h", body=b"z" * 100)[:-50]
+        requests = parse_requests(data, truncated=True)
+        assert len(requests) == 1
+        assert len(requests[0].body) == 50
+
+
+class TestBuildParseResponses:
+    def test_simple_ok(self):
+        data = build_response(200, "OK", "text/html", b"<html></html>")
+        (response,) = parse_responses(data)
+        assert response.status == 200
+        assert response.content_type == "text/html"
+        assert response.body_size == 13
+
+    def test_not_modified_no_body(self):
+        data = build_response(304, "Not Modified")
+        (response,) = parse_responses(data)
+        assert response.status == 304
+        assert response.body_size == 0
+
+    def test_content_categories(self):
+        cases = {
+            "text/html": "text",
+            "image/gif": "image",
+            "application/pdf": "application",
+            "audio/mpeg": "other",
+            "": "other",
+        }
+        for ctype, expected in cases.items():
+            response = HttpResponse(status=200, headers={"content-type": ctype})
+            assert response.content_category == expected
+
+    def test_content_type_strips_parameters(self):
+        response = HttpResponse(
+            status=200, headers={"content-type": "text/html; charset=utf-8"}
+        )
+        assert response.content_type == "text/html"
+
+    def test_persistent_connection_stream(self):
+        data = b"".join(
+            build_response(200, "OK", "image/gif", bytes(size))
+            for size in (10, 20, 30)
+        )
+        responses = parse_responses(data)
+        assert [r.body_size for r in responses] == [10, 20, 30]
+
+    def test_truncated_body_reports_content_length(self):
+        data = build_response(200, "OK", "application/zip", b"z" * 1000)[:200]
+        (response,) = parse_responses(data, truncated=True)
+        assert response.body_size == 1000
+        assert len(response.body) < 1000
+
+    def test_non_http_prefix_stops(self):
+        assert parse_responses(b"SSH-2.0-OpenSSH\r\n\r\n") == []
+
+
+class TestRequestResponsePairing:
+    def test_equal_counts_on_clean_session(self):
+        client = b"".join(build_request("GET", f"/{i}", "h") for i in range(4))
+        server = b"".join(
+            build_response(200, "OK", "text/plain", b"a" * i) for i in range(4)
+        )
+        assert len(parse_requests(client)) == len(parse_responses(server)) == 4
+
+
+@given(
+    method=st.sampled_from(["GET", "POST", "HEAD"]),
+    uri=st.text(alphabet="abcdefgh/0123456789", min_size=1, max_size=30),
+    body=st.binary(max_size=500),
+)
+def test_request_round_trip_property(method, uri, body):
+    data = build_request(method, "/" + uri, "host.example", body=body)
+    (request,) = parse_requests(data)
+    assert request.method == method
+    assert request.uri == "/" + uri
+    assert request.body == body
+
+
+@given(status=st.integers(min_value=100, max_value=599), body=st.binary(max_size=500))
+def test_response_round_trip_property(status, body):
+    data = build_response(status, "Reason", "application/octet-stream", body)
+    (response,) = parse_responses(data)
+    assert response.status == status
+    assert response.body == body
+
+
+class TestChunkedEncoding:
+    def test_round_trip(self):
+        data = build_response(200, "OK", "text/html", b"z" * 10_000, chunked=True)
+        (response,) = parse_responses(data)
+        assert response.body == b"z" * 10_000
+        assert response.headers["transfer-encoding"] == "chunked"
+        assert response.body_size == 10_000
+
+    def test_empty_body(self):
+        data = build_response(200, "OK", "text/html", b"", chunked=True)
+        (response,) = parse_responses(data)
+        assert response.body == b""
+
+    def test_pipelined_after_chunked(self):
+        stream = (
+            build_response(200, "OK", "text/html", b"first", chunked=True)
+            + build_response(200, "OK", "text/plain", b"second")
+        )
+        responses = parse_responses(stream)
+        assert [r.body for r in responses] == [b"first", b"second"]
+
+    def test_truncated_chunk_recovers_prefix(self):
+        data = build_response(200, "OK", "text/html", b"q" * 5000, chunked=True)
+        responses = parse_responses(data[:-2600], truncated=True)
+        assert len(responses) == 1
+        assert responses[0].body == b"q" * len(responses[0].body)
+        assert 0 < len(responses[0].body) < 5000
+
+    def test_chunk_sizes_respected(self):
+        data = build_response(200, "OK", "text/html", b"a" * 9000,
+                              chunked=True, chunk_size=4096)
+        # 4096 + 4096 + 808 + terminator
+        assert data.count(b"\r\n1000\r\n") + data.count(b"1000\r\n") >= 1
+        (response,) = parse_responses(data)
+        assert len(response.body) == 9000
+
+
+from hypothesis import given as _given
+
+
+@_given(body=st.binary(max_size=20_000))
+def test_chunked_round_trip_property(body):
+    data = build_response(200, "OK", "application/octet-stream", body, chunked=True)
+    (response,) = parse_responses(data)
+    assert response.body == body

@@ -1,0 +1,157 @@
+"""Tests for repro.proto.ncp, repro.proto.backupproto, repro.proto.misc."""
+
+import pytest
+
+from repro.proto import backupproto as bp
+from repro.proto import misc
+from repro.proto.ncp import (
+    FUNC_CLOSE_FILE,
+    FUNC_DIRECTORY_SERVICE,
+    FUNC_FILE_DIR_INFO,
+    FUNC_FILE_SEARCH,
+    FUNC_FILE_SIZE,
+    FUNC_OPEN_FILE,
+    FUNC_READ_FILE,
+    FUNC_WRITE_FILE,
+    NcpReply,
+    NcpRequest,
+    frame_ncp_ip,
+    function_table_row,
+    parse_ncp_ip_stream,
+)
+
+
+class TestNcpRequest:
+    def test_round_trip(self):
+        request = NcpRequest(sequence=9, function=FUNC_FILE_DIR_INFO, data=b"\x00" * 30)
+        back = NcpRequest.decode(request.encode())
+        assert back.sequence == 9
+        assert back.function == FUNC_FILE_DIR_INFO
+
+    def test_read_request_is_14_bytes(self):
+        """The Figure 8c mode: read requests encode to 14 bytes."""
+        request = NcpRequest(sequence=1, function=FUNC_READ_FILE, data=b"\x00" * 6)
+        assert len(request.encode()) == 14
+
+    def test_open_close_disambiguation(self):
+        opened = NcpRequest(sequence=1, function=FUNC_OPEN_FILE)
+        closed = NcpRequest(sequence=2, function=FUNC_CLOSE_FILE)
+        assert NcpRequest.decode(opened.encode()).function == FUNC_OPEN_FILE
+        assert NcpRequest.decode(closed.encode()).function == FUNC_CLOSE_FILE
+
+    def test_connection_number_16bit(self):
+        request = NcpRequest(sequence=1, function=FUNC_READ_FILE, connection=0x1234)
+        assert NcpRequest.decode(request.encode()).connection == 0x1234
+
+    def test_rejects_reply_type(self):
+        with pytest.raises(ValueError):
+            NcpRequest.decode(NcpReply(sequence=1).encode())
+
+
+class TestNcpReply:
+    def test_round_trip(self):
+        reply = NcpReply(sequence=4, completion_code=0, data=b"\x00\x00" + b"d" * 8)
+        back = NcpReply.decode(reply.encode())
+        assert back.sequence == 4
+        assert back.succeeded
+        assert back.data == b"\x00\x00" + b"d" * 8
+
+    def test_failure_code(self):
+        reply = NcpReply(sequence=1, completion_code=0x9C)
+        assert not NcpReply.decode(reply.encode()).succeeded
+
+    def test_rejects_request_type(self):
+        with pytest.raises(ValueError):
+            NcpReply.decode(NcpRequest(sequence=1, function=72).encode())
+
+
+class TestNcpFraming:
+    def test_round_trip(self):
+        messages = [
+            NcpRequest(sequence=1, function=FUNC_READ_FILE, data=b"\x00" * 6).encode(),
+            NcpReply(sequence=1, data=b"\x00\x00" + b"r" * 100).encode(),
+        ]
+        stream = b"".join(frame_ncp_ip(m) for m in messages)
+        assert parse_ncp_ip_stream(stream) == messages
+
+    def test_stops_at_bad_signature(self):
+        stream = frame_ncp_ip(b"abc") + b"XXXX\x00\x00\x00\x10stuff"
+        assert len(parse_ncp_ip_stream(stream)) == 1
+
+
+class TestNcpTableRows:
+    def test_all_rows_mapped(self):
+        expectations = {
+            FUNC_READ_FILE: "Read",
+            FUNC_WRITE_FILE: "Write",
+            FUNC_FILE_DIR_INFO: "FileDirInfo",
+            FUNC_OPEN_FILE: "File Open/Close",
+            FUNC_CLOSE_FILE: "File Open/Close",
+            FUNC_FILE_SIZE: "File Size",
+            FUNC_FILE_SEARCH: "File Search",
+            FUNC_DIRECTORY_SERVICE: "Directory Service",
+        }
+        for function, row in expectations.items():
+            assert function_table_row(function) == row
+        assert function_table_row(23) == "Other"
+
+
+class TestBackupRecords:
+    def test_round_trip(self):
+        record = bp.BackupRecord(bp.MAGIC_DANTZ, bp.REC_DATA, b"\x00" * 500)
+        back, consumed = bp.BackupRecord.decode(record.encode())
+        assert back == record
+        assert consumed == len(record.encode())
+
+    def test_stream(self):
+        stream = b"".join(
+            bp.BackupRecord(bp.MAGIC_VERITAS, bp.REC_DATA, b"v" * 100).encode()
+            for _ in range(4)
+        )
+        assert len(bp.parse_backup_stream(stream)) == 4
+
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(ValueError):
+            bp.BackupRecord.decode(b"XXXX\x01\x00\x00\x00\x00")
+
+    def test_parse_stops_at_garbage(self):
+        good = bp.BackupRecord(bp.MAGIC_CONNECTED, bp.REC_CONTROL, b"c").encode()
+        records = bp.parse_backup_stream(good + b"JUNKJUNKJUNK")
+        assert len(records) == 1
+
+
+class TestMiscBuilders:
+    def test_ntp_is_48_bytes(self):
+        assert len(misc.build_ntp()) == 48
+        assert len(misc.build_ntp(mode=4)) == 48
+
+    def test_ntp_mode_bits(self):
+        assert misc.build_ntp(mode=3)[0] & 0x07 == 3
+
+    def test_snmp_is_ber_sequence(self):
+        data = misc.build_snmp_get()
+        assert data[0] == 0x30
+        assert data[1] == len(data) - 2
+
+    def test_dhcp_has_magic_cookie(self):
+        data = misc.build_dhcp_discover(0xAABBCCDDEEFF)
+        assert b"\x63\x82\x53\x63" in data
+        assert len(data) >= 240
+
+    def test_dhcp_carries_mac(self):
+        mac = 0x00A0C9010203
+        data = misc.build_dhcp_discover(mac)
+        assert mac.to_bytes(6, "big") in data
+
+    def test_srvloc_version(self):
+        data = misc.build_srvloc_request()
+        assert data[0] == 2  # SLPv2
+        assert b"service:printer" in data
+
+    def test_sap_has_sdp_payload(self):
+        data = misc.build_sap_announce()
+        assert b"application/sdp" in data
+
+    def test_syslog_priority(self):
+        data = misc.build_syslog(6, "hello")
+        assert data.startswith(b"<134>")  # local0.info

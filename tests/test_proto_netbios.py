@@ -1,0 +1,130 @@
+"""Tests for repro.proto.netbios (NBNS + NBSS)."""
+
+import pytest
+
+from repro.proto.dns import RCODE_NOERROR, RCODE_NXDOMAIN
+from repro.proto.netbios import (
+    NAME_TYPE_DOMAIN,
+    NAME_TYPE_SERVER,
+    NAME_TYPE_WORKSTATION,
+    NB_OPCODE_QUERY,
+    NB_OPCODE_REFRESH,
+    NB_OPCODE_REGISTRATION,
+    NbnsPacket,
+    NbssFrame,
+    SSN_NEGATIVE_RESPONSE,
+    SSN_POSITIVE_RESPONSE,
+    SSN_SESSION_MESSAGE,
+    SSN_SESSION_REQUEST,
+    decode_netbios_name,
+    encode_netbios_name,
+    parse_nbss_stream,
+)
+
+
+class TestNameEncoding:
+    def test_round_trip(self):
+        encoded = encode_netbios_name("FILESRV", NAME_TYPE_SERVER)
+        name, suffix, offset = decode_netbios_name(encoded, 0)
+        assert name == "FILESRV"
+        assert suffix == NAME_TYPE_SERVER
+        assert offset == len(encoded)
+
+    def test_case_folded(self):
+        encoded = encode_netbios_name("lower", NAME_TYPE_WORKSTATION)
+        name, _, _ = decode_netbios_name(encoded, 0)
+        assert name == "LOWER"
+
+    def test_long_name_truncated_to_15(self):
+        encoded = encode_netbios_name("A" * 20, 0x00)
+        name, _, _ = decode_netbios_name(encoded, 0)
+        assert name == "A" * 15
+
+    def test_encoded_length(self):
+        assert len(encode_netbios_name("X", 0)) == 34
+
+    def test_rejects_wrong_label_length(self):
+        with pytest.raises(ValueError):
+            decode_netbios_name(b"\x10" + b"A" * 16, 0)
+
+
+class TestNbnsPacket:
+    def test_query_round_trip(self):
+        packet = NbnsPacket(ident=9, opcode=NB_OPCODE_QUERY, name="WS0001",
+                            suffix=NAME_TYPE_WORKSTATION)
+        back = NbnsPacket.decode(packet.encode())
+        assert back.name == "WS0001"
+        assert back.opcode == NB_OPCODE_QUERY
+        assert not back.is_response
+        assert not back.failed
+
+    def test_positive_response_carries_address(self):
+        packet = NbnsPacket(
+            ident=9, opcode=NB_OPCODE_QUERY, name="SRV001", suffix=NAME_TYPE_SERVER,
+            is_response=True, rcode=RCODE_NOERROR, addr=0x83F30105,
+        )
+        back = NbnsPacket.decode(packet.encode())
+        assert back.is_response
+        assert back.addr == 0x83F30105
+
+    def test_nxdomain_response(self):
+        packet = NbnsPacket(
+            ident=9, opcode=NB_OPCODE_QUERY, name="GONE", suffix=0x00,
+            is_response=True, rcode=RCODE_NXDOMAIN,
+        )
+        back = NbnsPacket.decode(packet.encode())
+        assert back.failed
+
+    def test_refresh_and_register(self):
+        for opcode in (NB_OPCODE_REFRESH, NB_OPCODE_REGISTRATION):
+            packet = NbnsPacket(ident=1, opcode=opcode, name="WS", suffix=0)
+            assert NbnsPacket.decode(packet.encode()).opcode == opcode
+
+    def test_name_categories(self):
+        host = NbnsPacket(1, 0, "A", NAME_TYPE_WORKSTATION)
+        srv = NbnsPacket(1, 0, "A", NAME_TYPE_SERVER)
+        dom = NbnsPacket(1, 0, "A", NAME_TYPE_DOMAIN)
+        other = NbnsPacket(1, 0, "A", 0x42)
+        assert host.name_category == "host"
+        assert srv.name_category == "host"
+        assert dom.name_category == "domain"
+        assert other.name_category == "other"
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            NbnsPacket.decode(b"\x00" * 8)
+
+
+class TestNbss:
+    def test_session_request_round_trip(self):
+        frame = NbssFrame.session_request("SERVER", "CLIENT")
+        (back,) = parse_nbss_stream(frame.encode())
+        assert back.frame_type == SSN_SESSION_REQUEST
+        name, suffix, _ = decode_netbios_name(back.payload, 0)
+        assert name == "SERVER"
+
+    def test_stream_of_frames(self):
+        stream = (
+            NbssFrame.session_request("S", "C").encode()
+            + NbssFrame(SSN_POSITIVE_RESPONSE).encode()
+            + NbssFrame(SSN_SESSION_MESSAGE, b"\xffSMB" + b"\x00" * 29).encode()
+        )
+        frames = parse_nbss_stream(stream)
+        assert [f.frame_type for f in frames] == [
+            SSN_SESSION_REQUEST, SSN_POSITIVE_RESPONSE, SSN_SESSION_MESSAGE,
+        ]
+
+    def test_negative_response(self):
+        frame = NbssFrame(SSN_NEGATIVE_RESPONSE, b"\x82")
+        (back,) = parse_nbss_stream(frame.encode())
+        assert back.payload == b"\x82"
+
+    def test_truncated_final_frame_kept_partial(self):
+        full = NbssFrame(SSN_SESSION_MESSAGE, b"x" * 100).encode()
+        frames = parse_nbss_stream(full[:-40])
+        assert len(frames) == 1
+        assert len(frames[0].payload) == 60
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            NbssFrame(SSN_SESSION_MESSAGE, b"x" * 0x20000).encode()

@@ -1,0 +1,106 @@
+"""Tests for repro.proto.nfs (ONC RPC + NFSv3)."""
+
+import pytest
+
+from repro.proto.nfs import (
+    NFS3_OK,
+    NFS3ERR_NOENT,
+    PROC_ACCESS,
+    PROC_GETATTR,
+    PROC_LOOKUP,
+    PROC_READ,
+    PROC_READDIR,
+    PROC_WRITE,
+    RpcCall,
+    RpcReply,
+    frame_tcp_record,
+    parse_tcp_records,
+    proc_table_row,
+)
+
+
+class TestRpcCall:
+    def test_getattr_round_trip(self):
+        call = RpcCall(xid=101, proc=PROC_GETATTR)
+        back = RpcCall.decode(call.encode())
+        assert back.xid == 101
+        assert back.proc == PROC_GETATTR
+
+    def test_lookup_carries_name(self):
+        call = RpcCall(xid=5, proc=PROC_LOOKUP, name="missing-file")
+        assert RpcCall.decode(call.encode()).name == "missing-file"
+
+    def test_read_carries_offset_count(self):
+        call = RpcCall(xid=6, proc=PROC_READ, offset=8192, count=8192)
+        back = RpcCall.decode(call.encode())
+        assert back.offset == 8192
+        assert back.count == 8192
+
+    def test_write_carries_data(self):
+        call = RpcCall(xid=7, proc=PROC_WRITE, offset=0, data=b"w" * 8192)
+        back = RpcCall.decode(call.encode())
+        assert back.data == b"w" * 8192
+        assert back.count == 8192
+
+    def test_write_size_is_data_mode(self):
+        """Write calls land in the ~8 KB mode of Figure 8a."""
+        assert len(RpcCall(xid=1, proc=PROC_WRITE, data=b"w" * 8192).encode()) > 8192
+
+    def test_control_calls_are_small(self):
+        """Non-IO calls land in the ~100-byte mode of Figure 8a."""
+        assert len(RpcCall(xid=1, proc=PROC_GETATTR).encode()) < 150
+
+    def test_rejects_reply(self):
+        reply = RpcReply(xid=1, proc=PROC_READ).encode()
+        with pytest.raises(ValueError):
+            RpcCall.decode(reply)
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            RpcCall.decode(b"\x00" * 10)
+
+
+class TestRpcReply:
+    def test_read_reply_round_trip(self):
+        reply = RpcReply(xid=9, proc=PROC_READ, data=b"r" * 8192)
+        back = RpcReply.decode(reply.encode())
+        assert back.xid == 9
+        assert back.status == NFS3_OK
+
+    def test_error_status(self):
+        reply = RpcReply(xid=10, proc=PROC_LOOKUP, status=NFS3ERR_NOENT)
+        assert RpcReply.decode(reply.encode()).status == NFS3ERR_NOENT
+
+    def test_rejects_call(self):
+        with pytest.raises(ValueError):
+            RpcReply.decode(RpcCall(xid=1, proc=PROC_READ).encode())
+
+
+class TestTcpRecordMarking:
+    def test_round_trip(self):
+        messages = [RpcCall(xid=i, proc=PROC_GETATTR).encode() for i in range(3)]
+        stream = b"".join(frame_tcp_record(m) for m in messages)
+        assert parse_tcp_records(stream) == messages
+
+    def test_last_fragment_bit_set(self):
+        framed = frame_tcp_record(b"abcd")
+        assert framed[0] & 0x80
+
+    def test_truncated_final_record(self):
+        stream = frame_tcp_record(b"x" * 100)[:-30]
+        records = parse_tcp_records(stream)
+        assert len(records) == 1
+        assert len(records[0]) == 70
+
+
+class TestTableRows:
+    def test_named_rows(self):
+        assert proc_table_row(PROC_READ) == "Read"
+        assert proc_table_row(PROC_WRITE) == "Write"
+        assert proc_table_row(PROC_GETATTR) == "GetAttr"
+        assert proc_table_row(PROC_LOOKUP) == "LookUp"
+        assert proc_table_row(PROC_ACCESS) == "Access"
+
+    def test_other_rows(self):
+        assert proc_table_row(PROC_READDIR) == "Other"
+        assert proc_table_row(99) == "Other"

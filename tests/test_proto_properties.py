@@ -1,0 +1,175 @@
+"""Hypothesis property tests over the binary protocol codecs.
+
+Round-trip invariants (decode(encode(x)) == x on the fields that matter)
+and robustness invariants (decoders never crash on arbitrary bytes; they
+raise ValueError or return structured data, nothing else).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proto import cifs, dcerpc, dns, ncp, netbios, nfs, tls
+from repro.proto import backupproto as bp
+
+
+class TestSmbProperties:
+    @given(
+        command=st.sampled_from([
+            cifs.CMD_NEGOTIATE, cifs.CMD_TRANS, cifs.CMD_READ_ANDX,
+            cifs.CMD_WRITE_ANDX, cifs.CMD_NT_CREATE_ANDX, cifs.CMD_CLOSE,
+        ]),
+        is_response=st.booleans(),
+        mid=st.integers(min_value=0, max_value=0xFFFF),
+        data=st.binary(max_size=300),
+    )
+    def test_round_trip(self, command, is_response, mid, data):
+        name = "\\PIPE\\SPOOLSS" if command == cifs.CMD_TRANS else ""
+        msg = cifs.SmbMessage(
+            command=command, is_response=is_response, mid=mid, name=name, data=data
+        )
+        back = cifs.SmbMessage.decode(msg.encode())
+        assert back.command == command
+        assert back.is_response == is_response
+        assert back.mid == mid
+        assert back.data == data
+
+    @given(data=st.binary(max_size=120))
+    def test_decoder_never_crashes(self, data):
+        try:
+            cifs.SmbMessage.decode(data)
+        except ValueError:
+            pass
+
+
+class TestDcerpcProperties:
+    @given(
+        ptype=st.sampled_from([dcerpc.PDU_REQUEST, dcerpc.PDU_RESPONSE]),
+        call_id=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        opnum=st.integers(min_value=0, max_value=0xFFFF),
+        data=st.binary(max_size=400),
+    )
+    def test_round_trip(self, ptype, call_id, opnum, data):
+        pdu = dcerpc.DcerpcPdu(ptype=ptype, call_id=call_id, opnum=opnum, data=data)
+        back = dcerpc.DcerpcPdu.decode(pdu.encode())
+        assert (back.ptype, back.call_id, back.opnum, back.data) == (
+            ptype, call_id, opnum, data,
+        )
+
+    @given(pdus=st.lists(st.binary(min_size=0, max_size=50), max_size=5))
+    def test_stream_parser_never_crashes(self, pdus):
+        dcerpc.parse_pdu_stream(b"".join(pdus))
+
+
+class TestNcpProperties:
+    @given(
+        sequence=st.integers(min_value=0, max_value=255),
+        function=st.sampled_from([
+            ncp.FUNC_READ_FILE, ncp.FUNC_WRITE_FILE, ncp.FUNC_FILE_DIR_INFO,
+            ncp.FUNC_FILE_SEARCH, ncp.FUNC_DIRECTORY_SERVICE,
+        ]),
+        connection=st.integers(min_value=0, max_value=0xFFFF),
+        data=st.binary(max_size=200),
+    )
+    def test_request_round_trip(self, sequence, function, connection, data):
+        request = ncp.NcpRequest(
+            sequence=sequence, function=function, connection=connection, data=data
+        )
+        back = ncp.NcpRequest.decode(request.encode())
+        assert (back.sequence, back.function, back.connection, back.data) == (
+            sequence, function, connection, data,
+        )
+
+    @given(messages=st.lists(st.binary(max_size=60), max_size=6))
+    def test_framing_round_trip(self, messages):
+        stream = b"".join(ncp.frame_ncp_ip(m) for m in messages)
+        assert ncp.parse_ncp_ip_stream(stream) == messages
+
+
+class TestNfsProperties:
+    @given(
+        xid=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        proc=st.sampled_from([
+            nfs.PROC_GETATTR, nfs.PROC_READ, nfs.PROC_WRITE, nfs.PROC_LOOKUP,
+        ]),
+        data=st.binary(max_size=300),
+    )
+    def test_call_round_trip(self, xid, proc, data):
+        call = nfs.RpcCall(
+            xid=xid, proc=proc, data=data if proc == nfs.PROC_WRITE else b"",
+            name="f" if proc == nfs.PROC_LOOKUP else "",
+        )
+        back = nfs.RpcCall.decode(call.encode())
+        assert back.xid == xid
+        assert back.proc == proc
+        if proc == nfs.PROC_WRITE:
+            assert back.data == data
+
+    @given(records=st.lists(st.binary(max_size=100), max_size=5))
+    def test_record_marking_round_trip(self, records):
+        stream = b"".join(nfs.frame_tcp_record(r) for r in records)
+        assert nfs.parse_tcp_records(stream) == records
+
+
+class TestNbnsProperties:
+    @given(
+        ident=st.integers(min_value=0, max_value=0xFFFF),
+        name=st.text(alphabet="ABCDEFGHIJKLMNOP0123456789", min_size=1, max_size=15),
+        suffix=st.sampled_from([0x00, 0x03, 0x20, 0x1B, 0x1C, 0x1D]),
+        is_response=st.booleans(),
+    )
+    def test_round_trip(self, ident, name, suffix, is_response):
+        packet = netbios.NbnsPacket(
+            ident=ident, opcode=netbios.NB_OPCODE_QUERY, name=name,
+            suffix=suffix, is_response=is_response,
+        )
+        back = netbios.NbnsPacket.decode(packet.encode())
+        assert back.ident == ident
+        assert back.name == name.rstrip()
+        assert back.suffix == suffix
+        assert back.is_response == is_response
+
+    @given(frames=st.lists(
+        st.tuples(st.sampled_from([0x00, 0x81, 0x82, 0x85]), st.binary(max_size=80)),
+        max_size=5,
+    ))
+    def test_nbss_stream_round_trip(self, frames):
+        stream = b"".join(
+            netbios.NbssFrame(frame_type, payload).encode()
+            for frame_type, payload in frames
+        )
+        parsed = netbios.parse_nbss_stream(stream)
+        assert [(f.frame_type, f.payload) for f in parsed] == frames
+
+
+class TestTlsProperties:
+    @given(payload=st.binary(min_size=1, max_size=60_000))
+    def test_application_data_reassembles(self, payload):
+        records = tls.parse_records(tls.build_application_data(payload))
+        assert b"".join(r.fragment for r in records) == payload
+
+    @given(data=st.binary(max_size=100))
+    def test_parser_never_crashes(self, data):
+        tls.parse_records(data)
+
+
+class TestBackupProperties:
+    @given(
+        magic=st.sampled_from([bp.MAGIC_VERITAS, bp.MAGIC_DANTZ, bp.MAGIC_CONNECTED]),
+        rec_type=st.sampled_from([bp.REC_CONTROL, bp.REC_DATA]),
+        payload=st.binary(max_size=500),
+    )
+    def test_round_trip(self, magic, rec_type, payload):
+        record = bp.BackupRecord(magic, rec_type, payload)
+        back, consumed = bp.BackupRecord.decode(record.encode())
+        assert back == record
+        assert consumed == 9 + len(payload)
+
+
+class TestDnsProperties:
+    @given(data=st.binary(max_size=80))
+    @settings(max_examples=200)
+    def test_decoder_never_crashes(self, data):
+        try:
+            dns.DnsMessage.decode(data)
+        except ValueError:
+            pass

@@ -1,0 +1,73 @@
+"""Tests for repro.proto.tls."""
+
+from repro.proto.tls import (
+    CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE,
+    HANDSHAKE_CLIENT_HELLO,
+    HANDSHAKE_SERVER_HELLO,
+    TlsRecord,
+    build_application_data,
+    build_client_hello,
+    build_server_hello,
+    parse_records,
+    stream_summary,
+)
+
+
+class TestRecords:
+    def test_record_round_trip(self):
+        record = TlsRecord(CONTENT_APPLICATION_DATA, b"secret")
+        (back,) = parse_records(record.encode())
+        assert back.content_type == CONTENT_APPLICATION_DATA
+        assert back.fragment == b"secret"
+
+    def test_client_hello_type(self):
+        (record,) = parse_records(build_client_hello())
+        assert record.content_type == CONTENT_HANDSHAKE
+        assert record.handshake_type == HANDSHAKE_CLIENT_HELLO
+
+    def test_server_hello_includes_ccs(self):
+        records = parse_records(build_server_hello())
+        assert records[0].handshake_type == HANDSHAKE_SERVER_HELLO
+        assert len(records) == 2
+
+    def test_application_data_fragmentation(self):
+        data = build_application_data(b"z" * 40_000)
+        records = parse_records(data)
+        assert len(records) == 3  # 16384 + 16384 + 7232
+        assert sum(len(r.fragment) for r in records) == 40_000
+
+    def test_parse_stops_at_garbage(self):
+        good = build_client_hello()
+        records = parse_records(good + b"\x99\x99\x99\x99\x99")
+        assert len(records) == 1
+
+    def test_parse_truncated_final_record(self):
+        data = build_application_data(b"q" * 100)[:-20]
+        records = parse_records(data)
+        assert len(records) == 1
+        assert len(records[0].fragment) == 80
+
+    def test_handshake_type_none_for_appdata(self):
+        record = TlsRecord(CONTENT_APPLICATION_DATA, b"x")
+        assert record.handshake_type is None
+
+
+class TestStreamSummary:
+    def test_full_session(self):
+        stream = (
+            build_client_hello()
+            + build_application_data(b"a" * 1000)
+            + build_application_data(b"b" * 2000)
+        )
+        summary = stream_summary(stream)
+        assert summary["handshake_records"] == 1
+        assert summary["app_records"] == 2
+        assert summary["app_bytes"] == 3000
+
+    def test_empty(self):
+        assert stream_summary(b"") == {
+            "handshake_records": 0,
+            "app_records": 0,
+            "app_bytes": 0,
+        }

@@ -1,0 +1,149 @@
+"""Tests for the reporting layer (tables, figures, category breakdowns)."""
+
+import pytest
+
+from repro.analysis.conn import ConnRecord, ConnState
+from repro.report.categories import CATEGORY_ORDER, category_breakdown
+from repro.report.model import CdfFigure, SeriesFigure, Table
+from repro.report.tables import table4
+from repro.util.addr import ip_to_int
+from repro.util.stats import Cdf
+
+_ENT_A = ip_to_int("131.243.1.50")
+_ENT_B = ip_to_int("131.243.4.4")
+_WAN = ip_to_int("207.46.1.1")
+_MCAST = ip_to_int("224.2.127.254")
+
+
+def _conn(resp_port, orig=_ENT_A, resp=_ENT_B, nbytes=100, proto="tcp"):
+    return ConnRecord(
+        proto=proto, orig_ip=orig, resp_ip=resp, orig_port=40000,
+        resp_port=resp_port, first_ts=0.0, last_ts=1.0,
+        orig_bytes=nbytes // 2, resp_bytes=nbytes - nbytes // 2,
+        orig_pkts=2, resp_pkts=2, state=ConnState.SF,
+    )
+
+
+class TestTableModel:
+    def test_add_and_lookup(self):
+        table = Table("T", "test", ["row", "a", "b"])
+        table.add_row("x", 1, 2)
+        assert table.cell("x", "a") == 1
+        assert table.cell("x", "b") == 2
+
+    def test_row_length_validation(self):
+        table = Table("T", "test", ["row", "a"])
+        with pytest.raises(ValueError):
+            table.add_row("x", 1, 2)
+
+    def test_missing_lookups(self):
+        table = Table("T", "test", ["row", "a"])
+        table.add_row("x", 1)
+        with pytest.raises(KeyError):
+            table.cell("y", "a")
+        with pytest.raises(KeyError):
+            table.cell("x", "zz")
+
+    def test_render_contains_data(self):
+        table = Table("T9", "demo", ["row", "D0"])
+        table.add_row("Successful", "82%")
+        text = table.render()
+        assert "T9" in text and "Successful" in text and "82%" in text
+
+
+class TestFigureModels:
+    def test_cdf_figure_render(self):
+        figure = CdfFigure("F", "demo", "bytes")
+        figure.add("ent:D0", Cdf([1, 10, 100, 1000]))
+        figure.add("empty", Cdf([]))
+        text = figure.render()
+        assert "ent:D0" in text
+        assert "no samples" in text
+
+    def test_cdf_figure_points(self):
+        figure = CdfFigure("F", "demo", "x")
+        figure.add("s", Cdf(range(100)))
+        points = figure.points(max_points=10)["s"]
+        assert points[-1][1] == 1.0
+
+    def test_series_figure_render(self):
+        figure = SeriesFigure("F10", "demo", "rate")
+        figure.add("ENT", [0.001, 0.05, 0.002])
+        figure.add("WAN", [])
+        text = figure.render()
+        assert "max=0.05" in text
+        assert "no points" in text
+
+
+class TestCategoryBreakdown:
+    def test_conn_and_byte_fractions(self):
+        conns = [
+            _conn(53, proto="udp"),
+            _conn(53, proto="udp"),
+            _conn(80, nbytes=10_000),
+            _conn(2049, nbytes=90_000),
+        ]
+        breakdown = category_breakdown(conns)
+        assert breakdown.conn_fraction("name") == 0.5
+        assert breakdown.byte_fraction("net-file") == pytest.approx(90_000 / 100_200)
+
+    def test_ent_wan_split(self):
+        conns = [_conn(80), _conn(80, resp=_WAN)]
+        breakdown = category_breakdown(conns)
+        assert breakdown.conn_fraction("web", "ent") == 0.5
+        assert breakdown.conn_fraction("web", "wan") == 0.5
+        assert breakdown.conn_fraction("web", "all") == 1.0
+
+    def test_multicast_separated_from_unicast(self):
+        conns = [_conn(5004, resp=_MCAST, proto="udp", nbytes=5000), _conn(80)]
+        breakdown = category_breakdown(conns)
+        assert breakdown.conn_fraction("streaming") == 0.0  # unicast share
+        assert breakdown.multicast_conn_fraction("streaming") == 0.5
+        assert breakdown.multicast_byte_fraction("streaming") > 0.9
+
+    def test_icmp_excluded_by_default(self):
+        conns = [_conn(0, proto="icmp"), _conn(80)]
+        breakdown = category_breakdown(conns)
+        assert breakdown.total_conns == 1
+
+    def test_dynamic_windows_endpoints(self):
+        conn = _conn(1066)
+        plain = category_breakdown([conn])
+        assert plain.conn_fraction("other-tcp") == 1.0
+        dynamic = category_breakdown([conn], windows_endpoints={(_ENT_B, 1066)})
+        assert dynamic.conn_fraction("windows") == 1.0
+
+    def test_category_order_covers_figure1(self):
+        assert "web" in CATEGORY_ORDER and "other-udp" in CATEGORY_ORDER
+        assert len(CATEGORY_ORDER) == 13
+
+
+class TestStaticTables:
+    def test_table4_static(self):
+        table = table4()
+        assert table.cell("email", "protocols").startswith("SMTP")
+        assert len(table.rows) == 11
+
+
+class TestStudyTables:
+    """Rendered tables/figures from the shared small study."""
+
+    def test_all_tables_render(self, small_study):
+        for number in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15):
+            text = small_study.render_table(number)
+            assert f"Table {number}" in text
+
+    def test_all_figures_render(self, small_study):
+        for number in range(1, 11):
+            text = small_study.render_figure(number)
+            assert "Figure" in text
+
+    def test_table5_findings(self, small_study):
+        table = small_study.table(5)
+        assert len(table.rows) == 6
+        sections = [row[0] for row in table.rows]
+        assert sections == ["§5.1.1", "§5.1.2", "§5.1.3", "§5.2.1", "§5.2.2", "§5.2.3"]
+
+    def test_unknown_figure_raises(self, small_study):
+        with pytest.raises(KeyError):
+            small_study.figure(11)

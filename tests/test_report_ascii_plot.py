@@ -1,0 +1,69 @@
+"""Tests for the ASCII CDF plotter."""
+
+from repro.report.ascii_plot import plot_cdf_figure
+from repro.report.model import CdfFigure
+from repro.util.stats import Cdf
+
+
+def _figure(**curves) -> CdfFigure:
+    figure = CdfFigure("F", "demo", "bytes")
+    for name, samples in curves.items():
+        figure.add(name, Cdf(samples))
+    return figure
+
+
+class TestPlotCdfFigure:
+    def test_contains_title_axis_and_legend(self):
+        text = plot_cdf_figure(_figure(a=[1, 10, 100]))
+        assert "F: demo" in text
+        assert "x: bytes" in text
+        assert "log scale" in text
+        assert "a (N=3)" in text
+
+    def test_empty_figure(self):
+        text = plot_cdf_figure(CdfFigure("F", "demo", "x"))
+        assert "(no samples)" in text
+
+    def test_empty_curves_skipped(self):
+        text = plot_cdf_figure(_figure(empty=[], full=[1, 2, 3]))
+        assert "full" in text
+        assert "empty" not in text
+
+    def test_distinct_markers(self):
+        text = plot_cdf_figure(_figure(a=[1, 2, 3], b=[10, 20, 30]))
+        assert "*" in text and "+" in text
+
+    def test_curve_monotone_on_grid(self):
+        """Reading a marker's column positions top-to-bottom, the curve
+        moves right: F is non-decreasing."""
+        text = plot_cdf_figure(_figure(a=list(range(1, 200))), width=40, height=12)
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        first_positions = [row.find("*") for row in rows if "*" in row]
+        # Top rows (high F) have markers at larger x than bottom rows.
+        assert first_positions == sorted(first_positions, reverse=True) or (
+            len(set(first_positions)) < len(first_positions)
+        )
+
+    def test_linear_scale(self):
+        figure = _figure(a=[0.0, 5.0, 10.0])
+        figure.log_x = False
+        text = plot_cdf_figure(figure)
+        assert "log scale" not in text
+
+    def test_max_curves_cap(self):
+        curves = {f"c{i}": [1, 2, 3] for i in range(12)}
+        text = plot_cdf_figure(_figure(**curves), max_curves=4)
+        assert "+8 curves not shown" in text
+
+    def test_degenerate_single_value(self):
+        text = plot_cdf_figure(_figure(a=[7.0, 7.0, 7.0]))
+        assert "a (N=3)" in text
+
+    def test_render_plot_method(self):
+        figure = _figure(a=[1, 100, 10000])
+        assert figure.render_plot(width=40, height=10).count("\n") > 10
+
+    def test_width_respected(self):
+        text = plot_cdf_figure(_figure(a=[1, 10]), width=30, height=8)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert all(len(row) <= 6 + 30 for row in plot_rows)

@@ -1,0 +1,50 @@
+"""Tests for the CSV/text export layer."""
+
+import csv
+
+from repro.report.export import export_figure_csv, export_study, export_table_csv
+from repro.report.model import CdfFigure, SeriesFigure, Table
+from repro.util.stats import Cdf
+
+
+class TestTableExport:
+    def test_csv_round_trip(self, tmp_path):
+        table = Table("T", "demo", ["row", "D0", "D1"])
+        table.add_row("IP", "98%", "97%")
+        path = export_table_csv(table, tmp_path / "t.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["row", "D0", "D1"]
+        assert rows[1] == ["IP", "98%", "97%"]
+
+
+class TestFigureExport:
+    def test_cdf_long_format(self, tmp_path):
+        figure = CdfFigure("F", "demo", "bytes")
+        figure.add("ent:D0", Cdf([1, 2, 3]))
+        path = export_figure_csv(figure, tmp_path / "f.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["curve", "x", "F"]
+        assert rows[-1] == ["ent:D0", "3", "1.0"]
+
+    def test_series_long_format(self, tmp_path):
+        figure = SeriesFigure("F10", "demo", "rate")
+        figure.add("ENT", [0.1, 0.2])
+        path = export_figure_csv(figure, tmp_path / "s.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1] == ["ENT", "0", "0.1"]
+        assert rows[2] == ["ENT", "1", "0.2"]
+
+
+class TestStudyExport:
+    def test_every_artifact_written(self, small_study, tmp_path):
+        written = export_study(small_study, tmp_path)
+        names = {path.name for path in written}
+        # 14 tables + 10 figures (some multi-part), each as .csv and .txt.
+        assert "table02.csv" in names and "table02.txt" in names
+        assert "table15.csv" in names
+        assert any(name.startswith("figure01") for name in names)
+        assert any(name.startswith("figure10") for name in names)
+        assert all(path.exists() and path.stat().st_size > 0 for path in written)

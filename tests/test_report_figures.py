@@ -1,0 +1,87 @@
+"""Structural tests for the figure builders over the shared small study."""
+
+from repro.report.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+)
+
+
+class TestFigure1:
+    def test_rows_cover_category_order(self, small_study):
+        table = figure1(small_study.breakdowns, by="bytes")
+        labels = [row[0] for row in table.rows]
+        assert labels[0] == "web"
+        assert "other-udp" in labels
+        assert len(labels) == 13
+
+    def test_cells_carry_total_and_ent(self, small_study):
+        table = figure1(small_study.breakdowns, by="conns")
+        cell = table.cell("name", "D0")
+        assert "(" in cell and cell.endswith(")")
+
+    def test_bytes_and_conns_differ(self, small_study):
+        by_bytes = figure1(small_study.breakdowns, by="bytes")
+        by_conns = figure1(small_study.breakdowns, by="conns")
+        assert by_bytes.cell("name", "D0") != by_conns.cell("name", "D0")
+
+
+class TestCurveSelection:
+    def test_figure2_uses_requested_datasets(self, small_study):
+        fan_in, fan_out = figure2(small_study.analyses, datasets=("D0",))
+        assert set(fan_in.series) == {"D0 - enterprise", "D0 - WAN"}
+        assert set(fan_out.series) == {"D0 - enterprise", "D0 - WAN"}
+
+    def test_figure2_skips_missing_datasets(self, small_study):
+        fan_in, _ = figure2(small_study.analyses, datasets=("D9",))
+        assert fan_in.series == {}
+
+    def test_figure3_and_4_full_payload_only(self, small_study):
+        for builder in (figure3, figure4):
+            figure = builder(small_study.analyses)
+            assert any(name.endswith("D0") for name in figure.series)
+            assert not any(name.endswith("D1") for name in figure.series)
+
+    def test_figure5_paper_curve_selection(self, small_study):
+        smtp_fig, imaps_fig = figure5(small_study.analyses)
+        # SMTP curves exist for every dataset...
+        assert "ent:D0" in smtp_fig.series and "ent:D1" in smtp_fig.series
+        # ... but the paper leaves D0 off the IMAP/S plot.
+        assert "ent:D0" not in imaps_fig.series
+        assert "ent:D1" in imaps_fig.series
+        # WAN IMAP/S only plotted where busy servers exist (D1/D2).
+        assert "wan:D1" in imaps_fig.series
+
+    def test_figure6_matches_figure5_selection(self, small_study):
+        smtp_fig, imaps_fig = figure6(small_study.analyses)
+        assert "ent:D0" in smtp_fig.series
+        assert "ent:D0" not in imaps_fig.series
+
+    def test_figure7_and_8_full_payload_only(self, small_study):
+        nfs_fig, ncp_fig = figure7(small_study.analyses)
+        assert set(nfs_fig.series) == {"ent:D0"}
+        figures = figure8(small_study.analyses)
+        assert set(figures) == {"nfs_request", "nfs_reply", "ncp_request", "ncp_reply"}
+        assert set(figures["nfs_request"].series) == {"ent:D0"}
+
+
+class TestLoadFigures:
+    def test_figure9_series(self, small_study):
+        peaks, util = figure9(small_study.analyses["D0"])
+        assert set(peaks.series) == {"1 second", "10 seconds", "60 seconds"}
+        assert set(util.series) == {
+            "minimum", "p25", "median", "p75", "mean", "maximum",
+        }
+        assert len(peaks.series["1 second"]) == len(small_study.analyses["D0"].traces)
+
+    def test_figure10_series(self, small_study):
+        figure = figure10(small_study.analyses)
+        assert set(figure.series) == {"ENT", "WAN"}
+        assert all(0 <= rate < 0.5 for rates in figure.series.values() for rate in rates)

@@ -1,0 +1,120 @@
+"""Cell-level tests for the table builders, using hand-built analyses."""
+
+import pytest
+
+from repro.analysis.analyzers import DEFAULT_ANALYZERS
+from repro.analysis.engine import DatasetAnalysis, TraceStats
+from repro.analysis.conn import ConnRecord, ConnState, DEFAULT_INTERNAL_NET
+from repro.report import tables
+from repro.util.addr import ip_to_int
+
+_A = ip_to_int("131.243.1.10")
+_B = ip_to_int("131.243.2.10")
+
+
+def _analysis(name="D0", conns=(), l2=None, full_payload=True) -> DatasetAnalysis:
+    analysis = DatasetAnalysis(
+        name=name, full_payload=full_payload, internal_net=DEFAULT_INTERNAL_NET
+    )
+    analysis.conns = list(conns)
+    trace = TraceStats(index=0, path="t0")
+    trace.l2_counts = l2 or {"ip": 90, "arp": 4, "ipx": 5, "other": 1}
+    trace.packets = sum(trace.l2_counts.values())
+    analysis.traces = [trace]
+    for analyzer_cls in DEFAULT_ANALYZERS:
+        analyzer = analyzer_cls()
+        analysis.analyzer_results[analyzer.name] = analyzer.result()
+    return analysis
+
+
+def _conn(proto="tcp", nbytes=1000, state=ConnState.SF, orig=_A, resp=_B):
+    half = nbytes // 2
+    return ConnRecord(
+        proto=proto, orig_ip=orig, resp_ip=resp, orig_port=40000, resp_port=80,
+        first_ts=0.0, last_ts=1.0, orig_bytes=half, resp_bytes=nbytes - half,
+        orig_pkts=3, resp_pkts=3, state=state,
+    )
+
+
+class TestTable2Cells:
+    def test_fractions(self):
+        analyses = {"D0": _analysis(l2={"ip": 96, "arp": 1, "ipx": 2, "other": 1})}
+        table = tables.table2(analyses)
+        assert table.cell("IP", "D0") == "96%"
+        assert table.cell("!IP", "D0") == "4%"
+        assert table.cell("IPX", "D0") == "50%"  # 2 of 4 non-IP
+        assert table.cell("ARP", "D0") == "25%"
+
+    def test_all_ip_degenerate(self):
+        analyses = {"D0": _analysis(l2={"ip": 10, "arp": 0, "ipx": 0, "other": 0})}
+        table = tables.table2(analyses)
+        assert table.cell("IP", "D0") == "100%"
+        assert table.cell("IPX", "D0") == "0%"
+
+
+class TestTable3Cells:
+    def test_mix(self):
+        conns = (
+            [_conn("tcp", nbytes=8000)] * 2
+            + [_conn("udp", nbytes=1000)] * 6
+            + [_conn("icmp", nbytes=0)] * 2
+        )
+        table = tables.table3({"D0": _analysis(conns=conns)})
+        assert table.cell("TCP conns", "D0") == "20%"
+        assert table.cell("UDP conns", "D0") == "60%"
+        assert table.cell("ICMP conns", "D0") == "20%"
+        assert table.cell("TCP bytes", "D0") == "73%"  # 16000 of 22000
+
+    def test_scanner_conns_excluded(self):
+        analysis = _analysis(conns=[_conn("tcp")] * 4)
+        analysis.scanner_sources = {_A}
+        table = tables.table3({"D0": analysis})
+        assert table.cell("Conns (K)", "D0") == "0.00"
+
+
+class TestTable1Cells:
+    def test_host_counts(self):
+        from repro.util.addr import Subnet
+
+        conns = [
+            _conn(orig=_A, resp=_B),
+            _conn(orig=_A, resp=ip_to_int("8.8.8.8")),
+        ]
+        analysis = _analysis(conns=conns)
+        meta = {
+            "D0": {
+                "date": "10/4/04", "duration": "10 min", "per_tap": 1,
+                "num_subnets": 22, "snaplen": 1500,
+                "monitored_subnets": [Subnet.parse("131.243.1.0/24")],
+            }
+        }
+        table = tables.table1({"D0": analysis}, meta)
+        assert table.cell("LBNL Hosts", "D0") == 2
+        assert table.cell("Mon. Hosts", "D0") == 1  # only _A is monitored
+        assert table.cell("Remote Hosts", "D0") == 1
+        assert table.cell("# Packets", "D0") == 100
+
+    def test_multicast_not_a_remote_host(self):
+        conns = [_conn(orig=_A, resp=ip_to_int("224.2.127.254"))]
+        meta = {"D0": {"monitored_subnets": []}}
+        table = tables.table1({"D0": _analysis(conns=conns)}, meta)
+        assert table.cell("Remote Hosts", "D0") == 0
+
+
+class TestEmptyAnalyses:
+    """Every builder must cope with empty datasets (no traffic at all)."""
+
+    @pytest.mark.parametrize("build", [
+        tables.table2, tables.table3, tables.table8, tables.table12,
+    ])
+    def test_builders_tolerate_empty(self, build):
+        table = build({"D0": _analysis(conns=[])})
+        assert table.rows
+
+    def test_payload_tables_tolerate_empty(self):
+        analyses = {"D0": _analysis(conns=[])}
+        for build in (tables.table6, tables.table7, tables.table9,
+                      tables.table10, tables.table11, tables.table13,
+                      tables.table14, tables.table15):
+            table = build(analyses)
+            assert table.columns

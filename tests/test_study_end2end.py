@@ -1,0 +1,148 @@
+"""End-to-end integration tests over a small generated study.
+
+These assert the *shape* properties the paper reports, at small scale:
+exact values vary with the seed, but orderings and rough magnitudes must
+hold for the reproduction to be meaningful.
+"""
+
+import pytest
+
+from repro.analysis.conn import Locality
+from repro.analysis.locality import origin_breakdown
+from repro.core.experiments import EXPERIMENTS
+from repro.core.study import run_study
+
+
+class TestStudyPlumbing:
+    def test_datasets_present(self, small_study):
+        assert set(small_study.analyses) == {"D0", "D1"}
+        assert set(small_study.breakdowns) == {"D0", "D1"}
+
+    def test_traces_and_conns_nonempty(self, small_study):
+        for name, analysis in small_study.analyses.items():
+            assert analysis.total_packets > 1000, name
+            assert len(analysis.conns) > 50, name
+
+    def test_full_payload_flags(self, small_study):
+        assert small_study.analyses["D0"].full_payload
+        assert not small_study.analyses["D1"].full_payload
+
+    def test_deterministic_given_seed(self, small_study):
+        again = run_study(seed=42, scale=0.004, datasets=("D0",), max_windows=12)
+        assert (
+            again.analyses["D0"].total_packets
+            == small_study.analyses["D0"].total_packets
+        )
+
+
+class TestBroadBreakdownShapes:
+    def test_ip_dominates_l2(self, small_study):
+        for analysis in small_study.analyses.values():
+            totals = analysis.l2_totals()
+            assert totals["ip"] / sum(totals.values()) > 0.9
+
+    def test_tcp_wins_bytes_udp_wins_conns(self, small_study):
+        """Table 3's shape: TCP carries the bytes, UDP the connections.
+
+        At 12-of-44 windows the per-dataset byte split is noisy (a single
+        heavy NFS-over-UDP pair can tip one dataset), so bytes are checked
+        in aggregate plus a per-dataset floor; the full-schedule benchmark
+        asserts the strict per-dataset version.
+        """
+        total_tcp = total_udp = 0
+        for analysis in small_study.analyses.values():
+            conns = analysis.filtered_conns()
+            tcp_bytes = sum(c.total_bytes for c in conns if c.proto == "tcp")
+            udp_bytes = sum(c.total_bytes for c in conns if c.proto == "udp")
+            tcp_conns = sum(1 for c in conns if c.proto == "tcp")
+            udp_conns = sum(1 for c in conns if c.proto == "udp")
+            assert udp_conns > tcp_conns
+            assert tcp_bytes / (tcp_bytes + udp_bytes) > 0.40
+            total_tcp += tcp_bytes
+            total_udp += udp_bytes
+        assert total_tcp > total_udp
+
+    def test_scan_filter_removes_plausible_fraction(self, small_study):
+        for analysis in small_study.analyses.values():
+            fraction = analysis.removed_conns / len(analysis.conns)
+            assert 0.01 < fraction < 0.30
+
+    def test_name_category_dominates_connections(self, small_study):
+        breakdown = small_study.breakdowns["D1"]
+        name_share = breakdown.conn_fraction("name")
+        assert name_share > 0.3
+        assert name_share > breakdown.conn_fraction("web")
+
+    def test_name_bytes_negligible(self, small_study):
+        breakdown = small_study.breakdowns["D1"]
+        assert breakdown.byte_fraction("name") < 0.02
+
+    def test_bulk_categories_dominate_bytes(self, small_study):
+        breakdown = small_study.breakdowns["D0"]
+        heavy = (
+            breakdown.byte_fraction("net-file")
+            + breakdown.byte_fraction("backup")
+            + breakdown.byte_fraction("bulk")
+        )
+        assert heavy > 0.4
+
+
+class TestOriginsAndLocality:
+    def test_ent_ent_dominates(self, small_study):
+        for analysis in small_study.analyses.values():
+            breakdown = origin_breakdown(analysis.filtered_conns(), analysis.internal_net)
+            assert breakdown.fraction(Locality.ENT_ENT) > 0.5
+
+    def test_multicast_present_but_minority(self, small_study):
+        analysis = small_study.analyses["D1"]
+        breakdown = origin_breakdown(analysis.filtered_conns(), analysis.internal_net)
+        mcast = breakdown.fraction(Locality.MCAST_INT) + breakdown.fraction(Locality.MCAST_EXT)
+        assert 0.02 < mcast < 0.35
+
+
+class TestVantagePointEffects:
+    def test_mail_vantage_carries_more_email_bytes(self, small_study, d3_study):
+        """D0-D2 monitor the mail subnets; D3 does not (Table 8)."""
+        d0_email = small_study.analyses["D0"].analyzer_results["email"].total_bytes()
+        d3_email = d3_study.analyses["D3"].analyzer_results["email"].total_bytes()
+        d0_total = sum(c.total_bytes for c in small_study.analyses["D0"].filtered_conns())
+        d3_total = sum(c.total_bytes for c in d3_study.analyses["D3"].filtered_conns())
+        assert d0_email / max(d0_total, 1) > d3_email / max(d3_total, 1)
+
+    def test_print_vantage_spoolss_heavy(self, d3_study):
+        """Table 11's D3/D4 column: printing dominates DCE/RPC."""
+        report = d3_study.analyses["D3"].analyzer_results["windows"]
+        spoolss = report.rpc_request_fraction("Spoolss/WritePrinter") + report.rpc_request_fraction("Spoolss/other")
+        auth = report.rpc_request_fraction("NetLogon") + report.rpc_request_fraction("LsaRPC")
+        assert spoolss > auth
+
+    def test_d0_auth_heavier_than_d3(self, small_study, d3_study):
+        d0 = small_study.analyses["D0"].analyzer_results["windows"]
+        d3 = d3_study.analyses["D3"].analyzer_results["windows"]
+        d0_auth = d0.rpc_request_fraction("NetLogon") + d0.rpc_request_fraction("LsaRPC")
+        d3_auth = d3.rpc_request_fraction("NetLogon") + d3.rpc_request_fraction("LsaRPC")
+        assert d0_auth > d3_auth
+
+
+class TestHeaderOnlyDatasets:
+    def test_d1_has_no_payload_analysis(self, small_study):
+        """D1 (snaplen 68) is omitted from payload analyses, as in §5."""
+        report = small_study.analyses["D1"].analyzer_results["http"]
+        assert report.internal.requests == 0
+
+    def test_d1_transport_analysis_still_works(self, small_study):
+        report = small_study.analyses["D1"].analyzer_results["email"]
+        assert report.total_bytes() > 0
+
+
+class TestExperimentRegistry:
+    def test_every_experiment_has_bench(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.bench.startswith("benchmarks/") or experiment.bench == ""
+
+    def test_registry_covers_tables_and_figures(self):
+        ids = {e.exp_id for e in EXPERIMENTS.values()}
+        for table in (1, 2, 3, 6, 9, 10, 11, 12, 13, 14, 15):
+            assert f"Table {table}" in ids
+        for figure in range(1, 11):
+            assert f"Figure {figure}" in ids

@@ -1,0 +1,124 @@
+"""Tests for repro.util.addr."""
+
+import pytest
+
+from repro.util.addr import (
+    Subnet,
+    bytes_to_ip,
+    bytes_to_mac,
+    int_to_ip,
+    int_to_mac,
+    ip_to_bytes,
+    ip_to_int,
+    is_broadcast,
+    is_multicast,
+    mac_to_bytes,
+    mac_to_int,
+)
+
+
+class TestIpConversion:
+    def test_round_trip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "131.243.1.1", "255.255.255.255"):
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+
+    def test_bytes_round_trip(self):
+        value = ip_to_int("192.168.10.20")
+        assert bytes_to_ip(ip_to_bytes(value)) == value
+
+    def test_bytes_network_order(self):
+        assert ip_to_bytes(ip_to_int("1.2.3.4")) == b"\x01\x02\x03\x04"
+
+    def test_rejects_bad_quad(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3")
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3.256")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    def test_rejects_wrong_byte_count(self):
+        with pytest.raises(ValueError):
+            bytes_to_ip(b"\x01\x02\x03")
+
+
+class TestMacConversion:
+    def test_round_trip(self):
+        text = "00:a0:c9:12:34:56"
+        assert int_to_mac(mac_to_int(text)) == text
+
+    def test_bytes_round_trip(self):
+        value = mac_to_int("de:ad:be:ef:00:01")
+        assert bytes_to_mac(mac_to_bytes(value)) == value
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            mac_to_int("aa:bb:cc")
+
+    def test_rejects_wrong_byte_count(self):
+        with pytest.raises(ValueError):
+            bytes_to_mac(b"\x00" * 5)
+
+
+class TestSpecialAddresses:
+    def test_multicast_range(self):
+        assert is_multicast(ip_to_int("224.0.0.1"))
+        assert is_multicast(ip_to_int("239.255.255.253"))
+        assert not is_multicast(ip_to_int("223.255.255.255"))
+        assert not is_multicast(ip_to_int("240.0.0.1"))
+
+    def test_broadcast(self):
+        assert is_broadcast(0xFFFFFFFF)
+        assert not is_broadcast(ip_to_int("131.243.1.255"))
+
+
+class TestSubnet:
+    def test_parse(self):
+        subnet = Subnet.parse("131.243.1.0/24")
+        assert subnet.prefix == 24
+        assert int_to_ip(subnet.network) == "131.243.1.0"
+
+    def test_parse_requires_prefix(self):
+        with pytest.raises(ValueError):
+            Subnet.parse("10.0.0.0")
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Subnet(ip_to_int("10.0.0.1"), 24)
+
+    def test_netmask(self):
+        assert Subnet.parse("10.0.0.0/8").netmask == 0xFF000000
+        assert Subnet.parse("10.1.2.0/24").netmask == 0xFFFFFF00
+
+    def test_zero_prefix_netmask(self):
+        assert Subnet.parse("0.0.0.0/0").netmask == 0
+
+    def test_broadcast(self):
+        subnet = Subnet.parse("10.1.2.0/24")
+        assert int_to_ip(subnet.broadcast) == "10.1.2.255"
+
+    def test_num_hosts(self):
+        assert Subnet.parse("10.0.0.0/24").num_hosts == 254
+        assert Subnet.parse("10.0.0.0/30").num_hosts == 2
+
+    def test_host_allocation(self):
+        subnet = Subnet.parse("10.0.0.0/24")
+        assert int_to_ip(subnet.host(0)) == "10.0.0.1"
+        assert int_to_ip(subnet.host(253)) == "10.0.0.254"
+
+    def test_host_out_of_range(self):
+        with pytest.raises(IndexError):
+            Subnet.parse("10.0.0.0/24").host(254)
+
+    def test_contains(self):
+        subnet = Subnet.parse("131.243.0.0/16")
+        assert ip_to_int("131.243.7.8") in subnet
+        assert ip_to_int("131.244.0.1") not in subnet
+
+    def test_str(self):
+        assert str(Subnet.parse("10.1.0.0/16")) == "10.1.0.0/16"

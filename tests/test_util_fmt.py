@@ -1,0 +1,67 @@
+"""Tests for repro.util.fmt."""
+
+from repro.util.fmt import fmt_bytes, fmt_count, fmt_duration, fmt_mb, fmt_pct
+
+
+class TestFmtBytes:
+    def test_small(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kb(self):
+        assert fmt_bytes(1500) == "1.50 KB"
+
+    def test_gb(self):
+        assert fmt_bytes(13.12e9) == "13.12 GB"
+
+    def test_tb(self):
+        assert "TB" in fmt_bytes(2e12)
+
+
+class TestFmtMb:
+    def test_whole_megabytes(self):
+        assert fmt_mb(152e6) == "152MB"
+
+    def test_sub_megabyte(self):
+        assert fmt_mb(700_000) == "0.7MB"
+
+
+class TestFmtPct:
+    def test_round(self):
+        assert fmt_pct(0.66) == "66%"
+
+    def test_sub_one_percent_keeps_decimal(self):
+        assert fmt_pct(0.002) == "0.2%"
+
+    def test_zero(self):
+        assert fmt_pct(0.0) == "0%"
+
+    def test_precision(self):
+        assert fmt_pct(0.1234, precision=1) == "12.3%"
+
+
+class TestFmtCount:
+    def test_millions(self):
+        assert fmt_count(17.8e6) == "17.8M"
+
+    def test_thousands(self):
+        assert fmt_count(2500) == "2.5K"
+
+    def test_small(self):
+        assert fmt_count(42) == "42"
+
+
+class TestFmtDuration:
+    def test_microseconds(self):
+        assert "us" in fmt_duration(5e-5)
+
+    def test_milliseconds(self):
+        assert "ms" in fmt_duration(0.02)
+
+    def test_seconds(self):
+        assert fmt_duration(10.0) == "10.0 s"
+
+    def test_minutes(self):
+        assert fmt_duration(600) == "10.0 min"
+
+    def test_hours(self):
+        assert fmt_duration(7200) == "2.0 hr"

@@ -1,0 +1,145 @@
+"""Tests for repro.util.sampling."""
+
+import random
+
+import pytest
+
+from repro.util.sampling import (
+    BoundedPareto,
+    Choice,
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestConstant:
+    def test_sample(self, rng):
+        assert Constant(7.0).sample(rng) == 7.0
+
+    def test_sample_int_clamps(self, rng):
+        assert Constant(-5).sample_int(rng, minimum=1) == 1
+
+
+class TestUniform:
+    def test_range(self, rng):
+        dist = Uniform(2.0, 4.0)
+        assert all(2.0 <= dist.sample(rng) <= 4.0 for _ in range(200))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Uniform(4.0, 2.0)
+
+
+class TestLogNormal:
+    def test_median_approx(self, rng):
+        dist = LogNormal(median=100.0, sigma=1.0)
+        samples = sorted(dist.sample(rng) for _ in range(4000))
+        median = samples[len(samples) // 2]
+        assert 80 < median < 125
+
+    def test_positive(self, rng):
+        dist = LogNormal(median=1.0, sigma=2.0)
+        assert all(dist.sample(rng) > 0 for _ in range(200))
+
+    def test_sigma_zero_degenerate(self, rng):
+        assert LogNormal(median=5.0, sigma=0.0).sample(rng) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(median=0.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LogNormal(median=1.0, sigma=-1.0)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self, rng):
+        dist = BoundedPareto(low=1.0, high=1000.0, alpha=0.8)
+        assert all(1.0 <= dist.sample(rng) <= 1000.0 for _ in range(500))
+
+    def test_heavy_tail_orders_of_magnitude(self, rng):
+        dist = BoundedPareto(low=1.0, high=100_000.0, alpha=0.6)
+        samples = [dist.sample(rng) for _ in range(3000)]
+        assert max(samples) / min(samples) > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(low=10.0, high=1.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(low=1.0, high=10.0, alpha=0.0)
+
+
+class TestExponential:
+    def test_mean_approx(self, rng):
+        dist = Exponential(mean=10.0)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert 9.0 < sum(samples) / len(samples) < 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(mean=0.0)
+
+
+class TestChoice:
+    def test_only_listed_values(self, rng):
+        dist = Choice(values=(2.0, 10.0, 260.0))
+        assert all(dist.sample(rng) in (2.0, 10.0, 260.0) for _ in range(100))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Choice(values=())
+
+
+class TestMixture:
+    def test_dual_mode(self, rng):
+        """The NFS-style mixture keeps both modes present."""
+        dist = Mixture([(0.5, Constant(100.0)), (0.5, Constant(8192.0))])
+        samples = [dist.sample(rng) for _ in range(400)]
+        assert 100.0 in samples and 8192.0 in samples
+
+    def test_weights_normalized(self, rng):
+        dist = Mixture([(10.0, Constant(1.0)), (30.0, Constant(2.0))])
+        samples = [dist.sample(rng) for _ in range(2000)]
+        frac_two = sum(1 for s in samples if s == 2.0) / len(samples)
+        assert 0.65 < frac_two < 0.85
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            Mixture([(0.0, Constant(1.0))])
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        weights = zipf_weights(100, alpha=1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(50, alpha=0.9)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self, rng):
+        picks = [weighted_choice(rng, ["a", "b"], [0.99, 0.01]) for _ in range(300)]
+        assert picks.count("a") > 250
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.5, 0.5])

@@ -1,0 +1,109 @@
+"""Tests for repro.util.stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import Cdf, fraction_table, geometric_mean, summarize
+
+
+class TestCdf:
+    def test_basic_evaluation(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf(0) == 0.0
+        assert cdf(1) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4) == 1.0
+        assert cdf(100) == 1.0
+
+    def test_empty(self):
+        cdf = Cdf([])
+        assert len(cdf) == 0
+        assert cdf(10) == 0.0
+
+    def test_median_even_sample(self):
+        assert Cdf([1, 2, 3, 4]).median == 3
+
+    def test_quantile_bounds(self):
+        cdf = Cdf([5, 6, 7])
+        assert cdf.quantile(0.0) == 5
+        assert cdf.quantile(1.0) == 7
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Cdf([1]).quantile(1.5)
+        with pytest.raises(ValueError):
+            Cdf([]).quantile(0.5)
+
+    def test_min_max(self):
+        cdf = Cdf([3, 1, 2])
+        assert cdf.min == 1
+        assert cdf.max == 3
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf([]).min
+
+    def test_points_monotone(self):
+        cdf = Cdf(range(1000))
+        points = cdf.points(max_points=50)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_points_downsampled(self):
+        assert len(Cdf(range(10_000)).points(max_points=100)) <= 102
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e9, max_value=1e9), min_size=1))
+    def test_cdf_is_monotone_nondecreasing(self, samples):
+        cdf = Cdf(samples)
+        lo, hi = min(samples), max(samples)
+        assert cdf(lo - 1) <= cdf(lo) <= cdf(hi) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1))
+    def test_quantiles_within_sample_range(self, samples):
+        cdf = Cdf(samples)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert min(samples) <= cdf.quantile(q) <= max(samples)
+
+
+class TestSummarize:
+    def test_values(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.n == 5
+        assert summary.mean == 3
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.median == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFractionTable:
+    def test_normalizes(self):
+        fracs = fraction_table({"a": 1, "b": 3})
+        assert fracs == {"a": 0.25, "b": 0.75}
+
+    def test_zero_total(self):
+        assert fraction_table({"a": 0, "b": 0}) == {"a": 0.0, "b": 0.0}
+
+    def test_empty(self):
+        assert fraction_table({}) == {}
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,65 @@
+"""Tests for repro.util.timeline (Figure 9 machinery)."""
+
+import pytest
+
+from repro.util.timeline import ByteTimeline
+
+
+class TestByteTimeline:
+    def test_bin_accumulation(self):
+        timeline = ByteTimeline(0.0, 10.0, 1.0)
+        timeline.add(0.5, 100)
+        timeline.add(0.9, 50)
+        timeline.add(5.5, 200)
+        bins = timeline.bins()
+        assert bins[0] == 150
+        assert bins[5] == 200
+
+    def test_end_timestamp_lands_in_last_bin(self):
+        timeline = ByteTimeline(0.0, 10.0, 1.0)
+        timeline.add(10.0, 42)
+        assert timeline.bins()[-1] == 42
+
+    def test_rejects_out_of_span(self):
+        timeline = ByteTimeline(0.0, 10.0)
+        with pytest.raises(ValueError):
+            timeline.add(11.0, 1)
+        with pytest.raises(ValueError):
+            timeline.add(-1.0, 1)
+
+    def test_rejects_empty_span(self):
+        with pytest.raises(ValueError):
+            ByteTimeline(5.0, 5.0)
+
+    def test_mbps_conversion(self):
+        timeline = ByteTimeline(0.0, 2.0, 1.0)
+        timeline.add(0.5, 1_250_000)  # 10 Mbit in one second
+        assert timeline.mbps()[0] == pytest.approx(10.0)
+
+    def test_peak_windows_monotone(self):
+        """Peak utilization cannot increase with a wider window (Fig 9a)."""
+        timeline = ByteTimeline(0.0, 120.0, 1.0)
+        for second in range(120):
+            timeline.add(second + 0.5, 1000 if second % 10 else 500_000)
+        p1 = timeline.peak_mbps(1.0)
+        p10 = timeline.peak_mbps(10.0)
+        p60 = timeline.peak_mbps(60.0)
+        assert p1 >= p10 >= p60 > 0
+
+    def test_peak_window_validation(self):
+        timeline = ByteTimeline(0.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            timeline.peak_mbps(0.5)
+
+    def test_utilization_summary(self):
+        timeline = ByteTimeline(0.0, 4.0, 1.0)
+        timeline.add_many([(0.5, 1000), (1.5, 2000), (2.5, 3000), (3.5, 4000)])
+        summary = timeline.utilization_summary()
+        assert summary.n == 4
+        assert summary.maximum > summary.minimum
+
+    def test_utilization_cdf(self):
+        timeline = ByteTimeline(0.0, 3.0, 1.0)
+        timeline.add(0.1, 1)
+        cdf = timeline.utilization_cdf()
+        assert len(cdf) == timeline.num_bins
