@@ -1,12 +1,26 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples outputs clean
+.PHONY: install test lint verify bench examples outputs clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/ -q
+
+# Ruff when available; otherwise fall back to a syntax pass so the
+# target still catches broken files on minimal containers.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; falling back to python -m compileall"; \
+		python -m compileall -q src tests; \
+	fi
+
+# The tier-1 gate: the full suite, failing fast.
+verify:
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

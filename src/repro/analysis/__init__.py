@@ -10,6 +10,17 @@ from .conn import (
     locality_of,
 )
 from .engine import Analyzer, DatasetAnalysis, DatasetAnalyzer, TraceStats
+from .errors import (
+    AnalyzerFailure,
+    CircuitBreaker,
+    ErrorBudget,
+    ErrorKind,
+    ErrorPolicy,
+    IngestionError,
+    TraceError,
+    TraceErrorLog,
+    TraceQuarantined,
+)
 from .failures import PairOutcomes, host_pair_success, raw_connection_success
 from .flow import FlowResult, FlowTable
 from .load import LoadReport, load_report
@@ -35,6 +46,15 @@ __all__ = [
     "DatasetAnalysis",
     "DatasetAnalyzer",
     "TraceStats",
+    "AnalyzerFailure",
+    "CircuitBreaker",
+    "ErrorBudget",
+    "ErrorKind",
+    "ErrorPolicy",
+    "IngestionError",
+    "TraceError",
+    "TraceErrorLog",
+    "TraceQuarantined",
     "PairOutcomes",
     "host_pair_success",
     "raw_connection_success",

@@ -20,6 +20,15 @@ from ..util.addr import Subnet
 from ..util.stats import Summary
 from ..util.timeline import ByteTimeline
 from .conn import DEFAULT_INTERNAL_NET, ConnRecord
+from .errors import (
+    AnalyzerFailure,
+    CircuitBreaker,
+    ErrorBudget,
+    ErrorKind,
+    ErrorPolicy,
+    TraceErrorLog,
+    TraceQuarantined,
+)
 from .flow import FlowResult, FlowTable
 
 __all__ = ["TraceStats", "DatasetAnalysis", "DatasetAnalyzer", "Analyzer"]
@@ -70,6 +79,27 @@ class TraceStats:
     # Retransmission accounting (Figure 10), keyed "ent"/"wan".
     tcp_packets: dict[str, int] = field(default_factory=lambda: {"ent": 0, "wan": 0})
     retransmits: dict[str, int] = field(default_factory=lambda: {"ent": 0, "wan": 0})
+    # Data-quality accounting: defect counts by ErrorKind value.
+    errors: dict[str, int] = field(default_factory=dict)
+    #: Packets whose timestamp ran backwards relative to their predecessor.
+    timestamp_regressions: int = 0
+    #: True when the trace exceeded its error budget (or hit a fatal
+    #: defect) and its connections were withheld from the analysis.
+    quarantined: bool = False
+    quarantine_reason: str = ""
+
+    @property
+    def total_errors(self) -> int:
+        """Total ingestion defects recorded for this trace."""
+        return sum(self.errors.values())
+
+    @property
+    def truncated_tail(self) -> bool:
+        """True when the reader stopped early at structural file damage."""
+        return bool(
+            self.errors.get(ErrorKind.TRUNCATED_HEADER.value)
+            or self.errors.get(ErrorKind.TRUNCATED_BODY.value)
+        )
 
     def retransmit_rate(self, where: str) -> float | None:
         """Retransmitted fraction for "ent"/"wan"; None below 1000 packets."""
@@ -100,6 +130,10 @@ class DatasetAnalysis:
     #: Sources removed by the scan filter (set after filtering).
     scanner_sources: set[int] = field(default_factory=set)
     removed_conns: int = 0
+    #: The error policy the dataset was ingested under.
+    error_policy: str = ErrorPolicy.STRICT.value
+    #: Analyzer name -> hook failure count (circuit-breaker accounting).
+    analyzer_errors: dict[str, int] = field(default_factory=dict)
 
     def filtered_conns(self) -> list[ConnRecord]:
         """Connections with scanner traffic removed (the §3 baseline)."""
@@ -125,9 +159,62 @@ class DatasetAnalysis:
                 totals[proto] = totals.get(proto, 0) + count
         return totals
 
+    # -- data-quality accounting ----------------------------------------------
+
+    def error_totals(self) -> dict[str, int]:
+        """Dataset-wide ingestion defect counts by :class:`ErrorKind` value."""
+        totals: dict[str, int] = {}
+        for trace in self.traces:
+            for kind, count in trace.errors.items():
+                totals[kind] = totals.get(kind, 0) + count
+        analyzer = sum(self.analyzer_errors.values())
+        if analyzer:
+            totals[ErrorKind.ANALYZER_ERROR.value] = (
+                totals.get(ErrorKind.ANALYZER_ERROR.value, 0) + analyzer
+            )
+        return totals
+
+    @property
+    def total_errors(self) -> int:
+        """Every defect recorded while ingesting this dataset."""
+        return sum(self.error_totals().values())
+
+    def quarantined_traces(self) -> list[TraceStats]:
+        """Traces whose contributions were withheld from the analysis."""
+        return [trace for trace in self.traces if trace.quarantined]
+
+    def salvaged_traces(self) -> list[TraceStats]:
+        """Non-quarantined traces cut short by structural file damage."""
+        return [
+            trace
+            for trace in self.traces
+            if trace.truncated_tail and not trace.quarantined
+        ]
+
+    def failed_analyzers(self) -> dict[str, AnalyzerFailure]:
+        """Analyzers that were disabled or failed to produce a result."""
+        return {
+            name: result
+            for name, result in self.analyzer_results.items()
+            if isinstance(result, AnalyzerFailure)
+        }
+
 
 class DatasetAnalyzer:
-    """Runs the full analysis pipeline over one dataset's traces."""
+    """Runs the full analysis pipeline over one dataset's traces.
+
+    Parameters
+    ----------
+    error_policy:
+        How ingestion defects are handled (``strict`` raises, the
+        historical behavior; ``tolerant`` salvages within the budget;
+        ``skip-trace`` quarantines a trace on its first defect).
+    error_budget:
+        Per-trace damage allowance before quarantine (tolerant policy).
+    analyzer_max_failures:
+        Hook failures after which an application analyzer's circuit
+        breaker opens and the analyzer is disabled (non-strict policies).
+    """
 
     def __init__(
         self,
@@ -135,23 +222,57 @@ class DatasetAnalyzer:
         full_payload: bool = True,
         internal_net: Subnet = DEFAULT_INTERNAL_NET,
         analyzers: Sequence[Analyzer] = (),
+        error_policy: ErrorPolicy | str = ErrorPolicy.STRICT,
+        error_budget: ErrorBudget | None = None,
+        analyzer_max_failures: int = 3,
     ) -> None:
+        self.error_policy = ErrorPolicy.coerce(error_policy)
+        self.error_budget = error_budget if error_budget is not None else ErrorBudget()
         self.analysis = DatasetAnalysis(
-            name=name, full_payload=full_payload, internal_net=internal_net
+            name=name,
+            full_payload=full_payload,
+            internal_net=internal_net,
+            error_policy=self.error_policy.value,
         )
         self.analyzers = list(analyzers)
+        self._breakers = {
+            analyzer.name: CircuitBreaker(analyzer.name, analyzer_max_failures)
+            for analyzer in self.analyzers
+        }
+
+    def _new_error_log(self, path: str) -> TraceErrorLog:
+        return TraceErrorLog(
+            policy=self.error_policy, budget=self.error_budget, path=path
+        )
 
     # -- trace ingestion ------------------------------------------------------
 
     def process_pcap(self, path: str | Path) -> TraceStats:
-        """Analyze one trace file."""
-        with PcapReader.open(path) as reader:
-            return self.process_packets(reader, label=str(path))
+        """Analyze one trace file.
+
+        Under ``strict`` any defect raises an
+        :class:`~repro.analysis.errors.IngestionError` naming the file
+        and offset; otherwise defects are recorded on the returned
+        :class:`TraceStats` and a hopeless trace comes back quarantined.
+        """
+        label = str(path)
+        errors = self._new_error_log(label)
+        try:
+            reader = PcapReader.open(path, errors=errors)
+        except TraceQuarantined as exc:
+            # The global header was unreadable: nothing to salvage.
+            return self._quarantined_trace(label, errors, exc.reason)
+        with reader:
+            return self.process_packets(reader, label=label, errors=errors)
 
     def process_packets(
-        self, packets: Iterable[CapturedPacket], label: str = "<memory>"
+        self,
+        packets: Iterable[CapturedPacket],
+        label: str = "<memory>",
+        errors: TraceErrorLog | None = None,
     ) -> TraceStats:
         """Analyze one trace given as an iterable of captured packets."""
+        errlog = errors if errors is not None else self._new_error_log(label)
         index = len(self.analysis.traces)
         stats = TraceStats(index=index, path=label)
         table = FlowTable(
@@ -161,32 +282,69 @@ class DatasetAnalyzer:
         )
         points: list[tuple[float, int]] = []
         l2 = {"ip": 0, "arp": 0, "ipx": 0, "other": 0}
-        first_ts = None
-        last_ts = 0.0
-        for pkt in packets:
-            decoded = decode_packet(pkt)
-            stats.packets += 1
-            if first_ts is None:
-                first_ts = decoded.ts
-            last_ts = decoded.ts
-            if decoded.ethertype == ETHERTYPE_IPV4:
-                l2["ip"] += 1
-            elif decoded.ethertype == ETHERTYPE_ARP:
-                l2["arp"] += 1
-            elif decoded.ethertype == ETHERTYPE_IPX:
-                l2["ipx"] += 1
-            else:
-                l2["other"] += 1
-            points.append((decoded.ts, decoded.wire_len))
-            if decoded.proto is not None and decoded.proto not in (1, 6, 17):
-                stats.other_ip_protocols[decoded.proto] = (
-                    stats.other_ip_protocols.get(decoded.proto, 0) + 1
-                )
-            table.process(decoded)
+        min_ts = None
+        max_ts = 0.0
+        prev_ts = None
+        try:
+            for pkt in packets:
+                stats.packets += 1
+                try:
+                    decoded = decode_packet(pkt)
+                except Exception as exc:  # decoder contract is "never raise"
+                    errlog.record(ErrorKind.DECODE_ERROR, detail=repr(exc))
+                    continue
+                if decoded.runt:
+                    errlog.record(
+                        ErrorKind.RUNT_FRAME,
+                        detail=f"{decoded.caplen}-byte frame (record {stats.packets})",
+                    )
+                    continue
+                errlog.records_ok += 1
+                ts = decoded.ts
+                if prev_ts is not None and ts < prev_ts:
+                    stats.timestamp_regressions += 1
+                prev_ts = ts
+                if min_ts is None:
+                    min_ts = max_ts = ts
+                else:
+                    min_ts = min(min_ts, ts)
+                    max_ts = max(max_ts, ts)
+                if decoded.ethertype == ETHERTYPE_IPV4:
+                    l2["ip"] += 1
+                elif decoded.ethertype == ETHERTYPE_ARP:
+                    l2["arp"] += 1
+                elif decoded.ethertype == ETHERTYPE_IPX:
+                    l2["ipx"] += 1
+                else:
+                    l2["other"] += 1
+                points.append((ts, decoded.wire_len))
+                if decoded.proto is not None and decoded.proto not in (1, 6, 17):
+                    stats.other_ip_protocols[decoded.proto] = (
+                        stats.other_ip_protocols.get(decoded.proto, 0) + 1
+                    )
+                try:
+                    table.process(decoded)
+                except Exception as exc:
+                    # Under strict, propagate raw: the exception may be an
+                    # analyzer bug re-raised by _udp_observer, and wrapping
+                    # it as a decode error would hide the real traceback.
+                    if self.error_policy is ErrorPolicy.STRICT:
+                        raise
+                    errlog.record(
+                        ErrorKind.DECODE_ERROR, detail=f"flow ingestion: {exc!r}"
+                    )
+        except TraceQuarantined as exc:
+            stats.l2_counts = l2
+            stats.errors = dict(errlog.counts)
+            stats.quarantined = True
+            stats.quarantine_reason = exc.reason
+            self.analysis.traces.append(stats)
+            return stats
         stats.l2_counts = l2
-        if first_ts is not None:
-            stats.start_ts = first_ts
-            stats.end_ts = max(last_ts, first_ts + 1.0)
+        stats.errors = dict(errlog.counts)
+        if min_ts is not None:
+            stats.start_ts = min_ts
+            stats.end_ts = max(max_ts, min_ts + 1.0)
             timeline = ByteTimeline(stats.start_ts, stats.end_ts, 1.0)
             timeline.add_many(points)
             stats.utilization = timeline
@@ -194,12 +352,38 @@ class DatasetAnalyzer:
         self.analysis.traces.append(stats)
         return stats
 
+    def _quarantined_trace(
+        self, label: str, errors: TraceErrorLog, reason: str
+    ) -> TraceStats:
+        stats = TraceStats(index=len(self.analysis.traces), path=label)
+        stats.errors = dict(errors.counts)
+        stats.quarantined = True
+        stats.quarantine_reason = reason
+        self.analysis.traces.append(stats)
+        return stats
+
+    # -- analyzer isolation ---------------------------------------------------
+
+    def _analyzer_failed(self, analyzer: Analyzer, hook: str, exc: Exception) -> None:
+        breaker = self._breakers[analyzer.name]
+        breaker.record_failure(hook, exc)
+        self.analysis.analyzer_errors[analyzer.name] = breaker.failures
+
     def _udp_observer(self, record: ConnRecord, from_orig: bool, pkt: DecodedPacket) -> None:
+        strict = self.error_policy is ErrorPolicy.STRICT
         for analyzer in self.analyzers:
-            analyzer.on_udp(record, from_orig, pkt)
+            if self._breakers[analyzer.name].open:
+                continue
+            try:
+                analyzer.on_udp(record, from_orig, pkt)
+            except Exception as exc:
+                if strict:
+                    raise
+                self._analyzer_failed(analyzer, "on_udp", exc)
 
     def _finish_trace(self, table: FlowTable, stats: TraceStats) -> None:
         internal = self.analysis.internal_net
+        strict = self.error_policy is ErrorPolicy.STRICT
         for result in table.flush():
             record = result.record
             self.analysis.conns.append(record)
@@ -209,7 +393,14 @@ class DatasetAnalyzer:
                 # Keep-alive probes are excluded, as in §6.
                 stats.retransmits[where] += record.retransmits
             for analyzer in self.analyzers:
-                analyzer.on_connection(result, self.analysis.full_payload)
+                if self._breakers[analyzer.name].open:
+                    continue
+                try:
+                    analyzer.on_connection(result, self.analysis.full_payload)
+                except Exception as exc:
+                    if strict:
+                        raise
+                    self._analyzer_failed(analyzer, "on_connection", exc)
 
     # -- completion -------------------------------------------------------------
 
@@ -227,9 +418,30 @@ class DatasetAnalyzer:
         self.analysis.removed_conns = sum(
             1 for conn in self.analysis.conns if conn.orig_ip in scanners
         )
+        strict = self.error_policy is ErrorPolicy.STRICT
         for analyzer in self.analyzers:
             analyzer.scanners = scanners
-            self.analysis.analyzer_results[analyzer.name] = analyzer.result()
+            breaker = self._breakers[analyzer.name]
+            result = None
+            failed = breaker.open
+            if not failed:
+                try:
+                    result = analyzer.result()
+                except Exception as exc:
+                    if strict:
+                        raise
+                    self._analyzer_failed(analyzer, "result", exc)
+                    failed = True
+            if failed:
+                # Record the failure instead of the (untrustworthy or
+                # missing) report so the rest of the study still stands.
+                self.analysis.analyzer_results[analyzer.name] = AnalyzerFailure(
+                    name=analyzer.name,
+                    failures=breaker.failures,
+                    first_error=breaker.first_error,
+                )
+                continue
+            self.analysis.analyzer_results[analyzer.name] = result
             endpoints = getattr(analyzer, "windows_endpoints", None)
             if endpoints:
                 self.analysis.windows_endpoints |= endpoints

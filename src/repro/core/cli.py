@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..analysis.errors import ErrorPolicy
 from ..gen.datasets import DATASET_ORDER
 from .study import run_study
 
@@ -48,6 +49,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out-dir", default=None, help="keep generated pcap traces here"
     )
     parser.add_argument(
+        "--error-policy",
+        default=ErrorPolicy.STRICT.value,
+        choices=[policy.value for policy in ErrorPolicy],
+        help=(
+            "how ingestion defects are handled: strict raises on the first "
+            "defect, tolerant salvages within a per-trace error budget, "
+            "skip-trace quarantines a trace on its first defect "
+            "(default: strict)"
+        ),
+    )
+    parser.add_argument(
         "--tables",
         nargs="*",
         type=int,
@@ -78,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         datasets=tuple(args.datasets),
         max_windows=args.max_windows,
         out_dir=args.out_dir,
+        error_policy=args.error_policy,
     )
     tables = args.tables if args.tables is not None else _ALL_TABLES
     figures = args.figures if args.figures is not None else _ALL_FIGURES
@@ -89,6 +102,10 @@ def main(argv: list[str] | None = None) -> int:
             print(_render_figure_plots(results, number))
         else:
             print(results.render_figure(number))
+        print()
+    # Non-strict runs may have absorbed defects; always say what they were.
+    if args.error_policy != ErrorPolicy.STRICT.value or results.total_errors:
+        print(results.render_data_quality())
         print()
     return 0
 

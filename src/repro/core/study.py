@@ -11,14 +11,16 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..analysis.analyzers import DEFAULT_ANALYZERS
 from ..analysis.engine import DatasetAnalysis, DatasetAnalyzer
+from ..analysis.errors import ErrorPolicy
 from ..gen.capture import DatasetTraces, generate_dataset
 from ..gen.datasets import DATASET_ORDER, DATASETS
 from ..gen.topology import ENTERPRISE_NET, Enterprise, Role
 from ..report import figures as figure_builders
+from ..report import quality as quality_builders
 from ..report import tables as table_builders
 from ..report.findings import table5 as findings_table5
 from ..report.categories import CategoryBreakdown, category_breakdown
@@ -40,6 +42,8 @@ class StudyConfig:
     max_windows: int | None = None
     #: Where pcap traces are written (None = a temporary directory).
     out_dir: str | None = None
+    #: How ingestion defects are handled (strict / tolerant / skip-trace).
+    error_policy: str = ErrorPolicy.STRICT.value
 
 
 @dataclass
@@ -114,6 +118,19 @@ class StudyResults:
             return "\n\n".join(item.render() for item in built.values())
         return "\n\n".join(item.render() for item in built)
 
+    def data_quality(self) -> Table:
+        """Build the data-quality accounting table (not a paper artifact)."""
+        return quality_builders.data_quality_table(self.analyses)
+
+    def render_data_quality(self) -> str:
+        """Render the data-quality section as text."""
+        return quality_builders.render_data_quality(self.analyses)
+
+    @property
+    def total_errors(self) -> int:
+        """Every ingestion defect recorded across all datasets."""
+        return sum(analysis.total_errors for analysis in self.analyses.values())
+
     # -- helpers -----------------------------------------------------------------
 
     def _trace_meta(self) -> dict[str, dict]:
@@ -143,6 +160,7 @@ def analyze_dataset(
     name: str,
     traces: DatasetTraces,
     known_scanners: tuple[int, ...] = (),
+    error_policy: ErrorPolicy | str = ErrorPolicy.STRICT,
 ) -> DatasetAnalysis:
     """Run the full analysis engine over one generated dataset."""
     analyzer = DatasetAnalyzer(
@@ -150,6 +168,7 @@ def analyze_dataset(
         full_payload=traces.config.full_payload,
         internal_net=ENTERPRISE_NET,
         analyzers=[cls() for cls in DEFAULT_ANALYZERS],
+        error_policy=error_policy,
     )
     for trace in traces.traces:
         analyzer.process_pcap(trace.path)
@@ -162,19 +181,30 @@ def run_study(
     datasets: tuple[str, ...] | None = None,
     max_windows: int | None = None,
     out_dir: str | None = None,
+    error_policy: ErrorPolicy | str = ErrorPolicy.STRICT,
+    mutate_traces: Callable[[str, DatasetTraces], None] | None = None,
 ) -> StudyResults:
     """Run the whole reproduction: generate traces, analyze, report.
 
     With ``out_dir=None``, traces are written to a temporary directory
     and deleted once analyzed (each dataset's pcaps are only needed
     transiently).
+
+    ``error_policy`` selects how ingestion defects are handled (see
+    :mod:`repro.analysis.errors`).  ``mutate_traces`` is a hook called
+    with ``(dataset name, DatasetTraces)`` after generation and before
+    analysis — the seam fault-injection tests use to corrupt trace files
+    (:func:`repro.gen.faults.corrupt_dataset`) without patching the
+    pipeline.
     """
+    policy = ErrorPolicy.coerce(error_policy)
     config = StudyConfig(
         seed=seed,
         scale=scale,
         datasets=tuple(datasets) if datasets is not None else tuple(DATASET_ORDER),
         max_windows=max_windows,
         out_dir=out_dir,
+        error_policy=policy.value,
     )
     enterprise = Enterprise(seed=seed)
     results = StudyResults(config=config, enterprise=enterprise)
@@ -194,7 +224,11 @@ def run_study(
                 scale=scale,
                 max_windows=max_windows,
             )
-            analysis = analyze_dataset(name, dataset_traces, known_scanners)
+            if mutate_traces is not None:
+                mutate_traces(name, dataset_traces)
+            analysis = analyze_dataset(
+                name, dataset_traces, known_scanners, error_policy=policy
+            )
         results.traces[name] = dataset_traces
         results.analyses[name] = analysis
         results.breakdowns[name] = category_breakdown(

@@ -18,6 +18,7 @@ from .capture import (
     schedule_windows,
 )
 from .datasets import DATASET_ORDER, DATASETS, DatasetConfig, Dials
+from .faults import FAULTS, Fault, apply_fault, corrupt_dataset, corrupt_pcap
 from .session import (
     AppEvent,
     Dir,
@@ -42,6 +43,11 @@ __all__ = [
     "DATASETS",
     "DatasetConfig",
     "Dials",
+    "FAULTS",
+    "Fault",
+    "apply_fault",
+    "corrupt_dataset",
+    "corrupt_pcap",
     "AppEvent",
     "Dir",
     "IcmpExchange",

@@ -1,0 +1,308 @@
+"""Seeded fault injection for generated pcap traces.
+
+The paper's measurement apparatus produced imperfect files — header-only
+captures, drops the kernel never reported, traces cut off mid-write (§2).
+The generator, by construction, only writes perfect ones.  This module
+closes that gap: each :class:`Fault` deterministically corrupts a valid
+pcap byte string in one specific way, so the ingestion layer's error
+policies can be exercised against every defect class it claims to
+survive.
+
+Faults are pure functions ``(data, rng) -> data`` registered in
+:data:`FAULTS`.  ``strict_fatal`` marks the classes that break the
+file's structure (or a frame beyond parsing) and therefore must raise a
+typed :class:`~repro.analysis.errors.IngestionError` under the
+``strict`` policy; the remaining classes are wire-legal pathologies
+(duplicates, reordering, gaps, flipped header bytes) that every policy
+must absorb silently.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+from typing import TYPE_CHECKING, Callable
+
+from ..pcap.records import GLOBAL_HEADER, PCAP_MAGIC_SWAPPED
+from ..util.rng import substream
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .capture import DatasetTraces
+
+__all__ = ["Fault", "FAULTS", "apply_fault", "corrupt_pcap", "corrupt_dataset"]
+
+_RECORD_LE = struct.Struct("<IIII")
+_RECORD_BE = struct.Struct(">IIII")
+
+
+@dataclass
+class _Record:
+    """One mutable pcap record (header fields plus body bytes)."""
+
+    ts_sec: int
+    ts_usec: int
+    caplen: int
+    wire_len: int
+    body: bytes
+
+    def encode(self, fmt: struct.Struct) -> bytes:
+        return (
+            fmt.pack(self.ts_sec, self.ts_usec, self.caplen, self.wire_len)
+            + self.body
+        )
+
+
+def _parse(data: bytes) -> tuple[bytes, struct.Struct, list[_Record]]:
+    """Split a valid pcap byte string into (header, record fmt, records)."""
+    if len(data) < GLOBAL_HEADER.size:
+        raise ValueError("not a complete pcap file")
+    magic = struct.unpack_from("<I", data)[0]
+    fmt = _RECORD_BE if magic == PCAP_MAGIC_SWAPPED else _RECORD_LE
+    header = data[: GLOBAL_HEADER.size]
+    records: list[_Record] = []
+    offset = GLOBAL_HEADER.size
+    while offset < len(data):
+        ts_sec, ts_usec, caplen, wire_len = fmt.unpack_from(data, offset)
+        body = data[offset + fmt.size : offset + fmt.size + caplen]
+        if len(body) < caplen:
+            raise ValueError("refusing to fault-inject an already corrupt pcap")
+        records.append(_Record(ts_sec, ts_usec, caplen, wire_len, body))
+        offset += fmt.size + caplen
+    return header, fmt, records
+
+
+def _join(header: bytes, fmt: struct.Struct, records: list[_Record]) -> bytes:
+    return header + b"".join(record.encode(fmt) for record in records)
+
+
+def _pick(rng: Random, records: list[_Record]) -> int:
+    """A random record index (biased away from nothing in particular)."""
+    return rng.randrange(len(records))
+
+
+# -- fault functions ----------------------------------------------------------
+# Each takes the full file bytes and a seeded Random and returns new bytes.
+# Record-level faults need at least one record; the generator's traces
+# always have plenty, and _parse guards the precondition.
+
+
+def _truncated_global_header(data: bytes, rng: Random) -> bytes:
+    _parse(data)
+    return data[: rng.randrange(1, GLOBAL_HEADER.size)]
+
+
+def _bad_magic(data: bytes, rng: Random) -> bytes:
+    _parse(data)
+    return struct.pack("<I", 0xDEADBEEF) + data[4:]
+
+
+def _truncated_record_header(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    # Keep every record intact, then append a partial header: the file
+    # ends mid-record-header, as an interrupted writer leaves it.
+    partial = records[-1].encode(fmt)[: rng.randrange(1, fmt.size)]
+    return _join(header, fmt, records) + partial
+
+
+def _truncated_record_body(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    last = records[-1]
+    keep = rng.randrange(0, max(last.caplen, 1))
+    # The header still claims the full caplen; the body stops short.
+    cut = fmt.pack(last.ts_sec, last.ts_usec, last.caplen, last.wire_len)
+    cut += last.body[:keep]
+    return _join(header, fmt, records[:-1]) + cut
+
+
+def _zero_caplen(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    victim = records[_pick(rng, records)]
+    victim.caplen = 0
+    victim.body = b""
+    return _join(header, fmt, records)
+
+
+def _oversized_caplen(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    victim = records[_pick(rng, records)]
+    victim.caplen = 0x40000000  # 1 GiB: beyond any sane snaplen
+    return _join(header, fmt, records)
+
+
+def _runt_frame(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    victim = records[_pick(rng, records)]
+    length = rng.randrange(1, 14)  # below the 14-byte Ethernet header
+    victim.body = bytes(rng.randrange(256) for _ in range(length))
+    victim.caplen = length
+    return _join(header, fmt, records)
+
+
+def _flip_bytes(records: list[_Record], rng: Random, lo: int, hi: int) -> None:
+    flips = max(1, len(records) // 10)
+    for _ in range(flips):
+        victim = records[_pick(rng, records)]
+        if len(victim.body) <= lo:
+            continue
+        body = bytearray(victim.body)
+        index = rng.randrange(lo, min(hi, len(body)))
+        body[index] ^= rng.randrange(1, 256)
+        victim.body = bytes(body)
+
+
+def _byte_flip_l2(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    _flip_bytes(records, rng, 0, 14)  # MACs and ethertype
+    return _join(header, fmt, records)
+
+
+def _byte_flip_l3(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    _flip_bytes(records, rng, 14, 34)  # the IPv4 header
+    return _join(header, fmt, records)
+
+
+def _timestamp_regression(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    if len(records) >= 2:
+        index = rng.randrange(1, len(records))
+        victim = records[index]
+        victim.ts_sec = max(victim.ts_sec - rng.randrange(60, 1000), 0)
+    return _join(header, fmt, records)
+
+
+def _duplicate_records(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    copies = min(len(records), rng.randrange(2, 5))
+    start = rng.randrange(0, len(records) - copies + 1)
+    dupes = records[start : start + copies]
+    out = records[: start + copies] + dupes + records[start + copies :]
+    return _join(header, fmt, out)
+
+
+def _drop_gap(data: bytes, rng: Random) -> bytes:
+    header, fmt, records = _parse(data)
+    if len(records) < 5:
+        return _join(header, fmt, records)
+    width = max(1, len(records) // 5)
+    start = rng.randrange(1, len(records) - width)
+    return _join(header, fmt, records[:start] + records[start + width :])
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One corruption class.
+
+    ``strict_fatal`` declares the contract with the error policies: the
+    fault must raise a typed ingestion error under ``strict`` and must
+    be survived (with non-zero error accounting) under ``tolerant``.
+    Non-fatal faults are wire-legal and must pass under every policy.
+    """
+
+    name: str
+    strict_fatal: bool
+    description: str
+    fn: Callable[[bytes, Random], bytes]
+
+
+FAULTS: dict[str, Fault] = {
+    fault.name: fault
+    for fault in (
+        Fault(
+            "truncated_global_header", True,
+            "file cut inside the 24-byte pcap header", _truncated_global_header,
+        ),
+        Fault(
+            "bad_magic", True,
+            "magic number overwritten with garbage", _bad_magic,
+        ),
+        Fault(
+            "truncated_record_header", True,
+            "file ends inside a record header", _truncated_record_header,
+        ),
+        Fault(
+            "truncated_record_body", True,
+            "last record's body stops short of its caplen", _truncated_record_body,
+        ),
+        Fault(
+            "zero_caplen", True,
+            "a record claims zero captured bytes", _zero_caplen,
+        ),
+        Fault(
+            "oversized_caplen", True,
+            "a record claims a 1 GiB capture length", _oversized_caplen,
+        ),
+        Fault(
+            "runt_frame", True,
+            "a frame shorter than an Ethernet header", _runt_frame,
+        ),
+        Fault(
+            "byte_flip_l2", False,
+            "bit flips in Ethernet headers", _byte_flip_l2,
+        ),
+        Fault(
+            "byte_flip_l3", False,
+            "bit flips in IPv4 headers", _byte_flip_l3,
+        ),
+        Fault(
+            "timestamp_regression", False,
+            "a record timestamped before its predecessor", _timestamp_regression,
+        ),
+        Fault(
+            "duplicate_records", False,
+            "a run of records repeated verbatim", _duplicate_records,
+        ),
+        Fault(
+            "drop_gap", False,
+            "a contiguous run of records removed mid-file", _drop_gap,
+        ),
+    )
+}
+
+
+def apply_fault(data: bytes, fault: str | Fault, seed: int = 0) -> bytes:
+    """Corrupt pcap bytes with one fault class, deterministically."""
+    if isinstance(fault, str):
+        try:
+            fault = FAULTS[fault]
+        except KeyError:
+            raise KeyError(
+                f"unknown fault {fault!r} (known: {', '.join(FAULTS)})"
+            ) from None
+    rng = substream(seed, f"fault:{fault.name}")
+    return fault.fn(data, rng)
+
+
+def corrupt_pcap(
+    path: str | Path,
+    fault: str | Fault,
+    seed: int = 0,
+    out_path: str | Path | None = None,
+) -> Path:
+    """Corrupt the trace at ``path`` (in place unless ``out_path`` given)."""
+    path = Path(path)
+    target = Path(out_path) if out_path is not None else path
+    target.write_bytes(apply_fault(path.read_bytes(), fault, seed))
+    return target
+
+
+def corrupt_dataset(
+    traces: "DatasetTraces",
+    seed: int = 0,
+    faults: list[str] | None = None,
+) -> dict[str, str]:
+    """Corrupt every trace of a generated dataset, cycling fault classes.
+
+    Returns ``{trace path: fault name}``.  Each trace gets its own
+    seeded RNG stream, so the corruption is reproducible per file and
+    independent of dataset ordering.
+    """
+    names = list(faults) if faults is not None else list(FAULTS)
+    applied: dict[str, str] = {}
+    for index, trace in enumerate(traces.traces):
+        name = names[index % len(names)]
+        corrupt_pcap(trace.path, name, seed=seed + trace.window.index)
+        applied[str(trace.path)] = name
+    return applied

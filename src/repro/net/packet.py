@@ -99,6 +99,10 @@ class DecodedPacket:
     # ICMP
     icmp_type: int | None = None
     icmp_code: int = 0
+    #: True for frames too short to carry an Ethernet header; every other
+    #: field is meaningless and the packet belongs in error accounting,
+    #: not in flow or byte accounting.
+    runt: bool = False
 
     @property
     def truncated(self) -> bool:
@@ -128,13 +132,21 @@ def decode_packet(pkt: CapturedPacket) -> DecodedPacket:
 
     Never raises on truncation: fields that cannot be recovered are left
     at their defaults, mirroring how a real trace analyzer must cope with
-    snaplen-limited captures.  This parses header fields inline (rather
-    than via the layer dataclasses) because it runs once per packet over
-    whole traces.
+    snaplen-limited captures.  Frames too short to even carry an Ethernet
+    header come back flagged ``runt`` (ethertype -1) so callers can count
+    them in the error taxonomy instead of crashing the trace.  This
+    parses header fields inline (rather than via the layer dataclasses)
+    because it runs once per packet over whole traces.
     """
     data = pkt.data
     if len(data) < 14:
-        raise ValueError(f"frame too short for Ethernet header: {len(data)}")
+        return DecodedPacket(
+            ts=pkt.ts,
+            wire_len=pkt.wire_len,
+            caplen=pkt.caplen,
+            ethertype=-1,
+            runt=True,
+        )
     dst_mac, src_mac, ethertype = _ETH_UNPACK(data)
     out = DecodedPacket(
         ts=pkt.ts,

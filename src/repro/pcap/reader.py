@@ -1,37 +1,97 @@
-"""Streaming pcap reader."""
+"""Streaming pcap reader with optional recovery mode.
+
+By default the reader is strict: any structural damage raises a typed
+:class:`~repro.analysis.errors.IngestionError` (a ``ValueError``
+subclass) naming the file and byte offset.  Handed a tolerant
+:class:`~repro.analysis.errors.TraceErrorLog`, it instead records the
+defect and stops cleanly at the last intact record, reporting what was
+salvaged — the treatment a partially written capture deserves.
+"""
 
 from __future__ import annotations
 
 import io
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterator
+from typing import TYPE_CHECKING, BinaryIO, Iterator
 
 from ..net.packet import CapturedPacket
 from .records import GLOBAL_HEADER, RECORD_HEADER, PcapGlobalHeader
 
-__all__ = ["PcapReader", "read_pcap"]
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from ..analysis.errors import TraceErrorLog
+
+__all__ = ["PcapReader", "read_pcap", "MAX_SANE_CAPLEN"]
+
+#: Upper bound on a believable per-record capture length (matches
+#: libpcap's MAXIMUM_SNAPLEN); claims beyond it are corrupt headers, and
+#: honoring them would make the reader allocate unbounded buffers.
+MAX_SANE_CAPLEN = 262144
+
+
+def _errors_module():
+    # Imported lazily: repro.analysis.engine imports this module, so a
+    # top-level import of repro.analysis here would be a package cycle.
+    from ..analysis import errors
+
+    return errors
 
 
 class PcapReader:
     """Iterates :class:`CapturedPacket` records out of a pcap stream.
 
-    Handles both byte orders.  A record header that claims more captured
-    bytes than remain in the file raises ``ValueError`` — silent
-    truncation at the *file* level (as opposed to the per-packet snaplen)
-    indicates a corrupt trace and should never pass unnoticed.
+    Handles both byte orders.  Structural damage — a truncated global or
+    record header, a body shorter than its header claims, an absurd
+    capture length — is reported through ``errors`` (a
+    :class:`~repro.analysis.errors.TraceErrorLog`); with no log supplied
+    the reader builds a strict one, preserving the historical
+    raise-on-corruption behavior.  Silent truncation at the *file* level
+    (as opposed to the per-packet snaplen) should never pass unnoticed.
     """
 
-    def __init__(self, stream: BinaryIO) -> None:
+    def __init__(
+        self,
+        stream: BinaryIO,
+        *,
+        path: str = "<stream>",
+        errors: "TraceErrorLog | None" = None,
+    ) -> None:
+        errmod = _errors_module()
         self._stream = stream
+        self.path = path
+        self.errors = errors if errors is not None else errmod.TraceErrorLog(path=path)
+        #: Records yielded so far (what recovery mode salvaged).
+        self.records_read = 0
         header_bytes = stream.read(GLOBAL_HEADER.size)
-        self.header, self._swapped = PcapGlobalHeader.decode(header_bytes)
+        try:
+            self.header, self._swapped = PcapGlobalHeader.decode(header_bytes)
+        except ValueError as exc:
+            kind = (
+                errmod.ErrorKind.TRUNCATED_HEADER
+                if len(header_bytes) < GLOBAL_HEADER.size
+                else errmod.ErrorKind.BAD_MAGIC
+            )
+            # Without a trusted header even the byte order is unknown, so
+            # nothing after it can be salvaged: fatal under any policy.
+            self.errors.record(kind, offset=0, detail=str(exc), fatal=True)
+            raise AssertionError("record() must raise for fatal defects")  # pragma: no cover
         self._record = struct.Struct(">IIII") if self._swapped else RECORD_HEADER
 
     @classmethod
-    def open(cls, path: str | Path) -> "PcapReader":
-        """Open ``path`` and parse its global header."""
-        return cls(io.open(path, "rb"))
+    def open(
+        cls, path: str | Path, *, errors: "TraceErrorLog | None" = None
+    ) -> "PcapReader":
+        """Open ``path`` and parse its global header.
+
+        The stream is closed again if header parsing fails, and the
+        raised error names the file.
+        """
+        stream = io.open(path, "rb")
+        try:
+            return cls(stream, path=str(path), errors=errors)
+        except BaseException:
+            stream.close()
+            raise
 
     @property
     def snaplen(self) -> int:
@@ -39,16 +99,40 @@ class PcapReader:
         return self.header.snaplen
 
     def __iter__(self) -> Iterator[CapturedPacket]:
+        errmod = _errors_module()
+        record_struct = self._record
+        offset = GLOBAL_HEADER.size
         while True:
-            header = self._stream.read(self._record.size)
+            header = self._stream.read(record_struct.size)
             if not header:
                 return
-            if len(header) < self._record.size:
-                raise ValueError("truncated pcap record header")
-            ts_sec, ts_usec, caplen, wire_len = self._record.unpack(header)
+            if len(header) < record_struct.size:
+                # Under a tolerant policy record() returns and the read
+                # stops cleanly at the last intact record.
+                self.errors.record(
+                    errmod.ErrorKind.TRUNCATED_HEADER,
+                    offset=offset,
+                    detail=f"{len(header)} of {record_struct.size} record header bytes",
+                )
+                return
+            ts_sec, ts_usec, caplen, wire_len = record_struct.unpack(header)
+            if caplen > MAX_SANE_CAPLEN:
+                self.errors.record(
+                    errmod.ErrorKind.TRUNCATED_BODY,
+                    offset=offset,
+                    detail=f"caplen {caplen} exceeds sane maximum {MAX_SANE_CAPLEN}",
+                )
+                return
             data = self._stream.read(caplen)
             if len(data) < caplen:
-                raise ValueError("truncated pcap record body")
+                self.errors.record(
+                    errmod.ErrorKind.TRUNCATED_BODY,
+                    offset=offset,
+                    detail=f"{len(data)} of {caplen} body bytes",
+                )
+                return
+            offset += record_struct.size + caplen
+            self.records_read += 1
             yield CapturedPacket(
                 ts=ts_sec + ts_usec / 1e6, data=data, wire_len=wire_len
             )

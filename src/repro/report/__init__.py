@@ -6,6 +6,7 @@ from .categories import CATEGORY_ORDER, CategoryBreakdown, CategoryStats, catego
 from .findings import table5
 from .export import export_figure_csv, export_study, export_table_csv
 from .model import CdfFigure, SeriesFigure, Table
+from .quality import data_quality_table, render_data_quality
 
 __all__ = [
     "figures",
@@ -17,9 +18,11 @@ __all__ = [
     "CdfFigure",
     "SeriesFigure",
     "Table",
+    "data_quality_table",
     "export_figure_csv",
     "export_study",
     "export_table_csv",
+    "render_data_quality",
     "plot_cdf_figure",
     "table5",
 ]

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from .model import CdfFigure, SeriesFigure, Table
+from .quality import data_quality_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from ..core.study import StudyResults
@@ -80,4 +81,8 @@ def export_study(results: "StudyResults", out_dir: str | Path) -> list[Path]:
                 written.append(export_figure_csv(artifact, out / f"{base}.csv"))
             (out / f"{base}.txt").write_text(artifact.render() + "\n")
             written.append(out / f"{base}.txt")
+    quality = data_quality_table(results.analyses)
+    written.append(export_table_csv(quality, out / "data_quality.csv"))
+    (out / "data_quality.txt").write_text(quality.render() + "\n")
+    written.append(out / "data_quality.txt")
     return written

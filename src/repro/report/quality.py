@@ -1,0 +1,63 @@
+"""The data-quality section: what ingestion had to tolerate, per dataset.
+
+The paper is explicit about its measurement pathology (§2: snaplen-68
+header-only captures, unexplained capture drops, partial traces).  A
+reproduction that survives such input must say *what* it survived, or
+every downstream number silently changes meaning.  This builder turns
+the error accounting collected by the ingestion layer into one table:
+traces quarantined or salvaged, defect counts by taxonomy kind, and
+application analyzers disabled by their circuit breakers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..analysis.engine import DatasetAnalysis
+from ..analysis.errors import ErrorKind
+from .model import Table
+
+__all__ = ["data_quality_table", "render_data_quality"]
+
+
+def data_quality_table(analyses: Mapping[str, DatasetAnalysis]) -> Table:
+    """Build the per-dataset data-quality accounting table."""
+    names = list(analyses)
+    table = Table(
+        "Data quality",
+        "ingestion errors, quarantines, and analyzer failures",
+        ["row"] + names,
+    )
+
+    def row(label, value_of):
+        table.add_row(label, *(value_of(analyses[name]) for name in names))
+
+    row("error policy", lambda a: a.error_policy)
+    row("traces", lambda a: len(a.traces))
+    row("traces quarantined", lambda a: len(a.quarantined_traces()))
+    row("traces salvaged (truncated tail)", lambda a: len(a.salvaged_traces()))
+    row("packets", lambda a: a.total_packets)
+    row("total errors", lambda a: a.total_errors)
+    for kind in ErrorKind:
+        row(
+            f"errors: {kind.value}",
+            lambda a, kind=kind: a.error_totals().get(kind.value, 0),
+        )
+    row(
+        "timestamp regressions",
+        lambda a: sum(trace.timestamp_regressions for trace in a.traces),
+    )
+    row(
+        "analyzers disabled",
+        lambda a: ", ".join(sorted(a.failed_analyzers())) or "none",
+    )
+    return table
+
+
+def render_data_quality(analyses: Mapping[str, DatasetAnalysis]) -> str:
+    """Render the data-quality section, with quarantine detail lines."""
+    lines = [data_quality_table(analyses).render()]
+    for name, analysis in analyses.items():
+        for trace in analysis.quarantined_traces():
+            lines.append(f"  {name} quarantined {trace.path}: {trace.quarantine_reason}")
+    return "\n".join(lines)

@@ -24,7 +24,26 @@ class TestCli:
             "--max-windows", "2", "--tables", "--figures",
         ])
         assert code == 0
-        assert "Table" not in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Table" not in out
+        # A clean strict run has nothing to confess.
+        assert "Data quality" not in out
+
+    def test_tolerant_policy_prints_data_quality(self, capsys):
+        code = main([
+            "--seed", "3", "--scale", "0.002", "--datasets", "D0",
+            "--max-windows", "2", "--tables", "--figures",
+            "--error-policy", "tolerant",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Data quality" in out
+        assert "error policy" in out
+        assert "tolerant" in out
+
+    def test_rejects_unknown_error_policy(self):
+        with pytest.raises(SystemExit):
+            main(["--error-policy", "lenient"])
 
     def test_out_dir_keeps_traces(self, tmp_path, capsys):
         main([

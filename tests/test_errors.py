@@ -1,0 +1,299 @@
+"""Tests for the error-policy framework and analyzer isolation.
+
+Covers the taxonomy/policy/budget primitives in
+``repro.analysis.errors``, the engine-level circuit breakers that keep a
+crashing application analyzer from aborting a study, and the
+data-quality table that reports what ingestion had to tolerate.
+"""
+
+import pytest
+
+from repro.analysis.engine import Analyzer, DatasetAnalyzer
+from repro.analysis.errors import (
+    AnalyzerFailure,
+    CircuitBreaker,
+    ErrorBudget,
+    ErrorKind,
+    ErrorPolicy,
+    IngestionError,
+    TraceError,
+    TraceErrorLog,
+    TraceQuarantined,
+)
+from repro.net.packet import CapturedPacket, make_udp_packet
+from repro.report.quality import data_quality_table, render_data_quality
+
+
+def _udp_packets(n=5):
+    return [
+        make_udp_packet(float(i), 1, 2, 3, 4, 1000 + i, 53, payload=b"q" * 16)
+        for i in range(n)
+    ]
+
+
+class TestErrorPolicy:
+    def test_coerce_accepts_values_and_members(self):
+        assert ErrorPolicy.coerce("tolerant") is ErrorPolicy.TOLERANT
+        assert ErrorPolicy.coerce("skip-trace") is ErrorPolicy.SKIP_TRACE
+        assert ErrorPolicy.coerce(ErrorPolicy.STRICT) is ErrorPolicy.STRICT
+
+    def test_coerce_rejects_unknown_with_choices(self):
+        with pytest.raises(ValueError, match="strict.*tolerant.*skip-trace"):
+            ErrorPolicy.coerce("lenient")
+
+
+class TestIngestionError:
+    def test_is_a_value_error(self):
+        assert issubclass(IngestionError, ValueError)
+
+    def test_message_names_kind_path_offset_detail(self):
+        err = IngestionError(
+            ErrorKind.TRUNCATED_BODY, "/tmp/t.pcap", offset=40, detail="7 of 60 bytes"
+        )
+        assert "truncated_body" in str(err)
+        assert "/tmp/t.pcap" in str(err)
+        assert "offset 40" in str(err)
+        assert "7 of 60 bytes" in str(err)
+
+    def test_offset_optional(self):
+        err = IngestionError(ErrorKind.BAD_MAGIC, "x.pcap")
+        assert "offset" not in str(err)
+
+
+class TestErrorBudget:
+    def test_absolute_cap(self):
+        budget = ErrorBudget(max_errors=3, min_records=50)
+        assert not budget.exceeded(3, 0)
+        assert budget.exceeded(4, 0)
+
+    def test_fraction_waits_for_min_records(self):
+        budget = ErrorBudget(max_errors=1000, max_fraction=0.25, min_records=50)
+        # 10 errors vs 10 clean would be 50% — but below min_records.
+        assert not budget.exceeded(10, 10)
+        assert budget.exceeded(30, 50)  # 37.5% of 80 records
+        assert not budget.exceeded(10, 50)  # 16.7%
+
+
+class TestTraceErrorLog:
+    def test_strict_raises_immediately(self):
+        log = TraceErrorLog(policy="strict", path="a.pcap")
+        with pytest.raises(IngestionError) as excinfo:
+            log.record(ErrorKind.RUNT_FRAME, offset=24, detail="2-byte frame")
+        assert excinfo.value.kind is ErrorKind.RUNT_FRAME
+        assert excinfo.value.path == "a.pcap"
+        assert log.counts == {}  # strict does not accumulate
+
+    def test_tolerant_accumulates_counts_and_samples(self):
+        log = TraceErrorLog(policy="tolerant")
+        for _ in range(3):
+            log.record(ErrorKind.RUNT_FRAME)
+        log.record(ErrorKind.DECODE_ERROR, detail="boom")
+        assert log.counts == {"runt_frame": 3, "decode_error": 1}
+        assert log.total == 4
+        assert len(log.samples) == 4
+        assert isinstance(log.samples[0], TraceError)
+        assert not log.quarantined
+
+    def test_sample_cap(self):
+        log = TraceErrorLog(policy="tolerant", budget=ErrorBudget(max_errors=10**6))
+        for _ in range(TraceErrorLog.SAMPLE_CAP + 15):
+            log.record(ErrorKind.RUNT_FRAME)
+        assert len(log.samples) == TraceErrorLog.SAMPLE_CAP
+        assert log.total == TraceErrorLog.SAMPLE_CAP + 15
+
+    def test_skip_trace_quarantines_on_first_defect(self):
+        log = TraceErrorLog(policy="skip-trace", path="b.pcap")
+        with pytest.raises(TraceQuarantined) as excinfo:
+            log.record(ErrorKind.DECODE_ERROR)
+        assert log.quarantined
+        assert excinfo.value.path == "b.pcap"
+
+    def test_fatal_quarantines_even_tolerant(self):
+        log = TraceErrorLog(policy="tolerant")
+        with pytest.raises(TraceQuarantined):
+            log.record(ErrorKind.BAD_MAGIC, fatal=True)
+        assert log.quarantined
+
+    def test_budget_exhaustion_quarantines(self):
+        log = TraceErrorLog(policy="tolerant", budget=ErrorBudget(max_errors=2))
+        log.record(ErrorKind.RUNT_FRAME)
+        log.record(ErrorKind.RUNT_FRAME)
+        with pytest.raises(TraceQuarantined, match="error budget exceeded"):
+            log.record(ErrorKind.RUNT_FRAME)
+        assert log.quarantined
+
+
+class TestCircuitBreaker:
+    def test_opens_after_max_failures(self):
+        breaker = CircuitBreaker("smtp", max_failures=3)
+        assert not breaker.record_failure("on_udp", RuntimeError("a"))
+        assert not breaker.record_failure("on_udp", RuntimeError("b"))
+        assert breaker.record_failure("on_connection", RuntimeError("c"))
+        assert breaker.open
+        assert breaker.failures == 3
+        assert "on_udp" in breaker.first_error and "'a'" in breaker.first_error
+        assert "on_connection" in breaker.last_error
+
+    def test_analyzer_failure_is_falsy(self):
+        failure = AnalyzerFailure(name="smtp", failures=3, first_error="on_udp: x")
+        assert not failure
+        assert failure.disabled
+
+
+class _CrashingAnalyzer(Analyzer):
+    """Raises from on_udp on every datagram."""
+
+    name = "crasher"
+
+    def __init__(self):
+        self.calls = 0
+
+    def on_udp(self, record, from_orig, pkt):
+        self.calls += 1
+        raise RuntimeError("analyzer bug")
+
+    def result(self):
+        return {"calls": self.calls}
+
+
+class _CountingAnalyzer(Analyzer):
+    name = "counter"
+
+    def __init__(self):
+        self.datagrams = 0
+
+    def on_udp(self, record, from_orig, pkt):
+        self.datagrams += 1
+
+    def result(self):
+        return self.datagrams
+
+
+class _BrokenResultAnalyzer(Analyzer):
+    name = "broken-result"
+
+    def result(self):
+        raise RuntimeError("cannot summarize")
+
+
+class TestAnalyzerIsolation:
+    def test_crashing_analyzer_disabled_others_unaffected(self):
+        crasher = _CrashingAnalyzer()
+        counter = _CountingAnalyzer()
+        engine = DatasetAnalyzer(
+            "DX",
+            analyzers=[crasher, counter],
+            error_policy="tolerant",
+            analyzer_max_failures=3,
+        )
+        engine.process_packets(_udp_packets(10))
+        analysis = engine.finish()
+        # The breaker opened after 3 failures; no further calls were made.
+        assert crasher.calls == 3
+        failure = analysis.analyzer_results["crasher"]
+        assert isinstance(failure, AnalyzerFailure)
+        assert failure.failures == 3
+        assert "on_udp" in failure.first_error
+        assert analysis.analyzer_errors == {"crasher": 3}
+        # The healthy analyzer saw every datagram and reported normally.
+        assert analysis.analyzer_results["counter"] == 10
+        assert analysis.failed_analyzers() == {"crasher": failure}
+        # Analyzer failures roll into the dataset error totals.
+        assert analysis.error_totals()[ErrorKind.ANALYZER_ERROR.value] == 3
+
+    def test_strict_reraises_analyzer_exception(self):
+        engine = DatasetAnalyzer(
+            "DX", analyzers=[_CrashingAnalyzer()], error_policy="strict"
+        )
+        with pytest.raises(RuntimeError, match="analyzer bug"):
+            engine.process_packets(_udp_packets(3))
+
+    def test_result_failure_recorded_not_raised(self):
+        engine = DatasetAnalyzer(
+            "DX", analyzers=[_BrokenResultAnalyzer()], error_policy="tolerant"
+        )
+        engine.process_packets(_udp_packets(3))
+        analysis = engine.finish()
+        failure = analysis.analyzer_results["broken-result"]
+        assert isinstance(failure, AnalyzerFailure)
+        assert "result" in failure.first_error
+
+    def test_result_failure_raises_under_strict(self):
+        engine = DatasetAnalyzer(
+            "DX", analyzers=[_BrokenResultAnalyzer()], error_policy="strict"
+        )
+        engine.process_packets(_udp_packets(3))
+        with pytest.raises(RuntimeError, match="cannot summarize"):
+            engine.finish()
+
+
+class TestEngineQuarantine:
+    def test_budget_exceeded_quarantines_trace(self):
+        """A trace that is mostly runts blows a small budget and comes
+        back quarantined, with its connections withheld."""
+        runts = [
+            CapturedPacket(ts=float(i), data=b"\x00" * 4, wire_len=4)
+            for i in range(10)
+        ]
+        engine = DatasetAnalyzer(
+            "DX",
+            error_policy="tolerant",
+            error_budget=ErrorBudget(max_errors=4),
+        )
+        stats = engine.process_packets(runts + _udp_packets(5))
+        assert stats.quarantined
+        assert "error budget exceeded" in stats.quarantine_reason
+        assert stats.errors[ErrorKind.RUNT_FRAME.value] == 5
+        analysis = engine.finish()
+        assert analysis.conns == []  # quarantined trace contributes nothing
+        assert analysis.quarantined_traces() == [stats]
+
+    def test_skip_trace_engine_quarantines_then_recovers(self):
+        engine = DatasetAnalyzer("DX", error_policy="skip-trace")
+        bad = [CapturedPacket(ts=0.0, data=b"\x00" * 4, wire_len=4)]
+        stats = engine.process_packets(bad + _udp_packets(5), label="bad")
+        assert stats.quarantined
+        good = engine.process_packets(_udp_packets(5), label="good")
+        assert not good.quarantined
+        assert good.packets == 5
+
+    def test_timestamp_regressions_counted_not_fatal(self):
+        pkts = _udp_packets(5)
+        pkts[2] = make_udp_packet(-10.0, 1, 2, 3, 4, 1002, 53, payload=b"q")
+        engine = DatasetAnalyzer("DX", error_policy="tolerant")
+        stats = engine.process_packets(pkts)
+        assert stats.timestamp_regressions == 1
+        assert stats.packets == 5
+        assert stats.utilization is not None  # span covers the regression
+
+
+class TestDataQualityReport:
+    @pytest.fixture()
+    def analyses(self):
+        crasher = _CrashingAnalyzer()
+        engine = DatasetAnalyzer(
+            "D0", analyzers=[crasher], error_policy="tolerant"
+        )
+        runts = [CapturedPacket(ts=0.5, data=b"\x00" * 4, wire_len=4)]
+        engine.process_packets(_udp_packets(8) + runts, label="t0")
+        return {"D0": engine.finish()}
+
+    def test_table_rows(self, analyses):
+        table = data_quality_table(analyses)
+        rendered = table.render()
+        assert "Data quality" in rendered
+        assert "error policy" in rendered
+        assert "tolerant" in rendered
+        assert "errors: runt_frame" in rendered
+        assert "analyzers disabled" in rendered
+        assert "crasher" in rendered
+
+    def test_render_includes_quarantine_detail(self, tmp_path):
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(b"not a pcap at all" + b"\x00" * 32)
+        engine = DatasetAnalyzer("D1", error_policy="skip-trace")
+        stats = engine.process_pcap(path)
+        assert stats.quarantined
+        text = render_data_quality({"D1": engine.analysis})
+        assert f"quarantined {path}" in text
+        assert stats.quarantine_reason in text

@@ -1,6 +1,5 @@
 """Tests for the high-level packet model (craft + flat decode)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -118,9 +117,12 @@ class TestNonIpDecode:
         assert d.ethertype == ETHERTYPE_IPX
         assert d.proto is None
 
-    def test_runt_frame_raises(self):
-        with pytest.raises(ValueError):
-            decode_packet(CapturedPacket(ts=0.0, data=b"\x00" * 8, wire_len=8))
+    def test_runt_frame_flagged_not_raised(self):
+        decoded = decode_packet(CapturedPacket(ts=0.0, data=b"\x00" * 8, wire_len=8))
+        assert decoded.runt
+        assert decoded.ethertype == -1
+        assert decoded.caplen == 8
+        assert not decoded.is_ip
 
 
 @given(

@@ -1,4 +1,4 @@
-"""Tests for the pcap reader/writer."""
+"""Tests for the pcap reader/writer, fault injection, and error policies."""
 
 import io
 import struct
@@ -7,9 +7,17 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.analysis.engine import DatasetAnalyzer
+from repro.analysis.errors import (
+    ErrorKind,
+    ErrorPolicy,
+    IngestionError,
+    TraceErrorLog,
+)
+from repro.gen.faults import FAULTS, apply_fault
 from repro.net.packet import CapturedPacket, make_udp_packet
 from repro.pcap.reader import PcapReader, read_pcap
-from repro.pcap.records import PCAP_MAGIC, PcapGlobalHeader
+from repro.pcap.records import PCAP_MAGIC, RECORD_HEADER, PcapGlobalHeader
 from repro.pcap.writer import PcapWriter, write_pcap
 
 
@@ -18,6 +26,21 @@ def _sample_packets(n=5):
         make_udp_packet(float(i) + 0.25, 1, 2, 3, 4, 1000 + i, 53, payload=b"q" * (i * 10))
         for i in range(n)
     ]
+
+
+def _pcap_bytes(n=5, payload=b"q" * 32):
+    """A valid in-memory pcap holding ``n`` UDP packets."""
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    writer.write_all(
+        make_udp_packet(float(i), 1, 2, 3, 4, 1000 + i, 53, payload=payload)
+        for i in range(n)
+    )
+    return buffer.getvalue()
+
+
+def _tolerant_log(path="<stream>"):
+    return TraceErrorLog(policy=ErrorPolicy.TOLERANT, path=path)
 
 
 class TestGlobalHeader:
@@ -110,6 +133,191 @@ class TestCorruption:
     def test_writer_rejects_bad_snaplen(self):
         with pytest.raises(ValueError):
             PcapWriter(io.BytesIO(), snaplen=0)
+
+    def test_strict_errors_are_typed_and_located(self, tmp_path):
+        path = tmp_path / "cut.pcap"
+        path.write_bytes(_pcap_bytes(3)[:-5])
+        with pytest.raises(IngestionError) as excinfo:
+            read_pcap(path)
+        err = excinfo.value
+        assert err.kind is ErrorKind.TRUNCATED_BODY
+        assert str(path) in str(err)
+        assert err.offset is not None and err.offset > 24
+
+    def test_open_closes_stream_on_bad_header(self, tmp_path, monkeypatch):
+        """The satellite fix: a header parse failure must not leak the
+        opened file handle, and the error must name the file."""
+        import repro.pcap.reader as reader_module
+
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        opened = []
+        real_open = io.open
+
+        def tracking_open(*args, **kwargs):
+            stream = real_open(*args, **kwargs)
+            opened.append(stream)
+            return stream
+
+        monkeypatch.setattr(reader_module.io, "open", tracking_open)
+        with pytest.raises(ValueError) as excinfo:
+            PcapReader.open(path)
+        assert str(path) in str(excinfo.value)
+        assert len(opened) == 1
+        assert opened[0].closed
+
+    def test_oversized_caplen_rejected(self):
+        buffer = io.BytesIO()
+        buffer.write(PcapGlobalHeader(snaplen=65535).encode())
+        buffer.write(RECORD_HEADER.pack(0, 0, 0x40000000, 60))
+        buffer.write(b"\x00" * 60)
+        buffer.seek(0)
+        with pytest.raises(IngestionError) as excinfo:
+            list(PcapReader(buffer))
+        assert excinfo.value.kind is ErrorKind.TRUNCATED_BODY
+
+
+class TestRecoveryMode:
+    """Tolerant reading: salvage the intact prefix, account the rest."""
+
+    def test_salvages_prefix_of_cut_file(self):
+        data = _pcap_bytes(10)[:-7]
+        errors = _tolerant_log()
+        reader = PcapReader(io.BytesIO(data), errors=errors)
+        salvaged = list(reader)
+        assert len(salvaged) == 9
+        assert reader.records_read == 9
+        assert errors.counts == {ErrorKind.TRUNCATED_BODY.value: 1}
+
+    def test_salvages_up_to_partial_record_header(self):
+        data = _pcap_bytes(4) + b"\x01\x02\x03"
+        errors = _tolerant_log()
+        assert len(list(PcapReader(io.BytesIO(data), errors=errors))) == 4
+        assert errors.counts == {ErrorKind.TRUNCATED_HEADER.value: 1}
+
+    def test_bad_magic_is_fatal_even_when_tolerant(self):
+        from repro.analysis.errors import TraceQuarantined
+
+        errors = _tolerant_log()
+        with pytest.raises(TraceQuarantined):
+            PcapReader(io.BytesIO(b"\xde\xad\xbe\xef" + b"\x00" * 20), errors=errors)
+        assert errors.counts == {ErrorKind.BAD_MAGIC.value: 1}
+        assert errors.quarantined
+
+
+class TestDegenerateTraces:
+    """Engine behavior on edge-case trace files (satellite task)."""
+
+    @staticmethod
+    def _analyze(path, policy):
+        engine = DatasetAnalyzer("DX", error_policy=policy)
+        stats = engine.process_pcap(path)
+        engine.finish()
+        return stats
+
+    @pytest.mark.parametrize("policy", ["strict", "tolerant"])
+    def test_empty_pcap_completes_under_both(self, tmp_path, policy):
+        """A header-only pcap is *valid* (zero records): no policy may
+        reject it, only report zero packets."""
+        path = tmp_path / "empty.pcap"
+        path.write_bytes(PcapGlobalHeader(snaplen=65535).encode())
+        stats = self._analyze(path, policy)
+        assert stats.packets == 0
+        assert not stats.quarantined
+        assert stats.total_errors == 0
+
+    def test_zero_length_record_body(self, tmp_path):
+        """A zero-caplen record decodes as a runt frame: tolerated with
+        accounting, raised under strict."""
+        path = tmp_path / "zero.pcap"
+        path.write_bytes(apply_fault(_pcap_bytes(6), "zero_caplen", seed=3))
+        stats = self._analyze(path, "tolerant")
+        assert stats.errors == {ErrorKind.RUNT_FRAME.value: 1}
+        assert not stats.quarantined
+        with pytest.raises(IngestionError) as excinfo:
+            self._analyze(path, "strict")
+        assert excinfo.value.kind is ErrorKind.RUNT_FRAME
+        assert str(path) in str(excinfo.value)
+
+    def test_last_record_cut_mid_body(self, tmp_path):
+        path = tmp_path / "cut.pcap"
+        path.write_bytes(apply_fault(_pcap_bytes(6), "truncated_record_body", seed=3))
+        stats = self._analyze(path, "tolerant")
+        assert stats.packets == 5
+        assert stats.errors == {ErrorKind.TRUNCATED_BODY.value: 1}
+        assert stats.truncated_tail and not stats.quarantined
+        with pytest.raises(IngestionError) as excinfo:
+            self._analyze(path, "strict")
+        assert excinfo.value.kind is ErrorKind.TRUNCATED_BODY
+
+
+class TestFaultMatrix:
+    """Every corruption class in gen.faults against every policy."""
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return _pcap_bytes(40)
+
+    @pytest.mark.parametrize("name", sorted(FAULTS))
+    def test_fault_changes_bytes_deterministically(self, clean, name):
+        corrupted = apply_fault(clean, name, seed=11)
+        assert corrupted != clean
+        assert corrupted == apply_fault(clean, name, seed=11)
+
+    @pytest.mark.parametrize("name", sorted(FAULTS))
+    def test_tolerant_completes(self, clean, tmp_path, name):
+        path = tmp_path / f"{name}.pcap"
+        path.write_bytes(apply_fault(clean, name, seed=11))
+        engine = DatasetAnalyzer("DX", error_policy="tolerant")
+        stats = engine.process_pcap(path)
+        analysis = engine.finish()
+        assert len(analysis.traces) == 1
+        if FAULTS[name].strict_fatal:
+            # Structural damage must leave a trail: errors or quarantine.
+            assert stats.total_errors > 0 or stats.quarantined
+        else:
+            # Wire-legal pathologies are absorbed without structural errors.
+            assert not stats.quarantined
+            assert stats.packets > 0
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n, f in FAULTS.items() if f.strict_fatal)
+    )
+    def test_strict_raises_typed_error(self, clean, tmp_path, name):
+        path = tmp_path / f"{name}.pcap"
+        path.write_bytes(apply_fault(clean, name, seed=11))
+        engine = DatasetAnalyzer("DX", error_policy="strict")
+        with pytest.raises(IngestionError) as excinfo:
+            engine.process_pcap(path)
+        assert str(path) in str(excinfo.value)
+        assert isinstance(excinfo.value.kind, ErrorKind)
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n, f in FAULTS.items() if not f.strict_fatal)
+    )
+    def test_strict_tolerates_wire_legal_faults(self, clean, tmp_path, name):
+        path = tmp_path / f"{name}.pcap"
+        path.write_bytes(apply_fault(clean, name, seed=11))
+        engine = DatasetAnalyzer("DX", error_policy="strict")
+        stats = engine.process_pcap(path)
+        assert stats.packets > 0
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n, f in FAULTS.items() if f.strict_fatal)
+    )
+    def test_skip_trace_quarantines(self, clean, tmp_path, name):
+        path = tmp_path / f"{name}.pcap"
+        path.write_bytes(apply_fault(clean, name, seed=11))
+        engine = DatasetAnalyzer("DX", error_policy="skip-trace")
+        stats = engine.process_pcap(path)
+        assert stats.quarantined
+        assert stats.total_errors > 0
+        # The engine keeps going: a clean trace afterwards is analyzed.
+        good = tmp_path / "good.pcap"
+        good.write_bytes(clean)
+        stats2 = engine.process_pcap(good)
+        assert not stats2.quarantined
+        assert stats2.packets == 40
 
 
 @given(

@@ -1,0 +1,121 @@
+"""The robustness acceptance test: a fully corrupted study still reports.
+
+Every trace of a generated dataset is hit with a different corruption
+class (cycling through all of :data:`repro.gen.faults.FAULTS`), and the
+study must still produce every table and figure of the paper under the
+``tolerant`` policy — with the damage accounted for in the data-quality
+section.  The same input under ``strict`` must fail fast with a typed
+error naming the file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.errors import ErrorKind, IngestionError
+from repro.core.study import run_study
+from repro.gen.faults import FAULTS, corrupt_dataset
+
+ALL_TABLES = range(1, 16)
+ALL_FIGURES = range(1, 11)
+
+
+@pytest.fixture(scope="module")
+def corrupted_study():
+    """A D0 study where *every* trace was corrupted, one fault class each.
+
+    Twelve windows, twelve fault classes: each class appears exactly once.
+    """
+    applied = {}
+
+    def corrupt(name, dataset_traces):
+        applied.update(corrupt_dataset(dataset_traces, seed=9))
+
+    results = run_study(
+        seed=3,
+        scale=0.003,
+        datasets=("D0",),
+        max_windows=12,
+        error_policy="tolerant",
+        mutate_traces=corrupt,
+    )
+    return results, applied
+
+
+class TestTolerantStudySurvives:
+    def test_every_fault_class_was_applied(self, corrupted_study):
+        _, applied = corrupted_study
+        assert sorted(set(applied.values())) == sorted(FAULTS)
+
+    def test_all_tables_build(self, corrupted_study):
+        results, _ = corrupted_study
+        for number in ALL_TABLES:
+            rendered = results.render_table(number)
+            assert rendered.strip(), f"Table {number} rendered empty"
+
+    def test_all_figures_build(self, corrupted_study):
+        results, _ = corrupted_study
+        for number in ALL_FIGURES:
+            rendered = results.render_figure(number)
+            assert rendered.strip(), f"Figure {number} rendered empty"
+
+    def test_errors_accounted(self, corrupted_study):
+        results, _ = corrupted_study
+        assert results.total_errors > 0
+        analysis = results.analyses["D0"]
+        totals = analysis.error_totals()
+        # The structurally fatal classes must each have left a mark.
+        assert totals.get(ErrorKind.TRUNCATED_BODY.value, 0) > 0
+        assert totals.get(ErrorKind.RUNT_FRAME.value, 0) > 0
+        # bad_magic / truncated_global_header quarantine whole traces.
+        assert len(analysis.quarantined_traces()) >= 2
+        # Most traces survive: only header-level damage is unsalvageable.
+        assert len(analysis.traces) == 12
+        assert len(analysis.quarantined_traces()) <= 4
+        assert analysis.total_packets > 0
+
+    def test_data_quality_section_reports_damage(self, corrupted_study):
+        results, _ = corrupted_study
+        text = results.render_data_quality()
+        assert "Data quality" in text
+        assert "tolerant" in text
+        assert "quarantined" in text
+        table = results.data_quality()
+        rows = {row[0]: row[1] for row in table.rows}
+        assert rows["error policy"] == "tolerant"
+        assert rows["total errors"] > 0
+        assert rows["traces quarantined"] >= 2
+
+    def test_quarantined_traces_withhold_connections(self, corrupted_study):
+        results, _ = corrupted_study
+        analysis = results.analyses["D0"]
+        quarantined_paths = {t.path for t in analysis.quarantined_traces()}
+        live = [t for t in analysis.traces if t.path not in quarantined_paths]
+        assert live  # the study still has usable windows
+        assert len(analysis.conns) > 0
+
+
+class TestStrictStudyFailsFast:
+    def test_strict_raises_typed_error_naming_file(self):
+        corrupted = {}
+
+        def corrupt(name, dataset_traces):
+            # One structurally fatal fault on the first trace is enough.
+            corrupt_dataset(
+                dataset_traces, seed=9, faults=["truncated_record_body"]
+            )
+            corrupted["path"] = str(dataset_traces.traces[0].path)
+
+        with pytest.raises(IngestionError) as excinfo:
+            run_study(
+                seed=3,
+                scale=0.003,
+                datasets=("D0",),
+                max_windows=2,
+                error_policy="strict",
+                mutate_traces=corrupt,
+            )
+        err = excinfo.value
+        assert isinstance(err.kind, ErrorKind)
+        assert corrupted["path"] in str(err)
+        assert err.offset is not None and err.offset >= 24
