@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench examples outputs clean
+.PHONY: install test lint verify bench store-bench examples outputs clean
 
 install:
 	pip install -e .
@@ -24,6 +24,10 @@ verify:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Cold generate-and-parse vs warm shard-backed study (asserts >=3x).
+store-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_store_roundtrip.py -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done

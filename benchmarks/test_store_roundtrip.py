@@ -1,0 +1,64 @@
+"""Store round-trip: cold pcap parsing vs warm shard loading.
+
+Not a paper artifact — this times the connection-record store's whole
+point: a same-parameter ``run_study`` backed by a populated store must
+rebuild its tables from shards several times faster than the cold
+generate-and-parse path, while producing identical output.
+
+Run via ``make store-bench``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.study import run_study
+from repro.store import ConnStore
+
+_PARAMS = dict(seed=7, scale=0.004, datasets=("D0", "D1"), max_windows=6)
+
+#: The acceptance floor: warm must beat cold by at least this factor.
+_MIN_SPEEDUP = 3.0
+
+
+def test_warm_cache_speedup(tmp_path, emit):
+    root = tmp_path / "store"
+
+    t0 = time.perf_counter()
+    cold = run_study(store_dir=str(root), **_PARAMS)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_study(store_dir=str(root), **_PARAMS)
+    warm_s = time.perf_counter() - t0
+
+    for number in (1, 2, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15):
+        assert warm.render_table(number) == cold.render_table(number), number
+    for number in range(1, 11):
+        assert warm.render_figure(number) == cold.render_figure(number), number
+
+    speedup = cold_s / warm_s
+    stats = ConnStore(root).stats()
+    emit(
+        "store round-trip (generate+parse vs shard load)\n"
+        f"  datasets          {', '.join(_PARAMS['datasets'])}"
+        f"  (scale {_PARAMS['scale']}, {_PARAMS['max_windows']} windows)\n"
+        f"  cold study        {cold_s:8.3f} s\n"
+        f"  warm study        {warm_s:8.3f} s\n"
+        f"  speedup           {speedup:8.1f} x  (floor {_MIN_SPEEDUP:.0f}x)\n"
+        f"  store             {stats['objects']} shards, {stats['bytes']} bytes"
+    )
+    assert speedup >= _MIN_SPEEDUP, (
+        f"warm cache only {speedup:.1f}x faster than cold parse"
+    )
+
+
+def test_shard_load_microbench(tmp_path, benchmark):
+    """Time one warm dataset load (shard decode, no pcap I/O)."""
+    root = tmp_path / "store"
+    run_study(seed=7, scale=0.004, datasets=("D0",), max_windows=4,
+              store_dir=str(root))
+    store = ConnStore(root)
+    manifest = next(iter(store.manifests()))
+    cached = benchmark(lambda: store.load_analysis(manifest))
+    assert cached.analysis.conns

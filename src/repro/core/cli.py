@@ -3,6 +3,12 @@
 Installed as ``repro-study``::
 
     repro-study --scale 0.01 --seed 42 --tables 2 3 --figures 1 10
+
+A ``store`` subcommand inspects the connection-record store::
+
+    repro-study store ls --store-dir .store
+    repro-study store query --store-dir .store --by category --dataset D0
+    repro-study store gc --store-dir .store
 """
 
 from __future__ import annotations
@@ -78,11 +84,117 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render CDF figures as ASCII plots instead of quantile tables",
     )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="connection-record store root: cache analyses as shards there "
+        "and reuse them on later same-parameter runs",
+    )
+    parser.add_argument(
+        "--no-reuse-store",
+        action="store_true",
+        help="write shards but never read them (force a cold run)",
+    )
     return parser
+
+
+def _build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study store",
+        description="Inspect and query the connection-record store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ls = sub.add_parser("ls", help="list cached dataset analyses")
+    query = sub.add_parser("query", help="aggregate cached connection records")
+    gc = sub.add_parser("gc", help="delete unreferenced shard objects")
+    for command in (ls, query, gc):
+        command.add_argument(
+            "--store-dir", required=True, help="connection-record store root"
+        )
+
+    from ..store.query import GROUP_DIMENSIONS
+
+    query.add_argument(
+        "--by",
+        default="category",
+        choices=GROUP_DIMENSIONS,
+        help="grouping dimension (default: category)",
+    )
+    query.add_argument("--dataset", default=None, help="restrict to one dataset")
+    query.add_argument("--proto", default=None, help="transport, e.g. tcp/udp")
+    query.add_argument(
+        "--service", default=None, help="application label or category"
+    )
+    query.add_argument(
+        "--locality", default=None, help="e.g. ent-ent / ent-wan / wan-ent"
+    )
+    query.add_argument("--subnet", default=None, help="CIDR on either endpoint")
+    query.add_argument(
+        "--state", default=None, help="connection state, e.g. SF / REJ"
+    )
+    query.add_argument(
+        "--since", type=float, default=None, help="min first-packet timestamp"
+    )
+    query.add_argument(
+        "--until", type=float, default=None, help="max first-packet timestamp"
+    )
+    query.add_argument(
+        "--min-bytes", type=int, default=None, help="min connection bytes"
+    )
+    query.add_argument(
+        "--include-scanners",
+        action="store_true",
+        help="include records from scan-filtered sources",
+    )
+    return parser
+
+
+def _store_main(argv: list[str]) -> int:
+    """The ``repro-study store`` subcommand family."""
+    from ..store import ConnFilter, ConnStore, StoreQuery
+
+    args = _build_store_parser().parse_args(argv)
+    store = ConnStore(args.store_dir)
+    if args.command == "ls":
+        stats = store.stats()
+        print(f"store {stats['root']}")
+        print(
+            f"  {stats['manifests']} cached analyses, "
+            f"{stats['objects']} shard objects, {stats['bytes']} bytes"
+        )
+        for manifest in store.manifests():
+            print(
+                f"  {manifest['dataset']}  key={manifest['key'][:12]}…  "
+                f"{len(manifest['traces'])} traces  schema v{manifest['schema']}"
+            )
+        return 0
+    if args.command == "gc":
+        removed = store.gc()
+        print(f"removed {len(removed)} unreferenced objects")
+        return 0
+    flt = ConnFilter(
+        dataset=args.dataset,
+        proto=args.proto,
+        service=args.service,
+        locality=args.locality,
+        subnet=args.subnet,
+        since=args.since,
+        until=args.until,
+        state=args.state,
+        min_bytes=args.min_bytes,
+        include_scanners=args.include_scanners,
+    )
+    print(StoreQuery(store).table(flt, by=args.by).render())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the study and print the requested tables/figures."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return _store_main(argv[1:])
     args = _build_parser().parse_args(argv)
     results = run_study(
         seed=args.seed,
@@ -91,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
         max_windows=args.max_windows,
         out_dir=args.out_dir,
         error_policy=args.error_policy,
+        store_dir=args.store_dir,
+        reuse_store=not args.no_reuse_store,
     )
     tables = args.tables if args.tables is not None else _ALL_TABLES
     figures = args.figures if args.figures is not None else _ALL_FIGURES

@@ -4,6 +4,10 @@
 datasets (or a subset), runs the full analysis engine over the resulting
 pcap traces, and exposes every table and figure of the paper through
 :class:`StudyResults`.
+
+With ``store_dir`` set, every finished analysis is sharded into a
+:class:`~repro.store.ConnStore` and subsequent runs rebuild their tables
+from cached shards instead of re-parsing pcaps (see :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -25,9 +29,13 @@ from ..report import tables as table_builders
 from ..report.findings import table5 as findings_table5
 from ..report.categories import CategoryBreakdown, category_breakdown
 from ..report.model import CdfFigure, SeriesFigure, Table
+from ..store.cache import ConnStore
 from ..util.fmt import fmt_duration
 
 __all__ = ["StudyConfig", "StudyResults", "run_study", "analyze_dataset"]
+
+#: The registered analyzer roster, as it appears in cache keys.
+_ANALYZER_NAMES: tuple[str, ...] = tuple(cls.name for cls in DEFAULT_ANALYZERS)
 
 
 @dataclass(frozen=True)
@@ -44,6 +52,8 @@ class StudyConfig:
     out_dir: str | None = None
     #: How ingestion defects are handled (strict / tolerant / skip-trace).
     error_policy: str = ErrorPolicy.STRICT.value
+    #: Root of the connection-record store (None = caching disabled).
+    store_dir: str | None = None
 
 
 @dataclass
@@ -161,18 +171,49 @@ def analyze_dataset(
     traces: DatasetTraces,
     known_scanners: tuple[int, ...] = (),
     error_policy: ErrorPolicy | str = ErrorPolicy.STRICT,
+    store: ConnStore | None = None,
+    gen_key: str | None = None,
 ) -> DatasetAnalysis:
-    """Run the full analysis engine over one generated dataset."""
+    """Run the full analysis engine over one generated dataset.
+
+    With a ``store``, the trace files are digested first and a matching
+    cached analysis is returned without opening a single pcap; on a miss
+    the fresh analysis is sharded into the store before returning.  The
+    content key covers the trace bytes themselves, so any mutation (e.g.
+    :func:`repro.gen.faults.corrupt_dataset`) forces a cold re-parse.
+    """
+    policy = ErrorPolicy.coerce(error_policy)
+    digests: list[str] = []
+    key: str | None = None
+    if store is not None:
+        digests = [store.file_digest(trace.path) for trace in traces.traces]
+        key = store.content_key(
+            name,
+            digests,
+            _ANALYZER_NAMES,
+            policy.value,
+            traces.config.full_payload,
+            str(ENTERPRISE_NET),
+            known_scanners,
+        )
+        manifest = store.lookup(key)
+        if manifest is not None:
+            cached = store.load_or_none(manifest, policy)
+            if cached is not None:
+                return cached.analysis
     analyzer = DatasetAnalyzer(
         name,
         full_payload=traces.config.full_payload,
         internal_net=ENTERPRISE_NET,
         analyzers=[cls() for cls in DEFAULT_ANALYZERS],
-        error_policy=error_policy,
+        error_policy=policy,
     )
     for trace in traces.traces:
         analyzer.process_pcap(trace.path)
-    return analyzer.finish(known_scanners=known_scanners)
+    analysis = analyzer.finish(known_scanners=known_scanners)
+    if store is not None and key is not None:
+        store.save_analysis(key, analysis, traces, digests, gen_key=gen_key)
+    return analysis
 
 
 def run_study(
@@ -183,6 +224,8 @@ def run_study(
     out_dir: str | None = None,
     error_policy: ErrorPolicy | str = ErrorPolicy.STRICT,
     mutate_traces: Callable[[str, DatasetTraces], None] | None = None,
+    store_dir: str | None = None,
+    reuse_store: bool = True,
 ) -> StudyResults:
     """Run the whole reproduction: generate traces, analyze, report.
 
@@ -196,6 +239,15 @@ def run_study(
     analysis — the seam fault-injection tests use to corrupt trace files
     (:func:`repro.gen.faults.corrupt_dataset`) without patching the
     pipeline.
+
+    ``store_dir`` enables the connection-record store: finished analyses
+    are sharded into it, and with ``reuse_store`` a later same-parameter
+    run skips both generation and pcap parsing, rebuilding its tables
+    from shards.  Corrupt shards follow ``error_policy``: strict raises,
+    the tolerant policies fall back to a cold run.  The warm path is
+    bypassed whenever ``mutate_traces`` is set (the hook must see real
+    trace files), and any pcaps still on disk are digest-verified before
+    a cached analysis is trusted.
     """
     policy = ErrorPolicy.coerce(error_policy)
     config = StudyConfig(
@@ -205,7 +257,9 @@ def run_study(
         max_windows=max_windows,
         out_dir=out_dir,
         error_policy=policy.value,
+        store_dir=store_dir,
     )
+    store = ConnStore(store_dir) if store_dir else None
     enterprise = Enterprise(seed=seed)
     results = StudyResults(config=config, enterprise=enterprise)
     known_scanners = tuple(
@@ -214,8 +268,40 @@ def run_study(
     for name in config.datasets:
         if name not in DATASETS:
             raise KeyError(f"unknown dataset {name!r}")
+        gen_key = None
+        if store is not None:
+            gen_key = store.generation_key(
+                name,
+                seed,
+                scale,
+                max_windows,
+                _ANALYZER_NAMES,
+                policy.value,
+                str(ENTERPRISE_NET),
+                known_scanners,
+            )
+            if reuse_store and mutate_traces is None:
+                cached = None
+                manifest = store.lookup(gen_key)
+                if manifest is not None and store.sources_intact(
+                    manifest, Path(out_dir) if out_dir else None
+                ):
+                    cached = store.load_or_none(manifest, policy)
+                if cached is not None:
+                    if out_dir:
+                        for trace in cached.traces.traces:
+                            trace.path = Path(out_dir) / trace.path
+                    results.traces[name] = cached.traces
+                    results.analyses[name] = cached.analysis
+                    results.breakdowns[name] = category_breakdown(
+                        cached.analysis.filtered_conns(),
+                        cached.analysis.windows_endpoints,
+                        internal_net=ENTERPRISE_NET,
+                    )
+                    continue
         with tempfile.TemporaryDirectory() as tmp:
             target = Path(out_dir) / name if out_dir else Path(tmp)
+            target.mkdir(parents=True, exist_ok=True)
             dataset_traces = generate_dataset(
                 name,
                 enterprise,
@@ -227,7 +313,12 @@ def run_study(
             if mutate_traces is not None:
                 mutate_traces(name, dataset_traces)
             analysis = analyze_dataset(
-                name, dataset_traces, known_scanners, error_policy=policy
+                name,
+                dataset_traces,
+                known_scanners,
+                error_policy=policy,
+                store=store,
+                gen_key=gen_key if mutate_traces is None else None,
             )
         results.traces[name] = dataset_traces
         results.analyses[name] = analysis

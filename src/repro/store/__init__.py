@@ -1,0 +1,26 @@
+"""The connection-record store: shards, caching, and querying.
+
+Sits between generation and analysis: :func:`repro.core.study.analyze_dataset`
+shards every finished analysis into the store, content-addressed by the
+trace files' digests, and later runs rebuild their tables from the
+shards without touching a single pcap record.
+
+* :mod:`repro.store.codec` — deterministic pickle-free value encoding.
+* :mod:`repro.store.shard` — the columnar, CRC-checked shard format.
+* :mod:`repro.store.cache` — the content-addressed object store.
+* :mod:`repro.store.query` — filtered scans and table aggregations.
+"""
+
+from .cache import CachedDataset, ConnStore
+from .query import ConnFilter, StoreQuery
+from .schema import SCHEMA_VERSION
+from .shard import ShardError
+
+__all__ = [
+    "ConnStore",
+    "CachedDataset",
+    "ConnFilter",
+    "StoreQuery",
+    "ShardError",
+    "SCHEMA_VERSION",
+]

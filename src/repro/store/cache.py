@@ -1,0 +1,396 @@
+"""The content-addressed connection-record store.
+
+Layout on disk::
+
+    <root>/
+      objects/<aa>/<digest>.rcs     # shards, named by the SHA-256 of
+                                    # their own bytes (content-addressed)
+      manifests/<key>.json          # content key -> dataset manifest
+      manifests/<gen-key>.json      # generation key -> {"ref": content key}
+
+The *content key* hashes everything that determines an analysis: the
+schema version, the analyzer set, the error policy, the internal net,
+the known-scanner list, payload visibility, and the SHA-256 of every
+trace file in order.  Mutating one byte of one pcap therefore misses the
+cache; so does changing the analyzer roster or bumping the schema.
+
+The *generation key* hashes the study parameters (dataset, seed, scale,
+window truncation) plus the same analysis configuration.  Because trace
+generation is deterministic by seed, ``run_study`` can use it to skip
+generation entirely; when the pcaps still exist on disk their digests
+are re-verified against the manifest before the cached analysis is
+trusted.
+
+Shards are verified twice on every load — their name must equal the
+SHA-256 of their bytes, and their CRC footer must check out — and every
+defect surfaces as a :class:`~repro.store.shard.ShardError` carrying the
+PR-1 taxonomy so callers can apply strict/tolerant policy decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..analysis.engine import DatasetAnalysis
+from ..analysis.errors import ErrorKind, ErrorPolicy
+from ..gen.capture import DatasetTraces, TapWindow, Trace
+from ..gen.datasets import DATASETS
+from ..util.addr import Subnet
+from .schema import SCHEMA_VERSION
+from .shard import (
+    DatasetShard,
+    ShardError,
+    decode_dataset_shard,
+    decode_trace_shard,
+    encode_dataset_shard,
+    encode_trace_shard,
+)
+
+__all__ = ["ConnStore", "CachedDataset"]
+
+_OBJECT_SUFFIX = ".rcs"
+
+
+class CachedDataset:
+    """One warm-cache load: the analysis plus reconstructed trace metadata."""
+
+    def __init__(self, analysis: DatasetAnalysis, traces: DatasetTraces) -> None:
+        self.analysis = analysis
+        self.traces = traces
+
+
+class ConnStore:
+    """A content-addressed store of analyzed connection records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.manifests_dir = self.root / "manifests"
+
+    # -- digests and keys --------------------------------------------------
+
+    @staticmethod
+    def file_digest(path: str | Path) -> str:
+        """Streaming SHA-256 of a file's bytes."""
+        digest = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
+        return digest.hexdigest()
+
+    @staticmethod
+    def _key_of(payload: dict) -> str:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _analysis_config(
+        analyzers: tuple[str, ...],
+        error_policy: str,
+        full_payload: bool,
+        internal_net: str,
+        known_scanners: tuple[int, ...],
+    ) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "analyzers": sorted(analyzers),
+            "error_policy": error_policy,
+            "full_payload": full_payload,
+            "internal_net": internal_net,
+            "known_scanners": sorted(known_scanners),
+        }
+
+    @classmethod
+    def content_key(
+        cls,
+        dataset: str,
+        trace_digests: list[str],
+        analyzers: tuple[str, ...],
+        error_policy: str,
+        full_payload: bool,
+        internal_net: str,
+        known_scanners: tuple[int, ...] = (),
+    ) -> str:
+        """The cache key for analyzing these exact trace bytes."""
+        payload = cls._analysis_config(
+            analyzers, error_policy, full_payload, internal_net, known_scanners
+        )
+        payload["dataset"] = dataset
+        payload["traces"] = list(trace_digests)
+        return cls._key_of(payload)
+
+    @classmethod
+    def generation_key(
+        cls,
+        dataset: str,
+        seed: int,
+        scale: float,
+        max_windows: int | None,
+        analyzers: tuple[str, ...],
+        error_policy: str,
+        internal_net: str,
+        known_scanners: tuple[int, ...] = (),
+    ) -> str:
+        """The cache key for a deterministic generate-then-analyze run."""
+        payload = cls._analysis_config(
+            analyzers, error_policy, True, internal_net, known_scanners
+        )
+        del payload["full_payload"]  # implied by the dataset config
+        payload["generation"] = {
+            "dataset": dataset,
+            "seed": seed,
+            "scale": scale,
+            "max_windows": max_windows,
+        }
+        return "gen-" + cls._key_of(payload)
+
+    # -- object storage ----------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / f"{digest}{_OBJECT_SUFFIX}"
+
+    def put_object(self, data: bytes) -> str:
+        """Store shard bytes under their own digest; returns the digest."""
+        digest = hashlib.sha256(data).hexdigest()
+        path = self._object_path(digest)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(data)
+            tmp.replace(path)
+        return digest
+
+    def get_object(self, digest: str) -> bytes:
+        """Load shard bytes, re-verifying the content address."""
+        path = self._object_path(digest)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise ShardError(
+                ErrorKind.TRUNCATED_BODY, str(path), None, "shard object missing"
+            ) from None
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            raise ShardError(
+                ErrorKind.DECODE_ERROR, str(path), None,
+                f"content address mismatch: named {digest[:12]}…, "
+                f"bytes hash to {actual[:12]}…",
+            )
+        return data
+
+    # -- manifests ---------------------------------------------------------
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.manifests_dir / f"{key}.json"
+
+    def lookup(self, key: str) -> dict | None:
+        """Load a manifest by key, following generation-key aliases."""
+        path = self._manifest_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        ref = payload.get("ref")
+        if ref is not None:
+            return self.lookup(ref)
+        return payload
+
+    def manifests(self) -> Iterator[dict]:
+        """Every dataset manifest in the store (aliases skipped)."""
+        if not self.manifests_dir.is_dir():
+            return
+        for path in sorted(self.manifests_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if "ref" not in payload:
+                yield payload
+
+    # -- save / load -------------------------------------------------------
+
+    def save_analysis(
+        self,
+        key: str,
+        analysis: DatasetAnalysis,
+        traces: DatasetTraces,
+        trace_digests: list[str],
+        gen_key: str | None = None,
+    ) -> dict:
+        """Shard a finished analysis and write its manifest."""
+        self.manifests_dir.mkdir(parents=True, exist_ok=True)
+        name = analysis.name
+        by_trace: dict[int, list] = {}
+        for conn in analysis.conns:
+            by_trace.setdefault(conn.trace_index, []).append(conn)
+        trace_entries = []
+        for index, (trace, stats) in enumerate(zip(traces.traces, analysis.traces)):
+            source = f"{name}/{Path(trace.path).name}"
+            data = encode_trace_shard(
+                name, source, trace_digests[index], stats, by_trace.get(index, [])
+            )
+            trace_entries.append(
+                {
+                    "file": source,
+                    "digest": trace_digests[index],
+                    "shard": self.put_object(data),
+                    "packet_count": trace.packet_count,
+                    "snaplen": trace.snaplen,
+                    "window": {
+                        "index": trace.window.index,
+                        "subnet_index": trace.window.subnet_index,
+                        "t0": trace.window.t0,
+                        "t1": trace.window.t1,
+                    },
+                }
+            )
+        dataset_digest = self.put_object(
+            encode_dataset_shard(
+                DatasetShard(
+                    name=name,
+                    full_payload=analysis.full_payload,
+                    internal_net=str(analysis.internal_net),
+                    error_policy=analysis.error_policy,
+                    scanner_sources=analysis.scanner_sources,
+                    windows_endpoints=analysis.windows_endpoints,
+                    removed_conns=analysis.removed_conns,
+                    analyzer_errors=analysis.analyzer_errors,
+                    analyzer_results=analysis.analyzer_results,
+                )
+            )
+        )
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "dataset": name,
+            "traces": trace_entries,
+            "dataset_shard": dataset_digest,
+        }
+        self._manifest_path(key).write_text(
+            json.dumps(manifest, sort_keys=True, indent=1) + "\n"
+        )
+        if gen_key is not None:
+            self._manifest_path(gen_key).write_text(
+                json.dumps({"ref": key}, sort_keys=True) + "\n"
+            )
+        return manifest
+
+    def load_analysis(self, manifest: dict) -> CachedDataset:
+        """Rebuild a :class:`DatasetAnalysis` from cached shards.
+
+        Raises :class:`ShardError` on any corrupt, truncated, or missing
+        shard — callers decide what the active error policy makes of it.
+        """
+        name = manifest["dataset"]
+        dataset_shard = decode_dataset_shard(
+            self.get_object(manifest["dataset_shard"]),
+            str(self._object_path(manifest["dataset_shard"])),
+        )
+        analysis = DatasetAnalysis(
+            name=name,
+            full_payload=dataset_shard.full_payload,
+            internal_net=Subnet.parse(dataset_shard.internal_net),
+            error_policy=dataset_shard.error_policy,
+        )
+        analysis.scanner_sources = dataset_shard.scanner_sources
+        analysis.windows_endpoints = dataset_shard.windows_endpoints
+        analysis.removed_conns = dataset_shard.removed_conns
+        analysis.analyzer_errors = dataset_shard.analyzer_errors
+        analysis.analyzer_results = dataset_shard.analyzer_results
+        config = DATASETS[name]
+        traces = DatasetTraces(config=config)
+        for entry in manifest["traces"]:
+            shard = decode_trace_shard(
+                self.get_object(entry["shard"]),
+                str(self._object_path(entry["shard"])),
+            )
+            analysis.traces.append(shard.stats)
+            analysis.conns.extend(shard.conns)
+            window = entry["window"]
+            traces.traces.append(
+                Trace(
+                    dataset=name,
+                    window=TapWindow(
+                        index=window["index"],
+                        subnet_index=window["subnet_index"],
+                        t0=window["t0"],
+                        t1=window["t1"],
+                    ),
+                    path=Path(entry["file"]),
+                    packet_count=entry["packet_count"],
+                    snaplen=entry["snaplen"],
+                )
+            )
+        return CachedDataset(analysis, traces)
+
+    def load_or_none(
+        self, manifest: dict, error_policy: ErrorPolicy | str
+    ) -> CachedDataset | None:
+        """Policy-aware load: strict raises on shard defects, the
+        tolerant policies treat a damaged cache as a miss (the caller
+        falls back to re-parsing the pcaps)."""
+        try:
+            return self.load_analysis(manifest)
+        except ShardError:
+            if ErrorPolicy.coerce(error_policy) is ErrorPolicy.STRICT:
+                raise
+            return None
+
+    def sources_intact(self, manifest: dict, base_dir: Path | None) -> bool:
+        """Check the manifest's trace files against the disk.
+
+        With ``base_dir=None`` the pcaps were transient: the manifest is
+        trusted (generation is deterministic by seed).  Otherwise every
+        trace file still present must digest-match; a mutated file
+        invalidates the cache, while deleted files are tolerated.
+        """
+        if base_dir is None:
+            return True
+        for entry in manifest["traces"]:
+            path = base_dir / entry["file"]
+            if path.exists() and self.file_digest(path) != entry["digest"]:
+                return False
+        return True
+
+    # -- maintenance -------------------------------------------------------
+
+    def referenced_objects(self) -> set[str]:
+        """Digests referenced by at least one manifest."""
+        referenced: set[str] = set()
+        for manifest in self.manifests():
+            referenced.add(manifest["dataset_shard"])
+            referenced.update(entry["shard"] for entry in manifest["traces"])
+        return referenced
+
+    def gc(self) -> list[str]:
+        """Delete unreferenced shard objects; returns removed digests."""
+        referenced = self.referenced_objects()
+        removed: list[str] = []
+        if not self.objects_dir.is_dir():
+            return removed
+        for path in sorted(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}")):
+            digest = path.stem
+            if digest not in referenced:
+                path.unlink()
+                removed.append(digest)
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+        return removed
+
+    def stats(self) -> dict:
+        """Store-wide accounting for ``repro-study store ls``."""
+        objects = (
+            list(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}"))
+            if self.objects_dir.is_dir()
+            else []
+        )
+        return {
+            "root": str(self.root),
+            "manifests": sum(1 for _ in self.manifests()),
+            "objects": len(objects),
+            "bytes": sum(path.stat().st_size for path in objects),
+        }

@@ -1,0 +1,320 @@
+"""A deterministic, pickle-free binary codec for analysis products.
+
+Shards must be safe to read from untrusted disks (no arbitrary code
+execution) and byte-identical across runs of the same seed (so the store
+can be content-addressed).  Pickle offers neither, so this module
+implements a small tagged encoding covering exactly the value shapes the
+analysis layer produces: scalars, strings, bytes, lists/tuples, sets
+(serialized in sorted order for determinism), dicts (insertion order
+preserved — report tables depend on it), ``collections.Counter``, enums,
+and an explicit allowlist of registered dataclasses.
+
+Anything outside the allowlist fails to encode with a clear error rather
+than degrading into an opaque blob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from collections import Counter, defaultdict
+from enum import Enum
+from typing import Any, Callable
+
+__all__ = ["CodecError", "register", "registered_types", "encode", "decode"]
+
+# -- tags ------------------------------------------------------------------
+
+_NONE = 0x00
+_TRUE = 0x01
+_FALSE = 0x02
+_INT = 0x03
+_FLOAT = 0x04
+_STR = 0x05
+_BYTES = 0x06
+_LIST = 0x07
+_TUPLE = 0x08
+_SET = 0x09
+_FROZENSET = 0x0A
+_DICT = 0x0B
+_COUNTER = 0x0C
+_OBJ = 0x0D
+_ENUM = 0x0E
+
+_DOUBLE = struct.Struct(">d")
+
+
+class CodecError(ValueError):
+    """Raised on unencodable values or malformed encoded data."""
+
+
+# -- the class allowlist ---------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+_KEYS: dict[type, str] = {}
+
+
+def _type_key(cls: type) -> str:
+    """A stable short name: last module segment plus qualified name."""
+    return f"{cls.__module__.rsplit('.', 1)[-1]}:{cls.__qualname__}"
+
+
+def register(cls: type) -> type:
+    """Allowlist a dataclass or Enum for encoding (usable as decorator)."""
+    if not (dataclasses.is_dataclass(cls) or issubclass(cls, Enum)):
+        raise CodecError(f"only dataclasses and enums are registrable: {cls!r}")
+    key = _type_key(cls)
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"registry key collision: {key!r}")
+    _REGISTRY[key] = cls
+    _KEYS[cls] = key
+    return cls
+
+
+def registered_types() -> dict[str, type]:
+    """A copy of the current allowlist (key -> class)."""
+    return dict(_REGISTRY)
+
+
+# -- varints ---------------------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag_big(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _read_uvarint(data: memoryview, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# -- encoding --------------------------------------------------------------
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into the tagged binary form."""
+    out = bytearray()
+    _encode(out, value)
+    return bytes(out)
+
+
+def _encode_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    _write_uvarint(out, len(raw))
+    out += raw
+
+
+def _encode(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_NONE)
+    elif value is True:
+        out.append(_TRUE)
+    elif value is False:
+        out.append(_FALSE)
+    elif isinstance(value, Enum):
+        cls = type(value)
+        key = _KEYS.get(cls)
+        if key is None:
+            raise CodecError(f"unregistered enum type: {cls!r}")
+        out.append(_ENUM)
+        _encode_str(out, key)
+        _encode(out, value.value)
+    elif isinstance(value, int):
+        out.append(_INT)
+        _write_uvarint(out, _zigzag_big(value))
+    elif isinstance(value, float):
+        out.append(_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif isinstance(value, str):
+        out.append(_STR)
+        _encode_str(out, value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        out.append(_BYTES)
+        raw = bytes(value)
+        _write_uvarint(out, len(raw))
+        out += raw
+    elif isinstance(value, list):
+        out.append(_LIST)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif isinstance(value, tuple):
+        out.append(_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif isinstance(value, (set, frozenset)):
+        out.append(_FROZENSET if isinstance(value, frozenset) else _SET)
+        # Sort by encoded form: deterministic even for mixed-type sets.
+        encoded = sorted(encode(item) for item in value)
+        _write_uvarint(out, len(encoded))
+        for item in encoded:
+            out += item
+    elif isinstance(value, Counter):
+        out.append(_COUNTER)
+        _write_uvarint(out, len(value))
+        for key, item in value.items():
+            _encode(out, key)
+            _encode(out, item)
+    elif isinstance(value, dict):  # includes defaultdict, order preserved
+        out.append(_DICT)
+        _write_uvarint(out, len(value))
+        for key, item in value.items():
+            _encode(out, key)
+            _encode(out, item)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        key = _KEYS.get(type(value))
+        if key is None:
+            raise CodecError(f"unregistered dataclass type: {type(value)!r}")
+        out.append(_OBJ)
+        _encode_str(out, key)
+        fields = dataclasses.fields(value)
+        _write_uvarint(out, len(fields))
+        for field in fields:
+            _encode_str(out, field.name)
+            _encode(out, getattr(value, field.name))
+    else:
+        raise CodecError(f"cannot encode {type(value)!r}: {value!r}")
+
+
+# -- decoding --------------------------------------------------------------
+
+
+def decode(data: bytes | memoryview) -> Any:
+    """Decode one value; raises :class:`CodecError` on trailing bytes."""
+    view = memoryview(data)
+    value, pos = _decode(view, 0)
+    if pos != len(view):
+        raise CodecError(f"{len(view) - pos} trailing bytes after value")
+    return value
+
+
+def _read_str(data: memoryview, pos: int) -> tuple[str, int]:
+    length, pos = _read_uvarint(data, pos)
+    if pos + length > len(data):
+        raise CodecError("truncated string")
+    return str(data[pos : pos + length], "utf-8"), pos + length
+
+
+def _decode(data: memoryview, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise CodecError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _NONE:
+        return None, pos
+    if tag == _TRUE:
+        return True, pos
+    if tag == _FALSE:
+        return False, pos
+    if tag == _INT:
+        raw, pos = _read_uvarint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _FLOAT:
+        if pos + 8 > len(data):
+            raise CodecError("truncated float")
+        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
+    if tag == _STR:
+        return _read_str(data, pos)
+    if tag == _BYTES:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated bytes")
+        return bytes(data[pos : pos + length]), pos + length
+    if tag in (_LIST, _TUPLE, _SET, _FROZENSET):
+        count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            items.append(item)
+        if tag == _LIST:
+            return items, pos
+        if tag == _TUPLE:
+            return tuple(items), pos
+        if tag == _SET:
+            return set(items), pos
+        return frozenset(items), pos
+    if tag in (_DICT, _COUNTER):
+        count, pos = _read_uvarint(data, pos)
+        result: dict = Counter() if tag == _COUNTER else {}
+        for _ in range(count):
+            key, pos = _decode(data, pos)
+            value, pos = _decode(data, pos)
+            result[key] = value
+        return result, pos
+    if tag == _ENUM:
+        key, pos = _read_str(data, pos)
+        cls = _REGISTRY.get(key)
+        if cls is None:
+            raise CodecError(f"unknown enum type {key!r}")
+        raw, pos = _decode(data, pos)
+        return cls(raw), pos
+    if tag == _OBJ:
+        key, pos = _read_str(data, pos)
+        cls = _REGISTRY.get(key)
+        if cls is None:
+            raise CodecError(f"unknown object type {key!r}")
+        count, pos = _read_uvarint(data, pos)
+        payload: dict[str, Any] = {}
+        for _ in range(count):
+            name, pos = _read_str(data, pos)
+            value, pos = _decode(data, pos)
+            payload[name] = value
+        return _build_dataclass(cls, payload), pos
+    raise CodecError(f"unknown tag 0x{tag:02x}")
+
+
+def _build_dataclass(cls: type, payload: dict[str, Any]) -> Any:
+    """Reconstruct a registered dataclass, preserving container subtypes.
+
+    Fields whose ``default_factory`` produces a ``defaultdict`` are
+    rewrapped so post-decode index access behaves like it did on the
+    original object (report helpers rely on it); unknown encoded fields
+    are ignored and missing ones fall back to the field default, so a
+    shard written by an older field set still decodes.
+    """
+    obj = cls.__new__(cls)
+    for field in dataclasses.fields(cls):
+        if field.name in payload:
+            value = payload[field.name]
+            if field.default_factory is not dataclasses.MISSING:
+                template = field.default_factory()
+                if isinstance(template, defaultdict) and isinstance(value, dict):
+                    rewrapped: defaultdict = defaultdict(template.default_factory)
+                    rewrapped.update(value)
+                    value = rewrapped
+        elif field.default is not dataclasses.MISSING:
+            value = field.default
+        elif field.default_factory is not dataclasses.MISSING:
+            value = field.default_factory()
+        else:
+            raise CodecError(
+                f"{_type_key(cls)} is missing required field {field.name!r}"
+            )
+        object.__setattr__(obj, field.name, value)
+    return obj

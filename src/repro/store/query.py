@@ -1,0 +1,242 @@
+"""The store's query engine: filtered scans and table-grade aggregations.
+
+Once analyses live in the store, iterating on a single table no longer
+means re-parsing pcaps — it means scanning shards.  This module gives
+that scan a vocabulary:
+
+* :class:`ConnFilter` — predicate over connection records (dataset,
+  transport, service, locality, subnet, time window, state).
+* :class:`StoreQuery` — lazy scans over every cached dataset, plus the
+  aggregations the paper's tables are built from: count/bytes/packets
+  grouped by application category, locality, transport, or state, and
+  sample extraction (durations, sizes) for CDFs.
+
+The same aggregation helpers work on in-memory record lists, so library
+users can point them at a live :class:`DatasetAnalysis` too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..analysis.classify import classify_conn
+from ..analysis.conn import ConnRecord
+from ..report.model import Table
+from ..util.addr import Subnet
+from ..util.stats import Cdf
+from .cache import ConnStore
+
+__all__ = ["ConnFilter", "GroupRow", "StoreQuery", "aggregate_records"]
+
+#: Grouping dimensions understood by the aggregators.
+GROUP_DIMENSIONS = ("dataset", "proto", "app", "category", "locality", "state")
+
+#: Fields usable for sample extraction / CDFs.
+SAMPLE_FIELDS = ("duration", "total_bytes", "orig_bytes", "resp_bytes", "total_pkts")
+
+
+@dataclass(frozen=True)
+class ConnFilter:
+    """A conjunctive predicate over connection records."""
+
+    dataset: str | None = None
+    proto: str | None = None
+    #: Application label or category as assigned by the §3 classifier
+    #: (case-insensitive; matches either the protocol label or category).
+    service: str | None = None
+    #: A :class:`~repro.analysis.conn.Locality` value, e.g. ``"ent-wan"``.
+    locality: str | None = None
+    #: CIDR matched against either endpoint.
+    subnet: str | None = None
+    #: Time window on the connection's first timestamp.
+    since: float | None = None
+    until: float | None = None
+    #: A :class:`~repro.analysis.conn.ConnState` value, e.g. ``"REJ"``.
+    state: str | None = None
+    min_bytes: int | None = None
+    #: Include connections from scan-filtered sources (default: excluded,
+    #: matching every analysis in the paper after §3).
+    include_scanners: bool = False
+
+    def _subnet(self) -> Subnet | None:
+        return Subnet.parse(self.subnet) if self.subnet else None
+
+    def matches(
+        self,
+        conn: ConnRecord,
+        internal_net: Subnet,
+        windows_endpoints: frozenset | set = frozenset(),
+    ) -> bool:
+        """Does one record pass every configured clause?"""
+        if self.proto is not None and conn.proto != self.proto:
+            return False
+        if self.state is not None and conn.state.value != self.state:
+            return False
+        if self.since is not None and conn.first_ts < self.since:
+            return False
+        if self.until is not None and conn.first_ts > self.until:
+            return False
+        if self.min_bytes is not None and conn.total_bytes < self.min_bytes:
+            return False
+        if self.locality is not None:
+            if conn.locality(internal_net).value != self.locality:
+                return False
+        if self.subnet is not None:
+            net = self._subnet()
+            if conn.orig_ip not in net and conn.resp_ip not in net:
+                return False
+        if self.service is not None:
+            label, category = classify_conn(conn, windows_endpoints)
+            wanted = self.service.lower()
+            if wanted not in (label.lower(), category.lower()):
+                return False
+        return True
+
+
+@dataclass
+class GroupRow:
+    """One aggregation bucket."""
+
+    group: str
+    conns: int = 0
+    bytes: int = 0
+    pkts: int = 0
+
+
+def _group_key(
+    conn: ConnRecord,
+    by: str,
+    dataset: str,
+    internal_net: Subnet,
+    windows_endpoints,
+) -> str:
+    if by == "dataset":
+        return dataset
+    if by == "proto":
+        return conn.proto
+    if by == "state":
+        return conn.state.value
+    if by == "locality":
+        return conn.locality(internal_net).value
+    label, category = classify_conn(conn, windows_endpoints)
+    if by == "app":
+        return label
+    if by == "category":
+        return category
+    raise ValueError(f"unknown group dimension {by!r} (one of {GROUP_DIMENSIONS})")
+
+
+def aggregate_records(
+    records: Iterable[tuple[str, ConnRecord]],
+    by: str,
+    internal_net: Subnet,
+    windows_endpoints=frozenset(),
+) -> list[GroupRow]:
+    """Aggregate (dataset, record) pairs into sorted group rows."""
+    rows: dict[str, GroupRow] = {}
+    for dataset, conn in records:
+        key = _group_key(conn, by, dataset, internal_net, windows_endpoints)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = GroupRow(group=key)
+        row.conns += 1
+        row.bytes += conn.total_bytes
+        row.pkts += conn.total_pkts
+    return sorted(rows.values(), key=lambda row: (-row.bytes, row.group))
+
+
+def _sample_of(conn: ConnRecord, field: str) -> float:
+    if field not in SAMPLE_FIELDS:
+        raise ValueError(f"unknown sample field {field!r} (one of {SAMPLE_FIELDS})")
+    return getattr(conn, field)
+
+
+class StoreQuery:
+    """Filtered scans and aggregations over every dataset in a store."""
+
+    def __init__(self, store: ConnStore) -> None:
+        self.store = store
+
+    def datasets(self) -> list[str]:
+        """Dataset names with at least one cached analysis."""
+        return sorted({manifest["dataset"] for manifest in self.store.manifests()})
+
+    def scan(self, flt: ConnFilter = ConnFilter()) -> Iterator[tuple[str, ConnRecord]]:
+        """Yield (dataset, record) for every match, loading shards lazily.
+
+        Scanner-source records are excluded unless the filter opts in,
+        mirroring the §3 baseline every table is computed over.
+        """
+        seen: set[str] = set()
+        for manifest in self.store.manifests():
+            name = manifest["dataset"]
+            if flt.dataset is not None and name != flt.dataset:
+                continue
+            if manifest["key"] in seen:
+                continue
+            seen.add(manifest["key"])
+            cached = self.store.load_analysis(manifest)
+            analysis = cached.analysis
+            internal = analysis.internal_net
+            endpoints = analysis.windows_endpoints
+            scanners = analysis.scanner_sources
+            for conn in analysis.conns:
+                if not flt.include_scanners and conn.orig_ip in scanners:
+                    continue
+                if flt.matches(conn, internal, endpoints):
+                    yield name, conn
+
+    def count(self, flt: ConnFilter = ConnFilter()) -> int:
+        """Number of matching records."""
+        return sum(1 for _ in self.scan(flt))
+
+    def aggregate(self, flt: ConnFilter = ConnFilter(), by: str = "category") -> list[GroupRow]:
+        """Grouped conns/bytes/pkts over the matching records."""
+        rows: dict[str, GroupRow] = {}
+        for manifest in self.store.manifests():
+            name = manifest["dataset"]
+            if flt.dataset is not None and name != flt.dataset:
+                continue
+            cached = self.store.load_analysis(manifest)
+            analysis = cached.analysis
+            internal = analysis.internal_net
+            endpoints = analysis.windows_endpoints
+            scanners = analysis.scanner_sources
+            for conn in analysis.conns:
+                if not flt.include_scanners and conn.orig_ip in scanners:
+                    continue
+                if not flt.matches(conn, internal, endpoints):
+                    continue
+                key = _group_key(conn, by, name, internal, endpoints)
+                row = rows.get(key)
+                if row is None:
+                    row = rows[key] = GroupRow(group=key)
+                row.conns += 1
+                row.bytes += conn.total_bytes
+                row.pkts += conn.total_pkts
+        return sorted(rows.values(), key=lambda row: (-row.bytes, row.group))
+
+    def samples(self, field: str, flt: ConnFilter = ConnFilter()) -> list[float]:
+        """Extract one numeric field from every matching record."""
+        return [_sample_of(conn, field) for _, conn in self.scan(flt)]
+
+    def cdf(self, field: str, flt: ConnFilter = ConnFilter()) -> Cdf:
+        """CDF of one numeric field over the matching records."""
+        return Cdf(self.samples(field, flt))
+
+    def table(self, flt: ConnFilter = ConnFilter(), by: str = "category") -> Table:
+        """Render an aggregation as a report table (CLI output)."""
+        table = Table(
+            f"store query by {by}",
+            "cached connection records matching the filter",
+            [by, "conns", "KB", "pkts"],
+        )
+        total = GroupRow(group="total")
+        for row in self.aggregate(flt, by):
+            table.add_row(row.group, row.conns, round(row.bytes / 1e3, 1), row.pkts)
+            total.conns += row.conns
+            total.bytes += row.bytes
+            total.pkts += row.pkts
+        table.add_row("total", total.conns, round(total.bytes / 1e3, 1), total.pkts)
+        return table

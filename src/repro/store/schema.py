@@ -1,0 +1,52 @@
+"""The store's schema: version byte and the registered value types.
+
+``SCHEMA_VERSION`` is baked into every shard header *and* every cache
+key, so bumping it atomically invalidates all cached analyses — readers
+never have to migrate old layouts, they just re-parse the pcaps.
+
+Bump the version whenever any of these change shape:
+
+* the columnar connection layout in :mod:`repro.store.shard`,
+* the fields of any dataclass registered below,
+* the section names a trace or dataset shard carries.
+"""
+
+from __future__ import annotations
+
+from ..analysis import errors as _errors
+from ..analysis import failures as _failures
+from ..analysis.analyzers import backup as _backup
+from ..analysis.analyzers import dns as _dns
+from ..analysis.analyzers import email as _email
+from ..analysis.analyzers import http as _http
+from ..analysis.analyzers import ncp as _ncp
+from ..analysis.analyzers import netbios as _netbios
+from ..analysis.analyzers import nfs as _nfs
+from ..analysis.analyzers import windows as _windows
+from .codec import register
+
+__all__ = ["SCHEMA_VERSION"]
+
+#: The store's on-disk schema generation (one byte).
+SCHEMA_VERSION = 1
+
+# Error-accounting values that ride along inside analyzer results.
+register(_errors.ErrorKind)
+register(_errors.TraceError)
+register(_errors.AnalyzerFailure)
+register(_failures.PairOutcomes)
+
+# Application-analyzer reports (the per-analyzer event aggregates) and
+# their nested per-side/per-product dataclasses.
+register(_backup.BackupReport)
+register(_backup._Product)
+register(_dns.DnsReport)
+register(_dns._Side)
+register(_email.EmailReport)
+register(_email._ProtocolStats)
+register(_http.HttpReport)
+register(_http._Side)
+register(_ncp.NcpReport)
+register(_netbios.NetbiosReport)
+register(_nfs.NfsReport)
+register(_windows.WindowsReport)

@@ -34,3 +34,18 @@ def small_study():
 def d3_study():
     """A D3 study covering the router-1 vantage (print/DNS servers)."""
     return run_study(seed=42, scale=0.006, datasets=("D3",), max_windows=10)
+
+
+@pytest.fixture(scope="session")
+def store_study(tmp_path_factory):
+    """A tiny store-backed D0 study plus its store root.
+
+    The run is cold (nothing cached beforehand), so afterwards the store
+    holds exactly this study's shards.  Tests that corrupt the store must
+    copy it into their own tmp dir first.
+    """
+    root = tmp_path_factory.mktemp("conn-store")
+    results = run_study(
+        seed=7, scale=0.004, datasets=("D0",), max_windows=4, store_dir=str(root)
+    )
+    return results, root

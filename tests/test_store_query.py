@@ -1,0 +1,130 @@
+"""The store's query engine: filters, scans, and aggregations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.topology import ENTERPRISE_NET
+from repro.store import ConnFilter, ConnStore, StoreQuery
+from repro.store.query import GROUP_DIMENSIONS, SAMPLE_FIELDS, aggregate_records
+
+
+@pytest.fixture(scope="module")
+def query(store_study) -> StoreQuery:
+    _, root = store_study
+    return StoreQuery(ConnStore(root))
+
+
+@pytest.fixture(scope="module")
+def baseline(store_study):
+    """The cold analysis the cached records must agree with."""
+    results, _ = store_study
+    return results.analyses["D0"]
+
+
+def test_datasets_lists_cached_names(query):
+    assert query.datasets() == ["D0"]
+
+
+def test_unfiltered_scan_matches_the_scan_filtered_baseline(query, baseline):
+    # The default scan excludes scanner sources — the §3 baseline every
+    # table is computed over.
+    assert query.count(ConnFilter()) == len(list(baseline.filtered_conns()))
+
+
+def test_include_scanners_restores_the_raw_records(query, baseline):
+    assert query.count(ConnFilter(include_scanners=True)) == len(baseline.conns)
+
+
+def test_proto_counts_partition_the_scan(query):
+    total = query.count(ConnFilter())
+    by_proto = {
+        proto: query.count(ConnFilter(proto=proto))
+        for proto in ("tcp", "udp", "icmp")
+    }
+    assert sum(by_proto.values()) == total
+    assert by_proto["udp"] > 0
+
+
+def test_locality_filter(query, baseline):
+    internal = baseline.internal_net
+    for _, conn in query.scan(ConnFilter(locality="ent-ent")):
+        assert conn.orig_ip in internal and conn.resp_ip in internal
+
+
+def test_subnet_filter_matches_either_endpoint(query, baseline):
+    some = next(iter(baseline.filtered_conns()))
+    cidr = f"{(some.orig_ip >> 24) & 0xFF}.{(some.orig_ip >> 16) & 0xFF}.0.0/16"
+    records = list(query.scan(ConnFilter(subnet=cidr)))
+    assert records
+    assert query.count(ConnFilter(subnet="203.0.113.0/24")) == 0
+
+
+def test_time_window_filter(query):
+    all_first = [conn.first_ts for _, conn in query.scan(ConnFilter())]
+    cut = sorted(all_first)[len(all_first) // 2]
+    early = query.count(ConnFilter(until=cut))
+    late = query.count(ConnFilter(since=cut))
+    # Records exactly at the cut satisfy both clauses.
+    assert early + late >= len(all_first)
+    assert early > 0 and late > 0
+
+
+def test_service_filter_accepts_label_or_category(query):
+    by_label = query.count(ConnFilter(service="dns"))
+    by_category = query.count(ConnFilter(service="name"))
+    assert by_label > 0
+    assert by_category >= by_label
+
+
+def test_min_bytes_filter(query):
+    big = query.count(ConnFilter(min_bytes=10_000))
+    assert 0 < big < query.count(ConnFilter())
+
+
+@pytest.mark.parametrize("by", GROUP_DIMENSIONS)
+def test_aggregate_buckets_sum_to_the_scan(query, by):
+    rows = query.aggregate(ConnFilter(), by=by)
+    assert sum(row.conns for row in rows) == query.count(ConnFilter())
+    # Sorted by descending bytes.
+    assert [row.bytes for row in rows] == sorted(
+        (row.bytes for row in rows), reverse=True
+    )
+
+
+def test_aggregate_rejects_unknown_dimension(query):
+    with pytest.raises(ValueError):
+        query.aggregate(ConnFilter(), by="flavor")
+
+
+def test_aggregate_records_helper_matches_store_aggregate(query, baseline):
+    records = [("D0", conn) for conn in baseline.filtered_conns()]
+    helper = aggregate_records(
+        records, "proto", ENTERPRISE_NET, baseline.windows_endpoints
+    )
+    assert helper == query.aggregate(ConnFilter(), by="proto")
+
+
+@pytest.mark.parametrize("field", SAMPLE_FIELDS)
+def test_samples_extract_every_field(query, field):
+    samples = query.samples(field, ConnFilter(proto="tcp"))
+    assert samples
+    assert all(value >= 0 for value in samples)
+
+
+def test_samples_reject_unknown_field(query):
+    with pytest.raises(ValueError):
+        query.samples("charm", ConnFilter())
+
+
+def test_cdf_is_built_over_the_samples(query):
+    samples = query.samples("total_bytes", ConnFilter())
+    cdf = query.cdf("total_bytes", ConnFilter())
+    assert cdf.n == len(samples)
+
+
+def test_table_renders_with_total_row(query):
+    table = query.table(ConnFilter(), by="proto")
+    rendered = table.render()
+    assert "proto" in rendered
+    assert rendered.rstrip().splitlines()[-1].startswith("total")

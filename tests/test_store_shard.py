@@ -1,0 +1,275 @@
+"""The shard layer: codec round-trips, columns, and every corruption class.
+
+Corruption tests follow the PR-1 contract: a damaged shard never leaks a
+raw ``struct.error`` — it raises :class:`ShardError` carrying an
+:class:`ErrorKind` from the closed taxonomy, so the strict/tolerant
+policy machinery treats cache defects exactly like pcap defects.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.analysis.conn import ConnRecord, ConnState
+from repro.analysis.engine import TraceStats
+from repro.analysis.errors import ErrorKind
+from repro.store import codec
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.shard import (
+    DatasetShard,
+    KIND_DATASET,
+    KIND_TRACE,
+    MAGIC,
+    ShardError,
+    ShardNewerThanReader,
+    decode_conn_columns,
+    decode_dataset_shard,
+    decode_shard,
+    decode_trace_shard,
+    encode_conn_columns,
+    encode_dataset_shard,
+    encode_shard,
+    encode_trace_shard,
+)
+from repro.util.timeline import ByteTimeline
+
+
+def make_conn(row: int = 0, **overrides) -> ConnRecord:
+    conn = ConnRecord(
+        proto="tcp",
+        orig_ip=0x0A000001 + row,
+        resp_ip=0xC0A80001,
+        orig_port=1024 + row,
+        resp_port=80,
+        first_ts=1000.5 + row,
+        last_ts=1010.25 + row,
+        orig_pkts=3,
+        resp_pkts=4,
+        orig_bytes=120,
+        resp_bytes=4096,
+        state=ConnState.SF,
+        trace_index=row % 2,
+        app="http",
+    )
+    for name, value in overrides.items():
+        setattr(conn, name, value)
+    return conn
+
+
+# -- codec ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**70,
+        -(2**70),
+        3.14159,
+        float("inf"),
+        "höst",
+        b"\x00\xff",
+        (1, "two", None),
+        [1, [2, [3]]],
+        {"a": 1, "b": [2, 3]},
+        frozenset({1, 2, 3}),
+        Counter({"x": 5, "y": 1}),
+    ],
+)
+def test_codec_round_trips(value):
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_codec_set_encoding_is_order_independent():
+    a = codec.encode({3, 1, 2, 100})
+    b = codec.encode({100, 2, 1, 3})
+    assert a == b
+
+
+def test_codec_preserves_dict_insertion_order():
+    value = {"z": 1, "a": 2, "m": 3}
+    assert list(codec.decode(codec.encode(value))) == ["z", "a", "m"]
+
+
+def test_codec_rejects_unregistered_types():
+    class Stray:
+        pass
+
+    with pytest.raises(codec.CodecError):
+        codec.encode(Stray())
+
+
+def test_codec_rejects_trailing_garbage():
+    with pytest.raises(codec.CodecError):
+        codec.decode(codec.encode(1) + b"\x00")
+
+
+# -- columnar connection block ---------------------------------------------
+
+
+def test_conn_columns_round_trip():
+    conns = [
+        make_conn(0),
+        make_conn(1, proto="udp", state=ConnState.OTH, app="dns"),
+        make_conn(2, notes={"ssl": True}),
+        make_conn(3, proto="icmp", orig_port=0, resp_port=0, app=""),
+    ]
+    decoded = decode_conn_columns(encode_conn_columns(conns))
+    assert decoded == conns
+
+
+def test_conn_columns_empty():
+    assert decode_conn_columns(encode_conn_columns([])) == []
+
+
+def test_conn_columns_corruption_is_a_decode_error():
+    data = encode_conn_columns([make_conn(0)])
+    with pytest.raises(ShardError) as info:
+        decode_conn_columns(data[: len(data) // 2])
+    assert info.value.kind is ErrorKind.DECODE_ERROR
+
+
+# -- shard container --------------------------------------------------------
+
+
+def _sample_shard() -> bytes:
+    return encode_shard(KIND_TRACE, {"meta": b"abc", "conns": b"\x01" * 32})
+
+
+def test_shard_round_trip():
+    version, kind, sections = decode_shard(_sample_shard())
+    assert version == SCHEMA_VERSION
+    assert kind == KIND_TRACE
+    assert sections == {"meta": b"abc", "conns": b"\x01" * 32}
+
+
+def test_truncated_tail_is_truncated_body():
+    data = _sample_shard()
+    with pytest.raises(ShardError) as info:
+        decode_shard(data[:-6], path="x.rcs")
+    assert info.value.kind is ErrorKind.TRUNCATED_BODY
+    assert info.value.path == "x.rcs"
+
+
+def test_tiny_file_is_truncated_header():
+    with pytest.raises(ShardError) as info:
+        decode_shard(MAGIC + b"\x01")
+    assert info.value.kind is ErrorKind.TRUNCATED_HEADER
+
+
+def test_foreign_magic_is_bad_magic():
+    data = b"PK\x03\x04" + _sample_shard()[4:]
+    with pytest.raises(ShardError) as info:
+        decode_shard(data)
+    assert info.value.kind is ErrorKind.BAD_MAGIC
+
+
+def test_flipped_payload_byte_is_crc_mismatch():
+    data = bytearray(_sample_shard())
+    data[10] ^= 0xFF
+    with pytest.raises(ShardError) as info:
+        decode_shard(bytes(data))
+    assert info.value.kind is ErrorKind.DECODE_ERROR
+    assert "crc" in info.value.detail
+
+
+def test_future_schema_version_is_rejected():
+    # Bump the version byte and re-sign the CRC so only the version differs.
+    data = bytearray(encode_shard(KIND_TRACE, {"meta": b"abc"}, version=99))
+    assert data[4] == 99
+    with pytest.raises(ShardNewerThanReader) as info:
+        decode_shard(bytes(data))
+    assert info.value.kind is ErrorKind.BAD_MAGIC
+
+
+def test_wrong_kind_is_rejected():
+    data = encode_shard(KIND_DATASET, {"meta": b"abc"})
+    with pytest.raises(ShardError) as info:
+        decode_shard(data, expect_kind=KIND_TRACE)
+    assert info.value.kind is ErrorKind.DECODE_ERROR
+
+
+def test_section_overrun_is_truncated_body():
+    # Grow a section's declared length past the footer, re-signing the CRC
+    # so the truncation check (not the CRC check) must catch it.
+    data = bytearray(encode_shard(KIND_TRACE, {"m": b"abcd"}))
+    offset = struct.calcsize(">4sBBH") + 1 + 1  # header, name len, name
+    struct.pack_into(">Q", data, offset, 1 << 20)
+    body = bytes(data[:-8])
+    data = body + struct.pack(">I4s", zlib.crc32(body) & 0xFFFFFFFF, b"1SCR")
+    with pytest.raises(ShardError) as info:
+        decode_shard(data)
+    assert info.value.kind is ErrorKind.TRUNCATED_BODY
+
+
+# -- trace / dataset shards -------------------------------------------------
+
+
+def _sample_stats() -> TraceStats:
+    stats = TraceStats(index=0, path="D0/D0-w000-subnet04.pcap")
+    stats.packets = 17
+    stats.start_ts = 1000.0
+    stats.end_ts = 1060.0
+    stats.l2_counts = Counter({"ipv4": 15, "arp": 2})
+    timeline = ByteTimeline(1000.0, 1060.0, 10.0)
+    timeline.add(1005.0, 1500)
+    stats.utilization = timeline
+    stats.tcp_packets = {"ent": 10, "wan": 5}
+    return stats
+
+
+def test_trace_shard_round_trip():
+    conns = [make_conn(row) for row in range(5)]
+    stats = _sample_stats()
+    data = encode_trace_shard("D0", "D0/D0-w000-subnet04.pcap", "ab" * 32, stats, conns)
+    shard = decode_trace_shard(data)
+    assert shard.dataset == "D0"
+    assert shard.source == "D0/D0-w000-subnet04.pcap"
+    assert shard.source_digest == "ab" * 32
+    assert shard.conns == conns
+    assert shard.stats.packets == stats.packets
+    assert shard.stats.l2_counts == stats.l2_counts
+    assert shard.stats.utilization.bins() == stats.utilization.bins()
+
+
+def test_trace_shard_rejects_absolute_sources():
+    with pytest.raises(ValueError):
+        encode_trace_shard("D0", "/tmp/evil.pcap", "0" * 64, _sample_stats(), [])
+
+
+def test_trace_shard_bytes_are_deterministic():
+    conns = [make_conn(row, notes={"n": row}) for row in range(3)]
+    args = ("D0", "D0/t.pcap", "cd" * 32, _sample_stats(), conns)
+    assert encode_trace_shard(*args) == encode_trace_shard(*args)
+
+
+def test_dataset_shard_round_trip():
+    results = {"http": Counter({"GET": 3})}
+    shard = DatasetShard(
+        name="D0",
+        full_payload=True,
+        internal_net="10.0.0.0/9",
+        error_policy="strict",
+        scanner_sources={1, 2, 3},
+        windows_endpoints={(5, 139), (6, 445)},
+        removed_conns=9,
+        analyzer_errors={"http": 0},
+        analyzer_results=results,
+    )
+    decoded = decode_dataset_shard(encode_dataset_shard(shard))
+    assert decoded == shard
+
+
+def test_dataset_shard_missing_section_is_decode_error():
+    data = encode_shard(KIND_DATASET, {"dataset": codec.encode({})})
+    with pytest.raises(ShardError) as info:
+        decode_dataset_shard(data)
+    assert info.value.kind is ErrorKind.DECODE_ERROR
