@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench examples outputs clean
 
 install:
 	pip install -e .
@@ -28,6 +28,10 @@ bench:
 # Cold generate-and-parse vs warm shard-backed study (asserts >=3x).
 store-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_store_roundtrip.py -q -s
+
+# Sequential vs --jobs N study wall clock; writes BENCH_runtime.json.
+runtime-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_throughput.py::TestRuntimeScaling -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done

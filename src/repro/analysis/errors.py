@@ -14,8 +14,11 @@ react to them:
   rest of the study running.
 
 The taxonomy (:class:`ErrorKind`) is deliberately small and closed: every
-defect the reader, decoder, or engine can meet maps onto one of six
+defect the reader, decoder, or engine can meet maps onto one of seven
 kinds, so error accounting stays comparable across datasets and runs.
+(The seventh, ``worker_error``, belongs to the parallel execution
+runtime: a work unit that crashed, raised, or timed out in a worker
+process after exhausting its retries — see :mod:`repro.runtime`.)
 Nothing in this module imports the rest of the analysis package; the
 pcap reader imports it lazily to avoid a package cycle.
 """
@@ -54,6 +57,9 @@ class ErrorKind(str, Enum):
     DECODE_ERROR = "decode_error"
     #: An application analyzer hook raised.
     ANALYZER_ERROR = "analyzer_error"
+    #: A runtime work unit crashed, raised, or timed out in a worker
+    #: process and exhausted its retries (see :mod:`repro.runtime`).
+    WORKER_ERROR = "worker_error"
 
 
 class ErrorPolicy(str, Enum):

@@ -95,6 +95,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write shards but never read them (force a cold run)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-dataset parallelism "
+        "(default 1 = in-process sequential, 0 = all cores); any worker "
+        "count produces byte-identical tables",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="narrate unit progress on stderr and print a final "
+        "per-unit timing table",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append the structured JSONL runtime event stream here",
+    )
     return parser
 
 
@@ -112,6 +132,11 @@ def _build_store_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--store-dir", required=True, help="connection-record store root"
         )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be reclaimed without deleting anything",
+    )
 
     from ..store.query import GROUP_DIMENSIONS
 
@@ -170,8 +195,14 @@ def _store_main(argv: list[str]) -> int:
             )
         return 0
     if args.command == "gc":
-        removed = store.gc()
-        print(f"removed {len(removed)} unreferenced objects")
+        report = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if report.dry_run else "removed"
+        freed = "reclaiming" if report.dry_run else "reclaimed"
+        print(
+            f"{verb} {len(report.removed)} unreferenced objects and "
+            f"{report.stale_tmp} stale temp files, "
+            f"{freed} {report.reclaimed_bytes} bytes"
+        )
         return 0
     flt = ConnFilter(
         dataset=args.dataset,
@@ -205,6 +236,9 @@ def main(argv: list[str] | None = None) -> int:
         error_policy=args.error_policy,
         store_dir=args.store_dir,
         reuse_store=not args.no_reuse_store,
+        jobs=args.jobs,
+        progress=args.progress,
+        telemetry_path=args.telemetry,
     )
     tables = args.tables if args.tables is not None else _ALL_TABLES
     figures = args.figures if args.figures is not None else _ALL_FIGURES
@@ -221,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.error_policy != ErrorPolicy.STRICT.value or results.total_errors:
         print(results.render_data_quality())
         print()
+    # The timing table is operational telemetry, not a paper artifact:
+    # it goes to stderr so table output stays byte-comparable across runs.
+    if args.progress and results.telemetry is not None:
+        print(results.telemetry.timing_table().render(), file=sys.stderr)
     return 0
 
 

@@ -8,18 +8,25 @@ pcap traces, and exposes every table and figure of the paper through
 With ``store_dir`` set, every finished analysis is sharded into a
 :class:`~repro.store.ConnStore` and subsequent runs rebuild their tables
 from cached shards instead of re-parsing pcaps (see :mod:`repro.store`).
+
+With ``jobs > 1``, datasets become independent work units fanned out
+across worker processes by the :mod:`repro.runtime` scheduler; results
+come back through the store (a scratch store when none is configured),
+so any worker count produces byte-identical tables (see
+``docs/runtime.md``).
 """
 
 from __future__ import annotations
 
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping
 
 from ..analysis.analyzers import DEFAULT_ANALYZERS
 from ..analysis.engine import DatasetAnalysis, DatasetAnalyzer
-from ..analysis.errors import ErrorPolicy
+from ..analysis.errors import ErrorKind, ErrorPolicy, IngestionError, TraceError
 from ..gen.capture import DatasetTraces, generate_dataset
 from ..gen.datasets import DATASET_ORDER, DATASETS
 from ..gen.topology import ENTERPRISE_NET, Enterprise, Role
@@ -29,6 +36,9 @@ from ..report import tables as table_builders
 from ..report.findings import table5 as findings_table5
 from ..report.categories import CategoryBreakdown, category_breakdown
 from ..report.model import CdfFigure, SeriesFigure, Table
+from ..runtime.scheduler import ProcessPoolScheduler, RetryPolicy, resolve_jobs
+from ..runtime.task import Task, TaskGraph
+from ..runtime.telemetry import TelemetryLog
 from ..store.cache import ConnStore
 from ..util.fmt import fmt_duration
 
@@ -54,6 +64,8 @@ class StudyConfig:
     error_policy: str = ErrorPolicy.STRICT.value
     #: Root of the connection-record store (None = caching disabled).
     store_dir: str | None = None
+    #: Worker processes (1 = in-process sequential, 0 = all cores).
+    jobs: int = 1
 
 
 @dataclass
@@ -65,6 +77,10 @@ class StudyResults:
     traces: dict[str, DatasetTraces] = field(default_factory=dict)
     breakdowns: dict[str, CategoryBreakdown] = field(default_factory=dict)
     enterprise: Enterprise | None = None
+    #: Work units that exhausted their retries (non-strict parallel runs).
+    unit_failures: list[TraceError] = field(default_factory=list)
+    #: The run's progress/telemetry stream (events + timing table).
+    telemetry: TelemetryLog | None = None
 
     # -- table / figure access ------------------------------------------------
 
@@ -134,12 +150,22 @@ class StudyResults:
 
     def render_data_quality(self) -> str:
         """Render the data-quality section as text."""
-        return quality_builders.render_data_quality(self.analyses)
+        lines = [quality_builders.render_data_quality(self.analyses)]
+        for failure in self.unit_failures:
+            reason = failure.detail.strip().splitlines()
+            lines.append(
+                f"  unit {failure.path} failed ({failure.kind.value}): "
+                f"{reason[-1] if reason else ''}"
+            )
+        return "\n".join(lines)
 
     @property
     def total_errors(self) -> int:
-        """Every ingestion defect recorded across all datasets."""
-        return sum(analysis.total_errors for analysis in self.analyses.values())
+        """Every ingestion defect recorded across all datasets, plus any
+        work units lost to worker faults."""
+        return sum(
+            analysis.total_errors for analysis in self.analyses.values()
+        ) + len(self.unit_failures)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -216,6 +242,139 @@ def analyze_dataset(
     return analysis
 
 
+def _adopt_analysis(
+    results: StudyResults,
+    name: str,
+    traces: DatasetTraces,
+    analysis: DatasetAnalysis,
+    out_dir: str | None = None,
+    relocate: bool = False,
+) -> None:
+    """File one dataset's products into the results, building its
+    category breakdown; with ``relocate`` the (store-relative) trace
+    paths are re-rooted under ``out_dir``."""
+    if relocate and out_dir:
+        for trace in traces.traces:
+            trace.path = Path(out_dir) / trace.path
+    results.traces[name] = traces
+    results.analyses[name] = analysis
+    results.breakdowns[name] = category_breakdown(
+        analysis.filtered_conns(),
+        analysis.windows_endpoints,
+        internal_net=ENTERPRISE_NET,
+    )
+
+
+def _generate_and_analyze(
+    name: str,
+    enterprise: Enterprise,
+    known_scanners: tuple[int, ...],
+    *,
+    seed: int,
+    scale: float,
+    max_windows: int | None,
+    out_dir: str | None,
+    policy: ErrorPolicy,
+    mutate_traces: Callable[[str, DatasetTraces], None] | None = None,
+    store: ConnStore | None = None,
+    gen_key: str | None = None,
+) -> tuple[DatasetTraces, DatasetAnalysis, int]:
+    """Cold-run one dataset: generate its pcaps, analyze, return
+    ``(traces, analysis, pcap bytes written)``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(out_dir) / name if out_dir else Path(tmp)
+        target.mkdir(parents=True, exist_ok=True)
+        dataset_traces = generate_dataset(
+            name,
+            enterprise,
+            target,
+            seed=seed,
+            scale=scale,
+            max_windows=max_windows,
+        )
+        if mutate_traces is not None:
+            mutate_traces(name, dataset_traces)
+        trace_bytes = sum(
+            Path(trace.path).stat().st_size
+            for trace in dataset_traces.traces
+            if Path(trace.path).exists()
+        )
+        analysis = analyze_dataset(
+            name,
+            dataset_traces,
+            known_scanners,
+            error_policy=policy,
+            store=store,
+            gen_key=gen_key,
+        )
+    return dataset_traces, analysis, trace_bytes
+
+
+def _dataset_unit_worker(spec: Mapping) -> dict:
+    """One parallel work unit: produce one dataset's analysis *in the
+    store* and return a small picklable receipt.
+
+    Runs in a forked worker process under ``jobs > 1``.  The heavy
+    product (the analysis) never crosses the pipe — it is sharded into
+    the unit's store (the study store, or a scratch store when caching
+    is off) and the parent rebuilds it from the returned manifest key.
+    Determinism: the unit reuses the *study* seed; every random stream
+    below it is already keyed by (dataset, window), so the bytes cannot
+    depend on worker count or execution order.
+    """
+    name = spec["dataset"]
+    seed = spec["seed"]
+    out_dir = spec["out_dir"]
+    policy = ErrorPolicy.coerce(spec["error_policy"])
+    store = ConnStore(spec["store_dir"])
+    enterprise = Enterprise(seed=seed)
+    known_scanners = tuple(host.ip for host in enterprise.servers(Role.SCANNER))
+    gen_key = store.generation_key(
+        name,
+        seed,
+        spec["scale"],
+        spec["max_windows"],
+        _ANALYZER_NAMES,
+        policy.value,
+        str(ENTERPRISE_NET),
+        known_scanners,
+    )
+    if spec["reuse_store"]:
+        manifest = store.lookup(gen_key)
+        if manifest is not None and store.sources_intact(
+            manifest, Path(out_dir) if out_dir else None
+        ):
+            if store.load_or_none(manifest, policy) is not None:
+                return {
+                    "dataset": name,
+                    "manifest_key": manifest["key"],
+                    "cache": "hit",
+                    "packets": sum(
+                        entry["packet_count"] for entry in manifest["traces"]
+                    ),
+                    "bytes": 0,
+                }
+    dataset_traces, _, trace_bytes = _generate_and_analyze(
+        name,
+        enterprise,
+        known_scanners,
+        seed=seed,
+        scale=spec["scale"],
+        max_windows=spec["max_windows"],
+        out_dir=out_dir,
+        policy=policy,
+        store=store,
+        gen_key=gen_key,
+    )
+    return {
+        "dataset": name,
+        "manifest_key": gen_key,
+        "cache": "miss",
+        "packets": dataset_traces.total_packets,
+        "bytes": trace_bytes,
+    }
+
+
 def run_study(
     seed: int = 0,
     scale: float = 0.01,
@@ -226,6 +385,10 @@ def run_study(
     mutate_traces: Callable[[str, DatasetTraces], None] | None = None,
     store_dir: str | None = None,
     reuse_store: bool = True,
+    jobs: int = 1,
+    progress: bool = False,
+    telemetry_path: str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StudyResults:
     """Run the whole reproduction: generate traces, analyze, report.
 
@@ -248,6 +411,21 @@ def run_study(
     bypassed whenever ``mutate_traces`` is set (the hook must see real
     trace files), and any pcaps still on disk are digest-verified before
     a cached analysis is trusted.
+
+    ``jobs`` selects the execution runtime (``docs/runtime.md``): 1 (the
+    default) keeps today's in-process sequential path; ``N > 1`` fans
+    datasets out across ``N`` worker processes (0 = all cores) with
+    identical output bytes.  A unit whose worker crashes, raises, or
+    times out is retried per ``retry`` (default: twice, exponential
+    backoff) and then — under the non-strict policies — quarantined and
+    reported in :attr:`StudyResults.unit_failures` and the data-quality
+    section; under ``strict`` the study raises.  ``mutate_traces`` runs
+    force the sequential path (the hook is not shipped to workers).
+
+    ``progress`` narrates unit progress on stderr; ``telemetry_path``
+    appends the structured JSONL event stream (schema:
+    :mod:`repro.runtime.telemetry`) there.  Either way, the stream is
+    kept on :attr:`StudyResults.telemetry`.
     """
     policy = ErrorPolicy.coerce(error_policy)
     config = StudyConfig(
@@ -258,23 +436,64 @@ def run_study(
         out_dir=out_dir,
         error_policy=policy.value,
         store_dir=store_dir,
-    )
-    store = ConnStore(store_dir) if store_dir else None
-    enterprise = Enterprise(seed=seed)
-    results = StudyResults(config=config, enterprise=enterprise)
-    known_scanners = tuple(
-        host.ip for host in enterprise.servers(Role.SCANNER)
+        jobs=jobs,
     )
     for name in config.datasets:
         if name not in DATASETS:
             raise KeyError(f"unknown dataset {name!r}")
+    telemetry = TelemetryLog(path=telemetry_path, progress=progress)
+    results = StudyResults(
+        config=config, enterprise=Enterprise(seed=seed), telemetry=telemetry
+    )
+    effective_jobs = resolve_jobs(jobs)
+    if mutate_traces is not None:
+        effective_jobs = 1  # the hook must run in-process on real files
+    telemetry.emit(
+        "study_start",
+        jobs=effective_jobs,
+        units=len(dict.fromkeys(config.datasets)),
+        datasets=list(config.datasets),
+        seed=seed,
+    )
+    try:
+        if effective_jobs <= 1:
+            _run_study_sequential(
+                results, policy, mutate_traces, reuse_store, telemetry
+            )
+        else:
+            _run_study_parallel(
+                results, policy, reuse_store, effective_jobs, retry, telemetry
+            )
+    finally:
+        telemetry.close()
+    return results
+
+
+def _run_study_sequential(
+    results: StudyResults,
+    policy: ErrorPolicy,
+    mutate_traces: Callable[[str, DatasetTraces], None] | None,
+    reuse_store: bool,
+    telemetry: TelemetryLog,
+) -> None:
+    """Today's in-process path: one dataset after another, no workers."""
+    config = results.config
+    started = time.monotonic()
+    store = ConnStore(config.store_dir) if config.store_dir else None
+    enterprise = results.enterprise
+    known_scanners = tuple(
+        host.ip for host in enterprise.servers(Role.SCANNER)
+    )
+    for name in config.datasets:
+        unit_started = time.monotonic()
+        telemetry.emit("unit_start", unit=f"dataset:{name}", kind="dataset", attempt=1)
         gen_key = None
         if store is not None:
             gen_key = store.generation_key(
                 name,
-                seed,
-                scale,
-                max_windows,
+                config.seed,
+                config.scale,
+                config.max_windows,
                 _ANALYZER_NAMES,
                 policy.value,
                 str(ENTERPRISE_NET),
@@ -284,47 +503,141 @@ def run_study(
                 cached = None
                 manifest = store.lookup(gen_key)
                 if manifest is not None and store.sources_intact(
-                    manifest, Path(out_dir) if out_dir else None
+                    manifest, Path(config.out_dir) if config.out_dir else None
                 ):
                     cached = store.load_or_none(manifest, policy)
                 if cached is not None:
-                    if out_dir:
-                        for trace in cached.traces.traces:
-                            trace.path = Path(out_dir) / trace.path
-                    results.traces[name] = cached.traces
-                    results.analyses[name] = cached.analysis
-                    results.breakdowns[name] = category_breakdown(
-                        cached.analysis.filtered_conns(),
-                        cached.analysis.windows_endpoints,
-                        internal_net=ENTERPRISE_NET,
+                    _adopt_analysis(
+                        results, name, cached.traces, cached.analysis,
+                        out_dir=config.out_dir, relocate=True,
+                    )
+                    telemetry.emit(
+                        "unit_finish",
+                        unit=f"dataset:{name}",
+                        kind="dataset",
+                        status="ok",
+                        attempts=1,
+                        wall_s=round(time.monotonic() - unit_started, 6),
+                        packets=cached.analysis.total_packets,
+                        bytes=0,
+                        cache="hit",
                     )
                     continue
-        with tempfile.TemporaryDirectory() as tmp:
-            target = Path(out_dir) / name if out_dir else Path(tmp)
-            target.mkdir(parents=True, exist_ok=True)
-            dataset_traces = generate_dataset(
-                name,
-                enterprise,
-                target,
-                seed=seed,
-                scale=scale,
-                max_windows=max_windows,
-            )
-            if mutate_traces is not None:
-                mutate_traces(name, dataset_traces)
-            analysis = analyze_dataset(
-                name,
-                dataset_traces,
-                known_scanners,
-                error_policy=policy,
-                store=store,
-                gen_key=gen_key if mutate_traces is None else None,
-            )
-        results.traces[name] = dataset_traces
-        results.analyses[name] = analysis
-        results.breakdowns[name] = category_breakdown(
-            analysis.filtered_conns(),
-            analysis.windows_endpoints,
-            internal_net=ENTERPRISE_NET,
+        dataset_traces, analysis, trace_bytes = _generate_and_analyze(
+            name,
+            enterprise,
+            known_scanners,
+            seed=config.seed,
+            scale=config.scale,
+            max_windows=config.max_windows,
+            out_dir=config.out_dir,
+            policy=policy,
+            mutate_traces=mutate_traces,
+            store=store,
+            gen_key=gen_key if mutate_traces is None else None,
         )
-    return results
+        _adopt_analysis(results, name, dataset_traces, analysis)
+        telemetry.emit(
+            "unit_finish",
+            unit=f"dataset:{name}",
+            kind="dataset",
+            status="ok",
+            attempts=1,
+            wall_s=round(time.monotonic() - unit_started, 6),
+            packets=dataset_traces.total_packets,
+            bytes=trace_bytes,
+            cache="miss" if store is not None else None,
+        )
+    telemetry.emit(
+        "study_finish",
+        wall_s=round(time.monotonic() - started, 6),
+        units_ok=len(results.analyses),
+        units_failed=0,
+    )
+
+
+def _run_study_parallel(
+    results: StudyResults,
+    policy: ErrorPolicy,
+    reuse_store: bool,
+    jobs: int,
+    retry: RetryPolicy | None,
+    telemetry: TelemetryLog,
+) -> None:
+    """The scheduler path: one task per dataset, results via the store."""
+    config = results.config
+    scratch: tempfile.TemporaryDirectory | None = None
+    if config.store_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-runtime-")
+        store_dir = scratch.name
+    else:
+        store_dir = config.store_dir
+    try:
+        graph = TaskGraph()
+        for name in dict.fromkeys(config.datasets):
+            graph.add(
+                Task(
+                    key=f"dataset:{name}",
+                    kind="dataset",
+                    payload={
+                        "dataset": name,
+                        "seed": config.seed,
+                        "scale": config.scale,
+                        "max_windows": config.max_windows,
+                        "out_dir": config.out_dir,
+                        "error_policy": policy.value,
+                        "store_dir": store_dir,
+                        "reuse_store": reuse_store,
+                    },
+                )
+            )
+        scheduler = ProcessPoolScheduler(
+            _dataset_unit_worker, jobs=jobs, retry=retry, telemetry=telemetry
+        )
+        unit_results = scheduler.run(graph)
+        store = ConnStore(store_dir)
+        enterprise = results.enterprise
+        known_scanners = tuple(
+            host.ip for host in enterprise.servers(Role.SCANNER)
+        )
+        for name in config.datasets:
+            unit = unit_results[f"dataset:{name}"]
+            if not unit.ok:
+                if policy is ErrorPolicy.STRICT:
+                    raise IngestionError(
+                        ErrorKind.WORKER_ERROR,
+                        unit.key,
+                        None,
+                        unit.error.detail if unit.error else "unit failed",
+                    )
+                if unit.error is not None:
+                    results.unit_failures.append(unit.error)
+                continue
+            manifest = store.lookup(unit.value["manifest_key"])
+            cached = (
+                store.load_or_none(manifest, policy)
+                if manifest is not None
+                else None
+            )
+            if cached is None:
+                # The worker finished but its shards cannot be read back
+                # (damaged store under a tolerant policy): redo inline.
+                dataset_traces, analysis, _ = _generate_and_analyze(
+                    name,
+                    enterprise,
+                    known_scanners,
+                    seed=config.seed,
+                    scale=config.scale,
+                    max_windows=config.max_windows,
+                    out_dir=config.out_dir,
+                    policy=policy,
+                )
+                _adopt_analysis(results, name, dataset_traces, analysis)
+                continue
+            _adopt_analysis(
+                results, name, cached.traces, cached.analysis,
+                out_dir=config.out_dir, relocate=True,
+            )
+    finally:
+        if scratch is not None:
+            scratch.cleanup()

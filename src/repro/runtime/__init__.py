@@ -1,0 +1,25 @@
+"""Parallel execution runtime: task graphs, a process-pool scheduler,
+worker fault recovery, and structured progress telemetry.
+
+The paper's datasets are embarrassingly parallel — each tap period is an
+independent trace — and this package encodes that shape as a reusable
+subsystem: split work into seeded :class:`Task` units, fan them out
+across processes with :class:`ProcessPoolScheduler`, and account every
+fault through the ingestion error taxonomy instead of aborting.  See
+``docs/runtime.md``.
+"""
+
+from .scheduler import ProcessPoolScheduler, RetryPolicy, UnitResult, resolve_jobs
+from .task import Task, TaskGraph, TaskGraphError
+from .telemetry import TelemetryLog
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "TaskGraphError",
+    "ProcessPoolScheduler",
+    "RetryPolicy",
+    "UnitResult",
+    "resolve_jobs",
+    "TelemetryLog",
+]

@@ -1,0 +1,370 @@
+"""The process-pool scheduler: fan units out, survive worker faults.
+
+``ProcessPoolScheduler`` runs a :class:`~repro.runtime.task.TaskGraph`
+across ``jobs`` worker processes.  Each unit runs in its own forked
+child (one process per unit, bounded by ``jobs``): a unit that raises,
+dies, or overruns its timeout only costs that unit, never the pool, and
+is retried with exponential backoff before being reported as a failure
+through the :class:`~repro.analysis.errors.ErrorKind` taxonomy
+(``worker_error``) instead of aborting the run.
+
+With ``jobs=1`` no subprocess is ever created — units run inline in the
+calling process, in dependency order, which keeps single-job runs
+byte-identical to (and as debuggable as) plain sequential code.
+
+The worker callable must be importable at module top level and its
+payloads plain picklable data; results travel back over a pipe, so they
+must pickle too.  Determinism comes from the units themselves (seeded
+by study seed + unit key, see :mod:`repro.runtime.task`): the scheduler
+may finish units in any order, but callers index results by unit key,
+so assembly order never depends on completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..analysis.errors import ErrorKind, TraceError
+from .task import Task, TaskGraph
+from .telemetry import COUNTER_KEYS, TelemetryLog
+
+__all__ = ["RetryPolicy", "UnitResult", "ProcessPoolScheduler", "resolve_jobs"]
+
+#: How long the parent waits on result pipes per poll cycle.
+_POLL_SECONDS = 0.05
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Map a user-facing ``--jobs`` value to a worker count.
+
+    ``None`` and ``0`` mean "all cores"; anything else is clamped to at
+    least 1.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a faulty unit is retried before it is declared failed."""
+
+    #: Re-runs after the first failure (attempts = ``max_retries + 1``).
+    max_retries: int = 2
+    #: First backoff in seconds; doubles per subsequent retry.
+    backoff: float = 0.25
+    #: Per-attempt wall-clock limit (None = no limit).
+    timeout: float | None = None
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before re-running after failed attempt ``attempt``."""
+        return self.backoff * (2 ** (attempt - 1))
+
+
+@dataclass
+class UnitResult:
+    """What became of one unit: its value, or its accounted failure."""
+
+    key: str
+    status: str  # "ok" | "failed" | "skipped"
+    value: object = None
+    attempts: int = 0
+    wall_s: float = 0.0
+    error: TraceError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Running:
+    """Parent-side state of one in-flight child process."""
+
+    task: Task
+    process: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+    attempt: int
+    started: float
+    deadline: float | None
+
+
+def _child_main(conn, worker: Callable[[Mapping], object], payload: Mapping) -> None:
+    """Child-process entry: run the worker, ship back one message."""
+    try:
+        value = worker(payload)
+        conn.send(("ok", value))
+    except Exception:
+        tail = traceback.format_exc(limit=10)
+        conn.send(("error", tail[-4000:]))
+    finally:
+        conn.close()
+
+
+class ProcessPoolScheduler:
+    """Run a task graph across a bounded pool of worker processes."""
+
+    def __init__(
+        self,
+        worker: Callable[[Mapping], object],
+        jobs: int | None = None,
+        retry: RetryPolicy | None = None,
+        telemetry: TelemetryLog | None = None,
+    ) -> None:
+        self.worker = worker
+        self.jobs = resolve_jobs(jobs)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.telemetry = telemetry
+        # Fork keeps worker dispatch cheap and lets tests monkeypatch the
+        # worker callable (the child inherits parent memory); fall back to
+        # the platform default where fork does not exist.
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> dict[str, UnitResult]:
+        """Execute every unit; returns results keyed by unit key.
+
+        Never raises for unit failures — a unit that exhausts its
+        retries yields a ``failed`` :class:`UnitResult` carrying a
+        :class:`~repro.analysis.errors.TraceError` of kind
+        ``worker_error``, and units downstream of it are ``skipped``.
+        """
+        graph.validate()
+        started = time.monotonic()
+        if self.jobs <= 1:
+            results = self._run_inline(graph)
+        else:
+            results = self._run_pool(graph)
+        self._emit(
+            "study_finish",
+            wall_s=round(time.monotonic() - started, 6),
+            units_ok=sum(1 for r in results.values() if r.ok),
+            units_failed=sum(1 for r in results.values() if r.status == "failed"),
+        )
+        return results
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _emit(self, event: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(event, **fields)
+
+    def _counters(self, value: object) -> dict:
+        if isinstance(value, Mapping):
+            return {key: value.get(key) for key in COUNTER_KEYS}
+        return {key: None for key in COUNTER_KEYS}
+
+    def _finish_ok(
+        self, task: Task, value: object, attempts: int, wall_s: float
+    ) -> UnitResult:
+        self._emit(
+            "unit_finish",
+            unit=task.key,
+            kind=task.kind,
+            status="ok",
+            attempts=attempts,
+            wall_s=round(wall_s, 6),
+            **self._counters(value),
+        )
+        return UnitResult(task.key, "ok", value, attempts, wall_s)
+
+    def _finish_failed(
+        self, task: Task, detail: str, attempts: int, wall_s: float
+    ) -> UnitResult:
+        error = TraceError(ErrorKind.WORKER_ERROR, task.key, None, detail)
+        self._emit(
+            "unit_finish",
+            unit=task.key,
+            kind=task.kind,
+            status="failed",
+            attempts=attempts,
+            wall_s=round(wall_s, 6),
+            error=detail,
+            **self._counters(None),
+        )
+        return UnitResult(task.key, "failed", None, attempts, wall_s, error)
+
+    def _skip(self, task: Task, failed_dep: str) -> UnitResult:
+        detail = f"dependency {failed_dep} failed"
+        self._emit("unit_skipped", unit=task.key, error=detail)
+        return UnitResult(
+            task.key,
+            "skipped",
+            error=TraceError(ErrorKind.WORKER_ERROR, task.key, None, detail),
+        )
+
+    def _failed_dep(
+        self, task: Task, results: dict[str, UnitResult]
+    ) -> str | None:
+        for dep in task.deps:
+            if dep in results and not results[dep].ok:
+                return dep
+        return None
+
+    # -- inline execution (jobs=1) -----------------------------------------
+
+    def _run_inline(self, graph: TaskGraph) -> dict[str, UnitResult]:
+        results: dict[str, UnitResult] = {}
+        for task in graph.topo_order():
+            failed_dep = self._failed_dep(task, results)
+            if failed_dep is not None:
+                results[task.key] = self._skip(task, failed_dep)
+                continue
+            unit_started = time.monotonic()
+            for attempt in range(1, self.retry.max_retries + 2):
+                self._emit(
+                    "unit_start", unit=task.key, kind=task.kind, attempt=attempt
+                )
+                try:
+                    value = self.worker(task.payload)
+                except Exception as exc:
+                    detail = f"{type(exc).__name__}: {exc}"
+                    if attempt > self.retry.max_retries:
+                        results[task.key] = self._finish_failed(
+                            task, detail, attempt, time.monotonic() - unit_started
+                        )
+                        break
+                    backoff = self.retry.backoff_for(attempt)
+                    self._emit(
+                        "unit_retry",
+                        unit=task.key,
+                        attempt=attempt,
+                        backoff_s=round(backoff, 6),
+                        error=detail,
+                    )
+                    time.sleep(backoff)
+                else:
+                    results[task.key] = self._finish_ok(
+                        task, value, attempt, time.monotonic() - unit_started
+                    )
+                    break
+        return results
+
+    # -- pooled execution (jobs>1) -----------------------------------------
+
+    def _launch(self, task: Task, attempt: int) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_child_main,
+            args=(child_conn, self.worker, task.payload),
+            name=f"repro-unit-{task.key}",
+        )
+        process.start()
+        child_conn.close()
+        self._emit("unit_start", unit=task.key, kind=task.kind, attempt=attempt)
+        now = time.monotonic()
+        deadline = (
+            now + self.retry.timeout if self.retry.timeout is not None else None
+        )
+        return _Running(task, process, parent_conn, attempt, now, deadline)
+
+    def _reap(self, running: _Running) -> tuple[str, object] | None:
+        """One non-blocking look at a child: a message, a fault, or None."""
+        if running.conn.poll():
+            try:
+                message = running.conn.recv()
+            except EOFError:
+                message = None
+            if message is not None:
+                return message
+        if running.deadline is not None and time.monotonic() > running.deadline:
+            self._terminate(running.process)
+            return ("error", f"timed out after {self.retry.timeout}s")
+        if running.process.exitcode is not None:
+            return (
+                "error",
+                f"worker crashed with exit code {running.process.exitcode}",
+            )
+        return None
+
+    @staticmethod
+    def _terminate(process: multiprocessing.process.BaseProcess) -> None:
+        process.terminate()
+        process.join(timeout=2.0)
+        if process.exitcode is None:
+            process.kill()
+            process.join(timeout=2.0)
+
+    def _run_pool(self, graph: TaskGraph) -> dict[str, UnitResult]:
+        results: dict[str, UnitResult] = {}
+        running: dict[str, _Running] = {}
+        first_start: dict[str, float] = {}
+        retry_at: dict[str, float] = {}
+        attempts: dict[str, int] = {}
+        try:
+            while len(results) < len(graph):
+                now = time.monotonic()
+                for task in graph.ready(set(results), set(running)):
+                    if len(running) >= self.jobs:
+                        break
+                    failed_dep = self._failed_dep(task, results)
+                    if failed_dep is not None:
+                        results[task.key] = self._skip(task, failed_dep)
+                        continue
+                    if retry_at.get(task.key, 0.0) > now:
+                        continue
+                    attempt = attempts.get(task.key, 0) + 1
+                    attempts[task.key] = attempt
+                    first_start.setdefault(task.key, now)
+                    running[task.key] = self._launch(task, attempt)
+                if not running:
+                    # Everything unfinished is waiting out a backoff.
+                    pending_at = [
+                        at
+                        for key, at in retry_at.items()
+                        if key not in results
+                    ]
+                    if pending_at:
+                        time.sleep(
+                            max(0.0, min(pending_at) - time.monotonic())
+                        )
+                    continue
+                multiprocessing.connection.wait(
+                    [unit.conn for unit in running.values()],
+                    timeout=_POLL_SECONDS,
+                )
+                for key in list(running):
+                    unit = running[key]
+                    outcome = self._reap(unit)
+                    if outcome is None:
+                        continue
+                    del running[key]
+                    unit.process.join(timeout=2.0)
+                    if unit.process.exitcode is None:
+                        self._terminate(unit.process)
+                    unit.conn.close()
+                    status, payload = outcome
+                    wall = time.monotonic() - first_start[key]
+                    if status == "ok":
+                        results[key] = self._finish_ok(
+                            unit.task, payload, unit.attempt, wall
+                        )
+                    elif unit.attempt > self.retry.max_retries:
+                        results[key] = self._finish_failed(
+                            unit.task, str(payload), unit.attempt, wall
+                        )
+                    else:
+                        backoff = self.retry.backoff_for(unit.attempt)
+                        retry_at[key] = time.monotonic() + backoff
+                        self._emit(
+                            "unit_retry",
+                            unit=key,
+                            attempt=unit.attempt,
+                            backoff_s=round(backoff, 6),
+                            error=str(payload),
+                        )
+        finally:
+            for unit in running.values():
+                self._terminate(unit.process)
+                unit.conn.close()
+        return results

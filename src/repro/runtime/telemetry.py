@@ -1,0 +1,149 @@
+"""Structured progress telemetry for the execution runtime.
+
+Every scheduler run narrates itself as a stream of flat JSON events —
+one object per line, append-only, so a crashed run still leaves a
+readable prefix.  The same stream drives three consumers:
+
+* a JSONL file (``--telemetry PATH``) for offline analysis,
+* live one-line progress on stderr (``--progress``),
+* the final per-unit timing table (:meth:`TelemetryLog.timing_table`).
+
+Event schema (all events carry ``event`` and ``ts``, a Unix timestamp)::
+
+    study_start   jobs, units, datasets, seed
+    unit_start    unit, kind, attempt
+    unit_retry    unit, attempt, backoff_s, error
+    unit_finish   unit, kind, status, attempts, wall_s,
+                  packets, bytes, cache      # counters when known
+    unit_skipped  unit, error                # an upstream dependency failed
+    study_finish  wall_s, units_ok, units_failed
+
+``packets`` / ``bytes`` / ``cache`` are filled from the worker's return
+value when it is a mapping carrying those keys (the study's dataset
+worker does); they are ``None`` for workers that return opaque values.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO, Iterable
+
+from ..report.model import Table
+
+__all__ = ["TelemetryLog", "COUNTER_KEYS"]
+
+#: Worker-result keys the scheduler copies into ``unit_finish`` events.
+COUNTER_KEYS = ("packets", "bytes", "cache")
+
+#: Events echoed as human-readable progress lines.
+_PROGRESS_EVENTS = {"unit_start", "unit_retry", "unit_finish", "study_finish"}
+
+
+class TelemetryLog:
+    """Collects runtime events; optionally tees them to JSONL and stderr."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        progress: bool = False,
+        stream: IO[str] | None = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.progress = progress
+        self.events: list[dict] = []
+        self._stream = stream if stream is not None else sys.stderr
+        self._handle: IO[str] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, event: str, **fields: object) -> dict:
+        """Record one event; mirrors it to the JSONL file and stderr."""
+        record: dict = {"event": event, "ts": round(time.time(), 6)}
+        record.update(fields)
+        self.events.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        if self.progress and event in _PROGRESS_EVENTS:
+            print(self._progress_line(record), file=self._stream, flush=True)
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- rendering ---------------------------------------------------------
+
+    @staticmethod
+    def _progress_line(record: dict) -> str:
+        event = record["event"]
+        if event == "unit_start":
+            suffix = (
+                "" if record.get("attempt", 1) == 1
+                else f" (attempt {record['attempt']})"
+            )
+            return f"[runtime] {record['unit']} started{suffix}"
+        if event == "unit_retry":
+            lines = str(record.get("error", "")).strip().splitlines()
+            reason = lines[-1] if lines else ""
+            return (
+                f"[runtime] {record['unit']} attempt {record['attempt']} failed, "
+                f"retrying in {record['backoff_s']:.2f}s: {reason}"
+            )
+        if event == "unit_finish":
+            counters = []
+            if record.get("cache") is not None:
+                counters.append(f"cache {record['cache']}")
+            if record.get("packets") is not None:
+                counters.append(f"{record['packets']} pkts")
+            if record.get("bytes") is not None:
+                counters.append(f"{record['bytes']} bytes")
+            detail = f" ({', '.join(counters)})" if counters else ""
+            return (
+                f"[runtime] {record['unit']} {record['status']} "
+                f"in {record['wall_s']:.2f}s{detail}"
+            )
+        if event == "study_finish":
+            return (
+                f"[runtime] done in {record['wall_s']:.2f}s: "
+                f"{record['units_ok']} ok, {record['units_failed']} failed"
+            )
+        return f"[runtime] {event}"
+
+    def unit_events(self, event: str) -> Iterable[dict]:
+        """All recorded events of one type, in emission order."""
+        return [record for record in self.events if record["event"] == event]
+
+    def timing_table(self) -> Table:
+        """The final per-unit timing table (one row per finished unit)."""
+        table = Table(
+            "Runtime",
+            "per-unit wall time and counters",
+            ["unit", "status", "attempts", "wall_s", "packets", "bytes", "cache"],
+        )
+        for record in self.unit_events("unit_finish"):
+            table.add_row(
+                record["unit"],
+                record["status"],
+                record.get("attempts", 1),
+                round(record.get("wall_s", 0.0), 3),
+                record.get("packets") if record.get("packets") is not None else "-",
+                record.get("bytes") if record.get("bytes") is not None else "-",
+                record.get("cache") or "-",
+            )
+        for record in self.unit_events("unit_skipped"):
+            table.add_row(record["unit"], "skipped", 0, 0.0, "-", "-", "-")
+        return table

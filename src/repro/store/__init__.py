@@ -11,7 +11,7 @@ shards without touching a single pcap record.
 * :mod:`repro.store.query` — filtered scans and table aggregations.
 """
 
-from .cache import CachedDataset, ConnStore
+from .cache import CachedDataset, ConnStore, GcReport
 from .query import ConnFilter, StoreQuery
 from .schema import SCHEMA_VERSION
 from .shard import ShardError
@@ -19,6 +19,7 @@ from .shard import ShardError
 __all__ = [
     "ConnStore",
     "CachedDataset",
+    "GcReport",
     "ConnFilter",
     "StoreQuery",
     "ShardError",

@@ -31,6 +31,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
@@ -49,9 +52,23 @@ from .shard import (
     encode_trace_shard,
 )
 
-__all__ = ["ConnStore", "CachedDataset"]
+__all__ = ["ConnStore", "CachedDataset", "GcReport"]
 
 _OBJECT_SUFFIX = ".rcs"
+_TMP_SUFFIX = ".tmp"
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What a :meth:`ConnStore.gc` pass removed (or would remove)."""
+
+    #: Digests of unreferenced shard objects removed (or would-be).
+    removed: tuple[str, ...]
+    #: Stale ``.tmp`` files left behind by crashed writers.
+    stale_tmp: int
+    #: Bytes freed (objects plus stale temp files).
+    reclaimed_bytes: int
+    dry_run: bool = False
 
 
 class CachedDataset:
@@ -153,15 +170,42 @@ class ConnStore:
         return self.objects_dir / digest[:2] / f"{digest}{_OBJECT_SUFFIX}"
 
     def put_object(self, data: bytes) -> str:
-        """Store shard bytes under their own digest; returns the digest."""
+        """Store shard bytes under their own digest; returns the digest.
+
+        Safe under concurrent writers: each writes to a uniquely named
+        temp file in the target directory and publishes it with an
+        atomic :func:`os.replace`, so a reader can never observe a
+        partial shard.  The first writer wins — a later writer of the
+        same digest (same bytes, by content addressing) either skips the
+        write or harmlessly replaces the file with identical content.
+        """
         digest = hashlib.sha256(data).hexdigest()
         path = self._object_path(digest)
         if not path.exists():
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(data)
-            tmp.replace(path)
+            self._publish(path, data)
         return digest
+
+    @staticmethod
+    def _publish(path: Path, data: bytes) -> None:
+        """Atomically materialize ``data`` at ``path`` (unique temp +
+        ``os.replace``); first writer wins."""
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem[:12]}-", suffix=_TMP_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            if path.exists():
+                os.unlink(tmp)  # someone else published first
+            else:
+                os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def get_object(self, digest: str) -> bytes:
         """Load shard bytes, re-verifying the content address."""
@@ -185,6 +229,25 @@ class ConnStore:
 
     def _manifest_path(self, key: str) -> Path:
         return self.manifests_dir / f"{key}.json"
+
+    def _write_manifest(self, key: str, payload: dict) -> None:
+        """Atomically (re)write one manifest: a reader sees the old
+        version or the new one, never an interleaving."""
+        path = self._manifest_path(key)
+        text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:12]}-", suffix=_TMP_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def lookup(self, key: str) -> dict | None:
         """Load a manifest by key, following generation-key aliases."""
@@ -269,13 +332,9 @@ class ConnStore:
             "traces": trace_entries,
             "dataset_shard": dataset_digest,
         }
-        self._manifest_path(key).write_text(
-            json.dumps(manifest, sort_keys=True, indent=1) + "\n"
-        )
+        self._write_manifest(key, manifest)
         if gen_key is not None:
-            self._manifest_path(gen_key).write_text(
-                json.dumps({"ref": key}, sort_keys=True) + "\n"
-            )
+            self._write_manifest(gen_key, {"ref": key})
         return manifest
 
     def load_analysis(self, manifest: dict) -> CachedDataset:
@@ -365,21 +424,44 @@ class ConnStore:
             referenced.update(entry["shard"] for entry in manifest["traces"])
         return referenced
 
-    def gc(self) -> list[str]:
-        """Delete unreferenced shard objects; returns removed digests."""
+    def gc(self, dry_run: bool = False) -> GcReport:
+        """Collect unreferenced shard objects and stale temp files.
+
+        Returns a :class:`GcReport` with the removed digests and the
+        bytes reclaimed.  With ``dry_run`` nothing is deleted — the
+        report says what a real pass *would* reclaim.
+        """
         referenced = self.referenced_objects()
         removed: list[str] = []
-        if not self.objects_dir.is_dir():
-            return removed
-        for path in sorted(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}")):
-            digest = path.stem
-            if digest not in referenced:
-                path.unlink()
-                removed.append(digest)
-        for bucket in sorted(self.objects_dir.iterdir()):
-            if bucket.is_dir() and not any(bucket.iterdir()):
-                bucket.rmdir()
-        return removed
+        stale_tmp = 0
+        reclaimed = 0
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}")):
+                digest = path.stem
+                if digest not in referenced:
+                    reclaimed += path.stat().st_size
+                    if not dry_run:
+                        path.unlink()
+                    removed.append(digest)
+        # Temp files survive only when a writer crashed mid-publish.
+        for base in (self.objects_dir, self.manifests_dir):
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob(f"*{_TMP_SUFFIX}")):
+                stale_tmp += 1
+                reclaimed += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+        if not dry_run and self.objects_dir.is_dir():
+            for bucket in sorted(self.objects_dir.iterdir()):
+                if bucket.is_dir() and not any(bucket.iterdir()):
+                    bucket.rmdir()
+        return GcReport(
+            removed=tuple(removed),
+            stale_tmp=stale_tmp,
+            reclaimed_bytes=reclaimed,
+            dry_run=dry_run,
+        )
 
     def stats(self) -> dict:
         """Store-wide accounting for ``repro-study store ls``."""

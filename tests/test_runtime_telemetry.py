@@ -1,0 +1,112 @@
+"""The telemetry stream: event schema, JSONL persistence, rendering.
+
+The schema assertions here are the contract ``docs/runtime.md``
+documents — external consumers parse the JSONL file, so field names are
+load-bearing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.runtime import (
+    ProcessPoolScheduler,
+    RetryPolicy,
+    Task,
+    TaskGraph,
+    TelemetryLog,
+)
+from tests.test_runtime_scheduler import raising_worker, square_worker
+
+#: Required fields per event type (beyond the universal event/ts pair).
+EVENT_SCHEMA = {
+    "study_start": {"jobs", "units", "datasets", "seed"},
+    "unit_start": {"unit", "kind", "attempt"},
+    "unit_retry": {"unit", "attempt", "backoff_s", "error"},
+    "unit_finish": {"unit", "kind", "status", "attempts", "wall_s",
+                    "packets", "bytes", "cache"},
+    "unit_skipped": {"unit", "error"},
+    "study_finish": {"wall_s", "units_ok", "units_failed"},
+}
+
+
+def _run(worker, telemetry, jobs=2, retry=None, n=3):
+    graph = TaskGraph()
+    for i in range(n):
+        graph.add(Task(key=f"u{i}", payload={"n": i}, kind="demo"))
+    ProcessPoolScheduler(worker, jobs=jobs, retry=retry, telemetry=telemetry).run(graph)
+
+
+class TestEventSchema:
+    def test_every_event_carries_its_required_fields(self, tmp_path):
+        telemetry = TelemetryLog(path=tmp_path / "events.jsonl")
+        _run(
+            raising_worker,
+            telemetry,
+            retry=RetryPolicy(max_retries=1, backoff=0.01),
+        )
+        _run(square_worker, telemetry, jobs=1)
+        seen = set()
+        for record in telemetry.events:
+            assert {"event", "ts"} <= set(record)
+            required = EVENT_SCHEMA[record["event"]]
+            assert required <= set(record), record
+            seen.add(record["event"])
+        assert {"unit_start", "unit_retry", "unit_finish", "study_finish"} <= seen
+
+    def test_unit_finish_copies_worker_counters(self):
+        telemetry = TelemetryLog()
+        _run(square_worker, telemetry, n=2)
+        finishes = telemetry.unit_events("unit_finish")
+        assert len(finishes) == 2
+        by_unit = {record["unit"]: record for record in finishes}
+        assert by_unit["u1"]["packets"] == 1
+        assert by_unit["u1"]["bytes"] == 0
+        assert by_unit["u1"]["status"] == "ok"
+        assert by_unit["u1"]["attempts"] == 1
+        assert by_unit["u1"]["wall_s"] >= 0
+
+    def test_jsonl_file_is_line_parseable_and_appended(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        telemetry = TelemetryLog(path=path)
+        _run(square_worker, telemetry, n=2)
+        telemetry.close()
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["event"] for r in records] == [
+            r["event"] for r in telemetry.events
+        ]
+        # Append-only: a second log on the same path extends the file.
+        more = TelemetryLog(path=path)
+        more.emit("study_start", jobs=1, units=0, datasets=[], seed=0)
+        more.close()
+        assert len(path.read_text().strip().splitlines()) == len(lines) + 1
+
+
+class TestRendering:
+    def test_progress_lines_are_narrated_to_the_stream(self):
+        stream = io.StringIO()
+        telemetry = TelemetryLog(progress=True, stream=stream)
+        _run(square_worker, telemetry, n=2)
+        out = stream.getvalue()
+        assert "[runtime] u0 started" in out
+        assert "[runtime] u0 ok in " in out
+        assert "2 ok, 0 failed" in out
+
+    def test_non_progress_log_stays_silent(self):
+        stream = io.StringIO()
+        telemetry = TelemetryLog(progress=False, stream=stream)
+        _run(square_worker, telemetry, n=2)
+        assert stream.getvalue() == ""
+
+    def test_timing_table_has_one_row_per_unit(self):
+        telemetry = TelemetryLog()
+        _run(square_worker, telemetry, n=3)
+        table = telemetry.timing_table()
+        assert table.columns == [
+            "unit", "status", "attempts", "wall_s", "packets", "bytes", "cache"
+        ]
+        assert sorted(row[0] for row in table.rows) == ["u0", "u1", "u2"]
+        rendered = table.render()
+        assert "Runtime" in rendered and "u2" in rendered

@@ -57,6 +57,39 @@ def test_missing_object_is_truncated_body(tmp_path):
     assert info.value.kind is ErrorKind.TRUNCATED_BODY
 
 
+def _hammer_put(root: str, worker_id: int) -> None:
+    """Child-process body: race everyone else publishing the same shards."""
+    store = ConnStore(root)
+    for round_number in range(20):
+        for payload_id in range(4):
+            store.put_object(f"shared shard {payload_id}".encode() * 100)
+    store.put_object(f"private to {worker_id}".encode())
+
+
+def test_concurrent_put_object_never_interleaves(tmp_path):
+    """N processes publishing the same content-addressed shards leave a
+    store where every object verifies and no temp files linger — the
+    atomic-replace, first-writer-wins rule under real concurrency."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    workers = [
+        ctx.Process(target=_hammer_put, args=(str(tmp_path), i))
+        for i in range(6)
+    ]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join(timeout=30)
+        assert process.exitcode == 0
+    store = ConnStore(tmp_path)
+    objects = list(store.objects_dir.glob("*/*.rcs"))
+    assert len(objects) == 4 + 6  # shared payloads + one private each
+    for path in objects:
+        store.get_object(path.stem)  # re-verifies the content address
+    assert list(store.objects_dir.rglob("*.tmp")) == []
+
+
 # -- cache keys -------------------------------------------------------------
 
 
@@ -220,10 +253,36 @@ def test_gc_removes_only_unreferenced_objects(store_study, tmp_path):
             )
         )
     )
-    assert store.gc() == [stray]
+    stray_size = store._object_path(stray).stat().st_size
+    # A dry run reports the reclaim without touching the disk.
+    preview = store.gc(dry_run=True)
+    assert preview.dry_run
+    assert preview.removed == (stray,)
+    assert preview.reclaimed_bytes == stray_size
+    assert store._object_path(stray).exists()
+    # The real pass deletes and accounts the same bytes.
+    report = store.gc()
+    assert not report.dry_run
+    assert report.removed == (stray,)
+    assert report.reclaimed_bytes == stray_size
     assert {path.stem for path in store.objects_dir.glob("*/*.rcs")} == referenced
     # Still loadable after gc.
     store.load_analysis(the_manifest(store))
+
+
+def test_gc_sweeps_stale_temp_files(store_study, tmp_path):
+    _, root = store_study
+    store = copy_store(root, tmp_path)
+    stale = store.objects_dir / "ab" / ".deadbeef-crashed.tmp"
+    stale.parent.mkdir(parents=True, exist_ok=True)
+    stale.write_bytes(b"partial shard from a crashed writer")
+    preview = store.gc(dry_run=True)
+    assert preview.stale_tmp == 1
+    assert preview.reclaimed_bytes >= len(b"partial shard from a crashed writer")
+    assert stale.exists()
+    report = store.gc()
+    assert report.stale_tmp == 1
+    assert not stale.exists()
 
 
 def test_stats_accounting(store_study):
