@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench runtime-bench examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench stream-bench examples outputs clean
 
 install:
 	pip install -e .
@@ -12,10 +12,10 @@ test:
 # target still catches broken files on minimal containers.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests; \
+		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; falling back to python -m compileall"; \
-		python -m compileall -q src tests; \
+		python -m compileall -q src tests benchmarks; \
 	fi
 
 # The tier-1 gate: the full suite, failing fast.
@@ -32,6 +32,10 @@ store-bench:
 # Sequential vs --jobs N study wall clock; writes BENCH_runtime.json.
 runtime-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_throughput.py::TestRuntimeScaling -q -s
+
+# Batch vs streaming engine throughput + peak memory; writes BENCH_stream.json.
+stream-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_stream_bench.py -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done

@@ -382,9 +382,22 @@ class DatasetAnalyzer:
                 self._analyzer_failed(analyzer, "on_udp", exc)
 
     def _finish_trace(self, table: FlowTable, stats: TraceStats) -> None:
+        self._dispatch_results(table.flush(), stats)
+
+    def _dispatch_results(
+        self, results: Iterable[FlowResult], stats: TraceStats
+    ) -> None:
+        """File finished flows into the analysis and fan them out to the
+        application analyzers.
+
+        The order of ``results`` is load-bearing: analyzer reports and
+        the connection list preserve it, so the streaming engine hands
+        this method its canonically re-ordered evictions to stay
+        byte-identical with the batch path (see ``docs/streaming.md``).
+        """
         internal = self.analysis.internal_net
         strict = self.error_policy is ErrorPolicy.STRICT
-        for result in table.flush():
+        for result in results:
             record = result.record
             self.analysis.conns.append(record)
             if record.proto == "tcp":

@@ -9,6 +9,13 @@ A ``store`` subcommand inspects the connection-record store::
     repro-study store ls --store-dir .store
     repro-study store query --store-dir .store --by category --dataset D0
     repro-study store gc --store-dir .store
+
+A ``stream`` subcommand runs the same study through the single-pass
+bounded-memory engine (``docs/streaming.md``), with live per-window
+progress on stderr and optional crash-resumable checkpoints::
+
+    repro-study stream --datasets D0 --window 60 --max-flows 65536 \\
+        --store-dir .store --checkpoint-every 50000
 """
 
 from __future__ import annotations
@@ -26,14 +33,8 @@ _ALL_TABLES = list(range(1, 16))
 _ALL_FIGURES = list(range(1, 11))
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-study",
-        description=(
-            "Reproduce 'A First Look at Modern Enterprise Traffic' "
-            "(Pang et al., IMC 2005) on synthetic LBNL-like traces."
-        ),
-    )
+def _add_study_args(parser: argparse.ArgumentParser) -> None:
+    """The flags shared by the main study run and ``stream``."""
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     parser.add_argument(
         "--scale",
@@ -114,6 +115,79 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="append the structured JSONL runtime event stream here",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Reproduce 'A First Look at Modern Enterprise Traffic' "
+            "(Pang et al., IMC 2005) on synthetic LBNL-like traces."
+        ),
+    )
+    _add_study_args(parser)
+    parser.add_argument(
+        "--engine",
+        default="batch",
+        choices=("batch", "stream"),
+        help="analysis engine: batch materializes each trace before "
+        "analyzing, stream ingests it in one bounded-memory pass with "
+        "identical output (default: batch)",
+    )
+    return parser
+
+
+def _build_stream_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study stream",
+        description=(
+            "Run the study through the single-pass bounded-memory "
+            "streaming engine (byte-identical tables under the default "
+            "knobs; see docs/streaming.md)."
+        ),
+    )
+    _add_study_args(parser)
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="live aggregation window (default 60s); with --progress "
+        "each closed window is narrated on stderr",
+    )
+    parser.add_argument(
+        "--max-flows",
+        type=int,
+        default=None,
+        help="flow-table capacity; beyond it the least-recently-active "
+        "flow is evicted early (counted as flow_overflow in the "
+        "data-quality section, never an error)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict a TCP flow idle this long (default 3600s; UDP/ICMP "
+        "always use the batch engine's 60s gap rule)",
+    )
+    parser.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict any flow older than this regardless of activity "
+        "(default: no cap)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="PACKETS",
+        help="with --store-dir, publish a resumable checkpoint every N "
+        "packets (0 = off); an interrupted run picks up from the last "
+        "checkpoint",
     )
     return parser
 
@@ -220,12 +294,63 @@ def _store_main(argv: list[str]) -> int:
     return 0
 
 
+def _window_progress(window) -> None:
+    """One live stderr line per closed streaming aggregation window."""
+    conns = sum(window.conn_starts.values())
+    print(
+        f"  [stream] window {window.index:>4}  "
+        f"{window.packets:>7} pkts  {window.mbps:8.3f} Mb/s  "
+        f"{conns:>5} new conns  retx {window.retransmit_rate:6.2%}",
+        file=sys.stderr,
+    )
+
+
+def _stream_main(argv: list[str]) -> int:
+    """The ``repro-study stream`` subcommand: the study through the
+    single-pass engine, with live per-window narration under
+    ``--progress`` (sequential runs only — the window callback cannot
+    cross a process boundary)."""
+    from ..stream.engine import StreamConfig
+
+    args = _build_stream_parser().parse_args(argv)
+    knobs: dict = {
+        "window": args.window,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.max_flows is not None:
+        knobs["max_flows"] = args.max_flows
+    if args.idle_timeout is not None:
+        knobs["idle_timeout"] = args.idle_timeout
+    if args.hard_timeout is not None:
+        knobs["hard_timeout"] = args.hard_timeout
+    observer = _window_progress if args.progress and args.jobs == 1 else None
+    results = run_study(
+        seed=args.seed,
+        scale=args.scale,
+        datasets=tuple(args.datasets),
+        max_windows=args.max_windows,
+        out_dir=args.out_dir,
+        error_policy=args.error_policy,
+        store_dir=args.store_dir,
+        reuse_store=not args.no_reuse_store,
+        jobs=args.jobs,
+        progress=args.progress,
+        telemetry_path=args.telemetry,
+        engine="stream",
+        stream=StreamConfig(**knobs),
+        window_observer=observer,
+    )
+    return _print_results(args, results)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the study and print the requested tables/figures."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "store":
         return _store_main(argv[1:])
+    if argv and argv[0] == "stream":
+        return _stream_main(argv[1:])
     args = _build_parser().parse_args(argv)
     results = run_study(
         seed=args.seed,
@@ -239,7 +364,13 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         progress=args.progress,
         telemetry_path=args.telemetry,
+        engine=args.engine,
     )
+    return _print_results(args, results)
+
+
+def _print_results(args: argparse.Namespace, results) -> int:
+    """Print the requested tables/figures and the quality section."""
     tables = args.tables if args.tables is not None else _ALL_TABLES
     figures = args.figures if args.figures is not None else _ALL_FIGURES
     for number in tables:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping
 
@@ -40,9 +40,13 @@ from ..runtime.scheduler import ProcessPoolScheduler, RetryPolicy, resolve_jobs
 from ..runtime.task import Task, TaskGraph
 from ..runtime.telemetry import TelemetryLog
 from ..store.cache import ConnStore
+from ..stream.engine import StreamConfig, StreamDatasetAnalyzer
 from ..util.fmt import fmt_duration
 
 __all__ = ["StudyConfig", "StudyResults", "run_study", "analyze_dataset"]
+
+#: The selectable analysis engines.
+ENGINES = ("batch", "stream")
 
 #: The registered analyzer roster, as it appears in cache keys.
 _ANALYZER_NAMES: tuple[str, ...] = tuple(cls.name for cls in DEFAULT_ANALYZERS)
@@ -66,6 +70,13 @@ class StudyConfig:
     store_dir: str | None = None
     #: Worker processes (1 = in-process sequential, 0 = all cores).
     jobs: int = 1
+    #: Analysis engine: ``"batch"`` materializes each trace before
+    #: analyzing; ``"stream"`` ingests it in one bounded-memory pass
+    #: (``docs/streaming.md``).  Identical output under the default
+    #: streaming knobs.
+    engine: str = "batch"
+    #: Streaming-engine knobs (``engine="stream"`` only).
+    stream: StreamConfig | None = None
 
 
 @dataclass
@@ -192,6 +203,19 @@ class StudyResults:
         return meta
 
 
+def _engine_key_config(engine: str, stream: StreamConfig) -> dict | None:
+    """The cache-key fork for non-parity streaming configurations.
+
+    Batch runs and parity-default streaming runs return ``None`` and
+    share one cache key (their output bytes are identical, so either
+    may serve the other's cached analysis); turned-down eviction knobs
+    can split flows, so they fork the key.
+    """
+    if engine != "stream" or stream.parity_default():
+        return None
+    return stream.record_knobs()
+
+
 def analyze_dataset(
     name: str,
     traces: DatasetTraces,
@@ -199,6 +223,9 @@ def analyze_dataset(
     error_policy: ErrorPolicy | str = ErrorPolicy.STRICT,
     store: ConnStore | None = None,
     gen_key: str | None = None,
+    engine: str = "batch",
+    stream: StreamConfig | None = None,
+    window_observer: Callable | None = None,
 ) -> DatasetAnalysis:
     """Run the full analysis engine over one generated dataset.
 
@@ -207,8 +234,18 @@ def analyze_dataset(
     the fresh analysis is sharded into the store before returning.  The
     content key covers the trace bytes themselves, so any mutation (e.g.
     :func:`repro.gen.faults.corrupt_dataset`) forces a cold re-parse.
+
+    ``engine="stream"`` swaps in the single-pass bounded-memory engine
+    (:mod:`repro.stream`) with knobs from ``stream``; under the default
+    knobs its output is byte-identical, so batch and stream share cache
+    entries.  With a store and ``stream.checkpoint_every > 0`` the run
+    publishes live checkpoints it can resume from after a crash.
+    ``window_observer`` receives each closed aggregation window.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
     policy = ErrorPolicy.coerce(error_policy)
+    stream_config = stream if stream is not None else StreamConfig()
     digests: list[str] = []
     key: str | None = None
     if store is not None:
@@ -221,19 +258,33 @@ def analyze_dataset(
             traces.config.full_payload,
             str(ENTERPRISE_NET),
             known_scanners,
+            engine_config=_engine_key_config(engine, stream_config),
         )
         manifest = store.lookup(key)
         if manifest is not None:
             cached = store.load_or_none(manifest, policy)
             if cached is not None:
                 return cached.analysis
-    analyzer = DatasetAnalyzer(
-        name,
-        full_payload=traces.config.full_payload,
-        internal_net=ENTERPRISE_NET,
-        analyzers=[cls() for cls in DEFAULT_ANALYZERS],
-        error_policy=policy,
-    )
+    if engine == "stream":
+        analyzer: DatasetAnalyzer = StreamDatasetAnalyzer(
+            name,
+            full_payload=traces.config.full_payload,
+            internal_net=ENTERPRISE_NET,
+            analyzers=[cls() for cls in DEFAULT_ANALYZERS],
+            error_policy=policy,
+            config=stream_config,
+            store=store,
+            checkpoint_base=key or name,
+            window_observer=window_observer,
+        )
+    else:
+        analyzer = DatasetAnalyzer(
+            name,
+            full_payload=traces.config.full_payload,
+            internal_net=ENTERPRISE_NET,
+            analyzers=[cls() for cls in DEFAULT_ANALYZERS],
+            error_policy=policy,
+        )
     for trace in traces.traces:
         analyzer.process_pcap(trace.path)
     analysis = analyzer.finish(known_scanners=known_scanners)
@@ -278,6 +329,9 @@ def _generate_and_analyze(
     mutate_traces: Callable[[str, DatasetTraces], None] | None = None,
     store: ConnStore | None = None,
     gen_key: str | None = None,
+    engine: str = "batch",
+    stream: StreamConfig | None = None,
+    window_observer: Callable | None = None,
 ) -> tuple[DatasetTraces, DatasetAnalysis, int]:
     """Cold-run one dataset: generate its pcaps, analyze, return
     ``(traces, analysis, pcap bytes written)``."""
@@ -306,6 +360,9 @@ def _generate_and_analyze(
             error_policy=policy,
             store=store,
             gen_key=gen_key,
+            engine=engine,
+            stream=stream,
+            window_observer=window_observer,
         )
     return dataset_traces, analysis, trace_bytes
 
@@ -326,6 +383,9 @@ def _dataset_unit_worker(spec: Mapping) -> dict:
     seed = spec["seed"]
     out_dir = spec["out_dir"]
     policy = ErrorPolicy.coerce(spec["error_policy"])
+    engine = spec.get("engine", "batch")
+    stream_spec = spec.get("stream")
+    stream = StreamConfig(**stream_spec) if stream_spec else StreamConfig()
     store = ConnStore(spec["store_dir"])
     enterprise = Enterprise(seed=seed)
     known_scanners = tuple(host.ip for host in enterprise.servers(Role.SCANNER))
@@ -338,6 +398,7 @@ def _dataset_unit_worker(spec: Mapping) -> dict:
         policy.value,
         str(ENTERPRISE_NET),
         known_scanners,
+        engine_config=_engine_key_config(engine, stream),
     )
     if spec["reuse_store"]:
         manifest = store.lookup(gen_key)
@@ -365,6 +426,8 @@ def _dataset_unit_worker(spec: Mapping) -> dict:
         policy=policy,
         store=store,
         gen_key=gen_key,
+        engine=engine,
+        stream=stream,
     )
     return {
         "dataset": name,
@@ -389,6 +452,9 @@ def run_study(
     progress: bool = False,
     telemetry_path: str | None = None,
     retry: RetryPolicy | None = None,
+    engine: str = "batch",
+    stream: StreamConfig | None = None,
+    window_observer: Callable | None = None,
 ) -> StudyResults:
     """Run the whole reproduction: generate traces, analyze, report.
 
@@ -426,8 +492,18 @@ def run_study(
     appends the structured JSONL event stream (schema:
     :mod:`repro.runtime.telemetry`) there.  Either way, the stream is
     kept on :attr:`StudyResults.telemetry`.
+
+    ``engine="stream"`` analyzes each trace in a single bounded-memory
+    pass (:mod:`repro.stream`) with knobs from ``stream``; under the
+    default knobs the study digest is byte-identical to the batch
+    engine at every worker count (see ``docs/streaming.md``).
+    ``window_observer`` receives each closed aggregation window as it
+    happens — sequential (``jobs=1``) streaming runs only, since the
+    callback cannot cross a process boundary.
     """
     policy = ErrorPolicy.coerce(error_policy)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
     config = StudyConfig(
         seed=seed,
         scale=scale,
@@ -437,6 +513,8 @@ def run_study(
         error_policy=policy.value,
         store_dir=store_dir,
         jobs=jobs,
+        engine=engine,
+        stream=stream if engine == "stream" else None,
     )
     for name in config.datasets:
         if name not in DATASETS:
@@ -458,7 +536,8 @@ def run_study(
     try:
         if effective_jobs <= 1:
             _run_study_sequential(
-                results, policy, mutate_traces, reuse_store, telemetry
+                results, policy, mutate_traces, reuse_store, telemetry,
+                window_observer=window_observer,
             )
         else:
             _run_study_parallel(
@@ -475,6 +554,7 @@ def _run_study_sequential(
     mutate_traces: Callable[[str, DatasetTraces], None] | None,
     reuse_store: bool,
     telemetry: TelemetryLog,
+    window_observer: Callable | None = None,
 ) -> None:
     """Today's in-process path: one dataset after another, no workers."""
     config = results.config
@@ -484,6 +564,7 @@ def _run_study_sequential(
     known_scanners = tuple(
         host.ip for host in enterprise.servers(Role.SCANNER)
     )
+    stream = config.stream if config.stream is not None else StreamConfig()
     for name in config.datasets:
         unit_started = time.monotonic()
         telemetry.emit("unit_start", unit=f"dataset:{name}", kind="dataset", attempt=1)
@@ -498,6 +579,7 @@ def _run_study_sequential(
                 policy.value,
                 str(ENTERPRISE_NET),
                 known_scanners,
+                engine_config=_engine_key_config(config.engine, stream),
             )
             if reuse_store and mutate_traces is None:
                 cached = None
@@ -535,6 +617,9 @@ def _run_study_sequential(
             mutate_traces=mutate_traces,
             store=store,
             gen_key=gen_key if mutate_traces is None else None,
+            engine=config.engine,
+            stream=stream,
+            window_observer=window_observer,
         )
         _adopt_analysis(results, name, dataset_traces, analysis)
         telemetry.emit(
@@ -574,6 +659,7 @@ def _run_study_parallel(
         store_dir = config.store_dir
     try:
         graph = TaskGraph()
+        stream = config.stream if config.stream is not None else StreamConfig()
         for name in dict.fromkeys(config.datasets):
             graph.add(
                 Task(
@@ -588,6 +674,8 @@ def _run_study_parallel(
                         "error_policy": policy.value,
                         "store_dir": store_dir,
                         "reuse_store": reuse_store,
+                        "engine": config.engine,
+                        "stream": asdict(stream) if config.engine == "stream" else None,
                     },
                 )
             )
@@ -631,6 +719,8 @@ def _run_study_parallel(
                     max_windows=config.max_windows,
                     out_dir=config.out_dir,
                     policy=policy,
+                    engine=config.engine,
+                    stream=stream,
                 )
                 _adopt_analysis(results, name, dataset_traces, analysis)
                 continue

@@ -62,6 +62,9 @@ class PcapReader:
         self.errors = errors if errors is not None else errmod.TraceErrorLog(path=path)
         #: Records yielded so far (what recovery mode salvaged).
         self.records_read = 0
+        #: Byte offset of the first unread record (advanced per record;
+        #: the streaming engine checkpoints it and seeks back on resume).
+        self.offset = GLOBAL_HEADER.size
         header_bytes = stream.read(GLOBAL_HEADER.size)
         try:
             self.header, self._swapped = PcapGlobalHeader.decode(header_bytes)
@@ -98,10 +101,19 @@ class PcapReader:
         """The capture snaplen recorded in the file header."""
         return self.header.snaplen
 
+    def seek_record(self, offset: int) -> None:
+        """Position the stream at a record boundary (checkpoint resume).
+
+        ``offset`` must come from a previous reader's :attr:`offset` over
+        the same file; no validation beyond the seek is performed.
+        """
+        self._stream.seek(offset)
+        self.offset = offset
+
     def __iter__(self) -> Iterator[CapturedPacket]:
         errmod = _errors_module()
         record_struct = self._record
-        offset = GLOBAL_HEADER.size
+        offset = self.offset
         while True:
             header = self._stream.read(record_struct.size)
             if not header:
@@ -132,6 +144,7 @@ class PcapReader:
                 )
                 return
             offset += record_struct.size + caplen
+            self.offset = offset
             self.records_read += 1
             yield CapturedPacket(
                 ts=ts_sec + ts_usec / 1e6, data=data, wire_len=wire_len
@@ -149,7 +162,27 @@ class PcapReader:
         self.close()
 
 
-def read_pcap(path: str | Path) -> list[CapturedPacket]:
-    """Read every packet record from ``path`` into a list."""
-    with PcapReader.open(path) as reader:
-        return list(reader)
+def read_pcap(
+    path: str | Path, *, materialize: bool = True
+) -> list[CapturedPacket] | Iterator[CapturedPacket]:
+    """Read the packet records of ``path``.
+
+    With ``materialize=True`` (the historical behavior) every record is
+    loaded into one list — O(file size) memory, only worth opting into
+    when the caller genuinely needs random access.  With
+    ``materialize=False`` an iterator is returned instead: packets are
+    decoded one record at a time and the file is closed when the
+    iterator is exhausted (or garbage-collected), so peak memory stays
+    at one record regardless of trace size.  Header damage raises
+    eagerly in both modes.
+    """
+    reader = PcapReader.open(path)
+    if materialize:
+        with reader:
+            return list(reader)
+    return _iter_then_close(reader)
+
+
+def _iter_then_close(reader: PcapReader) -> Iterator[CapturedPacket]:
+    with reader:
+        yield from reader

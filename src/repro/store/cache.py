@@ -130,13 +130,23 @@ class ConnStore:
         full_payload: bool,
         internal_net: str,
         known_scanners: tuple[int, ...] = (),
+        engine_config: dict | None = None,
     ) -> str:
-        """The cache key for analyzing these exact trace bytes."""
+        """The cache key for analyzing these exact trace bytes.
+
+        ``engine_config`` forks the key for engine settings that change
+        the emitted records (a streaming run with non-default eviction
+        knobs).  ``None`` — a batch run, or a streaming run with the
+        digest-parity defaults — keeps the historical key, so the two
+        engines share cache entries whenever their output is identical.
+        """
         payload = cls._analysis_config(
             analyzers, error_policy, full_payload, internal_net, known_scanners
         )
         payload["dataset"] = dataset
         payload["traces"] = list(trace_digests)
+        if engine_config is not None:
+            payload["engine"] = engine_config
         return cls._key_of(payload)
 
     @classmethod
@@ -150,8 +160,12 @@ class ConnStore:
         error_policy: str,
         internal_net: str,
         known_scanners: tuple[int, ...] = (),
+        engine_config: dict | None = None,
     ) -> str:
-        """The cache key for a deterministic generate-then-analyze run."""
+        """The cache key for a deterministic generate-then-analyze run.
+
+        ``engine_config`` forks the key exactly as in :meth:`content_key`.
+        """
         payload = cls._analysis_config(
             analyzers, error_policy, True, internal_net, known_scanners
         )
@@ -162,6 +176,8 @@ class ConnStore:
             "scale": scale,
             "max_windows": max_windows,
         }
+        if engine_config is not None:
+            payload["engine"] = engine_config
         return "gen-" + cls._key_of(payload)
 
     # -- object storage ----------------------------------------------------
@@ -261,8 +277,8 @@ class ConnStore:
             return self.lookup(ref)
         return payload
 
-    def manifests(self) -> Iterator[dict]:
-        """Every dataset manifest in the store (aliases skipped)."""
+    def _raw_manifests(self) -> Iterator[dict]:
+        """Every parseable manifest payload, aliases and checkpoints included."""
         if not self.manifests_dir.is_dir():
             return
         for path in sorted(self.manifests_dir.glob("*.json")):
@@ -270,7 +286,22 @@ class ConnStore:
                 payload = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
                 continue
-            if "ref" not in payload:
+            yield payload
+
+    def manifests(self) -> Iterator[dict]:
+        """Every dataset manifest in the store.
+
+        Generation-key aliases and streaming-checkpoint manifests are
+        skipped: neither describes a finished analysis.
+        """
+        for payload in self._raw_manifests():
+            if "ref" not in payload and payload.get("kind") != "checkpoint":
+                yield payload
+
+    def checkpoints(self) -> Iterator[dict]:
+        """Every live streaming-checkpoint manifest (interrupted runs)."""
+        for payload in self._raw_manifests():
+            if payload.get("kind") == "checkpoint":
                 yield payload
 
     # -- save / load -------------------------------------------------------
@@ -417,11 +448,19 @@ class ConnStore:
     # -- maintenance -------------------------------------------------------
 
     def referenced_objects(self) -> set[str]:
-        """Digests referenced by at least one manifest."""
+        """Digests referenced by at least one manifest.
+
+        Live checkpoint manifests count: an interrupted streaming run's
+        state and result-batch objects must survive a gc pass, or the
+        run could never resume.
+        """
         referenced: set[str] = set()
         for manifest in self.manifests():
             referenced.add(manifest["dataset_shard"])
             referenced.update(entry["shard"] for entry in manifest["traces"])
+        for checkpoint in self.checkpoints():
+            referenced.add(checkpoint["state"])
+            referenced.update(checkpoint.get("batches", ()))
         return referenced
 
     def gc(self, dry_run: bool = False) -> GcReport:

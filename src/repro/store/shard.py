@@ -9,11 +9,14 @@ A shard is one self-verifying file::
     | footer: CRC32 of everything above (4 B BE) + end magic     |
     +------------------------------------------------------------+
 
-Two kinds exist.  A *trace shard* (kind 1) holds one ingested trace:
+Three kinds exist.  A *trace shard* (kind 1) holds one ingested trace:
 its :class:`~repro.analysis.engine.TraceStats` and its connection
 records in struct-packed columns.  A *dataset shard* (kind 2) holds the
 dataset-level products: analyzer reports (the per-analyzer application
-event aggregates), the scan-filter verdict, and learned endpoints.
+event aggregates), the scan-filter verdict, and learned endpoints.  A
+*stream shard* (kind 3) carries the streaming engine's live-checkpoint
+payloads — drained result batches and engine state snapshots — framed
+here but encoded by :mod:`repro.stream.checkpoint`.
 
 Corruption never surfaces as a raw ``struct.error``: every defect is
 raised as :class:`ShardError`, an :class:`~repro.analysis.errors.IngestionError`
@@ -46,6 +49,7 @@ __all__ = [
     "END_MAGIC",
     "KIND_TRACE",
     "KIND_DATASET",
+    "KIND_STREAM",
     "ShardError",
     "ShardNewerThanReader",
     "encode_shard",
@@ -64,6 +68,9 @@ MAGIC = b"RCS1"
 END_MAGIC = b"1SCR"
 KIND_TRACE = 1
 KIND_DATASET = 2
+#: Streaming-engine checkpoint shards (result batches and engine state);
+#: encoded/decoded by :mod:`repro.stream.checkpoint`.
+KIND_STREAM = 3
 
 _HEADER = struct.Struct(">4sBBH")  # magic, schema version, kind, nsections
 _FOOTER = struct.Struct(">I4s")  # crc32, end magic

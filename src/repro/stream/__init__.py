@@ -1,0 +1,25 @@
+"""Single-pass, bounded-memory streaming analysis engine.
+
+The batch pipeline loads a whole trace, then analyzes it; this package
+analyzes while reading.  Its contract: with the default eviction knobs,
+the streaming engine's analysis products — connection records, trace
+statistics, the full study digest — are byte-identical to the batch
+engine's, while peak memory stays bounded by the live-flow population
+instead of the trace size.  See ``docs/streaming.md``.
+"""
+
+from .aggregates import WindowAggregator, WindowStats
+from .checkpoint import StreamCheckpointer
+from .engine import StreamConfig, StreamDatasetAnalyzer
+from .flowtable import StreamFlowTable
+from .source import PacketSource
+
+__all__ = [
+    "PacketSource",
+    "StreamCheckpointer",
+    "StreamConfig",
+    "StreamDatasetAnalyzer",
+    "StreamFlowTable",
+    "WindowAggregator",
+    "WindowStats",
+]

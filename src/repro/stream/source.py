@@ -1,0 +1,83 @@
+"""The incremental packet source: one record in memory at a time.
+
+The batch pipeline materializes a trace before analyzing it
+(``read_pcap`` returns a list), which caps trace size at RAM.  A
+:class:`PacketSource` instead wraps :class:`~repro.pcap.reader.PcapReader`
+iteration directly — the reader already streams record by record — and
+adds what the single-pass engine needs on top: progress counters, the
+current record boundary (for checkpointing), and resume-by-offset.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..net.packet import CapturedPacket
+from ..pcap.reader import PcapReader
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from ..analysis.errors import TraceErrorLog
+
+__all__ = ["PacketSource"]
+
+
+class PacketSource:
+    """Iterates a trace's packets without ever materializing the trace.
+
+    Wraps either an open :class:`PcapReader` (the normal case) or any
+    iterable of :class:`CapturedPacket` (in-memory tests, generated
+    traffic).  ``packets_read`` counts what this source yielded;
+    ``offset`` tracks the byte position of the next unread record when
+    backed by a reader, so a checkpoint can record exactly where to
+    resume.
+    """
+
+    def __init__(
+        self,
+        packets: "PcapReader | Iterable[CapturedPacket]",
+        path: str = "<memory>",
+    ) -> None:
+        self._reader = packets if isinstance(packets, PcapReader) else None
+        self._packets = packets
+        self.path = self._reader.path if self._reader is not None else path
+        self.packets_read = 0
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, errors: "TraceErrorLog | None" = None
+    ) -> "PacketSource":
+        """Open a pcap file as a streaming source."""
+        return cls(PcapReader.open(path, errors=errors))
+
+    @property
+    def offset(self) -> int | None:
+        """Byte offset of the next unread record (None for iterables)."""
+        return self._reader.offset if self._reader is not None else None
+
+    def resume_at(self, offset: int, packets_read: int) -> None:
+        """Fast-forward to a checkpointed record boundary.
+
+        Only file-backed sources can seek; resuming an in-memory source
+        is a caller bug, reported as such.
+        """
+        if self._reader is None:
+            raise ValueError("cannot resume an in-memory packet source")
+        self._reader.seek_record(offset)
+        self.packets_read = packets_read
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        for pkt in self._packets:
+            self.packets_read += 1
+            yield pkt
+
+    def close(self) -> None:
+        """Close the underlying reader, if any."""
+        if self._reader is not None:
+            self._reader.close()
+
+    def __enter__(self) -> "PacketSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

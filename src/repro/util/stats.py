@@ -12,7 +12,15 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["Cdf", "Summary", "summarize", "fraction_table", "geometric_mean"]
+__all__ = [
+    "Cdf",
+    "Summary",
+    "summarize",
+    "fraction_table",
+    "geometric_mean",
+    "StreamingMoments",
+    "P2Quantile",
+]
 
 
 class Cdf:
@@ -125,6 +133,181 @@ def fraction_table(counts: Mapping[str, float]) -> dict[str, float]:
     if total <= 0:
         return {key: 0.0 for key in counts}
     return {key: value / total for key, value in counts.items()}
+
+
+class StreamingMoments:
+    """Single-pass count/mean/variance/min/max (Welford's algorithm).
+
+    The streaming engine's counterpart to :func:`summarize`: O(1) state,
+    one update per observation, no sample retained.  ``merge`` combines
+    two accumulators (Chan's parallel update), so per-window moments can
+    be rolled up into per-trace ones without a second pass.
+    """
+
+    __slots__ = ("n", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the running moments."""
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything seen so far (0.0 when n < 2)."""
+        return self._m2 / self.n if self.n else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold ``other``'s observations into this accumulator."""
+        if not other.n:
+            return
+        if not self.n:
+            self.n = other.n
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.n + other.n
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self.mean += delta * other.n / total
+        self.n = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def snapshot(self) -> dict:
+        """Plain-data state for checkpointing."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "StreamingMoments":
+        """Rebuild an accumulator from :meth:`snapshot` output."""
+        moments = cls()
+        moments.n = state["n"]
+        moments.mean = state["mean"]
+        moments._m2 = state["m2"]
+        moments.minimum = state["min"]
+        moments.maximum = state["max"]
+        return moments
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac).
+
+    Five markers, O(1) memory and update time; exact until five
+    observations arrive, then a piecewise-parabolic estimate.  Good
+    enough for operational readouts (median/p95 window throughput on a
+    live stream) where sorting every sample would defeat the point of a
+    single-pass engine.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_rate", "n")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._rate = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        self.n = 0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        self.n += 1
+        heights = self._heights
+        if len(heights) < 5:
+            bisect.insort(heights, x)
+            return
+        if x < heights[0]:
+            heights[0] = x
+            cell = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if heights[i] <= x < heights[i + 1])
+        for i in range(cell + 1, 5):
+            self._positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._rate[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - self._positions[i]
+            below = self._positions[i] - self._positions[i - 1]
+            above = self._positions[i + 1] - self._positions[i]
+            if (delta >= 1 and above > 1) or (delta <= -1 and below > 1):
+                step = 1 if delta >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # parabolic estimate escaped: fall back to linear
+                    heights[i] += step * (heights[i + step] - heights[i]) / (
+                        self._positions[i + step] - self._positions[i]
+                    )
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + step) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - step) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    @property
+    def value(self) -> float:
+        """The current estimate (0.0 before any observation)."""
+        if not self._heights:
+            return 0.0
+        if len(self._heights) < 5:
+            # Exact small-sample quantile, same convention as Cdf.quantile.
+            index = min(int(self.q * len(self._heights)), len(self._heights) - 1)
+            return self._heights[index]
+        return self._heights[2]
+
+    def snapshot(self) -> dict:
+        """Plain-data state for checkpointing."""
+        return {
+            "q": self.q,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+            "n": self.n,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "P2Quantile":
+        """Rebuild an estimator from :meth:`snapshot` output."""
+        estimator = cls(state["q"])
+        estimator._heights = list(state["heights"])
+        estimator._positions = list(state["positions"])
+        estimator._desired = list(state["desired"])
+        estimator.n = state["n"]
+        return estimator
 
 
 def geometric_mean(samples: Sequence[float]) -> float:

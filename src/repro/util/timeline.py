@@ -12,7 +12,7 @@ from typing import Iterable
 
 from .stats import Cdf, Summary, summarize
 
-__all__ = ["ByteTimeline"]
+__all__ = ["ByteTimeline", "StreamingTimeline"]
 
 
 class ByteTimeline:
@@ -89,3 +89,68 @@ class ByteTimeline:
     def utilization_summary(self) -> Summary:
         """Min/quartiles/max/mean of per-bin Mbps."""
         return summarize(self.mbps())
+
+
+class StreamingTimeline:
+    """Single-pass byte binning with memory bounded by trace duration.
+
+    :class:`ByteTimeline` needs the trace's full time span up front, so
+    the batch engine buffers every (timestamp, bytes) point — O(packets)
+    memory.  This accumulator instead anchors its 1-second bins at the
+    *first* packet's timestamp and keeps a sparse ``{bin index: bytes}``
+    dict, O(duration) memory, then :meth:`freeze`\\ s into a regular
+    :class:`ByteTimeline` once the span is known.
+
+    For time-sorted traces (everything the generator writes) the frozen
+    bins are byte-identical to the batch path's.  A timestamp running
+    *behind* the anchor (possible only on corrupted or re-ordered input)
+    is clamped into the first bin, whereas the batch path re-anchors the
+    whole span — the one documented divergence, and one that only occurs
+    on input the tolerant policies already flag via the
+    ``timestamp_regressions`` counter.
+    """
+
+    __slots__ = ("bin_seconds", "_anchor", "_bins")
+
+    def __init__(self, bin_seconds: float = 1.0) -> None:
+        if bin_seconds <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_seconds = bin_seconds
+        self._anchor: float | None = None
+        self._bins: dict[int, int] = {}
+
+    def add(self, timestamp: float, nbytes: int) -> None:
+        """Record ``nbytes`` of wire traffic at ``timestamp``."""
+        if self._anchor is None:
+            self._anchor = timestamp
+        index = max(int((timestamp - self._anchor) / self.bin_seconds), 0)
+        self._bins[index] = self._bins.get(index, 0) + nbytes
+
+    def freeze(self, start: float, end: float) -> ByteTimeline:
+        """Materialize a :class:`ByteTimeline` over ``[start, end]``.
+
+        Matches the batch path's clamp: bytes binned past the end of the
+        span fold into the final bin.
+        """
+        timeline = ByteTimeline(start, end, self.bin_seconds)
+        bins = timeline._bins
+        last = len(bins) - 1
+        for index, nbytes in self._bins.items():
+            bins[min(index, last)] += nbytes
+        return timeline
+
+    def snapshot(self) -> dict:
+        """Plain-data state for checkpointing."""
+        return {
+            "bin_seconds": self.bin_seconds,
+            "anchor": self._anchor,
+            "bins": dict(self._bins),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "StreamingTimeline":
+        """Rebuild an accumulator from :meth:`snapshot` output."""
+        timeline = cls(state["bin_seconds"])
+        timeline._anchor = state["anchor"]
+        timeline._bins = {int(k): v for k, v in state["bins"].items()}
+        return timeline

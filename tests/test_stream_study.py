@@ -1,0 +1,195 @@
+"""The streaming engine wired through the study pipeline and the CLI.
+
+The acceptance bar: ``engine="stream"`` renders byte-identical tables
+and figures to the batch engine at every worker count; parity-default
+streaming runs share the batch engine's cache entries while turned-down
+eviction knobs fork the key; bounded-table degradation surfaces as
+typed data-quality rows instead of errors; and the ``stream``
+subcommand exposes all of it with live window narration on stderr.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.study import run_study
+from repro.store.cache import ConnStore
+from repro.stream.engine import StreamConfig
+
+_PARAMS = dict(seed=7, scale=0.004, datasets=("D0", "D1"), max_windows=2)
+_TABLES = (1, 2, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+
+
+def _study_digest(results) -> str:
+    """One digest over every rendered table and figure of a run."""
+    digest = hashlib.sha256()
+    for number in _TABLES:
+        digest.update(results.render_table(number).encode())
+    for number in range(1, 11):
+        digest.update(results.render_figure(number).encode())
+    digest.update(results.render_data_quality().encode())
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def batch_digest():
+    return _study_digest(run_study(**_PARAMS))
+
+
+class TestDigestParity:
+    def test_stream_matches_batch_at_jobs_1_2_4(self, batch_digest):
+        for jobs in (1, 2, 4):
+            streamed = run_study(engine="stream", jobs=jobs, **_PARAMS)
+            assert _study_digest(streamed) == batch_digest, f"jobs={jobs}"
+
+    def test_checkpointed_stream_matches_batch(self, batch_digest, tmp_path):
+        streamed = run_study(
+            engine="stream",
+            stream=StreamConfig(checkpoint_every=300),
+            store_dir=str(tmp_path),
+            **_PARAMS,
+        )
+        assert _study_digest(streamed) == batch_digest
+        # Completed traces retire their checkpoint manifests.
+        assert list(ConnStore(tmp_path).checkpoints()) == []
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_study(engine="turbo", **_PARAMS)
+
+
+class TestCacheSharing:
+    def test_parity_stream_run_feeds_batch_cache(self, batch_digest, tmp_path):
+        run_study(engine="stream", store_dir=str(tmp_path), **_PARAMS)
+        store = ConnStore(tmp_path)
+        manifests_after_stream = len(list(store.manifests()))
+        warm = run_study(store_dir=str(tmp_path), **_PARAMS)  # batch
+        assert _study_digest(warm) == batch_digest
+        # The batch run was served from the stream run's shards: no new
+        # manifests were written.
+        assert len(list(store.manifests())) == manifests_after_stream
+
+    def test_non_parity_knobs_fork_the_cache_key(self, tmp_path):
+        run_study(engine="stream", store_dir=str(tmp_path), **_PARAMS)
+        store = ConnStore(tmp_path)
+        before = len(list(store.manifests()))
+        run_study(
+            engine="stream",
+            stream=StreamConfig(max_flows=4),
+            store_dir=str(tmp_path),
+            **_PARAMS,
+        )
+        assert len(list(store.manifests())) > before
+
+
+class TestDegradation:
+    def test_tiny_flow_table_degrades_to_quality_rows(self):
+        results = run_study(
+            engine="stream", stream=StreamConfig(max_flows=4), **_PARAMS
+        )
+        totals = {
+            name: analysis.error_totals()
+            for name, analysis in results.analyses.items()
+        }
+        assert any(t.get("flow_overflow", 0) > 0 for t in totals.values())
+        rendered = results.render_data_quality()
+        assert "errors: flow_overflow" in rendered
+        assert "errors: early_eviction" in rendered
+
+    def test_overflow_never_raises_under_strict(self):
+        # error_policy defaults to strict in _PARAMS-style runs: the
+        # overflow counters must not consume the error budget.
+        results = run_study(
+            engine="stream",
+            stream=StreamConfig(max_flows=2),
+            error_policy="strict",
+            **_PARAMS,
+        )
+        assert not results.unit_failures
+        assert all(not a.quarantined_traces() for a in results.analyses.values())
+
+
+class TestStreamCli:
+    def test_stream_subcommand_renders_tables(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--seed", "7", "--scale", "0.004",
+                "--datasets", "D0",
+                "--max-windows", "1",
+                "--tables", "2",
+                "--figures",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Table 2" in captured.out
+
+    def test_stream_subcommand_matches_batch_stdout(self, capsys):
+        flags = [
+            "--seed", "7", "--scale", "0.004",
+            "--datasets", "D0",
+            "--max-windows", "1",
+            "--tables", "2", "3",
+            "--figures", "2",
+        ]
+        main(flags)
+        batch_out = capsys.readouterr().out
+        main(["stream", *flags])
+        stream_out = capsys.readouterr().out
+        assert stream_out == batch_out
+
+    def test_progress_narrates_windows_on_stderr(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--seed", "7", "--scale", "0.004",
+                "--datasets", "D0",
+                "--max-windows", "1",
+                "--window", "60",
+                "--tables", "2",
+                "--figures",
+                "--progress",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[stream] window" in captured.err
+        assert "[stream]" not in captured.out
+
+    def test_engine_flag_on_main_command(self, capsys):
+        code = main(
+            [
+                "--engine", "stream",
+                "--seed", "7", "--scale", "0.004",
+                "--datasets", "D0",
+                "--max-windows", "1",
+                "--tables", "2",
+                "--figures",
+            ]
+        )
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_checkpoint_flags_reach_the_engine(self, tmp_path, capsys):
+        code = main(
+            [
+                "stream",
+                "--seed", "7", "--scale", "0.004",
+                "--datasets", "D0",
+                "--max-windows", "1",
+                "--store-dir", str(tmp_path),
+                "--checkpoint-every", "200",
+                "--max-flows", "100000",
+                "--tables", "2",
+                "--figures",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        store = ConnStore(tmp_path)
+        assert list(store.manifests())  # the analysis was cached
+        assert list(store.checkpoints()) == []  # and checkpoints retired

@@ -107,3 +107,104 @@ class TestGeometricMean:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             geometric_mean([])
+
+
+class TestStreamingMoments:
+    def _both(self, samples):
+        from repro.util.stats import StreamingMoments
+
+        moments = StreamingMoments()
+        for x in samples:
+            moments.add(x)
+        return moments, summarize(samples)
+
+    @staticmethod
+    def _two_pass_stddev(samples):
+        mean = sum(samples) / len(samples)
+        return (sum((x - mean) ** 2 for x in samples) / len(samples)) ** 0.5
+
+    def test_matches_batch_summarize(self):
+        samples = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6, 5.3]
+        moments, summary = self._both(samples)
+        assert moments.n == summary.n
+        assert moments.mean == pytest.approx(summary.mean)
+        assert moments.stddev == pytest.approx(self._two_pass_stddev(samples))
+        assert moments.minimum == summary.minimum
+        assert moments.maximum == summary.maximum
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_welford_agrees_with_two_pass(self, samples):
+        moments, summary = self._both(samples)
+        assert moments.mean == pytest.approx(summary.mean, abs=1e-6)
+        assert moments.stddev == pytest.approx(
+            self._two_pass_stddev(samples), abs=1e-4
+        )
+
+    def test_merge_equals_single_stream(self):
+        from repro.util.stats import StreamingMoments
+
+        left, right, whole = StreamingMoments(), StreamingMoments(), StreamingMoments()
+        samples = [1.0, 2.5, -3.0, 7.75, 0.5, 12.0]
+        for x in samples[:3]:
+            left.add(x)
+            whole.add(x)
+        for x in samples[3:]:
+            right.add(x)
+            whole.add(x)
+        left.merge(right)
+        assert left.n == whole.n
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.variance == pytest.approx(whole.variance)
+
+    def test_snapshot_restore_round_trip(self):
+        from repro.util.stats import StreamingMoments
+
+        moments = StreamingMoments()
+        for x in (5.0, 1.0, 8.0):
+            moments.add(x)
+        restored = StreamingMoments.restore(moments.snapshot())
+        restored.add(2.0)
+        moments.add(2.0)
+        assert restored.snapshot() == moments.snapshot()
+
+
+class TestP2Quantile:
+    def test_small_samples_are_exact(self):
+        from repro.util.stats import P2Quantile
+
+        estimator = P2Quantile(0.5)
+        for x in (9.0, 1.0, 5.0):
+            estimator.add(x)
+        assert estimator.value == 5.0
+
+    def test_rejects_degenerate_quantile(self):
+        from repro.util.stats import P2Quantile
+
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+
+    def test_estimate_tracks_exact_quantile(self):
+        from repro.util.stats import Cdf, P2Quantile
+
+        import random as random_module
+
+        rng = random_module.Random(11)
+        samples = [rng.gauss(50.0, 10.0) for _ in range(5000)]
+        for q in (0.5, 0.95):
+            estimator = P2Quantile(q)
+            for x in samples:
+                estimator.add(x)
+            exact = Cdf(samples).quantile(q)
+            assert estimator.value == pytest.approx(exact, rel=0.05)
+
+    def test_snapshot_restore_round_trip(self):
+        from repro.util.stats import P2Quantile
+
+        estimator = P2Quantile(0.9)
+        for x in range(100):
+            estimator.add(float(x))
+        restored = P2Quantile.restore(estimator.snapshot())
+        for x in (3.5, 99.5):
+            estimator.add(x)
+            restored.add(x)
+        assert restored.value == estimator.value

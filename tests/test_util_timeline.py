@@ -63,3 +63,36 @@ class TestByteTimeline:
         timeline.add(0.1, 1)
         cdf = timeline.utilization_cdf()
         assert len(cdf) == timeline.num_bins
+
+
+class TestStreamingTimeline:
+    def test_freeze_matches_batch_timeline(self):
+        from repro.util.timeline import StreamingTimeline
+
+        points = [(0.5, 100), (0.9, 50), (5.5, 200), (9.9, 75)]
+        batch = ByteTimeline(0.0, 10.0, 1.0)
+        batch.add_many(points)
+        streaming = StreamingTimeline(1.0)
+        for ts, nbytes in points:
+            streaming.add(ts, nbytes)
+        assert streaming.freeze(0.0, 10.0).bins() == batch.bins()
+
+    def test_overflow_folds_into_last_bin(self):
+        from repro.util.timeline import StreamingTimeline
+
+        streaming = StreamingTimeline(1.0)
+        streaming.add(0.5, 10)
+        streaming.add(99.5, 40)  # past the frozen span
+        frozen = streaming.freeze(0.0, 5.0)
+        assert frozen.bins()[0] == 10
+        assert frozen.bins()[-1] == 40
+
+    def test_snapshot_restore_round_trip(self):
+        from repro.util.timeline import StreamingTimeline
+
+        streaming = StreamingTimeline(1.0)
+        streaming.add(1.5, 100)
+        restored = StreamingTimeline.restore(streaming.snapshot())
+        streaming.add(3.5, 7)
+        restored.add(3.5, 7)
+        assert restored.freeze(0.0, 5.0).bins() == streaming.freeze(0.0, 5.0).bins()
