@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench runtime-bench stream-bench examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench stream-bench chaos-soak examples outputs clean
 
 install:
 	pip install -e .
@@ -36,6 +36,12 @@ runtime-bench:
 # Batch vs streaming engine throughput + peak memory; writes BENCH_stream.json.
 stream-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_stream_bench.py -q -s
+
+# Crash-point soak: fixed-seed fault schedules kill CLI runs
+# mid-publication and mid-checkpoint, resumed runs must be byte-identical
+# to clean ones, and a post-soak scrub must come back clean.
+chaos-soak:
+	PYTHONPATH=src python -m pytest benchmarks/test_chaos_soak.py -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done

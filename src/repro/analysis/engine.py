@@ -134,6 +134,11 @@ class DatasetAnalysis:
     error_policy: str = ErrorPolicy.STRICT.value
     #: Analyzer name -> hook failure count (circuit-breaker accounting).
     analyzer_errors: dict[str, int] = field(default_factory=dict)
+    #: Storage-plane failures absorbed while persisting this analysis
+    #: (operation -> count).  Transient by construction: a cached copy
+    #: loaded back from the store had, by definition, no I/O errors, so
+    #: this never travels through the shard format.
+    io_errors: dict[str, int] = field(default_factory=dict)
 
     def filtered_conns(self) -> list[ConnRecord]:
         """Connections with scanner traffic removed (the §3 baseline)."""
@@ -171,6 +176,11 @@ class DatasetAnalysis:
         if analyzer:
             totals[ErrorKind.ANALYZER_ERROR.value] = (
                 totals.get(ErrorKind.ANALYZER_ERROR.value, 0) + analyzer
+            )
+        io = sum(self.io_errors.values())
+        if io:
+            totals[ErrorKind.IO_ERROR.value] = (
+                totals.get(ErrorKind.IO_ERROR.value, 0) + io
             )
         return totals
 

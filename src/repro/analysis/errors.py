@@ -14,7 +14,7 @@ react to them:
   rest of the study running.
 
 The taxonomy (:class:`ErrorKind`) is deliberately small and closed: every
-defect the reader, decoder, or engine can meet maps onto one of nine
+defect the reader, decoder, or engine can meet maps onto one of ten
 kinds, so error accounting stays comparable across datasets and runs.
 (``worker_error`` belongs to the parallel execution runtime: a work unit
 that crashed, raised, or timed out in a worker process after exhausting
@@ -71,6 +71,11 @@ class ErrorKind(str, Enum):
     #: or table overflow) and later saw more packets, splitting what the
     #: batch engine would have reported as one connection.
     EARLY_EVICTION = "early_eviction"
+    #: A storage-plane I/O operation failed (ENOSPC, EIO, a lost
+    #: rename) while publishing shards, checkpoints, or telemetry; the
+    #: tolerant policies degrade to the cold path and account the loss
+    #: here instead of aborting the run (see :mod:`repro.chaos`).
+    IO_ERROR = "io_error"
 
 
 class ErrorPolicy(str, Enum):

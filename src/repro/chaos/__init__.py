@@ -1,0 +1,38 @@
+"""Deterministic I/O chaos: seeded fault schedules for the storage plane.
+
+The store, the stream checkpointer, the telemetry log, and the pcap
+writer all funnel their filesystem traffic through :mod:`repro.chaos.fsio`.
+With no fault plane active that module is a thin zero-overhead veneer
+over ``os``/``open``; with one active (:func:`activate`, the
+:func:`active` context manager, or the ``REPRO_CHAOS`` environment
+variable) every operation first asks the plane whether this is the
+moment the disk lies — ENOSPC, EIO, a torn write, a lost rename, a
+read-side bit flip, or an outright process kill.
+
+Schedules are seeded and counted, so a failing chaos run replays
+exactly; see ``docs/robustness.md`` for the schedule grammar.
+"""
+
+from .faults import (
+    CHAOS_ENV,
+    FaultKind,
+    FaultPlane,
+    FaultRule,
+    InjectedCrash,
+    activate,
+    active,
+    current_plane,
+    deactivate,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "FaultKind",
+    "FaultPlane",
+    "FaultRule",
+    "InjectedCrash",
+    "activate",
+    "active",
+    "current_plane",
+    "deactivate",
+]

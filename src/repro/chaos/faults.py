@@ -1,0 +1,260 @@
+"""Seeded fault schedules: when and how the filesystem lies.
+
+A :class:`FaultPlane` owns a list of :class:`FaultRule` entries and a
+seeded RNG.  Every I/O operation routed through :mod:`repro.chaos.fsio`
+calls :meth:`FaultPlane.check` with an operation name (``"publish"``,
+``"read"``, ``"append"``, ``"trace-write"``) and the path involved; the
+first rule whose filters match *and* whose schedule fires wins, and the
+caller applies that fault.  Schedules are deterministic: a rule fires
+either at exact 1-based indices of its matching-operation count
+(``at``), or by seeded coin flip (``rate``), and never more than
+``limit`` times — so the same process performing the same operation
+sequence meets the same faults, every run.
+
+The plane travels across process boundaries two ways: forked workers
+inherit it (with the parent's counters, so every child replays the same
+schedule from the same point), and fresh processes pick it up from the
+``REPRO_CHAOS`` environment variable — a JSON document written by
+:meth:`FaultPlane.to_env` — which is how the chaos-soak harness arms a
+CLI run it is about to kill.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "CHAOS_ENV",
+    "FaultKind",
+    "FaultRule",
+    "FaultPlane",
+    "InjectedCrash",
+    "activate",
+    "deactivate",
+    "active",
+    "current_plane",
+]
+
+#: Environment variable carrying a serialized fault plane.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit status used by ``crash`` faults under ``crash_mode="exit"``
+#: (mirrors a SIGKILL death so supervisors treat it as a hard kill).
+CRASH_EXIT_CODE = 137
+
+
+class FaultKind(str, Enum):
+    """The injectable I/O faults."""
+
+    #: The write fails with ``ENOSPC`` after a partial transfer.
+    ENOSPC = "enospc"
+    #: The operation fails with ``EIO``.
+    EIO = "eio"
+    #: The write silently persists only a prefix of the data.
+    TORN_WRITE = "torn_write"
+    #: An ``os.replace`` publication silently never happens.
+    LOST_RENAME = "lost_rename"
+    #: A read returns the file's bytes with one bit flipped.
+    BIT_FLIP = "bit_flip"
+    #: The process dies on the spot (kill-at-any-point).
+    CRASH = "crash"
+
+
+class InjectedCrash(BaseException):
+    """A scheduled process death under ``crash_mode="raise"``.
+
+    Subclasses :class:`BaseException` so ordinary ``except Exception``
+    recovery code cannot swallow it — exactly like a real SIGKILL,
+    which no handler sees either.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: what fires, where, and when."""
+
+    kind: FaultKind
+    #: Operation prefix this rule watches (None = every operation).
+    op: str | None = None
+    #: ``fnmatch`` pattern the path's string form must match (None = any).
+    path: str | None = None
+    #: Fire at these 1-based indices of the rule's matching-op count.
+    at: tuple[int, ...] = ()
+    #: Else fire each matching op with this seeded probability.
+    rate: float = 0.0
+    #: Total firings allowed (None = unlimited).
+    limit: int | None = 1
+
+    def matches(self, op: str, path: str) -> bool:
+        if self.op is not None and not op.startswith(self.op):
+            return False
+        if self.path is not None and not fnmatch.fnmatch(path, self.path):
+            return False
+        return True
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "op": self.op,
+            "path": self.path,
+            "at": list(self.at),
+            "rate": self.rate,
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultRule":
+        return cls(
+            kind=FaultKind(payload["kind"]),
+            op=payload.get("op"),
+            path=payload.get("path"),
+            at=tuple(payload.get("at", ())),
+            rate=float(payload.get("rate", 0.0)),
+            limit=payload.get("limit", 1),
+        )
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule accounting (kept out of the frozen rule)."""
+
+    seen: int = 0
+    fired: int = 0
+
+
+class FaultPlane:
+    """A seeded, counted fault schedule for the I/O seam."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rules: list[FaultRule] | tuple[FaultRule, ...] = (),
+        crash_mode: str = "exit",
+    ) -> None:
+        if crash_mode not in ("exit", "raise"):
+            raise ValueError(f"crash_mode must be 'exit' or 'raise': {crash_mode!r}")
+        self.seed = seed
+        self.rules = tuple(rules)
+        self.crash_mode = crash_mode
+        self._rng = random.Random(seed)
+        self._state = [_RuleState() for _ in self.rules]
+        #: Every fault fired so far, as (op, path, kind) — the replay log.
+        self.fired_log: list[tuple[str, str, FaultKind]] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def check(self, op: str, path: str) -> FaultRule | None:
+        """Ask whether this operation meets a fault; first match wins."""
+        for rule, state in zip(self.rules, self._state):
+            if not rule.matches(op, path):
+                continue
+            state.seen += 1
+            if rule.limit is not None and state.fired >= rule.limit:
+                continue
+            fires = state.seen in rule.at or (
+                rule.rate > 0.0 and self._rng.random() < rule.rate
+            )
+            if fires:
+                state.fired += 1
+                self.fired_log.append((op, path, rule.kind))
+                return rule
+        return None
+
+    # -- fault application helpers ----------------------------------------
+
+    def crash(self, op: str, path: str) -> None:
+        """Die on the spot, the way the schedule asked to."""
+        if self.crash_mode == "exit":
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(f"injected crash during {op} of {path}")
+
+    def torn_length(self, size: int) -> int:
+        """How many bytes a torn write persists (seeded, always < size)."""
+        if size <= 1:
+            return 0
+        return self._rng.randrange(1, size)
+
+    def flip_bit(self, data: bytes) -> bytes:
+        """Return ``data`` with one seeded bit flipped."""
+        if not data:
+            return data
+        flipped = bytearray(data)
+        index = self._rng.randrange(len(flipped))
+        flipped[index] ^= 1 << self._rng.randrange(8)
+        return bytes(flipped)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_env(self) -> str:
+        """Serialize for ``REPRO_CHAOS`` (schedule only, not counters)."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "crash_mode": self.crash_mode,
+                "rules": [rule.to_payload() for rule in self.rules],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_env(cls, text: str) -> "FaultPlane":
+        payload = json.loads(text)
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            rules=[FaultRule.from_payload(raw) for raw in payload.get("rules", ())],
+            crash_mode=payload.get("crash_mode", "exit"),
+        )
+
+
+# -- the process-wide active plane -------------------------------------------
+
+_active_plane: FaultPlane | None = None
+_env_checked = False
+
+
+def activate(plane: FaultPlane) -> FaultPlane:
+    """Install ``plane`` as the process-wide fault plane."""
+    global _active_plane, _env_checked
+    _active_plane = plane
+    _env_checked = True
+    return plane
+
+
+def deactivate() -> None:
+    """Remove the active fault plane (I/O goes back to honest)."""
+    global _active_plane, _env_checked
+    _active_plane = None
+    _env_checked = True
+
+
+def current_plane() -> FaultPlane | None:
+    """The active plane, arming lazily from ``REPRO_CHAOS`` once."""
+    global _active_plane, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        text = os.environ.get(CHAOS_ENV)
+        if text:
+            _active_plane = FaultPlane.from_env(text)
+    return _active_plane
+
+
+class active:
+    """Context manager scoping a fault plane to a ``with`` block."""
+
+    def __init__(self, plane: FaultPlane) -> None:
+        self.plane = plane
+        self._previous: FaultPlane | None = None
+
+    def __enter__(self) -> FaultPlane:
+        self._previous = current_plane()
+        activate(self.plane)
+        return self.plane
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _active_plane
+        _active_plane = self._previous

@@ -9,6 +9,8 @@ A ``store`` subcommand inspects the connection-record store::
     repro-study store ls --store-dir .store
     repro-study store query --store-dir .store --by category --dataset D0
     repro-study store gc --store-dir .store
+    repro-study store scrub --store-dir .store
+    repro-study store repair --store-dir .store --traces-dir traces/
 
 A ``stream`` subcommand runs the same study through the single-pass
 bounded-memory engine (``docs/streaming.md``), with live per-window
@@ -202,7 +204,15 @@ def _build_store_parser() -> argparse.ArgumentParser:
     ls = sub.add_parser("ls", help="list cached dataset analyses")
     query = sub.add_parser("query", help="aggregate cached connection records")
     gc = sub.add_parser("gc", help="delete unreferenced shard objects")
-    for command in (ls, query, gc):
+    scrub = sub.add_parser(
+        "scrub",
+        help="verify every shard and manifest; quarantine corrupt files",
+    )
+    repair = sub.add_parser(
+        "repair",
+        help="scrub, then re-derive damaged shards from source traces",
+    )
+    for command in (ls, query, gc, scrub, repair):
         command.add_argument(
             "--store-dir", required=True, help="connection-record store root"
         )
@@ -210,6 +220,18 @@ def _build_store_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="report what would be reclaimed without deleting anything",
+    )
+    scrub.add_argument(
+        "--audit-only",
+        action="store_true",
+        help="report damage without moving anything into quarantine",
+    )
+    repair.add_argument(
+        "--traces-dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding the source pcap traces (a study --out-dir); "
+        "repair verifies each trace's digest before trusting it",
     )
 
     from ..store.query import GROUP_DIMENSIONS
@@ -255,6 +277,34 @@ def _store_main(argv: list[str]) -> int:
 
     args = _build_store_parser().parse_args(argv)
     store = ConnStore(args.store_dir)
+    if args.command == "scrub":
+        from ..store.scrub import StoreScrubber
+
+        report = StoreScrubber(store).scrub(quarantine=not args.audit_only)
+        print(report.render())
+        return 0 if report.ok else 1
+    if args.command == "repair":
+        from ..store.scrub import StoreScrubber
+
+        outcomes = StoreScrubber(store).repair(traces_dir=args.traces_dir)
+        if not outcomes:
+            print("nothing to repair")
+            return 0
+        failed = 0
+        for outcome in outcomes:
+            if outcome.repaired:
+                print(
+                    f"repaired {outcome.dataset} (key={outcome.key[:12]}…): "
+                    f"{len(outcome.restored)} object(s) restored to their "
+                    "original content addresses"
+                )
+            else:
+                failed += 1
+                print(
+                    f"could not repair {outcome.dataset} "
+                    f"(key={outcome.key[:12]}…): {outcome.reason}"
+                )
+        return 0 if failed == 0 else 1
     if args.command == "ls":
         stats = store.stats()
         print(f"store {stats['root']}")

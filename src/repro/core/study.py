@@ -246,6 +246,7 @@ def analyze_dataset(
         raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
     policy = ErrorPolicy.coerce(error_policy)
     stream_config = stream if stream is not None else StreamConfig()
+    engine_config = _engine_key_config(engine, stream_config)
     digests: list[str] = []
     key: str | None = None
     if store is not None:
@@ -258,7 +259,7 @@ def analyze_dataset(
             traces.config.full_payload,
             str(ENTERPRISE_NET),
             known_scanners,
-            engine_config=_engine_key_config(engine, stream_config),
+            engine_config=engine_config,
         )
         manifest = store.lookup(key)
         if manifest is not None:
@@ -289,7 +290,31 @@ def analyze_dataset(
         analyzer.process_pcap(trace.path)
     analysis = analyzer.finish(known_scanners=known_scanners)
     if store is not None and key is not None:
-        store.save_analysis(key, analysis, traces, digests, gen_key=gen_key)
+        # Enough context for `repro store repair` to re-derive these
+        # shards from the source traces without guessing run parameters.
+        repair_info = {
+            "error_policy": policy.value,
+            "known_scanners": sorted(known_scanners),
+            "engine": engine,
+            "engine_config": engine_config,
+        }
+        try:
+            store.save_analysis(
+                key, analysis, traces, digests, gen_key=gen_key, repair=repair_info
+            )
+        except OSError as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise IngestionError(
+                    ErrorKind.IO_ERROR,
+                    str(store.root),
+                    None,
+                    f"shard publication failed: {exc}",
+                ) from exc
+            # Tolerant: the analysis in hand is complete — losing the
+            # cache entry costs a future warm start, not this run.
+            analysis.io_errors["shard_publication"] = (
+                analysis.io_errors.get("shard_publication", 0) + 1
+            )
     return analysis
 
 
@@ -415,7 +440,7 @@ def _dataset_unit_worker(spec: Mapping) -> dict:
                     ),
                     "bytes": 0,
                 }
-    dataset_traces, _, trace_bytes = _generate_and_analyze(
+    dataset_traces, analysis, trace_bytes = _generate_and_analyze(
         name,
         enterprise,
         known_scanners,
@@ -435,6 +460,10 @@ def _dataset_unit_worker(spec: Mapping) -> dict:
         "cache": "miss",
         "packets": dataset_traces.total_packets,
         "bytes": trace_bytes,
+        # Storage faults the worker absorbed under a tolerant policy;
+        # the parent folds these into the data-quality accounting when
+        # it has to recompute the dataset inline.
+        "io_errors": sum(analysis.io_errors.values()),
     }
 
 
@@ -722,6 +751,11 @@ def _run_study_parallel(
                     engine=config.engine,
                     stream=stream,
                 )
+                worker_io = int(unit.value.get("io_errors", 0) or 0)
+                if worker_io:
+                    analysis.io_errors["shard_publication"] = (
+                        analysis.io_errors.get("shard_publication", 0) + worker_io
+                    )
                 _adopt_analysis(results, name, dataset_traces, analysis)
                 continue
             _adopt_analysis(

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import BinaryIO, Iterable
 
+from ..chaos import fsio
 from ..net.packet import CapturedPacket
 from .records import RECORD_HEADER, PcapGlobalHeader
 
@@ -32,8 +32,12 @@ class PcapWriter:
 
     @classmethod
     def open(cls, path: str | Path, snaplen: int = 65535) -> "PcapWriter":
-        """Open ``path`` for writing and emit the global header."""
-        return cls(io.open(path, "wb"), snaplen=snaplen)
+        """Open ``path`` for writing and emit the global header.
+
+        The stream goes through the chaos I/O seam, so an active fault
+        plane can tear or fail individual record writes.
+        """
+        return cls(fsio.open_write(path, op="trace-write"), snaplen=snaplen)
 
     def write(self, pkt: CapturedPacket) -> None:
         """Append one packet record, truncating to the snaplen."""

@@ -8,6 +8,17 @@ is retried with exponential backoff before being reported as a failure
 through the :class:`~repro.analysis.errors.ErrorKind` taxonomy
 (``worker_error``) instead of aborting the run.
 
+Two watchdog behaviors guard the pool itself (see ``docs/runtime.md``):
+with :attr:`RetryPolicy.heartbeat_timeout` set, every child sends
+heartbeat pings over its result pipe, and a worker that stays *alive
+but silent* past the limit is SIGKILLed and its unit requeued —
+distinct from the deadline ``timeout``, which fires even while a worker
+is making progress.  And a *poison unit* — one whose work reliably
+kills its worker — is quarantined after :attr:`RetryPolicy.max_crashes`
+hard deaths (crashes plus hang-kills) rather than grinding through
+every retry: it lands in the study's ``unit_failures`` and the pool
+moves on.
+
 With ``jobs=1`` no subprocess is ever created — units run inline in the
 calling process, in dependency order, which keeps single-job runs
 byte-identical to (and as debuggable as) plain sequential code.
@@ -25,6 +36,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -61,10 +73,29 @@ class RetryPolicy:
     backoff: float = 0.25
     #: Per-attempt wall-clock limit (None = no limit).
     timeout: float | None = None
+    #: Watchdog: a worker silent this long (no heartbeat) while still
+    #: alive is presumed hung — wedged in a syscall, stopped, or
+    #: deadlocked — and is SIGKILLed and requeued.  Distinct from
+    #: ``timeout``, which bounds *total* attempt time even while the
+    #: worker is making progress.  ``None`` disables the watchdog.
+    heartbeat_timeout: float | None = None
+    #: Poison-unit quarantine: a unit that kills this many workers
+    #: (crashes or hang-kills, across attempts) is declared failed
+    #: immediately, even with retries to spare — a deterministic
+    #: crasher must not grind through every retry the policy allows.
+    max_crashes: int = 3
 
     def backoff_for(self, attempt: int) -> float:
         """Backoff before re-running after failed attempt ``attempt``."""
         return self.backoff * (2 ** (attempt - 1))
+
+    @property
+    def heartbeat_interval(self) -> float | None:
+        """How often a worker beats (several beats per timeout window,
+        so one missed scheduling slice never looks like a hang)."""
+        if self.heartbeat_timeout is None:
+            return None
+        return self.heartbeat_timeout / 4.0
 
 
 @dataclass
@@ -93,17 +124,50 @@ class _Running:
     attempt: int
     started: float
     deadline: float | None
+    #: When the child last proved liveness (a heartbeat or launch time).
+    last_beat: float = 0.0
 
 
-def _child_main(conn, worker: Callable[[Mapping], object], payload: Mapping) -> None:
-    """Child-process entry: run the worker, ship back one message."""
+def _child_main(
+    conn,
+    worker: Callable[[Mapping], object],
+    payload: Mapping,
+    heartbeat_interval: float | None = None,
+) -> None:
+    """Child-process entry: run the worker, ship back one message.
+
+    With a heartbeat interval, a daemon thread sends ``("hb", ts)``
+    pings while the worker runs; the parent's watchdog treats their
+    absence as a hang.  The send lock keeps a ping from interleaving
+    with the final result on the pipe.  A worker wedged hard enough to
+    stop its threads (stopped, or stuck with the GIL held in a native
+    call) stops beating too — which is exactly the signal.
+    """
+    send_lock = threading.Lock()
+    stop: threading.Event | None = None
+    if heartbeat_interval is not None:
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    with send_lock:
+                        conn.send(("hb", time.monotonic()))
+                except OSError:
+                    return  # parent went away; nothing left to prove
+
+        threading.Thread(target=_beat, name="hb", daemon=True).start()
     try:
         value = worker(payload)
-        conn.send(("ok", value))
+        with send_lock:
+            conn.send(("ok", value))
     except Exception:
         tail = traceback.format_exc(limit=10)
-        conn.send(("error", tail[-4000:]))
+        with send_lock:
+            conn.send(("error", tail[-4000:]))
     finally:
+        if stop is not None:
+            stop.set()
         conn.close()
 
 
@@ -256,7 +320,12 @@ class ProcessPoolScheduler:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_child_main,
-            args=(child_conn, self.worker, task.payload),
+            args=(
+                child_conn,
+                self.worker,
+                task.payload,
+                self.retry.heartbeat_interval,
+            ),
             name=f"repro-unit-{task.key}",
         )
         process.start()
@@ -266,23 +335,62 @@ class ProcessPoolScheduler:
         deadline = (
             now + self.retry.timeout if self.retry.timeout is not None else None
         )
-        return _Running(task, process, parent_conn, attempt, now, deadline)
+        return _Running(
+            task, process, parent_conn, attempt, now, deadline, last_beat=now
+        )
 
     def _reap(self, running: _Running) -> tuple[str, object] | None:
-        """One non-blocking look at a child: a message, a fault, or None."""
-        if running.conn.poll():
+        """One non-blocking look at a child: a message, a fault, or None.
+
+        Heartbeat pings are drained here (each refreshes ``last_beat``);
+        the first real message wins.  Faults are typed: ``timeout`` for
+        a blown deadline, ``hung`` for a live-but-silent worker the
+        watchdog had to SIGKILL, ``crash`` for a worker that died
+        without reporting.  Only ``crash`` and ``hung`` count against
+        the unit's :attr:`RetryPolicy.max_crashes` poison budget.
+        """
+        while running.conn.poll():
             try:
                 message = running.conn.recv()
-            except EOFError:
-                message = None
+            except (EOFError, OSError):
+                break
+            if (
+                isinstance(message, tuple)
+                and len(message) == 2
+                and message[0] == "hb"
+            ):
+                running.last_beat = time.monotonic()
+                continue
             if message is not None:
                 return message
-        if running.deadline is not None and time.monotonic() > running.deadline:
+        now = time.monotonic()
+        if running.deadline is not None and now > running.deadline:
             self._terminate(running.process)
-            return ("error", f"timed out after {self.retry.timeout}s")
+            return ("timeout", f"timed out after {self.retry.timeout}s")
+        heartbeat_timeout = self.retry.heartbeat_timeout
+        if (
+            heartbeat_timeout is not None
+            and running.process.exitcode is None
+            and now - running.last_beat > heartbeat_timeout
+        ):
+            silent = now - running.last_beat
+            self._emit(
+                "unit_hang",
+                unit=running.task.key,
+                attempt=running.attempt,
+                silent_s=round(silent, 3),
+            )
+            # SIGKILL, not terminate(): a worker too wedged to beat is
+            # too wedged to honor SIGTERM.
+            running.process.kill()
+            return (
+                "hung",
+                f"worker hung: no heartbeat for {silent:.1f}s "
+                f"(limit {heartbeat_timeout}s), killed",
+            )
         if running.process.exitcode is not None:
             return (
-                "error",
+                "crash",
                 f"worker crashed with exit code {running.process.exitcode}",
             )
         return None
@@ -301,6 +409,8 @@ class ProcessPoolScheduler:
         first_start: dict[str, float] = {}
         retry_at: dict[str, float] = {}
         attempts: dict[str, int] = {}
+        #: Workers each unit has killed (crashes + hang-kills).
+        crashes: dict[str, int] = {}
         try:
             while len(results) < len(graph):
                 now = time.monotonic()
@@ -345,9 +455,33 @@ class ProcessPoolScheduler:
                     unit.conn.close()
                     status, payload = outcome
                     wall = time.monotonic() - first_start[key]
+                    if status in ("crash", "hung"):
+                        crashes[key] = crashes.get(key, 0) + 1
                     if status == "ok":
                         results[key] = self._finish_ok(
                             unit.task, payload, unit.attempt, wall
+                        )
+                    elif (
+                        status in ("crash", "hung")
+                        and crashes[key] >= self.retry.max_crashes
+                    ):
+                        # Poison unit: it has now taken down max_crashes
+                        # workers.  Quarantine it immediately — however
+                        # many retries remain — so a deterministic
+                        # crasher cannot stall the pool.
+                        self._emit(
+                            "unit_poisoned",
+                            unit=key,
+                            crashes=crashes[key],
+                            attempt=unit.attempt,
+                            error=str(payload),
+                        )
+                        results[key] = self._finish_failed(
+                            unit.task,
+                            f"poison unit quarantined after killing "
+                            f"{crashes[key]} workers: {payload}",
+                            unit.attempt,
+                            wall,
                         )
                     elif unit.attempt > self.retry.max_retries:
                         results[key] = self._finish_failed(

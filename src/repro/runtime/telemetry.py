@@ -31,15 +31,44 @@ import time
 from pathlib import Path
 from typing import IO, Iterable
 
+from ..chaos import fsio
 from ..report.model import Table
 
-__all__ = ["TelemetryLog", "COUNTER_KEYS"]
+__all__ = ["TelemetryLog", "COUNTER_KEYS", "read_events"]
 
 #: Worker-result keys the scheduler copies into ``unit_finish`` events.
 COUNTER_KEYS = ("packets", "bytes", "cache")
 
 #: Events echoed as human-readable progress lines.
 _PROGRESS_EVENTS = {"unit_start", "unit_retry", "unit_finish", "study_finish"}
+
+
+def read_events(path: str | Path) -> tuple[list[dict], int]:
+    """Load a telemetry JSONL file, tolerating a truncated tail.
+
+    A run killed mid-write (power loss, SIGKILL, an injected crash)
+    leaves at most a partial trailing line; ``strict`` parsing would
+    throw away the whole file for it.  Returns ``(events, bad_lines)``
+    where ``bad_lines`` counts lines that failed to parse — they are
+    skipped, never raised.
+    """
+    events: list[dict] = []
+    bad_lines = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                bad_lines += 1
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                bad_lines += 1
+    return events, bad_lines
 
 
 class TelemetryLog:
@@ -54,6 +83,8 @@ class TelemetryLog:
         self.path = Path(path) if path is not None else None
         self.progress = progress
         self.events: list[dict] = []
+        #: JSONL lines lost to write failures (the log never raises).
+        self.dropped_writes = 0
         self._stream = stream if stream is not None else sys.stderr
         self._handle: IO[str] | None = None
         if self.path is not None:
@@ -63,13 +94,33 @@ class TelemetryLog:
     # -- emission ----------------------------------------------------------
 
     def emit(self, event: str, **fields: object) -> dict:
-        """Record one event; mirrors it to the JSONL file and stderr."""
+        """Record one event; mirrors it to the JSONL file and stderr.
+
+        Each line is flushed as it is written, so a killed run's file
+        still holds every completed event (at worst plus one truncated
+        trailing line, which :func:`read_events` tolerates).  A failing
+        disk never takes the run down with it: write errors are counted
+        in :attr:`dropped_writes` and the file sink is closed, while the
+        in-memory stream keeps recording.
+        """
         record: dict = {"event": event, "ts": round(time.time(), 6)}
         record.update(fields)
         self.events.append(record)
         if self._handle is not None:
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-            self._handle.flush()
+            try:
+                fsio.guard("append", self.path)
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+                self._handle.flush()
+            except OSError:
+                self.dropped_writes += 1
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+        elif self.path is not None:
+            # The sink is already dead; keep honest books on what it lost.
+            self.dropped_writes += 1
         if self.progress and event in _PROGRESS_EVENTS:
             print(self._progress_line(record), file=self._stream, flush=True)
         return record

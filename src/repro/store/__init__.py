@@ -9,11 +9,13 @@ shards without touching a single pcap record.
 * :mod:`repro.store.shard` — the columnar, CRC-checked shard format.
 * :mod:`repro.store.cache` — the content-addressed object store.
 * :mod:`repro.store.query` — filtered scans and table aggregations.
+* :mod:`repro.store.scrub` — offline integrity walks, quarantine, repair.
 """
 
 from .cache import CachedDataset, ConnStore, GcReport
 from .query import ConnFilter, StoreQuery
 from .schema import SCHEMA_VERSION
+from .scrub import RepairOutcome, ScrubFinding, ScrubReport, StoreScrubber
 from .shard import ShardError
 
 __all__ = [
@@ -23,5 +25,9 @@ __all__ = [
     "ConnFilter",
     "StoreQuery",
     "ShardError",
+    "StoreScrubber",
+    "ScrubReport",
+    "ScrubFinding",
+    "RepairOutcome",
     "SCHEMA_VERSION",
 ]

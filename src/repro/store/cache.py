@@ -31,13 +31,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
 from ..analysis.engine import DatasetAnalysis
+from ..chaos import fsio
 from ..analysis.errors import ErrorKind, ErrorPolicy
 from ..gen.capture import DatasetTraces, TapWindow, Trace
 from ..gen.datasets import DATASETS
@@ -188,46 +187,28 @@ class ConnStore:
     def put_object(self, data: bytes) -> str:
         """Store shard bytes under their own digest; returns the digest.
 
-        Safe under concurrent writers: each writes to a uniquely named
-        temp file in the target directory and publishes it with an
-        atomic :func:`os.replace`, so a reader can never observe a
-        partial shard.  The first writer wins — a later writer of the
-        same digest (same bytes, by content addressing) either skips the
-        write or harmlessly replaces the file with identical content.
+        Safe under concurrent writers *and* crashes: each writes to a
+        uniquely named temp file in the target directory, ``fsync``\\ s
+        it, publishes it with an atomic :func:`os.replace`, and
+        ``fsync``\\ s the directory (see
+        :func:`repro.chaos.fsio.publish_bytes`), so a reader can never
+        observe a partial shard and a published shard survives a power
+        cut.  The first writer wins — a later writer of the same digest
+        (same bytes, by content addressing) either skips the write or
+        harmlessly replaces the file with identical content.
         """
         digest = hashlib.sha256(data).hexdigest()
         path = self._object_path(digest)
         if not path.exists():
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._publish(path, data)
+            fsio.publish_bytes(path, data, tmp_prefix=f".{digest[:12]}-")
         return digest
-
-    @staticmethod
-    def _publish(path: Path, data: bytes) -> None:
-        """Atomically materialize ``data`` at ``path`` (unique temp +
-        ``os.replace``); first writer wins."""
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.stem[:12]}-", suffix=_TMP_SUFFIX
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            if path.exists():
-                os.unlink(tmp)  # someone else published first
-            else:
-                os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def get_object(self, digest: str) -> bytes:
         """Load shard bytes, re-verifying the content address."""
         path = self._object_path(digest)
         try:
-            data = path.read_bytes()
+            data = fsio.read_bytes(path)
         except FileNotFoundError:
             raise ShardError(
                 ErrorKind.TRUNCATED_BODY, str(path), None, "shard object missing"
@@ -247,30 +228,26 @@ class ConnStore:
         return self.manifests_dir / f"{key}.json"
 
     def _write_manifest(self, key: str, payload: dict) -> None:
-        """Atomically (re)write one manifest: a reader sees the old
-        version or the new one, never an interleaving."""
+        """Crash-consistently (re)write one manifest: a reader sees the
+        old version or the new one, never an interleaving — and after a
+        crash, never a torn file (contents and directory are fsynced
+        before and after the atomic rename)."""
         path = self._manifest_path(key)
         text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:12]}-", suffix=_TMP_SUFFIX
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        fsio.publish_text(path, text, tmp_prefix=f".{key[:12]}-")
 
     def lookup(self, key: str) -> dict | None:
-        """Load a manifest by key, following generation-key aliases."""
+        """Load a manifest by key, following generation-key aliases.
+
+        A manifest that cannot be read or parsed — torn by a legacy
+        writer, bit-rotted, or mid-flip under chaos — is treated as a
+        cache miss, never an error; the scrubber is where such files
+        get diagnosed and quarantined.
+        """
         path = self._manifest_path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            payload = json.loads(fsio.read_bytes(path).decode("utf-8"))
+        except (OSError, ValueError):
             return None
         ref = payload.get("ref")
         if ref is not None:
@@ -283,8 +260,8 @@ class ConnStore:
             return
         for path in sorted(self.manifests_dir.glob("*.json")):
             try:
-                payload = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
+                payload = json.loads(fsio.read_bytes(path).decode("utf-8"))
+            except (OSError, ValueError):
                 continue
             yield payload
 
@@ -313,8 +290,17 @@ class ConnStore:
         traces: DatasetTraces,
         trace_digests: list[str],
         gen_key: str | None = None,
+        repair: dict | None = None,
     ) -> dict:
-        """Shard a finished analysis and write its manifest."""
+        """Shard a finished analysis and write its manifest.
+
+        ``repair`` is an optional block of analysis parameters (error
+        policy, known scanners, engine) recorded verbatim in the
+        manifest; ``repro-study store repair`` uses it to re-derive
+        damaged shards from the source traces (see
+        :mod:`repro.store.scrub`).  Manifests without it are still
+        scrubbed, just not repairable.
+        """
         self.manifests_dir.mkdir(parents=True, exist_ok=True)
         name = analysis.name
         by_trace: dict[int, list] = {}
@@ -363,6 +349,8 @@ class ConnStore:
             "traces": trace_entries,
             "dataset_shard": dataset_digest,
         }
+        if repair is not None:
+            manifest["repair"] = repair
         self._write_manifest(key, manifest)
         if gen_key is not None:
             self._write_manifest(gen_key, {"ref": key})

@@ -38,7 +38,13 @@ from pathlib import Path
 from typing import Iterable
 
 from ..analysis.engine import DatasetAnalyzer, TraceStats
-from ..analysis.errors import ErrorKind, ErrorPolicy, TraceErrorLog, TraceQuarantined
+from ..analysis.errors import (
+    ErrorKind,
+    ErrorPolicy,
+    IngestionError,
+    TraceErrorLog,
+    TraceQuarantined,
+)
 from ..net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, ETHERTYPE_IPX
 from ..net.ipv4 import PROTO_TCP
 from ..net.packet import CapturedPacket, decode_packet
@@ -269,10 +275,26 @@ class StreamDatasetAnalyzer(DatasetAnalyzer):
                         ErrorKind.DECODE_ERROR, detail=f"flow ingestion: {exc!r}"
                     )
                 if checkpoint_every and stats.packets % checkpoint_every == 0:
-                    self._write_checkpoint(
-                        checkpointer, source, table, aggregator, timeline,
-                        errlog, stats, l2, min_ts, max_ts, prev_ts,
-                    )
+                    try:
+                        self._write_checkpoint(
+                            checkpointer, source, table, aggregator, timeline,
+                            errlog, stats, l2, min_ts, max_ts, prev_ts,
+                        )
+                    except OSError as exc:
+                        # Checkpoints are durability, not correctness: a
+                        # full or failing disk costs resumability, never
+                        # results.  Strict still treats it as the defect
+                        # it is; tolerant degrades to buffering in memory
+                        # until trace end, with a data-quality row.
+                        if strict:
+                            raise IngestionError(
+                                ErrorKind.IO_ERROR, label, None,
+                                f"checkpoint publication failed: {exc}",
+                            ) from exc
+                        errlog.counts[ErrorKind.IO_ERROR.value] = (
+                            errlog.counts.get(ErrorKind.IO_ERROR.value, 0) + 1
+                        )
+                        checkpoint_every = 0
         except TraceQuarantined as exc:
             stats.l2_counts = l2
             stats.errors = dict(errlog.counts)
@@ -345,7 +367,13 @@ class StreamDatasetAnalyzer(DatasetAnalyzer):
         """Drain safe results into a batch shard and publish the state."""
         drained = table.drain()
         if drained:
-            checkpointer.flush_batch(drained)
+            try:
+                checkpointer.flush_batch(drained)
+            except BaseException:
+                # The batch never hit the disk: hand its results back to
+                # the table so nothing is lost when the caller degrades.
+                table.requeue(drained)
+                raise
         checkpointer.save(
             {
                 "trace": {

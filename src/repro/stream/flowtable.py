@@ -499,6 +499,17 @@ class StreamFlowTable:
         self._pending = kept
         return drained
 
+    def requeue(self, results: list[PendingResult]) -> None:
+        """Put drained-but-unpersisted results back in the buffer.
+
+        The checkpointer calls this when a batch flush dies on an I/O
+        fault: the results return to ``_pending`` so no connection is
+        lost, and the next drain (or ``finish``) hands them over again.
+        Buffer order is irrelevant — dispatch sorts by
+        :meth:`PendingResult.sort_key` at trace end.
+        """
+        self._pending[:0] = results
+
     def finish(self) -> list[PendingResult]:
         """Finish every live flow and return all still-buffered results.
 

@@ -1,0 +1,248 @@
+"""The chaos fault plane: schedules, determinism, and the I/O seam.
+
+The load-bearing guarantees: with no plane active the seam is honest
+(and free); fault schedules are deterministic by seed and counter; every
+fault kind does exactly what its taxonomy entry promises — fail, tear,
+lose, flip, or kill — and the publication protocol never leaks a temp
+file, whatever fires.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_ENV,
+    FaultKind,
+    FaultPlane,
+    FaultRule,
+    InjectedCrash,
+    activate,
+    active,
+    current_plane,
+    deactivate,
+)
+from repro.chaos import fsio
+from repro.chaos.faults import CRASH_EXIT_CODE
+
+
+@pytest.fixture(autouse=True)
+def honest_io():
+    """Every test starts and ends without an active plane."""
+    deactivate()
+    yield
+    deactivate()
+
+
+def _no_tmp(directory) -> bool:
+    return not list(directory.glob("*.tmp"))
+
+
+# -- scheduling --------------------------------------------------------------
+
+
+def test_rule_matches_by_op_prefix_and_path_pattern():
+    rule = FaultRule(FaultKind.EIO, op="publish", path="*/objects/*")
+    assert rule.matches("publish", "/store/objects/ab/x.rcs")
+    assert rule.matches("publish.manifest", "/store/objects/ab/x.rcs")
+    assert not rule.matches("read", "/store/objects/ab/x.rcs")
+    assert not rule.matches("publish", "/store/manifests/x.json")
+    assert FaultRule(FaultKind.EIO).matches("anything", "anywhere")
+
+
+def test_at_schedule_fires_at_exact_indices_and_respects_limit():
+    plane = FaultPlane(rules=[FaultRule(FaultKind.EIO, op="op", at=(2, 4), limit=1)])
+    fired = [plane.check("op", "p") is not None for _ in range(5)]
+    assert fired == [False, True, False, False, False]  # limit=1 ate index 4
+
+
+def test_unlimited_rule_fires_every_scheduled_index():
+    plane = FaultPlane(
+        rules=[FaultRule(FaultKind.EIO, op="op", at=(1, 3), limit=None)]
+    )
+    fired = [plane.check("op", "p") is not None for _ in range(4)]
+    assert fired == [True, False, True, False]
+
+
+def test_rate_schedule_is_deterministic_by_seed():
+    def sequence(seed):
+        plane = FaultPlane(
+            seed=seed,
+            rules=[FaultRule(FaultKind.EIO, op="op", rate=0.5, limit=None)],
+        )
+        return [plane.check("op", "p") is not None for _ in range(64)]
+
+    assert sequence(1) == sequence(1)
+    assert sequence(1) != sequence(2)  # astronomically unlikely to collide
+    assert any(sequence(1))
+
+
+def test_first_matching_rule_wins():
+    plane = FaultPlane(
+        rules=[
+            FaultRule(FaultKind.ENOSPC, op="publish", at=(1,)),
+            FaultRule(FaultKind.EIO, op="publish", at=(1,)),
+        ]
+    )
+    assert plane.check("publish", "p").kind is FaultKind.ENOSPC
+
+
+def test_env_round_trip_preserves_the_schedule():
+    plane = FaultPlane(
+        seed=9,
+        rules=[FaultRule(FaultKind.TORN_WRITE, op="publish", path="*.rcs", at=(3,))],
+        crash_mode="raise",
+    )
+    clone = FaultPlane.from_env(plane.to_env())
+    assert clone.seed == 9
+    assert clone.crash_mode == "raise"
+    assert clone.rules == plane.rules
+
+
+def test_current_plane_arms_lazily_from_environment(monkeypatch):
+    import repro.chaos.faults as faults
+
+    plane = FaultPlane(rules=[FaultRule(FaultKind.EIO, op="read", at=(1,))])
+    monkeypatch.setenv(CHAOS_ENV, plane.to_env())
+    monkeypatch.setattr(faults, "_active_plane", None)
+    monkeypatch.setattr(faults, "_env_checked", False)
+    armed = current_plane()
+    assert armed is not None
+    assert armed.rules == plane.rules
+
+
+def test_active_context_manager_restores_previous_plane():
+    outer = activate(FaultPlane(seed=1))
+    with active(FaultPlane(seed=2)) as inner:
+        assert current_plane() is inner
+    assert current_plane() is outer
+
+
+# -- the I/O seam ------------------------------------------------------------
+
+
+def test_honest_publish_round_trips_and_leaves_no_tmp(tmp_path):
+    target = tmp_path / "obj.rcs"
+    fsio.publish_bytes(target, b"payload")
+    assert target.read_bytes() == b"payload"
+    assert _no_tmp(tmp_path)
+    assert fsio.read_bytes(target) == b"payload"
+
+
+def test_enospc_fails_publication_cleanly(tmp_path):
+    activate(FaultPlane(rules=[FaultRule(FaultKind.ENOSPC, op="publish", at=(1,))]))
+    target = tmp_path / "obj.rcs"
+    with pytest.raises(OSError) as excinfo:
+        fsio.publish_bytes(target, b"payload")
+    assert excinfo.value.errno == errno.ENOSPC
+    assert not target.exists()
+    assert _no_tmp(tmp_path)
+    fsio.publish_bytes(target, b"payload")  # limit=1: next publish succeeds
+    assert target.read_bytes() == b"payload"
+
+
+def test_torn_write_silently_persists_a_strict_prefix(tmp_path):
+    activate(
+        FaultPlane(seed=5, rules=[FaultRule(FaultKind.TORN_WRITE, op="publish", at=(1,))])
+    )
+    target = tmp_path / "obj.rcs"
+    data = bytes(range(256))
+    fsio.publish_bytes(target, data)  # no exception: the tear is silent
+    torn = target.read_bytes()
+    assert 0 < len(torn) < len(data)
+    assert data.startswith(torn)
+    assert _no_tmp(tmp_path)
+
+
+def test_lost_rename_is_detected_and_surfaced(tmp_path):
+    activate(FaultPlane(rules=[FaultRule(FaultKind.LOST_RENAME, op="publish", at=(1,))]))
+    target = tmp_path / "obj.rcs"
+    with pytest.raises(OSError) as excinfo:
+        fsio.publish_bytes(target, b"payload")
+    assert excinfo.value.errno == errno.EIO
+    assert "publication lost" in str(excinfo.value)
+    assert not target.exists()
+    assert _no_tmp(tmp_path)
+
+
+def test_bit_flip_corrupts_the_read_never_the_disk(tmp_path):
+    target = tmp_path / "obj.rcs"
+    data = b"\x00" * 64
+    target.write_bytes(data)
+    activate(
+        FaultPlane(seed=3, rules=[FaultRule(FaultKind.BIT_FLIP, op="read", at=(1,))])
+    )
+    flipped = fsio.read_bytes(target)
+    assert flipped != data and len(flipped) == len(data)
+    # Exactly one bit differs.
+    assert sum(bin(a ^ b).count("1") for a, b in zip(flipped, data)) == 1
+    assert target.read_bytes() == data  # the disk is untouched
+    assert fsio.read_bytes(target) == data  # limit=1: next read is honest
+
+
+def test_crash_raise_mode_is_uncatchable_by_exception_handlers(tmp_path):
+    activate(
+        FaultPlane(
+            rules=[FaultRule(FaultKind.CRASH, op="publish", at=(1,))],
+            crash_mode="raise",
+        )
+    )
+    with pytest.raises(InjectedCrash):
+        try:
+            fsio.publish_bytes(tmp_path / "obj.rcs", b"payload")
+        except Exception:  # noqa: BLE001 - proving recovery code can't eat it
+            pytest.fail("InjectedCrash must not be an Exception")
+    assert _no_tmp(tmp_path)
+
+
+def test_crash_exit_mode_kills_the_process(tmp_path):
+    plane = FaultPlane(rules=[FaultRule(FaultKind.CRASH, op="publish", at=(1,))])
+    script = (
+        "from pathlib import Path\n"
+        "from repro.chaos import fsio\n"
+        f"fsio.publish_bytes(Path({str(tmp_path / 'obj.rcs')!r}), b'payload')\n"
+    )
+    env = dict(os.environ, **{CHAOS_ENV: plane.to_env()})
+    env["PYTHONPATH"] = str("src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, cwd="."
+    )
+    assert proc.returncode == CRASH_EXIT_CODE
+    assert not (tmp_path / "obj.rcs").exists()
+
+
+def test_open_write_tears_a_stream_write_loudly(tmp_path):
+    activate(
+        FaultPlane(
+            seed=7,
+            # Index 1 is the "trace-write.open" guard (prefix match), so
+            # the second data write is the rule's third matching op.
+            rules=[FaultRule(FaultKind.TORN_WRITE, op="trace-write", at=(3,))],
+        )
+    )
+    target = tmp_path / "trace.pcap"
+    stream = fsio.open_write(target)
+    stream.write(b"A" * 32)
+    with pytest.raises(OSError) as excinfo:
+        stream.write(b"B" * 32)
+    assert excinfo.value.errno == errno.EIO
+    stream.close()
+    written = target.read_bytes()
+    assert written.startswith(b"A" * 32)
+    assert len(written) < 64  # the second write persisted only a prefix
+
+
+def test_guard_is_free_without_a_plane(tmp_path):
+    assert fsio.guard("publish", tmp_path / "x") is None
+    stream = fsio.open_write(tmp_path / "plain.bin")
+    try:
+        assert not hasattr(stream, "_FaultStream__stream")  # the raw file object
+        stream.write(b"ok")
+    finally:
+        stream.close()
+    assert (tmp_path / "plain.bin").read_bytes() == b"ok"
