@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench runtime-bench stream-bench chaos-soak examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench stream-bench chaos-soak daemon-soak examples outputs clean
 
 install:
 	pip install -e .
@@ -42,6 +42,13 @@ stream-bench:
 # to clean ones, and a post-soak scrub must come back clean.
 chaos-soak:
 	PYTHONPATH=src python -m pytest benchmarks/test_chaos_soak.py -q -s
+
+# Daemon chaos soak: SIGKILL a paced 2-tenant daemon mid-window under a
+# fixed-seed fault plane, restart it, per-tenant window digests must be
+# byte-identical to an uninterrupted run; a poison tenant must be
+# quarantined without touching its neighbor; post-soak store scrubs clean.
+daemon-soak:
+	PYTHONPATH=src python -m pytest benchmarks/test_daemon_soak.py -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done

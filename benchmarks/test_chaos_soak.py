@@ -59,8 +59,10 @@ def _crash_on_first_shard() -> FaultPlane:
 def _assert_store_scrubs_clean(root: Path) -> None:
     """The crashed-and-resumed store holds only verifiable state."""
     store = ConnStore(root)
-    store.gc()  # a kill may strand a temp file; gc sweeps, scrub verifies
-    report = StoreScrubber(store).scrub()
+    # The daemon is dead by now: disable the in-flight grace so even
+    # seconds-old kill debris is swept, then verify nothing remains.
+    store.gc(tmp_grace_s=0.0)
+    report = StoreScrubber(store).scrub(tmp_grace_s=0.0)
     assert report.ok, report.render()
     assert report.stale_tmp == 0
 

@@ -18,6 +18,14 @@ progress on stderr and optional crash-resumable checkpoints::
 
     repro-study stream --datasets D0 --window 60 --max-flows 65536 \\
         --store-dir .store --checkpoint-every 50000
+
+A ``daemon`` subcommand runs the always-on supervised multi-tenant
+ingestion service (``docs/daemon.md``)::
+
+    repro-study daemon --store-dir .store --tenant lan=traces/lan/ \\
+        --tenant wan=traces/wan.pcap --window 60 \\
+        --alert-config alerts.json --telemetry daemon.jsonl
+    repro-study daemon tail --telemetry daemon.jsonl
 """
 
 from __future__ import annotations
@@ -221,6 +229,18 @@ def _build_store_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report what would be reclaimed without deleting anything",
     )
+    from ..store.cache import DEFAULT_TMP_GRACE
+
+    for command in (gc, scrub):
+        command.add_argument(
+            "--tmp-grace",
+            type=float,
+            default=DEFAULT_TMP_GRACE,
+            metavar="SECONDS",
+            help="treat .tmp files younger than this as a live daemon's "
+            "in-flight publishes and leave them alone "
+            f"(default {DEFAULT_TMP_GRACE:.0f}s; 0 sweeps everything)",
+        )
     scrub.add_argument(
         "--audit-only",
         action="store_true",
@@ -280,7 +300,9 @@ def _store_main(argv: list[str]) -> int:
     if args.command == "scrub":
         from ..store.scrub import StoreScrubber
 
-        report = StoreScrubber(store).scrub(quarantine=not args.audit_only)
+        report = StoreScrubber(store).scrub(
+            quarantine=not args.audit_only, tmp_grace_s=args.tmp_grace
+        )
         print(report.render())
         return 0 if report.ok else 1
     if args.command == "repair":
@@ -319,13 +341,18 @@ def _store_main(argv: list[str]) -> int:
             )
         return 0
     if args.command == "gc":
-        report = store.gc(dry_run=args.dry_run)
+        report = store.gc(dry_run=args.dry_run, tmp_grace_s=args.tmp_grace)
         verb = "would remove" if report.dry_run else "removed"
         freed = "reclaiming" if report.dry_run else "reclaimed"
+        spared = (
+            f" ({report.in_flight_tmp} in-flight temp files spared)"
+            if report.in_flight_tmp
+            else ""
+        )
         print(
             f"{verb} {len(report.removed)} unreferenced objects and "
             f"{report.stale_tmp} stale temp files, "
-            f"{freed} {report.reclaimed_bytes} bytes"
+            f"{freed} {report.reclaimed_bytes} bytes{spared}"
         )
         return 0
     flt = ConnFilter(
@@ -342,6 +369,187 @@ def _store_main(argv: list[str]) -> int:
     )
     print(StoreQuery(store).table(flt, by=args.by).render())
     return 0
+
+
+def _build_daemon_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study daemon",
+        description=(
+            "Run the always-on supervised ingestion daemon: one "
+            "crash-tolerant streaming feed per tenant, rolling-window "
+            "publication, poison-feed quarantine, and threshold alerts "
+            "(see docs/daemon.md).  SIGTERM drains gracefully: feeds "
+            "flush a final checkpoint and the next start resumes there."
+        ),
+    )
+    parser.add_argument(
+        "--store-dir",
+        required=True,
+        help="store root: checkpoints land in the store proper, rolling "
+        "windows under <store>/daemon/<tenant>/",
+    )
+    parser.add_argument(
+        "--tenant",
+        action="append",
+        required=True,
+        metavar="NAME=PCAP_OR_DIR",
+        help="one trace feed (repeatable): a pcap file or a directory "
+        "of *.pcap files",
+    )
+    parser.add_argument(
+        "--window", type=float, default=60.0, metavar="SECONDS",
+        help="rolling aggregation window (default 60s)",
+    )
+    parser.add_argument(
+        "--flow-budget", type=int, default=None,
+        help="per-tenant flow-table capacity (LRU eviction beyond it; "
+        "one tenant's flood never evicts a neighbor's flows)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=5000, metavar="PACKETS",
+        help="packets between resumable checkpoints (default 5000, 0=off)",
+    )
+    parser.add_argument(
+        "--error-policy",
+        default="tolerant",
+        choices=[policy.value for policy in ErrorPolicy],
+        help="feed ingestion policy (default tolerant: an always-on "
+        "service salvages damaged input instead of dying on it)",
+    )
+    parser.add_argument(
+        "--packet-rate", type=float, default=0.0, metavar="PPS",
+        help="pace each feed to ~this many packets/second "
+        "(0 = full speed)",
+    )
+    parser.add_argument(
+        "--alert-config", default=None, metavar="PATH",
+        help="JSON alert rules: {\"rules\": [{name, metric, threshold, "
+        "clear_threshold, raise_after, clear_after, tenant}, ...]}",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="append the daemon's JSONL event stream (feed lifecycle, "
+        "windows, alerts) here",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="narrate events on stderr",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="first feed-restart backoff; doubles per consecutive crash",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="a feed silent this long is presumed hung and killed "
+        "(0 disables the watchdog)",
+    )
+    parser.add_argument(
+        "--max-crashes", type=int, default=3,
+        help="consecutive crashes before a feed is quarantined as poison",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="SIGTERM drain: how long feeds get to flush their final "
+        "checkpoints before SIGKILL",
+    )
+    return parser
+
+
+def _build_daemon_tail_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study daemon tail",
+        description="Follow a live daemon's JSONL telemetry stream.",
+    )
+    parser.add_argument(
+        "--telemetry", required=True, metavar="PATH",
+        help="the stream the daemon was started with",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="stop following after this long (default: forever)",
+    )
+    parser.add_argument(
+        "--events", nargs="*", default=None,
+        help="only show these event types (e.g. alert_raise alert_clear)",
+    )
+    return parser
+
+
+def _daemon_main(argv: list[str]) -> int:
+    """The ``repro-study daemon`` subcommand family."""
+    import json
+
+    if argv and argv[0] == "tail":
+        from ..runtime.telemetry import follow_events
+
+        args = _build_daemon_tail_parser().parse_args(argv[1:])
+        wanted = set(args.events) if args.events else None
+        try:
+            for event in follow_events(args.telemetry, timeout=args.timeout):
+                if wanted is None or event.get("event") in wanted:
+                    print(json.dumps(event, sort_keys=True), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    from ..daemon import (
+        AlertEngine,
+        DaemonConfig,
+        DaemonSupervisor,
+        load_alert_rules,
+        parse_tenant,
+    )
+    from ..runtime.scheduler import RetryPolicy
+    from ..runtime.telemetry import TelemetryLog
+    from ..stream.flowtable import DEFAULT_MAX_FLOWS
+
+    args = _build_daemon_parser().parse_args(argv)
+    try:
+        tenants = [parse_tenant(text) for text in args.tenant]
+        rules = (
+            load_alert_rules(args.alert_config)
+            if args.alert_config is not None
+            else []
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = DaemonConfig(
+        window=args.window,
+        flow_budget=(
+            args.flow_budget if args.flow_budget is not None
+            else DEFAULT_MAX_FLOWS
+        ),
+        checkpoint_every=args.checkpoint_every,
+        error_policy=args.error_policy,
+        packet_rate=args.packet_rate,
+        retry=RetryPolicy(
+            backoff=args.backoff,
+            heartbeat_timeout=(
+                args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
+            ),
+            max_crashes=args.max_crashes,
+        ),
+        drain_timeout=args.drain_timeout,
+    )
+    with TelemetryLog(path=args.telemetry, progress=False) as telemetry:
+        supervisor = DaemonSupervisor(
+            tenants,
+            args.store_dir,
+            config=config,
+            alerts=AlertEngine(rules),
+            telemetry=telemetry,
+        )
+        statuses = supervisor.run()
+    for tenant in sorted(statuses):
+        line = f"[daemon] {tenant}: {statuses[tenant]}"
+        print(line, file=sys.stderr if args.progress else sys.stdout)
+    failed = sum(
+        1 for status in statuses.values()
+        if status not in ("done", "drained")
+    )
+    return 0 if failed == 0 else 1
 
 
 def _window_progress(window) -> None:
@@ -401,6 +609,8 @@ def main(argv: list[str] | None = None) -> int:
         return _store_main(argv[1:])
     if argv and argv[0] == "stream":
         return _stream_main(argv[1:])
+    if argv and argv[0] == "daemon":
+        return _daemon_main(argv[1:])
     args = _build_parser().parse_args(argv)
     results = run_study(
         seed=args.seed,

@@ -1,0 +1,226 @@
+"""Threshold alerting over the daemon's rolling windows, with hysteresis.
+
+Alert rules watch the per-window aggregates each feed publishes —
+utilization spikes (§5's load profile), retransmission-rate anomalies
+(§6's loss proxy; see also the related aggregate-retransmission study),
+and new-connection surges — plus the §3 scan filter's verdicts, which
+arrive per trace rather than per window.
+
+Hysteresis keeps a flapping metric from spamming the stream: a rule
+*raises* only after ``raise_after`` consecutive breaching windows and
+*clears* only after ``clear_after`` consecutive windows at or below
+``clear_threshold`` (which defaults below ``threshold``, giving the
+classic two-level schmitt trigger).  State is tracked per
+``(tenant, rule)``, so one tenant's noisy feed never masks or
+suppresses another's alerts.
+
+Alerts are not a separate sink: they are typed events on the daemon's
+JSONL telemetry stream (``alert_raise`` / ``alert_clear`` /
+``alert_scan``), so ``repro-study daemon tail`` and the tests consume
+them with the same :func:`~repro.runtime.telemetry.read_events`
+tolerance as every other runtime event.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["AlertRule", "AlertEngine", "load_alert_rules", "WINDOW_METRICS"]
+
+#: Metric name -> extractor over one published window payload.
+WINDOW_METRICS = {
+    "mbps": lambda w: (
+        w["bytes"] * 8 / 1e6 / w["duration"] if w["duration"] > 0 else 0.0
+    ),
+    "retransmit_rate": lambda w: (
+        w["retransmits"] / w["tcp_packets"] if w["tcp_packets"] else 0.0
+    ),
+    "packets": lambda w: float(w["packets"]),
+    "conns": lambda w: float(sum(w["conn_starts"].values())),
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule over the rolling windows."""
+
+    name: str
+    #: One of :data:`WINDOW_METRICS`.
+    metric: str
+    #: Raise when the metric exceeds this...
+    threshold: float
+    #: ...and clear only once it falls back to or below this (defaults
+    #: to ``threshold`` itself when the config omits it).
+    clear_threshold: float
+    #: Consecutive breaching windows required to raise.
+    raise_after: int = 1
+    #: Consecutive calm windows required to clear.
+    clear_after: int = 1
+    #: Restrict the rule to one tenant (None = every tenant).
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in WINDOW_METRICS:
+            raise ValueError(
+                f"unknown alert metric {self.metric!r} "
+                f"(expected one of {sorted(WINDOW_METRICS)})"
+            )
+        if self.raise_after < 1 or self.clear_after < 1:
+            raise ValueError("raise_after and clear_after must be >= 1")
+        if self.clear_threshold > self.threshold:
+            raise ValueError(
+                f"clear_threshold {self.clear_threshold} above threshold "
+                f"{self.threshold} would make rule {self.name!r} unclearable"
+            )
+
+
+def load_alert_rules(path: str | Path) -> list[AlertRule]:
+    """Load rules from a JSON config: ``{"rules": [{...}, ...]}``.
+
+    Each rule object carries ``name``, ``metric``, ``threshold`` and
+    optionally ``clear_threshold``, ``raise_after``, ``clear_after``,
+    ``tenant``.  Malformed configs raise ``ValueError`` naming the file
+    — an alerting daemon silently running without its rules is worse
+    than one that refuses to start.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"unreadable alert config {path}: {exc}") from exc
+    rules_raw = payload.get("rules") if isinstance(payload, dict) else None
+    if not isinstance(rules_raw, list):
+        raise ValueError(f"alert config {path} must be {{\"rules\": [...]}}")
+    rules = []
+    for index, raw in enumerate(rules_raw):
+        if not isinstance(raw, dict) or "name" not in raw:
+            raise ValueError(f"alert config {path}: rule #{index} malformed")
+        try:
+            rules.append(
+                AlertRule(
+                    name=raw["name"],
+                    metric=raw.get("metric", "mbps"),
+                    threshold=float(raw["threshold"]),
+                    clear_threshold=float(
+                        raw.get("clear_threshold", raw["threshold"])
+                    ),
+                    raise_after=int(raw.get("raise_after", 1)),
+                    clear_after=int(raw.get("clear_after", 1)),
+                    tenant=raw.get("tenant"),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"alert config {path}: rule {raw.get('name', index)!r}: {exc}"
+            ) from exc
+    return rules
+
+
+class _RuleState:
+    """Hysteresis state of one rule for one tenant."""
+
+    __slots__ = ("active", "breaches", "calms")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.breaches = 0
+        self.calms = 0
+
+
+class AlertEngine:
+    """Evaluates every rule against each tenant's window stream."""
+
+    def __init__(self, rules: list[AlertRule]) -> None:
+        self.rules = list(rules)
+        self._state: dict[tuple[str, str], _RuleState] = {}
+
+    def _state_for(self, tenant: str, rule: AlertRule) -> _RuleState:
+        return self._state.setdefault((tenant, rule.name), _RuleState())
+
+    def observe_window(
+        self, tenant: str, trace: int, window: dict
+    ) -> list[dict]:
+        """Run one published window through every applicable rule.
+
+        Returns the alert transitions it caused, as telemetry-ready
+        event dicts (``alert_raise`` / ``alert_clear``).  A rule that is
+        breaching-but-not-yet-raised or calm-but-not-yet-cleared
+        returns nothing — that is the hysteresis doing its job.
+        """
+        events: list[dict] = []
+        for rule in self.rules:
+            if rule.tenant is not None and rule.tenant != tenant:
+                continue
+            value = WINDOW_METRICS[rule.metric](window)
+            state = self._state_for(tenant, rule)
+            if value > rule.threshold:
+                state.breaches += 1
+                state.calms = 0
+                if not state.active and state.breaches >= rule.raise_after:
+                    state.active = True
+                    events.append(
+                        self._event("alert_raise", tenant, trace, rule,
+                                    value, window)
+                    )
+            elif value <= rule.clear_threshold:
+                state.calms += 1
+                state.breaches = 0
+                if state.active and state.calms >= rule.clear_after:
+                    state.active = False
+                    events.append(
+                        self._event("alert_clear", tenant, trace, rule,
+                                    value, window)
+                    )
+            else:
+                # The hysteresis band: neither breaching nor calm.
+                # Streaks reset — consecutive means consecutive.
+                state.breaches = 0
+                state.calms = 0
+        return events
+
+    @staticmethod
+    def _event(
+        event: str, tenant: str, trace: int, rule: AlertRule,
+        value: float, window: dict,
+    ) -> dict:
+        return {
+            "event": event,
+            "tenant": tenant,
+            "trace": trace,
+            "rule": rule.name,
+            "metric": rule.metric,
+            "value": round(value, 6),
+            "threshold": rule.threshold,
+            "window": window["index"],
+        }
+
+    @staticmethod
+    def observe_scanners(
+        tenant: str, trace: int, sources: list[int]
+    ) -> list[dict]:
+        """The scan filter's per-trace verdict as an alert event.
+
+        No hysteresis: the §3 filter already demands a 50-host fan-out,
+        which *is* its debounce.  An empty verdict emits nothing.
+        """
+        if not sources:
+            return []
+        return [
+            {
+                "event": "alert_scan",
+                "tenant": tenant,
+                "trace": trace,
+                "sources": sorted(sources),
+                "count": len(sources),
+            }
+        ]
+
+    def active_alerts(self, tenant: str) -> list[str]:
+        """Names of currently raised rules for one tenant (for tests
+        and the final daemon summary)."""
+        return sorted(
+            name
+            for (who, name), state in self._state.items()
+            if who == tenant and state.active
+        )

@@ -1,0 +1,90 @@
+"""Daemon configuration: tenants, supervision knobs, and their parsing.
+
+A *tenant* is one independent trace feed — a named pcap file or a
+directory of them — that the daemon ingests through its own supervised
+feed worker.  :class:`DaemonConfig` bundles the per-feed streaming
+knobs (window, flow budget, checkpoint cadence) with the supervision
+policy, which is literally the runtime's :class:`RetryPolicy`: the
+daemon reuses its backoff curve, heartbeat cadence, and poison
+(``max_crashes``) budget rather than inventing parallel knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime.scheduler import RetryPolicy
+from ..stream.flowtable import DEFAULT_MAX_FLOWS
+
+__all__ = ["TenantSpec", "DaemonConfig", "parse_tenant"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One named trace feed: a pcap file, or a directory of pcaps."""
+
+    name: str
+    source: Path
+
+    def traces(self) -> list[Path]:
+        """The feed's trace files, in deterministic (sorted) order.
+
+        A single file is a one-trace feed; a directory is every
+        ``*.pcap`` under it, sorted by name — new files dropped into the
+        directory are picked up the next time the feed (re)starts.
+        """
+        if self.source.is_dir():
+            return sorted(self.source.glob("*.pcap"))
+        return [self.source]
+
+
+def parse_tenant(text: str) -> TenantSpec:
+    """Parse one ``--tenant NAME=PCAP_OR_DIR`` argument."""
+    name, sep, source = text.partition("=")
+    if not sep or not name or not source:
+        raise ValueError(
+            f"tenant spec must look like NAME=PCAP_OR_DIR, got {text!r}"
+        )
+    if any(ch in name for ch in "/\\. "):
+        raise ValueError(
+            f"tenant name {name!r} may not contain path separators, "
+            "dots, or spaces (it names an on-disk directory)"
+        )
+    return TenantSpec(name=name, source=Path(source))
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Every knob of one daemon run (all tenants share it)."""
+
+    #: Rolling aggregation window per feed, seconds.
+    window: float = 60.0
+    #: Per-tenant flow-table budget: one tenant's flow flood evicts its
+    #: *own* LRU flows (counted as ``flow_overflow``), never a
+    #: neighbor's — each feed owns a whole StreamFlowTable.
+    flow_budget: int = DEFAULT_MAX_FLOWS
+    #: Packets between resumable checkpoint flushes (0 disables).
+    checkpoint_every: int = 5000
+    #: Ingestion error policy for the feeds.  The daemon defaults to
+    #: ``tolerant``: an always-on service should salvage damaged input
+    #: within the error budget, not die on the first bad record.
+    error_policy: str = "tolerant"
+    #: Approximate per-feed ingestion rate in packets/second
+    #: (0 = as fast as the disk allows).  A paced feed makes "kill it
+    #: mid-window" deterministic for tests and keeps a replayed trace
+    #: behaving like a live capture.
+    packet_rate: float = 0.0
+    #: Supervision policy, reused verbatim from the runtime scheduler:
+    #: ``backoff``/``backoff_for`` drive feed-restart delays,
+    #: ``heartbeat_timeout``/``heartbeat_interval`` drive the feed
+    #: watchdog, and ``max_crashes`` is the poison-feed quarantine
+    #: budget (consecutive crashes with no trace completed between).
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            backoff=0.5, heartbeat_timeout=15.0, max_crashes=3
+        )
+    )
+    #: Seconds a SIGTERM drain waits for feeds to flush their final
+    #: checkpoints before escalating to SIGKILL.
+    drain_timeout: float = 30.0

@@ -9,9 +9,16 @@ fault through the ingestion error taxonomy instead of aborting.  See
 ``docs/runtime.md``.
 """
 
-from .scheduler import ProcessPoolScheduler, RetryPolicy, UnitResult, resolve_jobs
+from .scheduler import (
+    ProcessPoolScheduler,
+    RetryPolicy,
+    UnitResult,
+    resolve_jobs,
+    start_heartbeat,
+    stop_heartbeat,
+)
 from .task import Task, TaskGraph, TaskGraphError
-from .telemetry import TelemetryLog
+from .telemetry import TelemetryLog, follow_events, read_events
 
 __all__ = [
     "Task",
@@ -21,5 +28,9 @@ __all__ = [
     "RetryPolicy",
     "UnitResult",
     "resolve_jobs",
+    "start_heartbeat",
+    "stop_heartbeat",
     "TelemetryLog",
+    "follow_events",
+    "read_events",
 ]

@@ -46,10 +46,64 @@ from ..analysis.errors import ErrorKind, TraceError
 from .task import Task, TaskGraph
 from .telemetry import COUNTER_KEYS, TelemetryLog
 
-__all__ = ["RetryPolicy", "UnitResult", "ProcessPoolScheduler", "resolve_jobs"]
+__all__ = [
+    "RetryPolicy",
+    "UnitResult",
+    "ProcessPoolScheduler",
+    "resolve_jobs",
+    "start_heartbeat",
+    "stop_heartbeat",
+]
 
 #: How long the parent waits on result pipes per poll cycle.
 _POLL_SECONDS = 0.05
+
+#: How long a finished worker waits for its beat thread to wind down.
+_HEARTBEAT_JOIN_SECONDS = 1.0
+
+
+def start_heartbeat(
+    conn, send_lock: threading.Lock, interval: float
+) -> tuple[threading.Thread, threading.Event]:
+    """Start the liveness beat shared by pool workers and daemon feeds.
+
+    A daemon thread sends ``("hb", ts)`` pings over ``conn`` every
+    ``interval`` seconds until the returned event is set; ``send_lock``
+    keeps a ping from interleaving with a real message on the pipe.  A
+    process wedged hard enough to stop its threads stops beating too —
+    which is exactly the signal the supervising side watches for.
+    """
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            try:
+                with send_lock:
+                    conn.send(("hb", time.monotonic()))
+            except OSError:
+                return  # supervisor went away; nothing left to prove
+
+    thread = threading.Thread(target=_beat, name="hb", daemon=True)
+    thread.start()
+    return thread, stop
+
+
+def stop_heartbeat(
+    thread: threading.Thread | None,
+    stop: threading.Event | None,
+    timeout: float = _HEARTBEAT_JOIN_SECONDS,
+) -> None:
+    """Wind a heartbeat down promptly on normal exit.
+
+    The join (with timeout) matters in long-lived processes: a beat
+    thread left running at interpreter shutdown can wake after module
+    globals are torn down and die noisily.  Accepts ``None`` for both so
+    callers without a heartbeat need no branch.
+    """
+    if stop is not None:
+        stop.set()
+    if thread is not None:
+        thread.join(timeout)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -144,19 +198,10 @@ def _child_main(
     call) stops beating too — which is exactly the signal.
     """
     send_lock = threading.Lock()
+    beat: threading.Thread | None = None
     stop: threading.Event | None = None
     if heartbeat_interval is not None:
-        stop = threading.Event()
-
-        def _beat() -> None:
-            while not stop.wait(heartbeat_interval):
-                try:
-                    with send_lock:
-                        conn.send(("hb", time.monotonic()))
-                except OSError:
-                    return  # parent went away; nothing left to prove
-
-        threading.Thread(target=_beat, name="hb", daemon=True).start()
+        beat, stop = start_heartbeat(conn, send_lock, heartbeat_interval)
     try:
         value = worker(payload)
         with send_lock:
@@ -166,8 +211,7 @@ def _child_main(
         with send_lock:
             conn.send(("error", tail[-4000:]))
     finally:
-        if stop is not None:
-            stop.set()
+        stop_heartbeat(beat, stop)
         conn.close()
 
 

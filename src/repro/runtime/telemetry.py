@@ -29,12 +29,12 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, Callable, Iterable, Iterator
 
 from ..chaos import fsio
 from ..report.model import Table
 
-__all__ = ["TelemetryLog", "COUNTER_KEYS", "read_events"]
+__all__ = ["TelemetryLog", "COUNTER_KEYS", "read_events", "follow_events"]
 
 #: Worker-result keys the scheduler copies into ``unit_finish`` events.
 COUNTER_KEYS = ("packets", "bytes", "cache")
@@ -43,7 +43,7 @@ COUNTER_KEYS = ("packets", "bytes", "cache")
 _PROGRESS_EVENTS = {"unit_start", "unit_retry", "unit_finish", "study_finish"}
 
 
-def read_events(path: str | Path) -> tuple[list[dict], int]:
+def read_events(path: str | Path, follow: bool = False, **follow_kwargs):
     """Load a telemetry JSONL file, tolerating a truncated tail.
 
     A run killed mid-write (power loss, SIGKILL, an injected crash)
@@ -51,7 +51,15 @@ def read_events(path: str | Path) -> tuple[list[dict], int]:
     throw away the whole file for it.  Returns ``(events, bad_lines)``
     where ``bad_lines`` counts lines that failed to parse — they are
     skipped, never raised.
+
+    With ``follow=True`` this is instead a *tail*: it returns the
+    :func:`follow_events` iterator (any ``follow_kwargs`` pass through),
+    which polls the file and yields events as a live writer appends
+    them — what ``repro-study daemon tail`` and the daemon tests use to
+    watch a running daemon's alert stream.
     """
+    if follow:
+        return follow_events(path, **follow_kwargs)
     events: list[dict] = []
     bad_lines = 0
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
@@ -69,6 +77,67 @@ def read_events(path: str | Path) -> tuple[list[dict], int]:
             else:
                 bad_lines += 1
     return events, bad_lines
+
+
+def follow_events(
+    path: str | Path,
+    poll_interval: float = 0.1,
+    timeout: float | None = None,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[dict]:
+    """Tail a telemetry JSONL file, yielding events as they land.
+
+    Built for watching a *live* writer: the file may not exist yet (the
+    tail waits for it), and the writer may be mid-line when we read — a
+    line is only consumed once its newline arrives, so a truncated tail
+    is buffered, never mis-parsed, and completes on a later poll.
+    Malformed complete lines are skipped, same as :func:`read_events`.
+
+    The tail ends when ``stop()`` returns true (checked after draining
+    whatever is already on disk, so a stopped writer's final events are
+    still delivered) or when ``timeout`` seconds pass without the tail
+    being stopped.  With neither, it follows forever — the CLI's
+    Ctrl-C is the exit.
+    """
+    path = Path(path)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    handle = None
+    buffer = b""
+    try:
+        while True:
+            if handle is None:
+                try:
+                    handle = open(path, "rb")
+                except OSError:
+                    if stop is not None and stop():
+                        return
+                    if deadline is not None and time.monotonic() > deadline:
+                        return
+                    time.sleep(poll_interval)
+                    continue
+            chunk = handle.read()
+            if chunk:
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    text = line.decode("utf-8", errors="replace").strip()
+                    if not text:
+                        continue
+                    try:
+                        record = json.loads(text)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict):
+                        yield record
+                continue  # drain until the file is quiet before sleeping
+            if stop is not None and stop():
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                return
+            time.sleep(poll_interval)
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 class TelemetryLog:

@@ -12,7 +12,7 @@ shards without touching a single pcap record.
 * :mod:`repro.store.scrub` — offline integrity walks, quarantine, repair.
 """
 
-from .cache import CachedDataset, ConnStore, GcReport
+from .cache import DEFAULT_TMP_GRACE, CachedDataset, ConnStore, GcReport
 from .query import ConnFilter, StoreQuery
 from .schema import SCHEMA_VERSION
 from .scrub import RepairOutcome, ScrubFinding, ScrubReport, StoreScrubber
@@ -22,6 +22,7 @@ __all__ = [
     "ConnStore",
     "CachedDataset",
     "GcReport",
+    "DEFAULT_TMP_GRACE",
     "ConnFilter",
     "StoreQuery",
     "ShardError",

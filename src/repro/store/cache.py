@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -51,10 +52,23 @@ from .shard import (
     encode_trace_shard,
 )
 
-__all__ = ["ConnStore", "CachedDataset", "GcReport"]
+__all__ = ["ConnStore", "CachedDataset", "GcReport", "DEFAULT_TMP_GRACE"]
 
 _OBJECT_SUFFIX = ".rcs"
 _TMP_SUFFIX = ".tmp"
+
+#: Subdirectory of the store root where the ingestion daemon publishes
+#: per-tenant rolling-window results (see :mod:`repro.daemon`).  Its
+#: temp files are swept with the same grace rules as the store's own.
+DAEMON_DIR = "daemon"
+
+#: Seconds a ``.tmp`` file must sit untouched before gc/scrub treat it
+#: as a crashed writer's leftover rather than a live writer's in-flight
+#: publish.  An atomic publish lives milliseconds between ``mkstemp``
+#: and ``os.replace``; five minutes is orders of magnitude past any
+#: plausible stall, yet short enough that real debris is still swept by
+#: the next maintenance pass.
+DEFAULT_TMP_GRACE = 300.0
 
 
 @dataclass(frozen=True)
@@ -68,6 +82,9 @@ class GcReport:
     #: Bytes freed (objects plus stale temp files).
     reclaimed_bytes: int
     dry_run: bool = False
+    #: Young ``.tmp`` files spared by the grace period — likely a live
+    #: writer (the daemon) mid-publish, never removed.
+    in_flight_tmp: int = 0
 
 
 class CachedDataset:
@@ -451,17 +468,27 @@ class ConnStore:
             referenced.update(checkpoint.get("batches", ()))
         return referenced
 
-    def gc(self, dry_run: bool = False) -> GcReport:
+    def gc(
+        self, dry_run: bool = False, tmp_grace_s: float = DEFAULT_TMP_GRACE
+    ) -> GcReport:
         """Collect unreferenced shard objects and stale temp files.
 
         Returns a :class:`GcReport` with the removed digests and the
         bytes reclaimed.  With ``dry_run`` nothing is deleted — the
         report says what a real pass *would* reclaim.
+
+        Safe against a live daemon: a ``.tmp`` whose mtime is younger
+        than ``tmp_grace_s`` seconds is an in-flight publish, not
+        debris, and is spared (counted in ``in_flight_tmp``).  Pass
+        ``tmp_grace_s=0.0`` for the historical sweep-everything
+        behavior on a store known to be quiescent.
         """
         referenced = self.referenced_objects()
         removed: list[str] = []
         stale_tmp = 0
+        in_flight = 0
         reclaimed = 0
+        now = time.time()
         if self.objects_dir.is_dir():
             for path in sorted(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}")):
                 digest = path.stem
@@ -470,15 +497,27 @@ class ConnStore:
                     if not dry_run:
                         path.unlink()
                     removed.append(digest)
-        # Temp files survive only when a writer crashed mid-publish.
-        for base in (self.objects_dir, self.manifests_dir):
+        # Temp files survive a publish only when its writer crashed —
+        # or when the writer is alive and mid-flight right now, which
+        # only the file's age can distinguish.
+        for base in (self.objects_dir, self.manifests_dir, self.root / DAEMON_DIR):
             if not base.is_dir():
                 continue
             for path in sorted(base.rglob(f"*{_TMP_SUFFIX}")):
+                try:
+                    stat = path.stat()
+                except FileNotFoundError:
+                    continue  # published (renamed away) mid-walk
+                if tmp_grace_s > 0 and now - stat.st_mtime < tmp_grace_s:
+                    in_flight += 1
+                    continue
                 stale_tmp += 1
-                reclaimed += path.stat().st_size
+                reclaimed += stat.st_size
                 if not dry_run:
-                    path.unlink()
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        pass
         if not dry_run and self.objects_dir.is_dir():
             for bucket in sorted(self.objects_dir.iterdir()):
                 if bucket.is_dir() and not any(bucket.iterdir()):
@@ -488,6 +527,7 @@ class ConnStore:
             stale_tmp=stale_tmp,
             reclaimed_bytes=reclaimed,
             dry_run=dry_run,
+            in_flight_tmp=in_flight,
         )
 
     def stats(self) -> dict:

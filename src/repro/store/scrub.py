@@ -50,6 +50,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -57,7 +58,13 @@ from ..analysis.errors import ErrorKind
 from ..chaos import fsio
 from ..gen.capture import DatasetTraces, TapWindow, Trace
 from ..gen.datasets import DATASETS
-from .cache import ConnStore, _OBJECT_SUFFIX, _TMP_SUFFIX
+from .cache import (
+    ConnStore,
+    DAEMON_DIR,
+    DEFAULT_TMP_GRACE,
+    _OBJECT_SUFFIX,
+    _TMP_SUFFIX,
+)
 from .shard import ShardError, decode_shard
 
 __all__ = ["ScrubFinding", "ScrubReport", "RepairOutcome", "StoreScrubber"]
@@ -96,6 +103,9 @@ class ScrubReport:
     dead_checkpoints: list[ScrubFinding] = field(default_factory=list)
     #: Stale temp files seen (informational; ``store gc`` removes them).
     stale_tmp: int = 0
+    #: Young temp files inside the grace period — a live writer's
+    #: in-flight publishes, not damage.
+    in_flight_tmp: int = 0
 
     @property
     def ok(self) -> bool:
@@ -144,6 +154,11 @@ class ScrubReport:
         if self.stale_tmp:
             lines.append(
                 f"  {self.stale_tmp} stale temp file(s) (run `store gc`)"
+            )
+        if self.in_flight_tmp:
+            lines.append(
+                f"  {self.in_flight_tmp} in-flight temp file(s) "
+                "(live writer; left alone)"
             )
         return "\n".join(lines)
 
@@ -214,11 +229,18 @@ class StoreScrubber:
             return exc
         return None
 
-    def scrub(self, quarantine: bool = True) -> ScrubReport:
+    def scrub(
+        self,
+        quarantine: bool = True,
+        tmp_grace_s: float = DEFAULT_TMP_GRACE,
+    ) -> ScrubReport:
         """Walk the whole store; optionally quarantine what is damaged.
 
         With ``quarantine=False`` this is a pure audit — nothing moves,
-        the report just says what *would* be quarantined.
+        the report just says what *would* be quarantined.  Temp files
+        younger than ``tmp_grace_s`` seconds are reported as in-flight
+        (a live daemon's publishes), not stale — same rule as
+        :meth:`ConnStore.gc`.
         """
         store = self.store
         report = ScrubReport()
@@ -283,10 +305,21 @@ class StoreScrubber:
                     )
                     continue
                 report.missing_refs[payload.get("key", path.stem)] = missing
-        # Pass 3: count (never touch) temp files from crashed writers.
-        for base in (store.objects_dir, store.manifests_dir):
-            if base.is_dir():
-                report.stale_tmp += sum(1 for _ in base.rglob(f"*{_TMP_SUFFIX}"))
+        # Pass 3: count (never touch) temp files from crashed writers,
+        # splitting out a live writer's in-flight publishes by age.
+        now = time.time()
+        for base in (store.objects_dir, store.manifests_dir, store.root / DAEMON_DIR):
+            if not base.is_dir():
+                continue
+            for path in base.rglob(f"*{_TMP_SUFFIX}"):
+                try:
+                    mtime = path.stat().st_mtime
+                except FileNotFoundError:
+                    continue  # published (renamed away) mid-walk
+                if tmp_grace_s > 0 and now - mtime < tmp_grace_s:
+                    report.in_flight_tmp += 1
+                else:
+                    report.stale_tmp += 1
         return report
 
     @staticmethod

@@ -10,7 +10,7 @@ instead of the trace size.  See ``docs/streaming.md``.
 
 from .aggregates import WindowAggregator, WindowStats
 from .checkpoint import StreamCheckpointer
-from .engine import StreamConfig, StreamDatasetAnalyzer
+from .engine import StreamConfig, StreamDatasetAnalyzer, StreamDrained
 from .flowtable import StreamFlowTable
 from .source import PacketSource
 
@@ -19,6 +19,7 @@ __all__ = [
     "StreamCheckpointer",
     "StreamConfig",
     "StreamDatasetAnalyzer",
+    "StreamDrained",
     "StreamFlowTable",
     "WindowAggregator",
     "WindowStats",

@@ -61,8 +61,9 @@ def test_strict_raises_on_failed_shard_publication(small_traces, tmp_path, kind)
     assert excinfo.value.kind is ErrorKind.IO_ERROR
     assert "shard publication failed" in excinfo.value.detail
     deactivate()
-    # Nothing half-published: the gc sweep finds zero stale temp files.
-    report = store.gc(dry_run=True)
+    # Nothing half-published: with the in-flight grace disabled, the gc
+    # sweep finds zero temp files of any age.
+    report = store.gc(dry_run=True, tmp_grace_s=0.0)
     assert report.stale_tmp == 0
 
 
@@ -80,7 +81,7 @@ def test_tolerant_degrades_to_cold_path_with_quality_row(small_traces, tmp_path)
     assert analysis.error_totals()[ErrorKind.IO_ERROR.value] == 1
     table = data_quality_table({"D0": analysis})
     assert table.cell(f"errors: {ErrorKind.IO_ERROR.value}", "D0") == 1
-    assert store.gc(dry_run=True).stale_tmp == 0
+    assert store.gc(dry_run=True, tmp_grace_s=0.0).stale_tmp == 0
     # An honest retry populates the cache and carries no io_error rows.
     clean = analyze_dataset(
         "D0", traces, scanners, error_policy="tolerant", store=store
@@ -142,7 +143,7 @@ def test_tolerant_checkpoint_failure_buffers_in_memory(small_traces, tmp_path):
     assert analysis.conns == baseline.conns
     # ...and the degradation is accounted, not hidden.
     assert analysis.error_totals().get(ErrorKind.IO_ERROR.value, 0) >= 1
-    assert store.gc(dry_run=True).stale_tmp == 0
+    assert store.gc(dry_run=True, tmp_grace_s=0.0).stale_tmp == 0
 
 
 # -- telemetry ----------------------------------------------------------------

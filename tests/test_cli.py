@@ -57,3 +57,69 @@ class TestCli:
     def test_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             main(["--datasets", "D9"])
+
+
+class TestDaemonCli:
+    """The ``repro-study daemon`` surface (the daemon itself is covered
+    in tests/test_daemon_supervisor.py)."""
+
+    @pytest.fixture(scope="class")
+    def trace(self, tmp_path_factory):
+        from repro.gen.capture import generate_dataset
+        from repro.gen.topology import Enterprise
+
+        out = tmp_path_factory.mktemp("daemon-cli-traces")
+        dataset = generate_dataset(
+            "D0", Enterprise(seed=7), out, seed=7, scale=0.004, max_windows=1
+        )
+        return dataset.traces[0].path
+
+    def test_daemon_runs_tenants_to_done(self, trace, tmp_path, capsys):
+        import json
+
+        alerts = tmp_path / "alerts.json"
+        alerts.write_text(json.dumps({"rules": [
+            {"name": "busy", "metric": "packets", "threshold": 1},
+        ]}))
+        telemetry = tmp_path / "events.jsonl"
+        code = main([
+            "daemon",
+            "--store-dir", str(tmp_path / "store"),
+            "--tenant", f"edge={trace}",
+            "--alert-config", str(alerts),
+            "--telemetry", str(telemetry),
+            "--backoff", "0.05",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[daemon] edge: done" in out
+        from repro.runtime.telemetry import read_events
+
+        events, bad = read_events(telemetry)
+        assert bad == 0
+        kinds = {e["event"] for e in events}
+        assert {"daemon_start", "feed_window", "alert_raise",
+                "daemon_stop"} <= kinds
+
+    def test_daemon_rejects_malformed_tenant_spec(self, trace, tmp_path,
+                                                  capsys):
+        code = main([
+            "daemon",
+            "--store-dir", str(tmp_path / "store"),
+            "--tenant", f"bad.name={trace}",
+        ])
+        assert code == 2
+        assert "tenant" in capsys.readouterr().err
+
+    def test_daemon_rejects_malformed_alert_config(self, trace, tmp_path,
+                                                   capsys):
+        broken = tmp_path / "alerts.json"
+        broken.write_text("{not json")
+        code = main([
+            "daemon",
+            "--store-dir", str(tmp_path / "store"),
+            "--tenant", f"edge={trace}",
+            "--alert-config", str(broken),
+        ])
+        assert code == 2
+        assert "alert config" in capsys.readouterr().err

@@ -1,0 +1,173 @@
+"""The daemon's alert engine: threshold rules, hysteresis, per-tenant state.
+
+The contract: a rule raises only after ``raise_after`` consecutive
+breaching windows, clears only after ``clear_after`` consecutive calm
+windows at or below ``clear_threshold``, and tracks that state per
+``(tenant, rule)`` so tenants never share alert streaks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.daemon import AlertEngine, AlertRule, load_alert_rules
+
+
+def window(index=0, *, bytes_=0, duration=60.0, packets=0, tcp_packets=0,
+           retransmits=0, conn_starts=None):
+    """A minimal published-window payload for the metric extractors."""
+    return {
+        "index": index,
+        "start_ts": index * duration,
+        "duration": duration,
+        "packets": packets,
+        "bytes": bytes_,
+        "tcp_packets": tcp_packets,
+        "retransmits": retransmits,
+        "conn_starts": conn_starts or {},
+    }
+
+
+def mbps_window(index, mbps):
+    """A window whose utilization metric evaluates to ``mbps``."""
+    return window(index, bytes_=int(mbps * 1e6 / 8 * 60), duration=60.0)
+
+
+class TestRuleValidation:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown alert metric"):
+            AlertRule(name="x", metric="jitter", threshold=1.0,
+                      clear_threshold=1.0)
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            AlertRule(name="x", metric="mbps", threshold=1.0,
+                      clear_threshold=1.0, raise_after=0)
+
+    def test_clear_threshold_above_threshold_rejected(self):
+        with pytest.raises(ValueError, match="unclearable"):
+            AlertRule(name="x", metric="mbps", threshold=1.0,
+                      clear_threshold=2.0)
+
+
+class TestHysteresis:
+    def rule(self, **kwargs):
+        defaults = dict(name="hot", metric="mbps", threshold=10.0,
+                        clear_threshold=5.0, raise_after=2, clear_after=2)
+        defaults.update(kwargs)
+        return AlertRule(**defaults)
+
+    def test_raises_after_consecutive_breaches_only(self):
+        engine = AlertEngine([self.rule()])
+        assert engine.observe_window("t", 0, mbps_window(0, 20)) == []
+        events = engine.observe_window("t", 0, mbps_window(1, 20))
+        assert [e["event"] for e in events] == ["alert_raise"]
+        assert events[0]["rule"] == "hot" and events[0]["window"] == 1
+        assert engine.active_alerts("t") == ["hot"]
+        # Already active: further breaches emit nothing new.
+        assert engine.observe_window("t", 0, mbps_window(2, 20)) == []
+
+    def test_calm_window_resets_the_breach_streak(self):
+        engine = AlertEngine([self.rule()])
+        engine.observe_window("t", 0, mbps_window(0, 20))
+        engine.observe_window("t", 0, mbps_window(1, 1))  # streak broken
+        assert engine.observe_window("t", 0, mbps_window(2, 20)) == []
+        assert engine.active_alerts("t") == []
+
+    def test_clears_after_consecutive_calm_windows_only(self):
+        engine = AlertEngine([self.rule()])
+        engine.observe_window("t", 0, mbps_window(0, 20))
+        engine.observe_window("t", 0, mbps_window(1, 20))  # raised
+        assert engine.observe_window("t", 0, mbps_window(2, 1)) == []
+        events = engine.observe_window("t", 0, mbps_window(3, 1))
+        assert [e["event"] for e in events] == ["alert_clear"]
+        assert engine.active_alerts("t") == []
+
+    def test_band_between_thresholds_resets_both_streaks(self):
+        engine = AlertEngine([self.rule()])
+        engine.observe_window("t", 0, mbps_window(0, 20))
+        engine.observe_window("t", 0, mbps_window(1, 20))  # raised
+        engine.observe_window("t", 0, mbps_window(2, 1))   # one calm...
+        engine.observe_window("t", 0, mbps_window(3, 7))   # ...band resets it
+        assert engine.observe_window("t", 0, mbps_window(4, 1)) == []
+        assert engine.active_alerts("t") == ["hot"]  # still raised
+
+    def test_state_is_per_tenant(self):
+        engine = AlertEngine([self.rule(raise_after=2)])
+        engine.observe_window("a", 0, mbps_window(0, 20))
+        # Tenant b's first breach must not ride tenant a's streak.
+        assert engine.observe_window("b", 0, mbps_window(0, 20)) == []
+        assert engine.observe_window("a", 0, mbps_window(1, 20)) != []
+        assert engine.active_alerts("a") == ["hot"]
+        assert engine.active_alerts("b") == []
+
+    def test_tenant_scoped_rule_ignores_other_tenants(self):
+        engine = AlertEngine([self.rule(raise_after=1, tenant="a")])
+        assert engine.observe_window("b", 0, mbps_window(0, 20)) == []
+        assert engine.observe_window("a", 0, mbps_window(0, 20)) != []
+
+
+class TestMetrics:
+    def test_retransmit_rate_raises_and_handles_zero_tcp(self):
+        rule = AlertRule(name="loss", metric="retransmit_rate",
+                         threshold=0.05, clear_threshold=0.05)
+        engine = AlertEngine([rule])
+        quiet = window(0)  # no tcp packets: rate defined as 0.0
+        assert engine.observe_window("t", 0, quiet) == []
+        lossy = window(1, tcp_packets=100, retransmits=10)
+        events = engine.observe_window("t", 0, lossy)
+        assert events[0]["metric"] == "retransmit_rate"
+        assert events[0]["value"] == 0.1
+
+    def test_conns_metric_sums_conn_starts(self):
+        rule = AlertRule(name="surge", metric="conns", threshold=5.0,
+                         clear_threshold=5.0)
+        engine = AlertEngine([rule])
+        surge = window(0, conn_starts={"http": 4, "dns": 3})
+        assert engine.observe_window("t", 0, surge)[0]["value"] == 7.0
+
+    def test_scan_verdict_becomes_alert_event(self):
+        events = AlertEngine.observe_scanners("t", 2, [0x0A000005, 0x0A000001])
+        assert events == [{
+            "event": "alert_scan", "tenant": "t", "trace": 2,
+            "sources": [0x0A000001, 0x0A000005], "count": 2,
+        }]
+        assert AlertEngine.observe_scanners("t", 2, []) == []
+
+
+class TestConfigLoading:
+    def test_loads_rules_with_defaults(self, tmp_path):
+        config = tmp_path / "alerts.json"
+        config.write_text(json.dumps({"rules": [
+            {"name": "hot", "metric": "mbps", "threshold": 10,
+             "clear_threshold": 5, "raise_after": 2},
+            {"name": "loss", "metric": "retransmit_rate", "threshold": 0.05},
+        ]}))
+        rules = load_alert_rules(config)
+        assert [r.name for r in rules] == ["hot", "loss"]
+        assert rules[0].raise_after == 2 and rules[0].clear_after == 1
+        # clear_threshold defaults to the threshold itself.
+        assert rules[1].clear_threshold == 0.05
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        with pytest.raises(ValueError, match="unreadable alert config"):
+            load_alert_rules(tmp_path / "nope.json")
+
+    def test_malformed_shapes_rejected(self, tmp_path):
+        config = tmp_path / "alerts.json"
+        config.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="rules"):
+            load_alert_rules(config)
+        config.write_text(json.dumps({"rules": [{"metric": "mbps"}]}))
+        with pytest.raises(ValueError, match="malformed"):
+            load_alert_rules(config)
+
+    def test_bad_rule_error_names_the_rule(self, tmp_path):
+        config = tmp_path / "alerts.json"
+        config.write_text(json.dumps({"rules": [
+            {"name": "weird", "metric": "jitter", "threshold": 1},
+        ]}))
+        with pytest.raises(ValueError, match="weird"):
+            load_alert_rules(config)

@@ -1,0 +1,161 @@
+"""The tenant feed worker: artifact publication, resume, drain, pacing.
+
+These tests run :func:`repro.daemon.feed.run_feed` in-process (no fork)
+— the child-process plumbing is exercised by the supervisor tests; here
+the contract is the artifact tree itself: every closed window becomes a
+durable JSON file, completed traces leave markers that make restarts
+skip them, and a drain stops mid-trace at a checkpoint the next
+incarnation resumes into, byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.daemon import PacedSource, run_feed, tenant_dir, tenant_digest
+from repro.gen.capture import generate_dataset
+from repro.gen.topology import Enterprise
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("daemon-feed-traces")
+    return generate_dataset(
+        "D0", Enterprise(seed=7), out, seed=7, scale=0.004, max_windows=3
+    )
+
+
+def payload_for(dataset, store_root, *, traces=None, **overrides):
+    body = {
+        "tenant": "acme",
+        "traces": [str(t.path) for t in (traces or dataset.traces)],
+        "store_root": str(store_root),
+        "window": 60.0,
+        "flow_budget": 4096,
+        "checkpoint_every": 200,
+        "error_policy": "strict",
+        "packet_rate": 0.0,
+    }
+    body.update(overrides)
+    return body
+
+
+class Collector:
+    """A ``send`` callback that records every feed message."""
+
+    def __init__(self):
+        self.messages = []
+
+    def __call__(self, kind, body):
+        self.messages.append((kind, body))
+
+    def kinds(self):
+        return [kind for kind, _ in self.messages]
+
+    def of(self, kind):
+        return [body for k, body in self.messages if k == kind]
+
+
+class TestArtifacts:
+    def test_run_publishes_windows_markers_and_rollup(self, dataset, tmp_path):
+        sent = Collector()
+        assert run_feed(payload_for(dataset, tmp_path), threading.Event(),
+                        sent) == "done"
+        base = tenant_dir(tmp_path, "acme")
+        windows = sorted((base / "windows").glob("*.json"))
+        markers = sorted((base / "traces").glob("t*.json"))
+        assert len(markers) == len(dataset.traces)
+        assert len(windows) == len(sent.of("window")) > 0
+        # Window artifacts carry the tenant and parse cleanly.
+        first = json.loads(windows[0].read_text())
+        assert first["tenant"] == "acme" and "packets" in first
+        # The rollup aggregates what the markers say.
+        result = json.loads((base / "result.json").read_text())
+        marker_packets = sum(
+            json.loads(m.read_text())["packets"] for m in markers
+        )
+        assert result["packets"] == marker_packets > 0
+        assert result["traces"] == len(markers)
+        assert sent.of("done")[0] == result
+        # One completion message per trace, in order.
+        assert [b["trace"] for b in sent.of("trace")] == list(
+            range(len(dataset.traces))
+        )
+
+    def test_markers_make_restarts_skip_finished_traces(self, dataset, tmp_path):
+        run_feed(payload_for(dataset, tmp_path), threading.Event(), Collector())
+        base = tenant_dir(tmp_path, "acme")
+        before = {
+            p.name: p.stat().st_mtime_ns
+            for p in (base / "windows").glob("*.json")
+        }
+        sent = Collector()
+        assert run_feed(payload_for(dataset, tmp_path), threading.Event(),
+                        sent) == "done"
+        # Nothing re-ingested: no trace messages, no window republishes.
+        assert sent.of("trace") == []
+        after = {
+            p.name: p.stat().st_mtime_ns
+            for p in (base / "windows").glob("*.json")
+        }
+        assert after == before
+
+
+class TestDrain:
+    def test_drain_before_first_trace_reports_zero_packets(
+        self, dataset, tmp_path
+    ):
+        drain = threading.Event()
+        drain.set()
+        sent = Collector()
+        assert run_feed(payload_for(dataset, tmp_path), drain, sent) == "drained"
+        assert sent.of("drained") == [
+            {"tenant": "acme", "trace": 0, "packets": 0}
+        ]
+
+    def test_mid_trace_drain_resumes_to_identical_digest(
+        self, dataset, tmp_path
+    ):
+        reference = tmp_path / "reference"
+        run_feed(payload_for(dataset, reference), threading.Event(),
+                 Collector())
+        expected = tenant_digest(reference, "acme")
+
+        resumed = tmp_path / "resumed"
+        drain = threading.Event()
+        sent = Collector()
+
+        def drain_on_first_window(kind, body):
+            sent(kind, body)
+            if kind == "window":
+                drain.set()  # the engine checks this per packet
+
+        assert run_feed(payload_for(dataset, resumed),
+                        drain, drain_on_first_window) == "drained"
+        drained = sent.of("drained")
+        assert drained and drained[0]["packets"] > 0
+        assert tenant_digest(resumed, "acme") != expected  # partial so far
+        # Second incarnation resumes from the flushed checkpoint.
+        assert run_feed(payload_for(dataset, resumed), threading.Event(),
+                        Collector()) == "done"
+        assert tenant_digest(resumed, "acme") == expected
+
+
+class TestPacedSource:
+    def test_unpaced_source_adds_no_sleeps(self):
+        source = PacedSource(list(range(500)), packet_rate=0.0)
+        start = time.monotonic()
+        assert sum(1 for _ in source) == 500
+        assert time.monotonic() - start < 0.5
+        assert source.packets_read == 500
+
+    def test_pacing_throttles_iteration(self):
+        # 256 packets at 6400 pkts/s = four 64-packet batches -> >=30ms.
+        source = PacedSource(list(range(256)), packet_rate=6400.0)
+        start = time.monotonic()
+        assert sum(1 for _ in source) == 256
+        assert time.monotonic() - start >= 0.03

@@ -1,0 +1,119 @@
+"""Per-tenant isolation: one bad feed never perturbs its neighbors.
+
+The guarantee under test is structural — separate processes, separate
+flow tables, separate artifact trees — but the assertion is stronger
+than "the healthy tenant finished": its rolling-window artifacts must
+be **byte-identical** to a solo run with no bad neighbor at all, under
+both failure shapes the daemon distinguishes (a noisy feed the tolerant
+policy survives, and a poison feed the strict policy quarantines).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.daemon import (
+    DaemonConfig,
+    DaemonSupervisor,
+    TenantSpec,
+    tenant_dir,
+    tenant_digest,
+)
+from repro.gen.capture import generate_dataset
+from repro.gen.faults import corrupt_pcap
+from repro.gen.topology import Enterprise
+from repro.runtime import RetryPolicy, TelemetryLog
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("daemon-iso-traces")
+    return generate_dataset(
+        "D0", Enterprise(seed=7), out, seed=7, scale=0.004, max_windows=3
+    )
+
+
+def run_daemon(tenants, store, policy="tolerant"):
+    telemetry = TelemetryLog()
+    statuses = DaemonSupervisor(
+        tenants, store,
+        config=DaemonConfig(
+            checkpoint_every=200,
+            error_policy=policy,
+            retry=RetryPolicy(backoff=0.05, heartbeat_timeout=5.0,
+                              max_crashes=3),
+        ),
+        telemetry=telemetry,
+    ).run(install_signals=False)
+    return statuses, telemetry
+
+
+@pytest.fixture(scope="module")
+def healthy_reference(dataset, tmp_path_factory):
+    """Digest of the healthy tenant run solo — the isolation yardstick."""
+    store = tmp_path_factory.mktemp("daemon-iso-solo")
+    statuses, _ = run_daemon(
+        [TenantSpec("good", dataset.traces[0].path)], store
+    )
+    assert statuses == {"good": "done"}
+    return tenant_digest(store, "good")
+
+
+def test_noisy_tenant_under_tolerant_policy_is_contained(
+    dataset, tmp_path, healthy_reference
+):
+    # A tenant whose every trace is corrupted mid-stream.
+    noisy_dir = tmp_path / "noisy-traces"
+    noisy_dir.mkdir()
+    for fault, trace in zip(
+        ("truncated_record_body", "byte_flip_l3"), dataset.traces[1:]
+    ):
+        corrupt_pcap(trace.path, fault, seed=5,
+                     out_path=noisy_dir / trace.path.name)
+
+    store = tmp_path / "store"
+    statuses, _ = run_daemon(
+        [
+            TenantSpec("good", dataset.traces[0].path),
+            TenantSpec("noisy", noisy_dir),
+        ],
+        store,
+    )
+    # Tolerant policy: the noisy feed survives, with honest accounting.
+    assert statuses == {"good": "done", "noisy": "done"}
+    markers = sorted((tenant_dir(store, "noisy") / "traces").glob("t*.json"))
+    records = [json.loads(m.read_text()) for m in markers]
+    assert any(r["errors"] or r["quarantined"] for r in records)
+    # And the healthy tenant's artifacts are exactly its solo artifacts.
+    assert tenant_digest(store, "good") == healthy_reference
+
+
+def test_poison_tenant_under_strict_policy_is_quarantined(
+    dataset, tmp_path, healthy_reference
+):
+    poison = tmp_path / "poison.pcap"
+    corrupt_pcap(dataset.traces[1].path, "truncated_record_body", seed=5,
+                 out_path=poison)
+
+    store = tmp_path / "store"
+    statuses, telemetry = run_daemon(
+        [
+            TenantSpec("good", dataset.traces[0].path),
+            TenantSpec("poison", poison),
+        ],
+        store,
+        policy="strict",
+    )
+    # Strict policy: the corruption is a typed crash, every restart hits
+    # it again (the checkpoint resumes into the same bad record), and
+    # three consecutive crashes are poison.
+    assert statuses == {"good": "done", "poison": "quarantined"}
+    errors = [
+        e for e in telemetry.unit_events("feed_error")
+        if e["tenant"] == "poison"
+    ]
+    assert errors and all(e["kind"] == "truncated_body" for e in errors)
+    assert (tenant_dir(store, "poison") / "quarantined.json").exists()
+    assert tenant_digest(store, "good") == healthy_reference

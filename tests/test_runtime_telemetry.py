@@ -110,3 +110,76 @@ class TestRendering:
         assert sorted(row[0] for row in table.rows) == ["u0", "u1", "u2"]
         rendered = table.render()
         assert "Runtime" in rendered and "u2" in rendered
+
+
+class TestFollowEvents:
+    """The live tail (``read_events(follow=True)``) behind ``daemon tail``."""
+
+    def _tail(self, path, **kwargs):
+        from repro.runtime.telemetry import follow_events
+
+        return follow_events(path, poll_interval=0.01, **kwargs)
+
+    def test_tail_picks_up_appended_events(self, tmp_path):
+        import threading
+        import time
+
+        path = tmp_path / "events.jsonl"
+
+        def writer():
+            with open(path, "a", encoding="utf-8") as handle:
+                for i in range(3):
+                    handle.write(json.dumps({"event": "tick", "n": i}) + "\n")
+                    handle.flush()
+                    time.sleep(0.03)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        got = []
+        for record in self._tail(path, timeout=5.0):
+            got.append(record)
+            if len(got) == 3:
+                break
+        thread.join()
+        assert [r["n"] for r in got] == [0, 1, 2]
+
+    def test_truncated_trailing_line_waits_for_its_newline(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        done = []
+        tail = self._tail(path, stop=lambda: bool(done))
+        with open(path, "a", encoding="utf-8") as handle:
+            # A mid-write snapshot: one whole line plus a partial one.
+            handle.write('{"event": "whole", "n": 1}\n{"event": "par')
+            handle.flush()
+            assert next(tail)["event"] == "whole"
+            # The partial line completes on a later poll — one event,
+            # parsed whole, never mangled.
+            handle.write('tial", "n": 2}\n')
+            handle.flush()
+            assert next(tail) == {"event": "partial", "n": 2}
+        done.append(True)
+        assert list(tail) == []
+
+    def test_stop_still_drains_events_already_on_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n{"event": "b"}\nnot json\n')
+        # stop() is true from the start; the final drain still delivers
+        # what the (now dead) writer left, skipping the malformed line.
+        got = list(self._tail(path, stop=lambda: True))
+        assert [r["event"] for r in got] == ["a", "b"]
+
+    def test_timeout_ends_a_tail_with_no_writer(self, tmp_path):
+        import time
+
+        start = time.monotonic()
+        got = list(self._tail(tmp_path / "never.jsonl", timeout=0.05))
+        assert got == []
+        assert time.monotonic() - start < 2.0
+
+    def test_read_events_follow_flag_delegates_to_the_tail(self, tmp_path):
+        from repro.runtime.telemetry import read_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n')
+        tail = read_events(path, follow=True, stop=lambda: True)
+        assert [r["event"] for r in tail] == ["a"]

@@ -174,3 +174,52 @@ def test_crash_budget_spans_attempts_but_spares_recoverers(tmp_path):
         retry=RetryPolicy(max_retries=3, backoff=0.01, max_crashes=3),
     ).run(graph)
     assert results["flaky"].ok and results["flaky"].attempts == 3
+
+
+# -- heartbeat wind-down -----------------------------------------------------
+
+
+def test_heartbeat_thread_stops_promptly_on_normal_exit():
+    """A finished worker must not leave its beat thread running — in a
+    long-lived daemon feed that thread would outlive the work and die
+    noisily at interpreter teardown.  ``_child_main`` joins it out."""
+    import multiprocessing
+    import threading
+
+    from repro.runtime.scheduler import _child_main
+
+    parent, child = multiprocessing.Pipe(duplex=False)
+    before = {t for t in threading.enumerate() if t.name == "hb"}
+    _child_main(child, fine_worker, {}, heartbeat_interval=0.02)
+    after = [
+        t for t in threading.enumerate()
+        if t.name == "hb" and t not in before and t.is_alive()
+    ]
+    assert after == []
+    # The worker's result made it out past the interleaved beats.
+    messages = []
+    while parent.poll(0.01):
+        try:
+            messages.append(parent.recv())
+        except EOFError:
+            break  # the child closed its end on exit, as it should
+    assert ("ok", "fine") in messages
+
+
+def test_start_stop_heartbeat_round_trip():
+    import multiprocessing
+    import threading
+
+    from repro.runtime.scheduler import start_heartbeat, stop_heartbeat
+
+    parent, child = multiprocessing.Pipe(duplex=False)
+    thread, stop = start_heartbeat(child, threading.Lock(), 0.01)
+    deadline = time.monotonic() + 2.0
+    while not parent.poll(0.01) and time.monotonic() < deadline:
+        pass
+    kind, ts = parent.recv()
+    assert kind == "hb" and isinstance(ts, float)
+    stop_heartbeat(thread, stop)
+    assert not thread.is_alive()
+    # None/None is a no-op for callers without a heartbeat.
+    stop_heartbeat(None, None)

@@ -8,12 +8,14 @@ miss (``None``) under the tolerant policies — never as a wrong answer.
 from __future__ import annotations
 
 import json
+import os
 import shutil
+import time
 
 import pytest
 
 from repro.analysis.errors import ErrorKind, ErrorPolicy
-from repro.store import ConnStore, ShardError
+from repro.store import ConnStore, ShardError, StoreScrubber
 from repro.store.shard import DatasetShard, encode_dataset_shard
 
 
@@ -276,13 +278,39 @@ def test_gc_sweeps_stale_temp_files(store_study, tmp_path):
     stale = store.objects_dir / "ab" / ".deadbeef-crashed.tmp"
     stale.parent.mkdir(parents=True, exist_ok=True)
     stale.write_bytes(b"partial shard from a crashed writer")
+    # Age the file past the in-flight grace period: it really is debris.
+    old = time.time() - 3600.0
+    os.utime(stale, (old, old))
     preview = store.gc(dry_run=True)
     assert preview.stale_tmp == 1
+    assert preview.in_flight_tmp == 0
     assert preview.reclaimed_bytes >= len(b"partial shard from a crashed writer")
     assert stale.exists()
     report = store.gc()
     assert report.stale_tmp == 1
     assert not stale.exists()
+
+
+def test_gc_spares_in_flight_temp_files(store_study, tmp_path):
+    """A fresh .tmp is a live writer mid-publish, not debris: gc must
+    leave it alone (and say so), unless the grace period is disabled."""
+    _, root = store_study
+    store = copy_store(root, tmp_path)
+    in_flight = store.manifests_dir / ".0123456789ab-live.tmp"
+    in_flight.parent.mkdir(parents=True, exist_ok=True)
+    in_flight.write_bytes(b"half a manifest, writer still alive")
+    report = store.gc()
+    assert report.stale_tmp == 0
+    assert report.in_flight_tmp == 1
+    assert in_flight.exists()
+    # Scrub applies the same rule: in-flight, not stale.
+    scrubbed = StoreScrubber(store).scrub()
+    assert scrubbed.stale_tmp == 0
+    assert scrubbed.in_flight_tmp == 1
+    # A quiescent-store sweep (grace disabled) reclaims it.
+    forced = store.gc(tmp_grace_s=0.0)
+    assert forced.stale_tmp == 1
+    assert not in_flight.exists()
 
 
 def test_stats_accounting(store_study):
