@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench runtime-bench stream-bench chaos-soak daemon-soak examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench stream-bench service-bench chaos-soak daemon-soak examples outputs clean
 
 install:
 	pip install -e .
@@ -36,6 +36,12 @@ runtime-bench:
 # Batch vs streaming engine throughput + peak memory; writes BENCH_stream.json.
 stream-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_stream_bench.py -q -s
+
+# HTTP service under concurrent load: p50/p95/p99 latency for >=8
+# simulated users, cache hit >=5x faster than cold (byte-identical),
+# saturated job queue answering 429; writes BENCH_service.json.
+service-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_service_bench.py -q -s
 
 # Crash-point soak: fixed-seed fault schedules kill CLI runs
 # mid-publication and mid-checkpoint, resumed runs must be byte-identical

@@ -1,0 +1,183 @@
+"""Service benchmark: concurrent-user latency, cache speedup, backpressure.
+
+Run via ``make service-bench``.  Writes ``BENCH_service.json`` with the
+acceptance numbers the ISSUE pins:
+
+* p50/p95/p99 latency under ≥8 concurrent simulated users, zero 5xx;
+* cached store-query hit latency ≥5x faster than the cold compute path,
+  with byte-identical bodies (same content address ⇒ same bytes);
+* a saturated job queue answering 429 + Retry-After, never hanging.
+
+The store is seeded once per run at a deliberately small scale — the
+bench measures the *service* (HTTP stack, cache, queue), not the
+generator.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.study import run_study
+from repro.service import ReproService
+from repro.service.loadgen import run_load
+
+_USERS = int(os.environ.get("REPRO_SERVICE_BENCH_USERS", "8"))
+_DURATION = float(os.environ.get("REPRO_SERVICE_BENCH_DURATION", "5.0"))
+_WARMUP = float(os.environ.get("REPRO_SERVICE_BENCH_WARMUP", "1.0"))
+
+#: Acceptance floor: a cache hit (replayed bytes, no shard reads) must
+#: beat the cold compute-and-render path by at least this factor.
+_MIN_CACHE_SPEEDUP = 5.0
+
+#: Cold/hit latency sample size (medians are compared, not means —
+#: one GC pause must not decide the verdict).
+_LATENCY_SAMPLES = 30
+
+_QUERY = "/query?by=category&proto=tcp"
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-bench-store")
+    run_study(
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "7")),
+        scale=float(os.environ.get("REPRO_SERVICE_BENCH_SCALE", "0.004")),
+        datasets=("D0",),
+        max_windows=4,
+        store_dir=str(root),
+    )
+    svc = ReproService(str(root), port=0, job_workers=1, job_queue=2)
+    svc.start_background()
+    yield svc
+    svc.shutdown()
+
+
+def _timed_get(conn: http.client.HTTPConnection, path: str):
+    started = time.perf_counter()
+    conn.request("GET", path)
+    response = conn.getresponse()
+    body = response.read()
+    latency_ms = (time.perf_counter() - started) * 1000.0
+    assert response.status == 200, (path, response.status, body[:200])
+    return latency_ms, response.getheader("X-Cache"), body
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def test_service_bench(service, output_dir, emit):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+    try:
+        # --- cache: cold (bypass recomputes) vs hit (replayed bytes) ---
+        service.cache.clear()
+        _, state, primed = _timed_get(conn, _QUERY)
+        assert state == "miss"
+        cold_ms, hit_ms = [], []
+        for _ in range(_LATENCY_SAMPLES):
+            latency, state, body = _timed_get(conn, _QUERY + "&cache_bypass=1")
+            assert state == "bypass" and body == primed
+            cold_ms.append(latency)
+            latency, state, body = _timed_get(conn, _QUERY)
+            assert state == "hit" and body == primed
+            hit_ms.append(latency)
+        cache_speedup = _median(cold_ms) / _median(hit_ms)
+
+        # --- backpressure: saturate the 2-deep queue, expect 429 ---
+        release = threading.Event()
+        service.jobs.runner = lambda request, store_dir: (
+            release.wait(30), {"ok": True},
+        )[1]
+        statuses: list[int] = []
+        retry_after = None
+        saturation_started = time.monotonic()
+        for _ in range(8):
+            conn.request(
+                "POST", "/studies", body=json.dumps({"jobs": 0}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()
+            statuses.append(response.status)
+            if response.status == 429:
+                retry_after = response.getheader("Retry-After")
+                break
+        saturation_s = time.monotonic() - saturation_started
+        release.set()
+        assert 429 in statuses, f"queue never saturated: {statuses}"
+        assert saturation_s < 10.0, "a full queue hung instead of 429ing"
+        assert retry_after is not None and int(retry_after) >= 1
+    finally:
+        conn.close()
+
+    # --- concurrent-user latency under the mixed workload ---
+    report = run_load(
+        "127.0.0.1", service.port,
+        users=_USERS, duration=_DURATION, warmup=_WARMUP, seed=1,
+    )
+    latency = report["latency_ms"]
+    server_5xx = service.status_counts().get("5xx", 0)
+
+    payload = {
+        "users": _USERS,
+        "duration_s": report["duration_s"],
+        "requests": report["requests"],
+        "throughput_rps": report["throughput_rps"],
+        "latency_ms": latency,
+        "endpoints": report["endpoints"],
+        "error_rate": report["error_rate"],
+        "status_counts": report["status_counts"],
+        "server_5xx": server_5xx,
+        "cache": {
+            "cold_median_ms": round(_median(cold_ms), 3),
+            "hit_median_ms": round(_median(hit_ms), 3),
+            "speedup": round(cache_speedup, 2),
+            "floor": _MIN_CACHE_SPEEDUP,
+            "byte_identical": True,  # asserted above, per request
+            **service.cache.stats(),
+        },
+        "backpressure": {
+            "statuses": statuses,
+            "retry_after_s": int(retry_after),
+            "saturation_wall_s": round(saturation_s, 3),
+        },
+    }
+    (output_dir / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    emit(
+        "analysis service under concurrent load\n"
+        f"  users             {_USERS} (warmup {_WARMUP}s, "
+        f"measured {report['duration_s']}s)\n"
+        f"  requests          {report['requests']} "
+        f"({report['throughput_rps']} req/s)\n"
+        f"  latency ms        p50 {latency['p50']}  p95 {latency['p95']}  "
+        f"p99 {latency['p99']}  max {latency['max']}\n"
+        f"  errors            rate {report['error_rate']}  "
+        f"statuses {json.dumps(report['status_counts'], sort_keys=True)}\n"
+        f"  cache             cold {payload['cache']['cold_median_ms']} ms  "
+        f"hit {payload['cache']['hit_median_ms']} ms  "
+        f"speedup {payload['cache']['speedup']}x "
+        f"(floor {_MIN_CACHE_SPEEDUP:.0f}x)\n"
+        f"  backpressure      {statuses.count(202)} accepted then 429, "
+        f"Retry-After {retry_after}s, wall {payload['backpressure']['saturation_wall_s']}s"
+    )
+
+    # The ISSUE's acceptance gates.
+    assert _USERS >= 8
+    for quantile in ("p50", "p95", "p99"):
+        assert latency[quantile] > 0
+    assert report["status_counts"].get("5xx", 0) == 0
+    assert report["status_counts"].get("conn-error", 0) == 0
+    assert server_5xx == 0
+    assert cache_speedup >= _MIN_CACHE_SPEEDUP, (
+        f"cache hit only {cache_speedup:.1f}x faster than cold"
+    )

@@ -24,8 +24,17 @@ ingestion service (``docs/daemon.md``)::
 
     repro-study daemon --store-dir .store --tenant lan=traces/lan/ \\
         --tenant wan=traces/wan.pcap --window 60 \\
-        --alert-config alerts.json --telemetry daemon.jsonl
+        --flow-budget 4096 --flow-budget lan=512 \\
+        --config daemon.json --telemetry daemon.jsonl
     repro-study daemon tail --telemetry daemon.jsonl
+
+A ``serve`` subcommand runs the long-running analysis HTTP service
+(``docs/service.md``), and ``loadgen`` hammers it with concurrent
+simulated users and reports latency percentiles::
+
+    repro-study serve --store-dir .store --port 8080 \\
+        --telemetry service.jsonl
+    repro-study loadgen --port 8080 --users 8 --duration 5
 """
 
 from __future__ import annotations
@@ -397,34 +406,44 @@ def _build_daemon_parser() -> argparse.ArgumentParser:
         "of *.pcap files",
     )
     parser.add_argument(
-        "--window", type=float, default=60.0, metavar="SECONDS",
+        "--window", type=float, default=None, metavar="SECONDS",
         help="rolling aggregation window (default 60s)",
     )
     parser.add_argument(
-        "--flow-budget", type=int, default=None,
-        help="per-tenant flow-table capacity (LRU eviction beyond it; "
-        "one tenant's flood never evicts a neighbor's flows)",
+        "--flow-budget", action="append", default=None, metavar="N|NAME=N",
+        help="flow-table capacity: a bare N applies to every tenant, "
+        "NAME=N overrides one tenant (repeatable; LRU eviction beyond "
+        "the budget — one tenant's flood never evicts a neighbor's "
+        "flows)",
     )
     parser.add_argument(
-        "--checkpoint-every", type=int, default=5000, metavar="PACKETS",
+        "--checkpoint-every", type=int, default=None, metavar="PACKETS",
         help="packets between resumable checkpoints (default 5000, 0=off)",
     )
     parser.add_argument(
         "--error-policy",
-        default="tolerant",
+        default=None,
         choices=[policy.value for policy in ErrorPolicy],
         help="feed ingestion policy (default tolerant: an always-on "
         "service salvages damaged input instead of dying on it)",
     )
     parser.add_argument(
-        "--packet-rate", type=float, default=0.0, metavar="PPS",
+        "--packet-rate", type=float, default=None, metavar="PPS",
         help="pace each feed to ~this many packets/second "
         "(0 = full speed)",
     )
     parser.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="JSON daemon config: daemon-wide settings, per-tenant "
+        "flow_budget overrides, and alert rules (global + per-tenant); "
+        "explicit CLI flags win over the file's settings, and per-tenant "
+        "values win over global ones (see docs/daemon.md)",
+    )
+    parser.add_argument(
         "--alert-config", default=None, metavar="PATH",
         help="JSON alert rules: {\"rules\": [{name, metric, threshold, "
-        "clear_threshold, raise_after, clear_after, tenant}, ...]}",
+        "clear_threshold, raise_after, clear_after, tenant}, ...]} "
+        "(additive with --config rules)",
     )
     parser.add_argument(
         "--telemetry", default=None, metavar="PATH",
@@ -449,9 +468,9 @@ def _build_daemon_parser() -> argparse.ArgumentParser:
         help="consecutive crashes before a feed is quarantined as poison",
     )
     parser.add_argument(
-        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
         help="SIGTERM drain: how long feeds get to flush their final "
-        "checkpoints before SIGKILL",
+        "checkpoints before SIGKILL (default 30s)",
     )
     return parser
 
@@ -495,43 +514,58 @@ def _daemon_main(argv: list[str]) -> int:
 
     from ..daemon import (
         AlertEngine,
-        DaemonConfig,
+        DaemonFileConfig,
         DaemonSupervisor,
         load_alert_rules,
+        load_daemon_config,
+        parse_flow_budget,
         parse_tenant,
     )
     from ..runtime.scheduler import RetryPolicy
     from ..runtime.telemetry import TelemetryLog
-    from ..stream.flowtable import DEFAULT_MAX_FLOWS
 
     args = _build_daemon_parser().parse_args(argv)
     try:
         tenants = [parse_tenant(text) for text in args.tenant]
-        rules = (
-            load_alert_rules(args.alert_config)
-            if args.alert_config is not None
-            else []
+        file_cfg = (
+            load_daemon_config(args.config)
+            if args.config is not None
+            else DaemonFileConfig()
         )
+        rules = list(file_cfg.rules)
+        if args.alert_config is not None:
+            rules.extend(load_alert_rules(args.alert_config))
+        cli_global_budget: int | None = None
+        cli_tenant_budgets: dict[str, int] = {}
+        for text in args.flow_budget or []:
+            tenant, budget = parse_flow_budget(text)
+            if tenant is None:
+                cli_global_budget = budget
+            else:
+                cli_tenant_budgets[tenant] = budget
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = DaemonConfig(
-        window=args.window,
-        flow_budget=(
-            args.flow_budget if args.flow_budget is not None
-            else DEFAULT_MAX_FLOWS
+    # Only explicitly-given flags override the config file's settings.
+    overrides: dict = {}
+    for name in (
+        "window", "checkpoint_every", "error_policy", "packet_rate",
+        "drain_timeout",
+    ):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    overrides["retry"] = RetryPolicy(
+        backoff=args.backoff,
+        heartbeat_timeout=(
+            args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
         ),
-        checkpoint_every=args.checkpoint_every,
-        error_policy=args.error_policy,
-        packet_rate=args.packet_rate,
-        retry=RetryPolicy(
-            backoff=args.backoff,
-            heartbeat_timeout=(
-                args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
-            ),
-            max_crashes=args.max_crashes,
-        ),
-        drain_timeout=args.drain_timeout,
+        max_crashes=args.max_crashes,
+    )
+    config = file_cfg.resolve(
+        cli_global_budget=cli_global_budget,
+        cli_tenant_budgets=cli_tenant_budgets,
+        **overrides,
     )
     with TelemetryLog(path=args.telemetry, progress=False) as telemetry:
         supervisor = DaemonSupervisor(
@@ -550,6 +584,170 @@ def _daemon_main(argv: list[str]) -> int:
         if status not in ("done", "drained")
     )
     return 0 if failed == 0 else 1
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study serve",
+        description=(
+            "Run the long-running analysis HTTP service: store queries, "
+            "CDFs, and paper tables behind an LRU response cache; study "
+            "submission as bounded background jobs (429 + Retry-After "
+            "under saturation); live read-through of daemon window "
+            "artifacts (see docs/service.md).  SIGTERM shuts down "
+            "gracefully."
+        ),
+    )
+    parser.add_argument(
+        "--store-dir", required=True,
+        help="connection-record store root the service queries (and "
+        "where submitted studies land)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (default 8080; 0 picks a free one)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="LRU response-cache capacity in responses (default 256)",
+    )
+    parser.add_argument(
+        "--job-workers", type=int, default=1,
+        help="background study workers (default 1)",
+    )
+    parser.add_argument(
+        "--job-queue", type=int, default=4,
+        help="pending-job queue bound; beyond it POST /studies answers "
+        "429 (default 4)",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="append the service's JSONL request/event stream here "
+        "(also enables the GET /events tail endpoint)",
+    )
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``repro-study serve`` subcommand."""
+    import signal
+    import threading
+
+    from ..runtime.telemetry import TelemetryLog
+    from ..service import ReproService
+
+    args = _build_serve_parser().parse_args(argv)
+    telemetry = (
+        TelemetryLog(path=args.telemetry) if args.telemetry else None
+    )
+    service = ReproService(
+        args.store_dir,
+        host=args.host,
+        port=args.port,
+        cache_entries=args.cache_entries,
+        job_workers=args.job_workers,
+        job_queue=args.job_queue,
+        telemetry=telemetry,
+    )
+    service.start_background()
+    print(
+        f"[service] listening on {service.url} (store {args.store_dir})",
+        file=sys.stderr,
+        flush=True,
+    )
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        service.shutdown()
+    print("[service] drained and stopped", file=sys.stderr, flush=True)
+    return 0
+
+
+def _build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study loadgen",
+        description=(
+            "Drive a running analysis service with N concurrent "
+            "simulated users (persistent connections, mixed endpoint "
+            "workload, warmup then measurement) and report "
+            "p50/p95/p99 latency and error rate.  Exits non-zero if "
+            "any request got a 5xx or a connection error."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="service host (default loopback)"
+    )
+    parser.add_argument(
+        "--port", type=int, required=True, help="service port"
+    )
+    parser.add_argument(
+        "--users", type=int, default=8,
+        help="concurrent simulated users (default 8)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="measurement phase length (default 5s)",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=1.0, metavar="SECONDS",
+        help="unrecorded warmup phase length (default 1s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload RNG seed (per-user streams derive from it)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full JSON report instead of the summary",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report here",
+    )
+    return parser
+
+
+def _loadgen_main(argv: list[str]) -> int:
+    """The ``repro-study loadgen`` subcommand."""
+    import json
+    from pathlib import Path
+
+    from ..service.loadgen import render_report, run_load
+
+    args = _build_loadgen_parser().parse_args(argv)
+    report = run_load(
+        args.host,
+        args.port,
+        users=args.users,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    bad = report["status_counts"].get("5xx", 0) + report[
+        "status_counts"
+    ].get("conn-error", 0)
+    return 0 if bad == 0 else 1
 
 
 def _window_progress(window) -> None:
@@ -611,6 +809,10 @@ def main(argv: list[str] | None = None) -> int:
         return _stream_main(argv[1:])
     if argv and argv[0] == "daemon":
         return _daemon_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _loadgen_main(argv[1:])
     args = _build_parser().parse_args(argv)
     results = run_study(
         seed=args.seed,

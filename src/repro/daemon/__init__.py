@@ -13,8 +13,15 @@ debounced threshold alerts over the window stream.  See
 ``docs/daemon.md``.
 """
 
-from .alerts import AlertEngine, AlertRule, load_alert_rules
-from .config import DaemonConfig, TenantSpec, parse_tenant
+from .alerts import AlertEngine, AlertRule, load_alert_rules, parse_alert_rule
+from .config import (
+    DaemonConfig,
+    DaemonFileConfig,
+    TenantSpec,
+    load_daemon_config,
+    parse_flow_budget,
+    parse_tenant,
+)
 from .feed import PacedSource, run_feed, tenant_dir
 from .supervisor import DaemonSupervisor, FeedState, tenant_digest
 
@@ -22,11 +29,15 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "DaemonConfig",
+    "DaemonFileConfig",
     "DaemonSupervisor",
     "FeedState",
     "PacedSource",
     "TenantSpec",
     "load_alert_rules",
+    "load_daemon_config",
+    "parse_alert_rule",
+    "parse_flow_budget",
     "parse_tenant",
     "run_feed",
     "tenant_dir",

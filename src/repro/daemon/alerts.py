@@ -27,7 +27,13 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["AlertRule", "AlertEngine", "load_alert_rules", "WINDOW_METRICS"]
+__all__ = [
+    "AlertRule",
+    "AlertEngine",
+    "load_alert_rules",
+    "parse_alert_rule",
+    "WINDOW_METRICS",
+]
 
 #: Metric name -> extractor over one published window payload.
 WINDOW_METRICS = {
@@ -76,6 +82,26 @@ class AlertRule:
             )
 
 
+def parse_alert_rule(raw: object, tenant: str | None = None) -> AlertRule:
+    """Build one :class:`AlertRule` from its JSON object form.
+
+    ``tenant`` (when given) pins the rule's scope regardless of any
+    ``tenant`` key in the object — rules declared inside a per-tenant
+    config block belong to that tenant, full stop.
+    """
+    if not isinstance(raw, dict) or "name" not in raw:
+        raise ValueError("rule must be an object carrying a name")
+    return AlertRule(
+        name=raw["name"],
+        metric=raw.get("metric", "mbps"),
+        threshold=float(raw["threshold"]),
+        clear_threshold=float(raw.get("clear_threshold", raw["threshold"])),
+        raise_after=int(raw.get("raise_after", 1)),
+        clear_after=int(raw.get("clear_after", 1)),
+        tenant=tenant if tenant is not None else raw.get("tenant"),
+    )
+
+
 def load_alert_rules(path: str | Path) -> list[AlertRule]:
     """Load rules from a JSON config: ``{"rules": [{...}, ...]}``.
 
@@ -94,25 +120,12 @@ def load_alert_rules(path: str | Path) -> list[AlertRule]:
         raise ValueError(f"alert config {path} must be {{\"rules\": [...]}}")
     rules = []
     for index, raw in enumerate(rules_raw):
-        if not isinstance(raw, dict) or "name" not in raw:
-            raise ValueError(f"alert config {path}: rule #{index} malformed")
         try:
-            rules.append(
-                AlertRule(
-                    name=raw["name"],
-                    metric=raw.get("metric", "mbps"),
-                    threshold=float(raw["threshold"]),
-                    clear_threshold=float(
-                        raw.get("clear_threshold", raw["threshold"])
-                    ),
-                    raise_after=int(raw.get("raise_after", 1)),
-                    clear_after=int(raw.get("clear_after", 1)),
-                    tenant=raw.get("tenant"),
-                )
-            )
+            rules.append(parse_alert_rule(raw))
         except (KeyError, TypeError, ValueError) as exc:
+            name = raw.get("name", index) if isinstance(raw, dict) else index
             raise ValueError(
-                f"alert config {path}: rule {raw.get('name', index)!r}: {exc}"
+                f"alert config {path}: rule {name!r}: {exc}"
             ) from exc
     return rules
 

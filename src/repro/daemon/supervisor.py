@@ -146,6 +146,11 @@ class DaemonSupervisor:
             tenants=sorted(self.feeds),
             window=config.window,
             flow_budget=config.flow_budget,
+            tenant_flow_budgets={
+                name: config.flow_budget_for(name)
+                for name in sorted(self.feeds)
+                if config.flow_budget_for(name) != config.flow_budget
+            },
             checkpoint_every=config.checkpoint_every,
             error_policy=config.error_policy,
         )
@@ -211,19 +216,24 @@ class DaemonSupervisor:
                 if state.alive:
                     self._service(state)
 
-    def _launch(self, state: FeedState) -> None:
-        spec = state.spec
-        payload = {
+    def _feed_payload(self, spec: TenantSpec) -> dict:
+        """The launch payload for one tenant's feed process — notably
+        where the per-tenant flow-budget override takes effect."""
+        return {
             "tenant": spec.name,
             "traces": [str(path) for path in spec.traces()],
             "store_root": str(self.store_root),
             "window": self.config.window,
-            "flow_budget": self.config.flow_budget,
+            "flow_budget": self.config.flow_budget_for(spec.name),
             "checkpoint_every": self.config.checkpoint_every,
             "error_policy": self.config.error_policy,
             "packet_rate": self.config.packet_rate,
             "heartbeat_interval": self.config.retry.heartbeat_interval,
         }
+
+    def _launch(self, state: FeedState) -> None:
+        spec = state.spec
+        payload = self._feed_payload(spec)
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=feed_child,

@@ -94,10 +94,11 @@ def follow_events(
     Malformed complete lines are skipped, same as :func:`read_events`.
 
     The tail ends when ``stop()`` returns true (checked after draining
-    whatever is already on disk, so a stopped writer's final events are
-    still delivered) or when ``timeout`` seconds pass without the tail
-    being stopped.  With neither, it follows forever — the CLI's
-    Ctrl-C is the exit.
+    each read, so a stopped writer's final events are still delivered
+    but a *busy* writer cannot pin a stopped tail — the HTTP service
+    tails its own request log, which grows on every poll) or when
+    ``timeout`` seconds pass without the tail being stopped.  With
+    neither, it follows forever — the CLI's Ctrl-C is the exit.
     """
     path = Path(path)
     deadline = None if timeout is None else time.monotonic() + timeout
@@ -129,6 +130,8 @@ def follow_events(
                         continue
                     if isinstance(record, dict):
                         yield record
+                if stop is not None and stop():
+                    return  # delivered what was read; don't re-poll
                 continue  # drain until the file is quiet before sleeping
             if stop is not None and stop():
                 return

@@ -1,0 +1,31 @@
+"""Analysis-as-a-service: the HTTP face of the reproduction.
+
+A stdlib-only long-running service (:class:`~repro.service.app.ReproService`)
+serving store queries, CDFs, and paper tables from the content-addressed
+:class:`~repro.store.ConnStore` behind an LRU response cache; accepting
+study submissions as bounded background jobs on the PR-3 runtime; and
+reading the ingestion daemon's per-tenant window artifacts live.  The
+matching load harness lives in :mod:`repro.service.loadgen`.
+
+See ``docs/service.md`` for the endpoint reference and operational
+semantics (cache keying, backpressure, shutdown).
+"""
+
+from .app import ReproService, ServiceError
+from .cache import CachedResponse, ResponseCache, store_state_token
+from .jobs import JobManager, StudyJob, validate_study_request
+from .loadgen import DEFAULT_MIX, Endpoint, run_load
+
+__all__ = [
+    "ReproService",
+    "ServiceError",
+    "CachedResponse",
+    "ResponseCache",
+    "store_state_token",
+    "JobManager",
+    "StudyJob",
+    "validate_study_request",
+    "DEFAULT_MIX",
+    "Endpoint",
+    "run_load",
+]

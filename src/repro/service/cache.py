@@ -1,0 +1,125 @@
+"""The service's response cache: LRU over immutable content addresses.
+
+The store is content-addressed (:mod:`repro.store`): a manifest key is
+the SHA-256 of everything that determines an analysis, and shard objects
+are named by the SHA-256 of their own bytes.  Nothing behind a key ever
+changes — a "modified" analysis is a *new* key.  That makes response
+caching trivial to get right:
+
+* A cache entry is keyed on the request (path + canonical query string)
+  **plus the sorted set of manifest keys currently in the store**.  The
+  manifest-key set is one cheap ``readdir``; no shard is opened to
+  decide hit or miss.
+* A hit replays the stored response bytes verbatim — the store is never
+  touched, which is where the ≥5x cached-vs-cold win comes from.
+* Invalidation is free: publishing a new analysis adds a manifest key,
+  which changes the state token, which misses the cache naturally.  No
+  TTLs, no dirty bits, no coherence protocol.
+
+Entries are bounded by an LRU (``max_entries``); eviction only ever
+costs a recompute.  The cache is shared by every handler thread of the
+:class:`~repro.service.app.ReproService`, so all operations take the
+internal lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CachedResponse", "ResponseCache", "store_state_token"]
+
+#: Default LRU capacity (responses, not bytes; a query response at the
+#: scales the service runs at is a few KB to a few hundred KB).
+DEFAULT_MAX_ENTRIES = 256
+
+
+def store_state_token(store_root: str | Path) -> str:
+    """Hash of the store's current manifest-key set.
+
+    Manifest keys are immutable content addresses, so this token is a
+    complete summary of "what could a store query possibly see": two
+    moments with the same token serve byte-identical query responses.
+    One sorted ``readdir`` — no file is opened.
+    """
+    manifests = Path(store_root) / "manifests"
+    digest = hashlib.sha256()
+    if manifests.is_dir():
+        for name in sorted(path.name for path in manifests.glob("*.json")):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """One stored response, replayed verbatim on a hit."""
+
+    status: int
+    content_type: str
+    body: bytes
+
+
+class ResponseCache:
+    """A thread-safe LRU of rendered responses.
+
+    Keys are built by :meth:`key_for` from the request identity and the
+    store state token; values are :class:`CachedResponse`.  ``hits`` /
+    ``misses`` feed the ``/health`` endpoint and the benchmarks.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._entries: OrderedDict[str, CachedResponse] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(path: str, query: str, state_token: str) -> str:
+        """The cache key for one GET: request identity × store state."""
+        raw = f"{path}?{query}\0{state_token}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+    def get(self, key: str) -> CachedResponse | None:
+        """Look one key up, refreshing its LRU position on a hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, response: CachedResponse) -> None:
+        """Store one response, evicting the least recently used past
+        capacity.  Replacing an existing key is harmless (same content
+        address ⇒ same bytes)."""
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters for ``/health`` and the bench report."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 6) if total else 0.0,
+            }

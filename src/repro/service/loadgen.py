@@ -1,0 +1,265 @@
+"""Concurrent load harness for the analysis service.
+
+``run_load`` simulates ``users`` independent clients, each with its own
+persistent :class:`http.client.HTTPConnection` (keep-alive, like a real
+browser or SDK) and its own seeded RNG drawing requests from a weighted
+endpoint mix.  The run has two phases:
+
+* **warmup** — traffic flows but nothing is recorded, so connection
+  setup, cache population, and interpreter warm-up do not pollute the
+  percentiles;
+* **measurement** — every request's wall latency and status code are
+  recorded until the deadline.
+
+The report carries p50/p95/p99/mean/max latency (overall and per
+endpoint), throughput, an error rate, and the raw status-class counts —
+the numbers ``make service-bench`` persists to ``BENCH_service.json``
+and the CI smoke job asserts on (p99 present, zero 5xx).
+
+Everything is stdlib; the harness deliberately mirrors the POST-a-
+workload / poll-percentiles pattern of the CS450 performance tracker
+exemplar, but runs client-side so it can also measure the service's
+HTTP stack itself.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["Endpoint", "DEFAULT_MIX", "run_load"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One entry in the workload mix."""
+
+    name: str
+    path: str
+    weight: float = 1.0
+    method: str = "GET"
+    body: str | None = None
+
+
+#: The default mixed workload: read-heavy (as a query service's traffic
+#: would be), spanning cheap (/health) through shard-reading endpoints
+#: (/query, /cdf, /tables/*).  ``/events`` is excluded — a tail holds
+#: its connection open, which is a different experiment.
+DEFAULT_MIX = (
+    Endpoint("health", "/health", weight=1.0),
+    Endpoint("studies", "/studies", weight=2.0),
+    Endpoint("query-category", "/query?by=category", weight=3.0),
+    Endpoint("query-proto", "/query?by=proto&locality=ent-ent", weight=2.0),
+    Endpoint("cdf-bytes", "/cdf?field=total_bytes", weight=3.0),
+    Endpoint("cdf-duration", "/cdf?field=duration&proto=tcp", weight=2.0),
+    Endpoint("table-load", "/tables/load", weight=1.0),
+    Endpoint("table-retrans", "/tables/retransmission", weight=1.0),
+    Endpoint("table-quality", "/tables/quality", weight=1.0),
+    Endpoint("daemon", "/daemon", weight=1.0),
+)
+
+
+def _percentiles(samples: list[float]) -> dict:
+    """Latency summary (milliseconds) of one sorted-on-demand sample."""
+    if not samples:
+        return {"n": 0}
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def pick(q: float) -> float:
+        return round(ordered[min(n - 1, int(q * n))], 3)
+
+    return {
+        "n": n,
+        "p50": pick(0.50),
+        "p95": pick(0.95),
+        "p99": pick(0.99),
+        "mean": round(sum(ordered) / n, 3),
+        "max": round(ordered[-1], 3),
+    }
+
+
+class _User:
+    """One simulated client: persistent connection, seeded endpoint RNG."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        mix: tuple[Endpoint, ...],
+        seed: int,
+        timeout: float,
+    ) -> None:
+        self.index = index
+        self.host = host
+        self.port = port
+        self.mix = mix
+        self.rng = random.Random((seed << 16) ^ index)
+        self.timeout = timeout
+        self.conn: http.client.HTTPConnection | None = None
+        #: (endpoint name, status, latency ms) per measured request;
+        #: status 0 means the request never got an HTTP answer.
+        self.samples: list[tuple[str, int, float]] = []
+        self.reconnects = 0
+
+    def _pick(self) -> Endpoint:
+        total = sum(endpoint.weight for endpoint in self.mix)
+        mark = self.rng.uniform(0.0, total)
+        for endpoint in self.mix:
+            mark -= endpoint.weight
+            if mark <= 0.0:
+                return endpoint
+        return self.mix[-1]
+
+    def _request(self, endpoint: Endpoint) -> tuple[int, float]:
+        if self.conn is None:
+            self.conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self.reconnects += 1
+        started = time.monotonic()
+        try:
+            headers = {}
+            if endpoint.body is not None:
+                headers["Content-Type"] = "application/json"
+            self.conn.request(
+                endpoint.method, endpoint.path, body=endpoint.body,
+                headers=headers,
+            )
+            response = self.conn.getresponse()
+            response.read()  # drain so keep-alive can reuse the socket
+            status = response.status
+        except (http.client.HTTPException, OSError):
+            # Connection-level failure: drop the socket, report status 0.
+            try:
+                self.conn.close()
+            finally:
+                self.conn = None
+            status = 0
+        return status, (time.monotonic() - started) * 1000.0
+
+    def run(
+        self,
+        barrier: threading.Barrier,
+        measure_at: float,
+        deadline: float,
+    ) -> None:
+        try:
+            barrier.wait(timeout=30.0)
+        except threading.BrokenBarrierError:
+            return
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            endpoint = self._pick()
+            status, latency_ms = self._request(endpoint)
+            if now >= measure_at:  # warmup requests are not recorded
+                self.samples.append((endpoint.name, status, latency_ms))
+        if self.conn is not None:
+            self.conn.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    users: int = 8,
+    duration: float = 5.0,
+    warmup: float = 1.0,
+    seed: int = 0,
+    mix: tuple[Endpoint, ...] = DEFAULT_MIX,
+    timeout: float = 30.0,
+) -> dict:
+    """Drive the service with ``users`` concurrent clients; return the
+    latency/error report for the measurement phase."""
+    users = max(1, int(users))
+    threads: list[threading.Thread] = []
+    clients = [
+        _User(index, host, port, tuple(mix), seed, timeout)
+        for index in range(users)
+    ]
+    barrier = threading.Barrier(users + 1)
+    start = time.monotonic()
+    measure_at = start + max(0.0, warmup)
+    deadline = measure_at + max(0.1, duration)
+    for client in clients:
+        thread = threading.Thread(
+            target=client.run,
+            args=(barrier, measure_at, deadline),
+            name=f"loadgen-user-{client.index}",
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    barrier.wait(timeout=30.0)
+    for thread in threads:
+        thread.join(timeout=warmup + duration + timeout + 30.0)
+    wall = time.monotonic() - measure_at
+
+    all_latencies: list[float] = []
+    by_endpoint: dict[str, dict] = {}
+    status_counts: dict[str, int] = {}
+    errors = 0
+    for client in clients:
+        for name, status, latency_ms in client.samples:
+            all_latencies.append(latency_ms)
+            bucket = f"{status // 100}xx" if status else "conn-error"
+            status_counts[bucket] = status_counts.get(bucket, 0) + 1
+            slot = by_endpoint.setdefault(
+                name, {"latencies": [], "errors": 0}
+            )
+            slot["latencies"].append(latency_ms)
+            if status == 0 or status >= 400:
+                errors += 1
+                slot["errors"] += 1
+    total = len(all_latencies)
+    return {
+        "users": users,
+        "warmup_s": round(max(0.0, warmup), 3),
+        "duration_s": round(wall, 3),
+        "seed": seed,
+        "requests": total,
+        "throughput_rps": round(total / wall, 3) if wall > 0 else 0.0,
+        "errors": errors,
+        "error_rate": round(errors / total, 6) if total else 0.0,
+        "status_counts": status_counts,
+        "reconnects": sum(client.reconnects for client in clients),
+        "latency_ms": _percentiles(all_latencies),
+        "endpoints": {
+            name: {
+                **_percentiles(slot["latencies"]),
+                "errors": slot["errors"],
+            }
+            for name, slot in sorted(by_endpoint.items())
+        },
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary for the CLI (JSON stays the API)."""
+    lines = [
+        f"loadgen: {report['users']} users, "
+        f"{report['requests']} requests in {report['duration_s']}s "
+        f"({report['throughput_rps']} req/s)",
+        f"  errors: {report['errors']} "
+        f"(rate {report['error_rate']}), "
+        f"statuses {json.dumps(report['status_counts'], sort_keys=True)}",
+    ]
+    overall = report["latency_ms"]
+    if overall.get("n"):
+        lines.append(
+            f"  latency ms: p50 {overall['p50']}  p95 {overall['p95']}  "
+            f"p99 {overall['p99']}  mean {overall['mean']}  max {overall['max']}"
+        )
+    for name, stats in report["endpoints"].items():
+        if stats.get("n"):
+            lines.append(
+                f"    {name:18s} n={stats['n']:<6d} p50 {stats['p50']:<9} "
+                f"p99 {stats['p99']:<9} err {stats['errors']}"
+            )
+    return "\n".join(lines)

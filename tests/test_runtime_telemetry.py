@@ -183,3 +183,43 @@ class TestFollowEvents:
         path.write_text('{"event": "a"}\n')
         tail = read_events(path, follow=True, stop=lambda: True)
         assert [r["event"] for r in tail] == ["a"]
+
+    def test_stop_ends_tail_even_against_a_busy_writer(self, tmp_path):
+        """A writer that never goes quiet must not pin a stopped tail.
+
+        The HTTP service tails its own request log: every poll the tail
+        makes can itself generate more events, so "wait for the file to
+        be quiet, then check stop" would never terminate.  stop() is
+        checked after each drained read, not only on quiescence.
+        """
+        import threading
+        import time
+
+        path = tmp_path / "events.jsonl"
+        stop = threading.Event()
+        writer_done = threading.Event()
+
+        def chatty_writer() -> None:
+            with open(path, "a", encoding="utf-8") as handle:
+                n = 0
+                while not writer_done.is_set():
+                    handle.write(f'{{"event": "spam", "n": {n}}}\n')
+                    handle.flush()
+                    n += 1
+                    time.sleep(0.001)
+
+        thread = threading.Thread(target=chatty_writer, daemon=True)
+        thread.start()
+        try:
+            got = []
+            started = time.monotonic()
+            for record in self._tail(path, timeout=30.0, stop=stop.is_set):
+                got.append(record)
+                if len(got) >= 5:
+                    stop.set()
+            elapsed = time.monotonic() - started
+            assert len(got) >= 5
+            assert elapsed < 10.0, "stopped tail kept following a busy writer"
+        finally:
+            writer_done.set()
+            thread.join(timeout=5.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the service response cache and its store-state token."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.cache import CachedResponse, ResponseCache, store_state_token
+
+
+def _resp(marker: bytes = b"{}") -> CachedResponse:
+    return CachedResponse(200, "application/json", marker)
+
+
+def test_hit_miss_counters_and_lru_refresh():
+    cache = ResponseCache(max_entries=2)
+    key_a = ResponseCache.key_for("/a", "", "tok")
+    key_b = ResponseCache.key_for("/b", "", "tok")
+    key_c = ResponseCache.key_for("/c", "", "tok")
+    assert cache.get(key_a) is None
+    cache.put(key_a, _resp(b"a"))
+    cache.put(key_b, _resp(b"b"))
+    assert cache.get(key_a).body == b"a"  # refreshes a's LRU position
+    cache.put(key_c, _resp(b"c"))  # evicts b, the least recently used
+    assert cache.get(key_b) is None
+    assert cache.get(key_a) is not None
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["entries"] == 2
+    assert stats["hits"] == 2 and stats["misses"] == 2
+
+
+def test_key_for_separates_query_and_state():
+    base = ResponseCache.key_for("/query", "by=proto", "tok1")
+    assert ResponseCache.key_for("/query", "by=proto", "tok1") == base
+    assert ResponseCache.key_for("/query", "by=app", "tok1") != base
+    assert ResponseCache.key_for("/query", "by=proto", "tok2") != base
+    assert ResponseCache.key_for("/cdf", "by=proto", "tok1") != base
+
+
+def test_store_state_token_tracks_manifest_set(tmp_path):
+    token_empty = store_state_token(tmp_path)
+    assert token_empty == store_state_token(tmp_path)  # deterministic
+
+    manifests = tmp_path / "manifests"
+    manifests.mkdir()
+    (manifests / "aa.json").write_text("{}")
+    token_one = store_state_token(tmp_path)
+    assert token_one != token_empty
+
+    # Content addresses are immutable: the token depends only on the
+    # key *set*, never on file contents.
+    (manifests / "aa.json").write_text('{"different": true}')
+    assert store_state_token(tmp_path) == token_one
+
+    (manifests / "bb.json").write_text("{}")
+    assert store_state_token(tmp_path) != token_one
+
+
+def test_cache_thread_safety_under_contention():
+    cache = ResponseCache(max_entries=16)
+    keys = [ResponseCache.key_for(f"/p{i}", "", "tok") for i in range(64)]
+
+    def worker(seed: int) -> None:
+        for i in range(300):
+            key = keys[(seed * 7 + i) % len(keys)]
+            if cache.get(key) is None:
+                cache.put(key, _resp(str(i).encode()))
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = cache.stats()
+    assert stats["entries"] <= 16
+    assert stats["hits"] + stats["misses"] == 8 * 300

@@ -1,0 +1,55 @@
+"""The load harness against a live service: short bursts, real sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ReproService
+from repro.service.loadgen import DEFAULT_MIX, Endpoint, run_load
+from repro.service.loadgen import render_report
+
+
+@pytest.fixture(scope="module")
+def service(store_study):
+    _, root = store_study
+    svc = ReproService(str(root), port=0)
+    svc.start_background()
+    yield svc
+    svc.shutdown()
+
+
+def test_load_report_shape_and_zero_5xx(service):
+    report = run_load(
+        "127.0.0.1", service.port, users=4, duration=1.0, warmup=0.3, seed=1
+    )
+    assert report["users"] == 4
+    assert report["requests"] > 0
+    latency = report["latency_ms"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+    assert report["status_counts"].get("5xx", 0) == 0
+    assert report["status_counts"].get("conn-error", 0) == 0
+    assert report["error_rate"] == 0.0
+    assert report["throughput_rps"] > 0
+    # Every measured endpoint reports its own percentiles.
+    for stats in report["endpoints"].values():
+        assert stats["n"] > 0 and "p99" in stats
+    # The human rendering mentions the headline numbers.
+    text = render_report(report)
+    assert "p99" in text and "errors" in text
+
+
+def test_mix_is_seeded_and_respected(service):
+    mix = (Endpoint("only-health", "/health", weight=1.0),)
+    report = run_load(
+        "127.0.0.1", service.port, users=2, duration=0.5, warmup=0.1,
+        seed=7, mix=mix,
+    )
+    assert set(report["endpoints"]) == {"only-health"}
+
+
+def test_default_mix_covers_the_query_surface():
+    paths = {endpoint.path.split("?")[0] for endpoint in DEFAULT_MIX}
+    assert {"/health", "/studies", "/query", "/cdf"} <= paths
+    assert any(path.startswith("/tables/") for path in paths)
+    # /events holds a connection open; it must not be in the mix.
+    assert "/events" not in paths

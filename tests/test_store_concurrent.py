@@ -1,0 +1,96 @@
+"""Concurrent store reads: the HTTP service makes StoreQuery hot from
+many handler threads at once, so hammer one store from 8 threads and
+require every result to match the sequential answer exactly."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.store import ConnFilter, ConnStore, StoreQuery
+from repro.store.query import GROUP_DIMENSIONS, SAMPLE_FIELDS
+
+_THREADS = 8
+_ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def store(store_study) -> ConnStore:
+    _, root = store_study
+    return ConnStore(root)
+
+
+def _snapshot(query: StoreQuery) -> dict:
+    """Every query surface, rendered to comparable plain data."""
+    result: dict = {"datasets": query.datasets()}
+    for by in GROUP_DIMENSIONS:
+        result[f"agg-{by}"] = [
+            (row.group, row.conns, row.bytes, row.pkts)
+            for row in query.aggregate(ConnFilter(), by=by)
+        ]
+    for field in SAMPLE_FIELDS:
+        cdf = query.cdf(field, ConnFilter(proto="tcp"))
+        result[f"cdf-{field}"] = (
+            (len(cdf), cdf.quantile(0.5), cdf.quantile(0.99))
+            if len(cdf)
+            else (0,)
+        )
+    result["count-filtered"] = query.count(
+        ConnFilter(proto="tcp", min_bytes=100)
+    )
+    result["table"] = query.table(ConnFilter(), by="category").render()
+    return result
+
+
+def test_eight_threads_match_sequential(store):
+    sequential = _snapshot(StoreQuery(store))
+
+    results: list[dict | None] = [None] * _THREADS
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(_THREADS)
+
+    def hammer(slot: int) -> None:
+        try:
+            # Each thread builds its own StoreQuery (as each HTTP
+            # handler thread would) against the *shared* store.
+            query = StoreQuery(store)
+            barrier.wait(timeout=30)
+            for _ in range(_ROUNDS):
+                results[slot] = _snapshot(query)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(slot,), daemon=True)
+        for slot in range(_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    for slot, result in enumerate(results):
+        assert result == sequential, f"thread {slot} diverged"
+
+
+def test_threads_sharing_one_query_object(store):
+    """Even one StoreQuery instance shared across threads must read
+    consistently — it holds no mutable query state."""
+    query = StoreQuery(store)
+    sequential = _snapshot(query)
+    outcomes: list[dict] = []
+    lock = threading.Lock()
+
+    def hammer() -> None:
+        snap = _snapshot(query)
+        with lock:
+            outcomes.append(snap)
+
+    threads = [threading.Thread(target=hammer) for _ in range(_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert len(outcomes) == _THREADS
+    assert all(outcome == sequential for outcome in outcomes)
