@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench runtime-bench stream-bench service-bench chaos-soak daemon-soak examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench stream-bench service-bench tier-bench chaos-soak daemon-soak examples outputs clean
 
 install:
 	pip install -e .
@@ -42,6 +42,11 @@ stream-bench:
 # saturated job queue answering 429; writes BENCH_service.json.
 service-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_service_bench.py -q -s
+
+# Hot-tier reads vs the cold multi-root path (floor 3x) and checkpoint
+# batch-chain compaction; writes BENCH_tier.json.
+tier-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_tier_bench.py -q -s
 
 # Crash-point soak: fixed-seed fault schedules kill CLI runs
 # mid-publication and mid-checkpoint, resumed runs must be byte-identical

@@ -229,7 +229,62 @@ def _build_store_parser() -> argparse.ArgumentParser:
         "repair",
         help="scrub, then re-derive damaged shards from source traces",
     )
-    for command in (ls, query, gc, scrub, repair):
+    tier = sub.add_parser(
+        "tier",
+        help="tiered multi-root placement: status, init, rebalance, compact",
+    )
+    tier_sub = tier.add_subparsers(dest="tier_command", required=True)
+    tier_status = tier_sub.add_parser(
+        "status", help="per-root placement, hot-tier, and rebalance state"
+    )
+    tier_init = tier_sub.add_parser(
+        "init",
+        help="stamp a placement manifest onto a store (objects stay put "
+        "until the first rebalance)",
+    )
+    tier_init.add_argument(
+        "--root", action="append", default=None, metavar="PATH",
+        help="additional object root (repeatable; absolute, or relative "
+        "to the primary store dir)",
+    )
+    tier_init.add_argument(
+        "--hot-bytes", type=int, default=None, metavar="BYTES",
+        help="hot-tier RAM budget for verified shard bytes "
+        "(default 64 MiB)",
+    )
+    tier_init.add_argument(
+        "--pin", action="append", default=None, metavar="DIGEST",
+        help="pin a shard digest into the hot tier (repeatable; never "
+        "evicted once loaded)",
+    )
+    tier_rebalance = tier_sub.add_parser(
+        "rebalance",
+        help="move buckets toward the leveled placement (crash-safe, "
+        "incremental)",
+    )
+    tier_rebalance.add_argument(
+        "--add-root", action="append", default=None, metavar="PATH",
+        help="declare a new root before rebalancing (repeatable)",
+    )
+    tier_rebalance.add_argument(
+        "--max-buckets", type=int, default=None, metavar="N",
+        help="bound one pass to N bucket moves (default: finish the job)",
+    )
+    tier_compact = tier_sub.add_parser(
+        "compact",
+        help="merge small streaming checkpoint batch shards into one "
+        "super-shard per checkpoint",
+    )
+    tier_compact.add_argument(
+        "--min-batches", type=int, default=2, metavar="N",
+        help="only compact checkpoints with at least N batches (default 2)",
+    )
+    tier_compact.add_argument(
+        "--key", action="append", default=None, metavar="CKPT_KEY",
+        help="restrict to specific checkpoint keys (repeatable)",
+    )
+    for command in (ls, query, gc, scrub, repair,
+                    tier_status, tier_init, tier_rebalance, tier_compact):
         command.add_argument(
             "--store-dir", required=True, help="connection-record store root"
         )
@@ -240,6 +295,12 @@ def _build_store_parser() -> argparse.ArgumentParser:
     )
     from ..store.cache import DEFAULT_TMP_GRACE
 
+    tier_compact.add_argument(
+        "--grace", type=float, default=DEFAULT_TMP_GRACE, metavar="SECONDS",
+        help="skip checkpoints whose manifest changed within this window "
+        "— a live engine owns them "
+        f"(default {DEFAULT_TMP_GRACE:.0f}s; 0 compacts everything)",
+    )
     for command in (gc, scrub):
         command.add_argument(
             "--tmp-grace",
@@ -254,6 +315,28 @@ def _build_store_parser() -> argparse.ArgumentParser:
         "--audit-only",
         action="store_true",
         help="report damage without moving anything into quarantine",
+    )
+    scrub.add_argument(
+        "--incremental",
+        action="store_true",
+        help="run as a resumable background task: verify a bounded batch "
+        "per step, persist a progress cursor (scrub-cursor.json), pick "
+        "up where the last invocation stopped",
+    )
+    scrub.add_argument(
+        "--budget", type=int, default=250, metavar="N",
+        help="with --incremental: items verified per step (default 250)",
+    )
+    scrub.add_argument(
+        "--max-steps", type=int, default=0, metavar="N",
+        help="with --incremental: stop after N steps even if the cycle "
+        "is unfinished (default 0 = run the cycle to completion)",
+    )
+    scrub.add_argument(
+        "--reset-cursor",
+        action="store_true",
+        help="with --incremental: discard the saved cursor and start a "
+        "fresh cycle",
     )
     repair.add_argument(
         "--traces-dir",
@@ -302,11 +385,38 @@ def _build_store_parser() -> argparse.ArgumentParser:
 
 def _store_main(argv: list[str]) -> int:
     """The ``repro-study store`` subcommand family."""
-    from ..store import ConnFilter, ConnStore, StoreQuery
+    from ..store import ConnFilter, StoreQuery
+    from ..store.tier import open_store
 
     args = _build_store_parser().parse_args(argv)
-    store = ConnStore(args.store_dir)
+    if args.command == "tier":
+        return _store_tier_main(args)
+    store = open_store(args.store_dir)
     if args.command == "scrub":
+        if args.incremental:
+            from ..store.tier import IncrementalScrubber
+
+            scrubber = IncrementalScrubber(store)
+            if args.reset_cursor:
+                scrubber.reset()
+            cursor = scrubber.run(
+                budget=args.budget,
+                quarantine=not args.audit_only,
+                tmp_grace_s=args.tmp_grace,
+                max_steps=args.max_steps,
+            )
+            report = scrubber.report(cursor)
+            if cursor["phase"] != "done":
+                print(
+                    f"scrub paused at phase {cursor['phase']!r} "
+                    f"({cursor['objects_checked']} objects, "
+                    f"{cursor['manifests_checked']} manifests so far); "
+                    "rerun to resume"
+                )
+                print(report.render())
+                return 0
+            print(report.render())
+            return 0 if report.ok else 1
         from ..store.scrub import StoreScrubber
 
         report = StoreScrubber(store).scrub(
@@ -380,6 +490,101 @@ def _store_main(argv: list[str]) -> int:
     return 0
 
 
+def _store_tier_main(args) -> int:
+    """The ``repro-study store tier`` subcommand family."""
+    from ..store.tier import (
+        DEFAULT_HOT_BYTES,
+        TieredStore,
+        compact_checkpoints,
+        init_tier,
+        open_store,
+    )
+
+    if args.tier_command == "init":
+        try:
+            store = init_tier(
+                args.store_dir,
+                roots=tuple(args.root or ()),
+                hot_bytes=(
+                    args.hot_bytes if args.hot_bytes is not None
+                    else DEFAULT_HOT_BYTES
+                ),
+                pinned=tuple(args.pin or ()),
+            )
+        except FileExistsError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = store.tier_status()
+        print(
+            f"initialized tier at {args.store_dir}: "
+            f"{len(status['roots'])} root(s), "
+            f"{len(status['misplaced'])} bucket(s) awaiting rebalance"
+        )
+        return 0
+
+    store = open_store(args.store_dir)
+    if args.tier_command == "compact":
+        # Compaction works on flat stores too — it only touches
+        # checkpoint manifests and their objects.
+        report = compact_checkpoints(
+            store,
+            min_batches=args.min_batches,
+            grace_s=args.grace,
+            keys=tuple(args.key or ()),
+        )
+        print(report.render())
+        return 0
+    if not isinstance(store, TieredStore):
+        print(
+            f"error: {args.store_dir} is not a tiered store "
+            "(run `store tier init` first)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.tier_command == "rebalance":
+        for spec in args.add_root or ():
+            try:
+                store.add_root(spec)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        report = store.rebalance(max_buckets=args.max_buckets)
+        print(
+            f"moved {len(report.moved)} bucket(s): copied {report.copied} "
+            f"object(s) ({report.bytes_copied} bytes), reaped "
+            f"{report.deleted} duplicate(s); "
+            + (
+                f"{len(report.pending)} bucket(s) still pending"
+                if report.pending
+                else "placement is level"
+            )
+        )
+        return 0
+    # status
+    status = store.tier_status()
+    print(f"tier at {args.store_dir}")
+    for root in status["roots"]:
+        print(
+            f"  root[{root['index']}] {root['path']}: "
+            f"{root['buckets']} bucket(s), {root['objects']} object(s), "
+            f"{root['bytes']} bytes"
+        )
+    if status["moving"]:
+        print(f"  moving: {status['moving']}")
+    print(
+        "  misplaced buckets: "
+        + (", ".join(status["misplaced"]) if status["misplaced"] else "none")
+    )
+    hot = status["hot"]
+    print(
+        f"  hot tier: {hot['entries']} entries, {hot['bytes']}/"
+        f"{hot['max_bytes']} bytes, {hot['hits']} hits / "
+        f"{hot['misses']} misses, {hot['evictions']} evictions, "
+        f"{hot['pinned']} pinned"
+    )
+    return 0
+
+
 def _build_daemon_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-study daemon",
@@ -431,6 +636,16 @@ def _build_daemon_parser() -> argparse.ArgumentParser:
         "--packet-rate", type=float, default=None, metavar="PPS",
         help="pace each feed to ~this many packets/second "
         "(0 = full speed)",
+    )
+    parser.add_argument(
+        "--watch", action="store_const", const=True, default=None,
+        help="directory-sourced feeds rescan for newly dropped pcaps "
+        "during the run (instead of only at restart) and keep running "
+        "until drained",
+    )
+    parser.add_argument(
+        "--watch-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between watch rescans of an idle feed (default 2)",
     )
     parser.add_argument(
         "--config", default=None, metavar="PATH",
@@ -550,7 +765,7 @@ def _daemon_main(argv: list[str]) -> int:
     overrides: dict = {}
     for name in (
         "window", "checkpoint_every", "error_policy", "packet_rate",
-        "drain_timeout",
+        "drain_timeout", "watch", "watch_interval",
     ):
         value = getattr(args, name)
         if value is not None:

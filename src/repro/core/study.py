@@ -40,6 +40,7 @@ from ..runtime.scheduler import ProcessPoolScheduler, RetryPolicy, resolve_jobs
 from ..runtime.task import Task, TaskGraph
 from ..runtime.telemetry import TelemetryLog
 from ..store.cache import ConnStore
+from ..store.tier import open_store
 from ..stream.engine import StreamConfig, StreamDatasetAnalyzer
 from ..util.fmt import fmt_duration
 
@@ -411,7 +412,7 @@ def _dataset_unit_worker(spec: Mapping) -> dict:
     engine = spec.get("engine", "batch")
     stream_spec = spec.get("stream")
     stream = StreamConfig(**stream_spec) if stream_spec else StreamConfig()
-    store = ConnStore(spec["store_dir"])
+    store = open_store(spec["store_dir"])
     enterprise = Enterprise(seed=seed)
     known_scanners = tuple(host.ip for host in enterprise.servers(Role.SCANNER))
     gen_key = store.generation_key(
@@ -588,7 +589,7 @@ def _run_study_sequential(
     """Today's in-process path: one dataset after another, no workers."""
     config = results.config
     started = time.monotonic()
-    store = ConnStore(config.store_dir) if config.store_dir else None
+    store = open_store(config.store_dir) if config.store_dir else None
     enterprise = results.enterprise
     known_scanners = tuple(
         host.ip for host in enterprise.servers(Role.SCANNER)
@@ -712,7 +713,7 @@ def _run_study_parallel(
             _dataset_unit_worker, jobs=jobs, retry=retry, telemetry=telemetry
         )
         unit_results = scheduler.run(graph)
-        store = ConnStore(store_dir)
+        store = open_store(store_dir)
         enterprise = results.enterprise
         known_scanners = tuple(
             host.ip for host in enterprise.servers(Role.SCANNER)

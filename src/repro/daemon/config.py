@@ -40,8 +40,10 @@ class TenantSpec:
         """The feed's trace files, in deterministic (sorted) order.
 
         A single file is a one-trace feed; a directory is every
-        ``*.pcap`` under it, sorted by name — new files dropped into the
-        directory are picked up the next time the feed (re)starts.
+        ``*.pcap`` under it, sorted by name.  New files dropped into a
+        directory are picked up the next time the feed (re)starts — or
+        live, mid-run, when the daemon runs with ``watch`` enabled (the
+        feed then rescans the directory itself between passes).
         """
         if self.source.is_dir():
             return sorted(self.source.glob("*.pcap"))
@@ -101,6 +103,12 @@ class DaemonConfig:
     #: Seconds a SIGTERM drain waits for feeds to flush their final
     #: checkpoints before escalating to SIGKILL.
     drain_timeout: float = 30.0
+    #: Watch mode: directory-sourced feeds rescan their directory for
+    #: newly dropped pcaps *during* the run instead of only at
+    #: (re)start, and keep running until drained.
+    watch: bool = False
+    #: Seconds between watch rescans of an idle directory feed.
+    watch_interval: float = 2.0
 
     def flow_budget_for(self, tenant: str) -> int:
         """The flow budget one tenant's feed actually runs with."""
@@ -177,6 +185,8 @@ _FILE_SETTINGS = (
     "error_policy",
     "packet_rate",
     "drain_timeout",
+    "watch",
+    "watch_interval",
 )
 
 

@@ -39,7 +39,8 @@ from ..analysis.errors import IngestionError, TraceQuarantined
 from ..chaos import fsio
 from ..pcap.reader import PcapReader
 from ..runtime.scheduler import start_heartbeat, stop_heartbeat
-from ..store.cache import DAEMON_DIR, ConnStore
+from ..store.cache import DAEMON_DIR
+from ..store.tier import open_store
 from ..stream.engine import StreamConfig, StreamDatasetAnalyzer, StreamDrained
 from ..stream.source import PacketSource
 
@@ -98,6 +99,45 @@ def _publish_json(path: Path, payload: dict) -> None:
     )
 
 
+def _load_assign(base: Path) -> dict:
+    """The tenant's persistent source-name -> trace-index table.
+
+    Positional indices break the moment the source *set* changes
+    mid-run: a new file sorting before an old one would shift every
+    later index, colliding checkpoint keys and window/marker filenames
+    across incarnations.  The assignment table is append-only — a
+    source keeps its index forever, new sources get the next free one —
+    so watching a directory can never rewrite history.
+    """
+    try:
+        payload = json.loads(
+            fsio.read_bytes(base / "assign.json").decode("utf-8")
+        )
+        return {
+            "sources": dict(payload.get("sources", {})),
+            "next": int(payload.get("next", 0)),
+        }
+    except (OSError, ValueError):
+        return {"sources": {}, "next": 0}
+
+
+def _assign_indices(base: Path, assign: dict, traces: list[Path]) -> list[str]:
+    """Give every new source a stable index; returns the new names.
+
+    Published atomically *before* any new trace is processed, so a kill
+    between assignment and processing resumes with the same indices.
+    """
+    fresh = []
+    for path in traces:
+        if path.name not in assign["sources"]:
+            assign["sources"][path.name] = assign["next"]
+            assign["next"] += 1
+            fresh.append(path.name)
+    if fresh:
+        _publish_json(base / "assign.json", assign)
+    return fresh
+
+
 def run_feed(payload: dict, drain: threading.Event, send) -> str:
     """Ingest every trace of one tenant; returns ``"done"``/``"drained"``.
 
@@ -107,9 +147,17 @@ def run_feed(payload: dict, drain: threading.Event, send) -> str:
     trace with a per-trace checkpoint key, so a restarted feed resumes
     the interrupted trace exactly where its last checkpoint left it
     while completed traces are skipped by marker.
+
+    With ``payload["watch"]`` (and a directory source) the feed never
+    finishes on its own: after draining the current trace list it
+    rescans the directory every ``watch_interval`` seconds, ingesting
+    pcaps dropped in *during* the run — not only at (re)start — until
+    SIGTERM drains it.  Trace indices come from the persistent
+    assignment table, so late arrivals extend the artifact tree without
+    perturbing any existing index.
     """
     tenant = payload["tenant"]
-    store = ConnStore(payload["store_root"])
+    store = open_store(payload["store_root"])
     base = tenant_dir(payload["store_root"], tenant)
     config = StreamConfig(
         window=payload["window"],
@@ -117,7 +165,56 @@ def run_feed(payload: dict, drain: threading.Event, send) -> str:
         checkpoint_every=payload["checkpoint_every"],
     )
     rate = payload.get("packet_rate", 0.0)
-    for gidx, trace_path in enumerate(payload["traces"]):
+    source = payload.get("source")
+    watch = (
+        bool(payload.get("watch"))
+        and source is not None
+        and Path(source).is_dir()
+    )
+    watch_interval = payload.get("watch_interval", 2.0)
+    assign = _load_assign(base)
+    traces = [Path(text) for text in payload["traces"]]
+    first_scan = True
+    while True:
+        if not first_scan:
+            traces = sorted(Path(source).glob("*.pcap"))
+        fresh = _assign_indices(base, assign, traces)
+        if fresh and not first_scan:
+            send(
+                "rescan",
+                {"tenant": tenant, "new": fresh, "total": len(traces)},
+            )
+        outcome = _run_traces(
+            payload, drain, send, store, base, config, rate, assign, traces
+        )
+        if outcome == "drained":
+            return "drained"
+        result = _rollup(base, tenant)
+        _publish_json(base / "result.json", result)
+        if not watch:
+            send("done", result)
+            return "done"
+        first_scan = False
+        if drain.wait(timeout=watch_interval):
+            send("drained", {"tenant": tenant, "trace": -1, "packets": 0})
+            return "drained"
+
+
+def _run_traces(
+    payload: dict,
+    drain: threading.Event,
+    send,
+    store,
+    base: Path,
+    config: StreamConfig,
+    rate: float,
+    assign: dict,
+    traces: list[Path],
+) -> str:
+    """One pass over a trace list; returns ``"done"`` or ``"drained"``."""
+    tenant = payload["tenant"]
+    for trace_path in traces:
+        gidx = assign["sources"][Path(trace_path).name]
         marker = base / "traces" / f"t{gidx:03d}.json"
         if marker.exists():
             continue  # finished in a previous incarnation
@@ -192,9 +289,6 @@ def run_feed(payload: dict, drain: threading.Event, send) -> str:
                 "quarantined": stats.quarantined,
             },
         )
-    result = _rollup(base, tenant)
-    _publish_json(base / "result.json", result)
-    send("done", result)
     return "done"
 
 

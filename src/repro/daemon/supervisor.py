@@ -229,6 +229,9 @@ class DaemonSupervisor:
             "error_policy": self.config.error_policy,
             "packet_rate": self.config.packet_rate,
             "heartbeat_interval": self.config.retry.heartbeat_interval,
+            "source": str(spec.source),
+            "watch": self.config.watch,
+            "watch_interval": self.config.watch_interval,
         }
 
     def _launch(self, state: FeedState) -> None:
@@ -370,6 +373,13 @@ class DaemonSupervisor:
                 packets=body.get("packets"),
                 conns=body.get("conns"),
                 quarantined=body.get("quarantined", False),
+            )
+        elif kind == "rescan":
+            self.telemetry.emit(
+                "feed_rescan",
+                tenant=tenant,
+                new=body.get("new", []),
+                total=body.get("total"),
             )
         elif kind in ("done", "drained"):
             state.outcome = kind

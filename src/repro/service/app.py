@@ -44,7 +44,8 @@ from ..report import tables as table_builders
 from ..report.findings import table5 as findings_table5
 from ..report.model import Table
 from ..runtime.telemetry import TelemetryLog, read_events
-from ..store.cache import DAEMON_DIR, ConnStore
+from ..store.cache import DAEMON_DIR
+from ..store.tier import open_store
 from ..store.query import (
     ConnFilter,
     GROUP_DIMENSIONS,
@@ -121,6 +122,23 @@ def _number(params: dict, name: str, kind=float):
         ) from None
 
 
+def _etag_match(header: str | None, etag: str) -> bool:
+    """RFC 9110 §13.1.2 If-None-Match against one strong validator.
+
+    Weak-prefixed candidates compare by opaque value (the weak
+    comparison is all a 304 needs); ``*`` matches any representation.
+    """
+    if header is None:
+        return False
+    if header.strip() == "*":
+        return True
+    candidates = (value.strip() for value in header.split(","))
+    return any(
+        value[2:] == etag if value.startswith("W/") else value == etag
+        for value in candidates
+    )
+
+
 def _flag(params: dict, name: str) -> bool:
     raw = _single(params, name)
     if raw is None:
@@ -170,7 +188,7 @@ class ReproService:
         job_runner=None,
         telemetry: TelemetryLog | None = None,
     ) -> None:
-        self.store = ConnStore(store_dir)
+        self.store = open_store(store_dir)
         self.host = host
         self.port = port
         self.cache = ResponseCache(cache_entries)
@@ -541,8 +559,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         try:
             params = parse_qs(split.query, keep_blank_values=True)
             if method == "GET" and path.startswith(_CACHEABLE):
-                cache_state = self._cached_get(path, params)
-                status = 200
+                cache_state, status = self._cached_get(path, params)
             elif method == "GET" and path == "/events":
                 status = self._get_events(params)
             else:
@@ -598,9 +615,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     # -- cacheable store queries -------------------------------------------
 
-    def _cached_get(self, path: str, params: dict) -> str:
+    def _cached_get(self, path: str, params: dict) -> tuple[str, int]:
         """Serve one store query through the response cache; returns the
-        cache disposition (hit / miss / bypass) for telemetry."""
+        cache disposition (hit / miss / bypass / 304) and the status.
+
+        The cache key — SHA-256 of the canonical query and the
+        store-state token — *is* the response's content identity, so it
+        doubles as the ETag: as long as the manifest listing is
+        unchanged, the same request maps to the same key and a client
+        replaying its stored validator gets ``304 Not Modified`` with
+        an empty body, whether or not the entry still sits in the
+        response cache.  Compaction and rebalance never rename a
+        manifest, so validators survive both.
+        """
         service = self.service
         bypass = _flag(params, "cache_bypass")
         canonical = "&".join(
@@ -611,21 +638,30 @@ class _RequestHandler(BaseHTTPRequestHandler):
         )
         token = store_state_token(service.store.root)
         key = service.cache.key_for(path, canonical, token)
+        etag = f'"{key[:32]}"'
         if not bypass:
+            if _etag_match(self.headers.get("If-None-Match"), etag):
+                self._respond(
+                    304, b"", extra_headers={"X-Cache": "hit", "ETag": etag}
+                )
+                return "304", 304
             entry = service.cache.get(key)
             if entry is not None:
                 self._respond(
                     entry.status, entry.body, entry.content_type,
-                    extra_headers={"X-Cache": "hit"},
+                    extra_headers={"X-Cache": "hit", "ETag": etag},
                 )
-                return "hit"
+                return "hit", 200
         body = _encode(self._build_query(path, params))
         if not bypass:
             service.cache.put(key, CachedResponse(200, _JSON, body))
         self._respond(
-            200, body, extra_headers={"X-Cache": "bypass" if bypass else "miss"}
+            200, body,
+            extra_headers={
+                "X-Cache": "bypass" if bypass else "miss", "ETag": etag,
+            },
         )
-        return "bypass" if bypass else "miss"
+        return ("bypass" if bypass else "miss"), 200
 
     def _build_query(self, path: str, params: dict) -> dict:
         """Compute one store-query response body (the cold path)."""

@@ -10,6 +10,8 @@ shards without touching a single pcap record.
 * :mod:`repro.store.cache` — the content-addressed object store.
 * :mod:`repro.store.query` — filtered scans and table aggregations.
 * :mod:`repro.store.scrub` — offline integrity walks, quarantine, repair.
+* :mod:`repro.store.tier` — multi-root placement, hot tier, compaction,
+  incremental scrub.
 """
 
 from .cache import DEFAULT_TMP_GRACE, CachedDataset, ConnStore, GcReport
@@ -17,6 +19,17 @@ from .query import ConnFilter, StoreQuery
 from .schema import SCHEMA_VERSION
 from .scrub import RepairOutcome, ScrubFinding, ScrubReport, StoreScrubber
 from .shard import ShardError
+from .tier import (
+    CompactionReport,
+    HotTier,
+    IncrementalScrubber,
+    PlacementManifest,
+    RebalanceReport,
+    TieredStore,
+    compact_checkpoints,
+    init_tier,
+    open_store,
+)
 
 __all__ = [
     "ConnStore",
@@ -31,4 +44,13 @@ __all__ = [
     "ScrubFinding",
     "RepairOutcome",
     "SCHEMA_VERSION",
+    "TieredStore",
+    "PlacementManifest",
+    "HotTier",
+    "RebalanceReport",
+    "CompactionReport",
+    "IncrementalScrubber",
+    "compact_checkpoints",
+    "init_tier",
+    "open_store",
 ]

@@ -196,6 +196,33 @@ class ConnStore:
             payload["engine"] = engine_config
         return "gen-" + cls._key_of(payload)
 
+    # -- multi-root hooks --------------------------------------------------
+    #
+    # Everything that walks the object tree (gc, stats, scrub) goes
+    # through these three, so a tiered store (repro.store.tier) can
+    # spread objects over several roots by overriding them alone.  The
+    # flat store's answers keep it byte-identical to its historical
+    # single-directory behavior.
+
+    def roots(self) -> list[Path]:
+        """Every filesystem root holding store files (primary first)."""
+        return [self.root]
+
+    def object_dirs(self) -> list[Path]:
+        """Every ``objects/`` directory, one per root."""
+        return [self.objects_dir]
+
+    def owning_root(self, path: Path) -> Path:
+        """The root one store file lives under (quarantine stays on the
+        same filesystem as the damage it removes)."""
+        return self.root
+
+    def _object_files(self) -> Iterator[Path]:
+        """Every shard object file across every root, per-dir sorted."""
+        for directory in self.object_dirs():
+            if directory.is_dir():
+                yield from sorted(directory.glob(f"*/*{_OBJECT_SUFFIX}"))
+
     # -- object storage ----------------------------------------------------
 
     def _object_path(self, digest: str) -> Path:
@@ -489,18 +516,17 @@ class ConnStore:
         in_flight = 0
         reclaimed = 0
         now = time.time()
-        if self.objects_dir.is_dir():
-            for path in sorted(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}")):
-                digest = path.stem
-                if digest not in referenced:
-                    reclaimed += path.stat().st_size
-                    if not dry_run:
-                        path.unlink()
-                    removed.append(digest)
+        for path in self._object_files():
+            digest = path.stem
+            if digest not in referenced:
+                reclaimed += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+                removed.append(digest)
         # Temp files survive a publish only when its writer crashed —
         # or when the writer is alive and mid-flight right now, which
         # only the file's age can distinguish.
-        for base in (self.objects_dir, self.manifests_dir, self.root / DAEMON_DIR):
+        for base in (*self.object_dirs(), self.manifests_dir, self.root / DAEMON_DIR):
             if not base.is_dir():
                 continue
             for path in sorted(base.rglob(f"*{_TMP_SUFFIX}")):
@@ -518,10 +544,13 @@ class ConnStore:
                         path.unlink()
                     except FileNotFoundError:
                         pass
-        if not dry_run and self.objects_dir.is_dir():
-            for bucket in sorted(self.objects_dir.iterdir()):
-                if bucket.is_dir() and not any(bucket.iterdir()):
-                    bucket.rmdir()
+        if not dry_run:
+            for directory in self.object_dirs():
+                if not directory.is_dir():
+                    continue
+                for bucket in sorted(directory.iterdir()):
+                    if bucket.is_dir() and not any(bucket.iterdir()):
+                        bucket.rmdir()
         return GcReport(
             removed=tuple(removed),
             stale_tmp=stale_tmp,
@@ -532,11 +561,7 @@ class ConnStore:
 
     def stats(self) -> dict:
         """Store-wide accounting for ``repro-study store ls``."""
-        objects = (
-            list(self.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}"))
-            if self.objects_dir.is_dir()
-            else []
-        )
+        objects = list(self._object_files())
         return {
             "root": str(self.root),
             "manifests": sum(1 for _ in self.manifests()),

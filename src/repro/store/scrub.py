@@ -62,7 +62,6 @@ from .cache import (
     ConnStore,
     DAEMON_DIR,
     DEFAULT_TMP_GRACE,
-    _OBJECT_SUFFIX,
     _TMP_SUFFIX,
 )
 from .shard import ShardError, decode_shard
@@ -187,23 +186,26 @@ class StoreScrubber:
     def _quarantine(self, path: Path, kind: str, detail: str) -> str:
         """Move one damaged file under the quarantine tree + sidecar.
 
-        Returns the destination relative to the store root.  The move is
-        a same-filesystem rename, so it cannot itself tear; the sidecar
+        Returns the destination relative to the file's *owning root* —
+        on a tiered store, damage at a secondary root is quarantined
+        into that root's own ``quarantine/`` tree, keeping the move a
+        same-filesystem rename (which cannot itself tear); the sidecar
         records provenance for a human (or a later forensic pass).
         """
-        target_dir = self.quarantine_root / kind
+        owner = self.store.owning_root(path)
+        target_dir = owner / QUARANTINE_DIR / kind
         target_dir.mkdir(parents=True, exist_ok=True)
         target = target_dir / path.name
         os.replace(path, target)
         sidecar = {
             "kind": kind,
             "detail": detail,
-            "source": str(path.relative_to(self.store.root)),
+            "source": str(path.relative_to(owner)),
         }
         target.with_name(target.name + ".json").write_text(
             json.dumps(sidecar, sort_keys=True, indent=1) + "\n", encoding="utf-8"
         )
-        return str(target.relative_to(self.store.root))
+        return str(target.relative_to(owner))
 
     # -- scrub -------------------------------------------------------------
 
@@ -244,23 +246,23 @@ class StoreScrubber:
         """
         store = self.store
         report = ScrubReport()
-        # Pass 1: every shard object self-verifies.
+        # Pass 1: every shard object self-verifies (across every root —
+        # a tiered store's secondary roots are walked the same way).
         present: set[str] = set()
-        if store.objects_dir.is_dir():
-            for path in sorted(store.objects_dir.glob(f"*/*{_OBJECT_SUFFIX}")):
-                report.objects_checked += 1
-                error = self._check_object(path)
-                if error is None:
-                    present.add(path.stem)
-                    continue
-                kind = error.kind.value
-                rel = str(path.relative_to(store.root))
-                destination = (
-                    self._quarantine(path, kind, error.detail) if quarantine else ""
-                )
-                report.corrupt_objects.append(
-                    ScrubFinding(kind, rel, error.detail, destination)
-                )
+        for path in store._object_files():
+            report.objects_checked += 1
+            error = self._check_object(path)
+            if error is None:
+                present.add(path.stem)
+                continue
+            kind = error.kind.value
+            rel = str(path.relative_to(store.owning_root(path)))
+            destination = (
+                self._quarantine(path, kind, error.detail) if quarantine else ""
+            )
+            report.corrupt_objects.append(
+                ScrubFinding(kind, rel, error.detail, destination)
+            )
         # Pass 2: every manifest parses and its references resolve.
         if store.manifests_dir.is_dir():
             for path in sorted(store.manifests_dir.glob("*.json")):
@@ -308,7 +310,7 @@ class StoreScrubber:
         # Pass 3: count (never touch) temp files from crashed writers,
         # splitting out a live writer's in-flight publishes by age.
         now = time.time()
-        for base in (store.objects_dir, store.manifests_dir, store.root / DAEMON_DIR):
+        for base in (*store.object_dirs(), store.manifests_dir, store.root / DAEMON_DIR):
             if not base.is_dir():
                 continue
             for path in base.rglob(f"*{_TMP_SUFFIX}"):

@@ -1,0 +1,29 @@
+"""Tiered multi-root storage: placement, hot cache, compaction, scrub.
+
+See ``docs/store.md`` (§ tiering) for the operational story.  The short
+version: ``init_tier`` stamps a placement manifest onto a store root,
+``open_store`` returns the right store class for any root, and the
+rest of the pipeline never knows the difference.
+"""
+
+from .compact import CompactionReport, compact_checkpoints
+from .hotcache import HotTier
+from .placement import BUCKETS, DEFAULT_HOT_BYTES, TIER_MANIFEST, PlacementManifest
+from .scrub import CURSOR_FILE, IncrementalScrubber
+from .store import RebalanceReport, TieredStore, init_tier, open_store
+
+__all__ = [
+    "BUCKETS",
+    "CURSOR_FILE",
+    "CompactionReport",
+    "DEFAULT_HOT_BYTES",
+    "HotTier",
+    "IncrementalScrubber",
+    "PlacementManifest",
+    "RebalanceReport",
+    "TIER_MANIFEST",
+    "TieredStore",
+    "compact_checkpoints",
+    "init_tier",
+    "open_store",
+]

@@ -1,0 +1,115 @@
+"""The hot tier: a read-through LRU byte-cache over shard objects.
+
+The paper's workload is read-heavy — the same per-site connection
+records are re-sliced into dozens of tables and CDFs — so the shards a
+query touches are overwhelmingly the shards the *next* query touches.
+The hot tier keeps those verified bytes in RAM: a hit skips the file
+read *and* the SHA-256 re-verification (the bytes were verified on the
+way in and the cache is append-only per digest, so a hit is as
+trustworthy as a cold read).
+
+Two knobs, both from the placement manifest:
+
+* ``max_bytes`` bounds the spill: when an insert would exceed it, the
+  least-recently-used unpinned entries are evicted until it fits.
+* ``pinned`` digests are never evicted once loaded — the shards behind
+  a dashboard's standing queries stay resident no matter what bulk
+  scans churn through the rest of the cache.
+
+Thread-safe: the store sits under the multi-threaded HTTP service, so
+every operation holds one lock (the payloads themselves are immutable
+bytes — no copy needed on the way out).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["HotTier"]
+
+
+class HotTier:
+    """Bounded LRU of content-addressed shard bytes with pinning."""
+
+    def __init__(self, max_bytes: int, pinned: tuple[str, ...] = ()) -> None:
+        self.max_bytes = max(0, int(max_bytes))
+        self.pinned = set(pinned)
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> bytes | None:
+        """Cached bytes for a digest, or None; a hit refreshes recency."""
+        with self._lock:
+            data = self._entries.get(digest)
+            if data is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return data
+
+    def put(self, digest: str, data: bytes) -> None:
+        """Admit verified bytes, evicting LRU unpinned entries to fit.
+
+        An unpinned payload larger than the whole budget is not
+        admitted (it would evict everything for a single entry);
+        pinned digests are admitted unconditionally — pins outrank
+        the byte bound by design.
+        """
+        pinned = digest in self.pinned
+        if not pinned and len(data) > self.max_bytes:
+            return
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return
+            self._entries[digest] = data
+            self._bytes += len(data)
+            if not self._evictable():
+                return
+            for victim in list(self._entries):
+                if self._bytes <= self.max_bytes:
+                    break
+                if victim in self.pinned or victim == digest:
+                    continue
+                self._bytes -= len(self._entries.pop(victim))
+                self.evictions += 1
+
+    def _evictable(self) -> bool:
+        return self._bytes > self.max_bytes
+
+    def pin(self, digest: str) -> None:
+        """Protect a digest from eviction (effective once it is loaded)."""
+        with self._lock:
+            self.pinned.add(digest)
+
+    def invalidate(self, digest: str) -> None:
+        """Drop one entry (a quarantined or rewritten object)."""
+        with self._lock:
+            data = self._entries.pop(digest, None)
+            if data is not None:
+                self._bytes -= len(data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            pinned_resident = sum(1 for d in self._entries if d in self.pinned)
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "pinned": len(self.pinned),
+                "pinned_resident": pinned_resident,
+            }

@@ -1,0 +1,194 @@
+"""Shard placement across multiple store roots.
+
+A tiered store spreads its ``objects/`` tree over N filesystem roots,
+routing each shard by the first hex character of its content address —
+16 *buckets*, each wholly owned by one root.  The routing table lives in
+a single JSON **placement manifest** (``tier.json``) at the primary
+root, published through the crash-consistent fsio seam so readers see
+the old table or the new one, never a torn file.
+
+The manifest also records the *moving* cursor: while a bucket's objects
+are being copied to a new root, ``moving[bucket]`` names the
+destination.  Writers target the destination immediately (so nothing
+written mid-move is stranded), readers try the assigned root first and
+fall back to every other root, and the final ``assign`` flip is one
+atomic manifest rewrite — a crash at any point leaves a store that
+answers every read, with at worst duplicate copies for the next
+rebalance pass to reap.
+
+Placement is deterministic and *minimal-move*: adding a root reassigns
+only the buckets needed to level the count, never reshuffling buckets
+that can stay put.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...chaos import fsio
+
+__all__ = [
+    "PlacementManifest",
+    "TIER_MANIFEST",
+    "BUCKETS",
+    "DEFAULT_HOT_BYTES",
+]
+
+#: Filename of the placement manifest at the primary root.  Its mere
+#: presence is what makes :func:`repro.store.tier.open_store` return a
+#: :class:`~repro.store.tier.store.TieredStore`.
+TIER_MANIFEST = "tier.json"
+
+#: The 16 placement buckets: the first hex character of a content address.
+BUCKETS = tuple("0123456789abcdef")
+
+#: Default hot-tier budget (bytes of decoded shard payloads kept in RAM).
+DEFAULT_HOT_BYTES = 64 << 20
+
+_SCHEMA = 1
+
+
+@dataclass
+class PlacementManifest:
+    """The routing table one tiered store lives by.
+
+    ``roots`` are *specs*: ``"."`` is the primary root itself, other
+    entries are absolute paths or paths relative to the primary.  Index
+    0 must be ``"."`` — manifests, the daemon tree, and this file stay
+    at the primary so every existing key/token computation is untouched.
+    """
+
+    roots: list[str] = field(default_factory=lambda: ["."])
+    #: bucket (hex char) -> index into ``roots``.
+    assign: dict[str, int] = field(default_factory=dict)
+    #: in-flight rebalance cursor: bucket -> destination root index.
+    moving: dict[str, int] = field(default_factory=dict)
+    hot_bytes: int = DEFAULT_HOT_BYTES
+    #: digests pinned into the hot tier (never evicted once loaded).
+    pinned: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.roots or self.roots[0] != ".":
+            raise ValueError('placement roots[0] must be "." (the primary)')
+        for bucket in BUCKETS:
+            self.assign.setdefault(bucket, 0)
+        bad = [b for b in self.assign if b not in BUCKETS]
+        if bad:
+            raise ValueError(f"unknown placement buckets: {bad}")
+        for bucket, index in {**self.assign, **self.moving}.items():
+            if not 0 <= index < len(self.roots):
+                raise ValueError(
+                    f"bucket {bucket!r} routed to root {index}, "
+                    f"but only {len(self.roots)} root(s) are declared"
+                )
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def bucket_of(digest: str) -> str:
+        return digest[0]
+
+    def active_index(self, bucket: str) -> int:
+        """Where *writers* put the bucket right now.
+
+        Mid-move this is the destination: anything published during the
+        copy lands where the flip will point readers, so a move can
+        never strand a freshly written shard at the root it is leaving.
+        """
+        return self.moving.get(bucket, self.assign[bucket])
+
+    def resolve_roots(self, primary: Path) -> list[Path]:
+        """Root specs -> concrete paths (primary-relative unless absolute)."""
+        resolved = []
+        for spec in self.roots:
+            if spec == ".":
+                resolved.append(primary)
+            else:
+                path = Path(spec)
+                resolved.append(path if path.is_absolute() else primary / path)
+        return resolved
+
+    # -- target computation ------------------------------------------------
+
+    def balanced_assign(self) -> dict[str, int]:
+        """The minimal-move leveled routing for the current root list.
+
+        Each root's quota is ``16 // n`` buckets (+1 for the first
+        ``16 % n`` roots).  Buckets already at an under-quota root stay;
+        only the excess is reassigned, in hex order, to under-quota
+        roots in index order — fully deterministic, so every invocation
+        (including one resuming after a crash) computes the same target.
+        """
+        n = len(self.roots)
+        quota = [16 // n + (1 if i < 16 % n else 0) for i in range(n)]
+        target: dict[str, int] = {}
+        used = [0] * n
+        homeless: list[str] = []
+        for bucket in BUCKETS:
+            current = self.assign[bucket]
+            if used[current] < quota[current]:
+                target[bucket] = current
+                used[current] += 1
+            else:
+                homeless.append(bucket)
+        for bucket in homeless:
+            for index in range(n):
+                if used[index] < quota[index]:
+                    target[bucket] = index
+                    used[index] += 1
+                    break
+        return target
+
+    def misplaced(self) -> tuple[str, ...]:
+        """Buckets whose current assignment differs from the leveled target."""
+        target = self.balanced_assign()
+        return tuple(
+            bucket for bucket in BUCKETS
+            if self.assign[bucket] != target[bucket] or bucket in self.moving
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": _SCHEMA,
+            "roots": list(self.roots),
+            "assign": {b: self.assign[b] for b in BUCKETS},
+            "moving": dict(sorted(self.moving.items())),
+            "hot_bytes": self.hot_bytes,
+            "pinned": sorted(self.pinned),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PlacementManifest":
+        return cls(
+            roots=list(payload["roots"]),
+            assign={str(k): int(v) for k, v in payload.get("assign", {}).items()},
+            moving={str(k): int(v) for k, v in payload.get("moving", {}).items()},
+            hot_bytes=int(payload.get("hot_bytes", DEFAULT_HOT_BYTES)),
+            pinned=tuple(payload.get("pinned", ())),
+        )
+
+    @classmethod
+    def load(cls, primary: Path) -> "PlacementManifest | None":
+        """Read the placement manifest, or None when the store is flat."""
+        path = primary / TIER_MANIFEST
+        try:
+            payload = json.loads(fsio.read_bytes(path).decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        return cls.from_payload(payload)
+
+    def save(self, primary: Path) -> None:
+        """Atomically (re)publish the routing table.
+
+        This is the linearization point of every placement change: the
+        assign flip that completes a bucket move, the cursor write that
+        starts one, a new root joining.  ``fsio.publish_text`` fsyncs
+        file and directory around an ``os.replace``, so under the chaos
+        fault plane a crash leaves the previous table intact.
+        """
+        text = json.dumps(self.to_payload(), sort_keys=True, indent=1) + "\n"
+        fsio.publish_text(primary / TIER_MANIFEST, text, tmp_prefix=".tier-")

@@ -1,0 +1,294 @@
+"""Incremental, resumable scrub: integrity as a background task.
+
+The PR-5 scrubber walks the whole store in one sitting — fine at study
+scale, hostile at serving scale, where a full pass stalls the node for
+as long as the store is large.  :class:`IncrementalScrubber` does the
+same three passes (objects self-verify, manifests parse and resolve,
+temp files are aged) in bounded *steps*, persisting a **progress
+cursor** between steps so the task can be paused, rescheduled, or
+killed at any point and resume exactly where it stopped.
+
+The cursor (``scrub-cursor.json`` at the primary root) is published
+through the fsio seam, so a crash mid-step costs at most one step of
+re-verification, never the findings already accumulated.  It records
+the phase, the sort-key watermark within the phase, the running
+counters, and every finding so far; :meth:`report` folds it back into
+the same :class:`~repro.store.scrub.ScrubReport` the one-shot scrubber
+returns, so the CLI renders both identically.
+
+One semantic difference, by construction: the manifests phase checks
+that referenced objects *exist* (at any root) rather than rechecking
+their health — the objects phase already verified every object and
+quarantined the rotten ones, so by the time the manifests phase runs,
+existence implies verified.  Under ``quarantine=False`` (pure audit) a
+corrupt object is left in place and therefore still "exists"; the
+object finding itself is what flags it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ...analysis.errors import ErrorKind
+from ...chaos import fsio
+from ..cache import ConnStore, DAEMON_DIR, DEFAULT_TMP_GRACE, _TMP_SUFFIX
+from ..scrub import ScrubFinding, ScrubReport, StoreScrubber
+
+__all__ = ["IncrementalScrubber", "CURSOR_FILE"]
+
+#: Progress-cursor filename at the primary store root.
+CURSOR_FILE = "scrub-cursor.json"
+
+_PHASES = ("objects", "manifests", "tmp", "done")
+
+
+def _fresh_cursor() -> dict:
+    return {
+        "schema": 1,
+        "phase": "objects",
+        "after": None,
+        "objects_checked": 0,
+        "manifests_checked": 0,
+        "corrupt_objects": [],
+        "corrupt_manifests": [],
+        "dead_checkpoints": [],
+        "missing_refs": {},
+        "stale_tmp": 0,
+        "in_flight_tmp": 0,
+    }
+
+
+class IncrementalScrubber(StoreScrubber):
+    """A :class:`StoreScrubber` that runs in resumable bounded steps."""
+
+    def __init__(self, store: ConnStore) -> None:
+        super().__init__(store)
+        self.cursor_path = store.root / CURSOR_FILE
+
+    # -- cursor ------------------------------------------------------------
+
+    def cursor(self) -> dict:
+        """The persisted cursor, or a fresh one for a new cycle."""
+        try:
+            payload = json.loads(fsio.read_bytes(self.cursor_path).decode("utf-8"))
+        except (OSError, ValueError):
+            return _fresh_cursor()
+        if payload.get("phase") not in _PHASES:
+            return _fresh_cursor()
+        return payload
+
+    def _save(self, cursor: dict) -> None:
+        text = json.dumps(cursor, sort_keys=True, indent=1) + "\n"
+        fsio.publish_text(self.cursor_path, text, tmp_prefix=".scrub-")
+
+    def reset(self) -> None:
+        """Start the next scrub cycle from the beginning."""
+        self.cursor_path.unlink(missing_ok=True)
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(
+        self,
+        budget: int = 250,
+        quarantine: bool = True,
+        tmp_grace_s: float = DEFAULT_TMP_GRACE,
+    ) -> dict:
+        """Verify up to ``budget`` items, persist the cursor, return it.
+
+        A completed cycle parks the cursor at phase ``done``; calling
+        :meth:`step` on a done cursor starts a new cycle (integrity is
+        a rolling concern, not a one-shot).
+        """
+        cursor = self.cursor()
+        if cursor["phase"] == "done":
+            cursor = _fresh_cursor()
+        if cursor["phase"] == "objects":
+            self._step_objects(cursor, budget, quarantine)
+        elif cursor["phase"] == "manifests":
+            self._step_manifests(cursor, budget, quarantine)
+        if cursor["phase"] == "tmp":
+            self._step_tmp(cursor, tmp_grace_s)
+        self._save(cursor)
+        return cursor
+
+    def run(
+        self,
+        budget: int = 250,
+        quarantine: bool = True,
+        tmp_grace_s: float = DEFAULT_TMP_GRACE,
+        max_steps: int = 0,
+    ) -> dict:
+        """Step until the cycle completes (or ``max_steps`` is hit)."""
+        steps = 0
+        while True:
+            cursor = self.step(budget, quarantine, tmp_grace_s)
+            steps += 1
+            if cursor["phase"] == "done" or (max_steps and steps >= max_steps):
+                return cursor
+
+    # -- phases ------------------------------------------------------------
+
+    @staticmethod
+    def _sort_key(path: Path) -> list[str]:
+        # Digest first so the watermark is stable across roots; the full
+        # path breaks ties when a duplicate copy exists at two roots.
+        return [path.name, str(path)]
+
+    def _step_objects(self, cursor: dict, budget: int, quarantine: bool) -> None:
+        store = self.store
+        after = cursor.get("after")
+        files = sorted(store._object_files(), key=self._sort_key)
+        checked = 0
+        for path in files:
+            key = self._sort_key(path)
+            if after is not None and key <= after:
+                continue
+            if checked >= budget:
+                cursor["after"] = after
+                return
+            checked += 1
+            after = key
+            cursor["objects_checked"] += 1
+            error = self._check_object(path)
+            if error is None:
+                continue
+            kind = error.kind.value
+            owner = store.owning_root(path)
+            rel = str(path.relative_to(owner))
+            destination = (
+                self._quarantine(path, kind, error.detail) if quarantine else ""
+            )
+            cursor["corrupt_objects"].append(
+                {
+                    "kind": kind,
+                    "path": rel,
+                    "detail": error.detail,
+                    "quarantined_to": destination,
+                }
+            )
+        cursor["phase"] = "manifests"
+        cursor["after"] = None
+
+    def _object_exists(self, digest: str) -> bool:
+        candidates = getattr(self.store, "_candidate_paths", None)
+        if candidates is not None:
+            return any(path.exists() for path in candidates(digest))
+        return self.store._object_path(digest).exists()
+
+    def _step_manifests(self, cursor: dict, budget: int, quarantine: bool) -> None:
+        store = self.store
+        after = cursor.get("after")
+        if not store.manifests_dir.is_dir():
+            cursor["phase"] = "tmp"
+            cursor["after"] = None
+            return
+        checked = 0
+        for path in sorted(store.manifests_dir.glob("*.json")):
+            key = self._sort_key(path)
+            if after is not None and key <= after:
+                continue
+            if checked >= budget:
+                cursor["after"] = after
+                return
+            checked += 1
+            after = key
+            cursor["manifests_checked"] += 1
+            rel = str(path.relative_to(store.root))
+            try:
+                payload = json.loads(fsio.read_bytes(path).decode("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError(f"not a JSON object: {type(payload).__name__}")
+            except (OSError, ValueError) as exc:
+                kind = ErrorKind.DECODE_ERROR.value
+                destination = (
+                    self._quarantine(path, kind, str(exc)) if quarantine else ""
+                )
+                cursor["corrupt_manifests"].append(
+                    {
+                        "kind": kind,
+                        "path": rel,
+                        "detail": str(exc),
+                        "quarantined_to": destination,
+                    }
+                )
+                continue
+            if "ref" in payload:
+                continue
+            missing = [
+                digest
+                for digest in self._referenced(payload)
+                if not self._object_exists(digest)
+            ]
+            if not missing:
+                continue
+            if payload.get("kind") == "checkpoint" and payload["state"] in missing:
+                detail = f"state shard {payload['state'][:12]}… missing"
+                destination = (
+                    self._quarantine(path, ErrorKind.TRUNCATED_BODY.value, detail)
+                    if quarantine
+                    else ""
+                )
+                cursor["dead_checkpoints"].append(
+                    {
+                        "kind": ErrorKind.TRUNCATED_BODY.value,
+                        "path": rel,
+                        "detail": detail,
+                        "quarantined_to": destination,
+                    }
+                )
+                continue
+            cursor["missing_refs"][payload.get("key", path.stem)] = missing
+        cursor["phase"] = "tmp"
+        cursor["after"] = None
+
+    def _step_tmp(self, cursor: dict, tmp_grace_s: float) -> None:
+        store = self.store
+        now = time.time()
+        stale = in_flight = 0
+        bases = [*store.object_dirs(), store.manifests_dir, store.root / DAEMON_DIR]
+        for base in bases:
+            if not base.is_dir():
+                continue
+            for path in base.rglob(f"*{_TMP_SUFFIX}"):
+                try:
+                    mtime = path.stat().st_mtime
+                except FileNotFoundError:
+                    continue
+                if tmp_grace_s > 0 and now - mtime < tmp_grace_s:
+                    in_flight += 1
+                else:
+                    stale += 1
+        cursor["stale_tmp"] = stale
+        cursor["in_flight_tmp"] = in_flight
+        cursor["phase"] = "done"
+        cursor["after"] = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, cursor: dict | None = None) -> ScrubReport:
+        """Fold a cursor into the shared :class:`ScrubReport` shape."""
+        cursor = cursor if cursor is not None else self.cursor()
+
+        def findings(rows: list[dict]) -> list[ScrubFinding]:
+            return [
+                ScrubFinding(
+                    row["kind"], row["path"], row["detail"], row["quarantined_to"]
+                )
+                for row in rows
+            ]
+
+        return ScrubReport(
+            objects_checked=cursor["objects_checked"],
+            manifests_checked=cursor["manifests_checked"],
+            corrupt_objects=findings(cursor["corrupt_objects"]),
+            corrupt_manifests=findings(cursor["corrupt_manifests"]),
+            missing_refs={
+                key: tuple(values)
+                for key, values in cursor["missing_refs"].items()
+            },
+            dead_checkpoints=findings(cursor["dead_checkpoints"]),
+            stale_tmp=cursor["stale_tmp"],
+            in_flight_tmp=cursor["in_flight_tmp"],
+        )

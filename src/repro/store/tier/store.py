@@ -1,0 +1,321 @@
+"""The tiered multi-root store: placement-routed shards + hot tier.
+
+:class:`TieredStore` is a drop-in :class:`~repro.store.cache.ConnStore`
+whose ``objects/`` tree spans several roots.  Everything above the
+object layer is untouched: manifests (and therefore content keys, the
+service's store-state token, gen-key aliases, and the daemon tree) stay
+at the primary root, so a flat store and a tiered store are
+indistinguishable to ``StoreQuery``, ``run_study``, the checkpointer,
+and the HTTP service — they only ever call ``put_object``/``get_object``
+and the manifest API.
+
+Reads are three-tiered:
+
+1. **hot tier** — verified bytes in RAM (:class:`HotTier`), no I/O;
+2. **assigned root** — the placement table's home for the digest's
+   bucket (the destination root mid-move, so a flipping bucket never
+   goes dark);
+3. **every other root** — the fallback that makes rebalance crash-safe:
+   whatever half-moved state a SIGKILL leaves behind, some root still
+   holds the bytes and the scan finds them.
+
+Every cold read re-verifies the content address before the bytes are
+admitted to the hot tier, exactly like the flat store.
+
+Use :func:`open_store` everywhere a store is constructed from a
+directory: it returns a :class:`TieredStore` when ``tier.json`` exists
+and a plain :class:`ConnStore` otherwise, so flat stores keep their
+historical behavior byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ...analysis.errors import ErrorKind
+from ...chaos import fsio
+from ..cache import ConnStore, _OBJECT_SUFFIX
+from ..shard import ShardError
+from .hotcache import HotTier
+from .placement import BUCKETS, DEFAULT_HOT_BYTES, TIER_MANIFEST, PlacementManifest
+
+__all__ = ["TieredStore", "RebalanceReport", "open_store", "init_tier"]
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one :meth:`TieredStore.rebalance` pass did."""
+
+    #: Buckets whose assignment flipped this pass (hex chars).
+    moved: tuple[str, ...]
+    #: Object files copied to their new root.
+    copied: int
+    bytes_copied: int
+    #: Source/duplicate copies deleted after a verified flip.
+    deleted: int
+    #: Buckets still misplaced after this pass (bounded by max_buckets).
+    pending: tuple[str, ...]
+
+
+class TieredStore(ConnStore):
+    """A ConnStore whose objects are placed across multiple roots."""
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__(root)
+        placement = PlacementManifest.load(self.root)
+        if placement is None:
+            raise FileNotFoundError(
+                f"{self.root / TIER_MANIFEST} not found — "
+                "not a tiered store (use open_store / init_tier)"
+            )
+        self.placement = placement
+        self._root_paths = placement.resolve_roots(self.root)
+        self.hot = HotTier(placement.hot_bytes, placement.pinned)
+
+    # -- multi-root hooks (see ConnStore) ----------------------------------
+
+    def roots(self) -> list[Path]:
+        return list(self._root_paths)
+
+    def object_dirs(self) -> list[Path]:
+        return [path / "objects" for path in self._root_paths]
+
+    def owning_root(self, path: Path) -> Path:
+        """The declared root a file lives under (longest-prefix match,
+        so a secondary root nested inside the primary still wins for
+        its own files)."""
+        best = self.root
+        best_len = -1
+        for candidate in self._root_paths:
+            if not path.is_relative_to(candidate):
+                continue
+            score = len(candidate.parts)
+            if score > best_len:
+                best, best_len = candidate, score
+        return best
+
+    # -- object routing ----------------------------------------------------
+
+    def _root_for(self, digest: str) -> Path:
+        index = self.placement.active_index(PlacementManifest.bucket_of(digest))
+        return self._root_paths[index]
+
+    def _object_path(self, digest: str) -> Path:
+        return (
+            self._root_for(digest) / "objects" / digest[:2]
+            / f"{digest}{_OBJECT_SUFFIX}"
+        )
+
+    def _candidate_paths(self, digest: str) -> list[Path]:
+        """Everywhere the digest could legally live: home first, then
+        every other root (mid-move duplicates, crash leftovers)."""
+        home = self._object_path(digest)
+        rest = [
+            root / "objects" / digest[:2] / f"{digest}{_OBJECT_SUFFIX}"
+            for root in self._root_paths
+        ]
+        return [home] + [path for path in rest if path != home]
+
+    def put_object(self, data: bytes) -> str:
+        digest = hashlib.sha256(data).hexdigest()
+        if not any(path.exists() for path in self._candidate_paths(digest)):
+            path = self._object_path(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fsio.publish_bytes(path, data, tmp_prefix=f".{digest[:12]}-")
+        return digest
+
+    def get_object(self, digest: str) -> bytes:
+        data = self.hot.get(digest)
+        if data is not None:
+            return data
+        corrupt: ShardError | None = None
+        for path in self._candidate_paths(digest):
+            try:
+                data = fsio.read_bytes(path)
+            except OSError:
+                continue
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != digest:
+                # A rotted copy at one root must not mask a healthy one
+                # at another; remember the defect, keep scanning.
+                corrupt = ShardError(
+                    ErrorKind.DECODE_ERROR, str(path), None,
+                    f"content address mismatch: named {digest[:12]}…, "
+                    f"bytes hash to {actual[:12]}…",
+                )
+                continue
+            self.hot.put(digest, data)
+            return data
+        if corrupt is not None:
+            raise corrupt
+        raise ShardError(
+            ErrorKind.TRUNCATED_BODY, str(self._object_path(digest)), None,
+            f"shard object missing from all {len(self._root_paths)} root(s)",
+        )
+
+    # -- rebalance ---------------------------------------------------------
+
+    def add_root(self, spec: str) -> None:
+        """Declare a new root (no data moves until :meth:`rebalance`)."""
+        if spec in self.placement.roots:
+            raise ValueError(f"root {spec!r} already declared")
+        self.placement.roots.append(spec)
+        self.placement.save(self.root)
+        self._root_paths = self.placement.resolve_roots(self.root)
+
+    def _bucket_files(self, bucket: str) -> list[tuple[int, Path]]:
+        """(root index, path) of every object file in one bucket."""
+        found: list[tuple[int, Path]] = []
+        for index, root in enumerate(self._root_paths):
+            objects = root / "objects"
+            if not objects.is_dir():
+                continue
+            for prefix_dir in sorted(objects.iterdir()):
+                if not prefix_dir.is_dir() or not prefix_dir.name.startswith(bucket):
+                    continue
+                for path in sorted(prefix_dir.glob(f"*{_OBJECT_SUFFIX}")):
+                    found.append((index, path))
+        return found
+
+    def rebalance(self, max_buckets: int | None = None) -> RebalanceReport:
+        """Move buckets toward the leveled placement, incrementally.
+
+        Per bucket: record the move cursor, copy every object to the
+        destination root (crash-consistent publishes; already-present
+        copies are skipped, corrupt sources are left for scrub), flip
+        the assignment in one atomic manifest write, then delete the
+        now-duplicate source copies.  Readers are never blocked: until
+        the flip they find objects at the old home, after it at the
+        new one, and the any-root fallback covers every interleaving a
+        crash can produce.  ``max_buckets`` bounds one pass so the
+        rebalance can run as a background increment.
+        """
+        placement = self.placement
+        target = placement.balanced_assign()
+        todo = [
+            bucket for bucket in BUCKETS
+            if bucket in placement.moving or placement.assign[bucket] != target[bucket]
+        ]
+        limit = len(todo) if max_buckets is None else max(0, max_buckets)
+        moved: list[str] = []
+        copied = deleted = bytes_copied = 0
+        for bucket in todo[:limit]:
+            dest = placement.moving.get(bucket, target[bucket])
+            if dest != placement.assign[bucket]:
+                if placement.moving.get(bucket) != dest:
+                    placement.moving[bucket] = dest
+                    placement.save(self.root)
+                dest_root = self._root_paths[dest]
+                for index, path in self._bucket_files(bucket):
+                    if index == dest:
+                        continue
+                    target_path = dest_root / "objects" / path.parent.name / path.name
+                    if target_path.exists():
+                        continue
+                    data = fsio.read_bytes(path)
+                    if hashlib.sha256(data).hexdigest() != path.stem:
+                        continue  # rotted source copy: scrub's problem
+                    target_path.parent.mkdir(parents=True, exist_ok=True)
+                    fsio.publish_bytes(
+                        target_path, data, tmp_prefix=f".{path.stem[:12]}-"
+                    )
+                    copied += 1
+                    bytes_copied += len(data)
+                placement.assign[bucket] = dest
+            placement.moving.pop(bucket, None)
+            placement.save(self.root)  # the atomic flip
+            moved.append(bucket)
+            # Reap source copies — and any crash-orphaned duplicates —
+            # only after the flip is durable and the home copy exists.
+            home = dest
+            for index, path in self._bucket_files(bucket):
+                if index == home:
+                    continue
+                home_path = (
+                    self._root_paths[home] / "objects"
+                    / path.parent.name / path.name
+                )
+                if home_path.exists():
+                    path.unlink(missing_ok=True)
+                    deleted += 1
+        pending = tuple(placement.misplaced())
+        return RebalanceReport(
+            moved=tuple(moved),
+            copied=copied,
+            bytes_copied=bytes_copied,
+            deleted=deleted,
+            pending=pending,
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    def tier_status(self) -> dict:
+        """Everything ``store tier status`` and ``/health`` report."""
+        roots = []
+        for index, root in enumerate(self._root_paths):
+            objects = root / "objects"
+            files = (
+                list(objects.glob(f"*/*{_OBJECT_SUFFIX}"))
+                if objects.is_dir()
+                else []
+            )
+            roots.append(
+                {
+                    "index": index,
+                    "path": str(root),
+                    "spec": self.placement.roots[index],
+                    "buckets": sum(
+                        1 for b in BUCKETS if self.placement.assign[b] == index
+                    ),
+                    "objects": len(files),
+                    "bytes": sum(path.stat().st_size for path in files),
+                }
+            )
+        return {
+            "roots": roots,
+            "assign": {b: self.placement.assign[b] for b in BUCKETS},
+            "moving": dict(self.placement.moving),
+            "misplaced": list(self.placement.misplaced()),
+            "hot": self.hot.stats(),
+        }
+
+    def stats(self) -> dict:
+        payload = super().stats()
+        payload["tier"] = self.tier_status()
+        return payload
+
+
+def init_tier(
+    root: str | Path,
+    roots: tuple[str, ...] = (),
+    hot_bytes: int = DEFAULT_HOT_BYTES,
+    pinned: tuple[str, ...] = (),
+) -> TieredStore:
+    """Turn a store directory into a tiered store (idempotent layout).
+
+    Existing objects stay where they are — every bucket starts assigned
+    to the primary, so a freshly initialized tier answers identically
+    to the flat store it replaced; ``rebalance`` then levels buckets
+    across ``roots`` (extra roots beyond the implicit primary ``"."``).
+    """
+    root = Path(root)
+    if (root / TIER_MANIFEST).exists():
+        raise FileExistsError(f"{root / TIER_MANIFEST} already exists")
+    placement = PlacementManifest(
+        roots=["."] + [spec for spec in roots if spec != "."],
+        hot_bytes=hot_bytes,
+        pinned=tuple(pinned),
+    )
+    root.mkdir(parents=True, exist_ok=True)
+    placement.save(root)
+    return TieredStore(root)
+
+
+def open_store(root: str | Path) -> ConnStore:
+    """The one constructor every layer uses: tiered iff tier.json exists."""
+    root = Path(root)
+    if (root / TIER_MANIFEST).exists():
+        return TieredStore(root)
+    return ConnStore(root)

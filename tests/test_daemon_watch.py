@@ -1,0 +1,179 @@
+"""Watch mode: pcaps dropped into a tenant directory mid-run get
+ingested live, and the persistent assignment table keeps trace indices
+stable no matter how new arrivals sort.
+
+The second property is the load-bearing one — window filenames and
+checkpoint keys embed the trace index, so a new file shifting sorted
+order would collide artifacts across incarnations.  ``assign.json``
+makes indices append-only instead.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+
+import pytest
+
+from repro.daemon import run_feed, tenant_dir
+from repro.gen.capture import generate_dataset
+from repro.gen.topology import Enterprise
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("daemon-watch-traces")
+    return generate_dataset(
+        "D0", Enterprise(seed=7), out, seed=7, scale=0.004, max_windows=2
+    )
+
+
+def payload_for(store_root, traces, **overrides):
+    body = {
+        "tenant": "acme",
+        "traces": [str(path) for path in traces],
+        "store_root": str(store_root),
+        "window": 60.0,
+        "flow_budget": 4096,
+        "checkpoint_every": 200,
+        "error_policy": "strict",
+        "packet_rate": 0.0,
+    }
+    body.update(overrides)
+    return body
+
+
+def _assignments(store_root) -> dict:
+    path = tenant_dir(store_root, "acme") / "assign.json"
+    return json.loads(path.read_text())["sources"]
+
+
+def _wait_for(condition, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class Collector:
+    def __init__(self):
+        self.messages = []
+
+    def __call__(self, kind, body):
+        self.messages.append((kind, body))
+
+    def kinds(self):
+        return [kind for kind, _ in self.messages]
+
+
+def test_watch_ingests_a_pcap_dropped_mid_run(dataset, tmp_path):
+    source = tmp_path / "drop"
+    source.mkdir()
+    shutil.copy(dataset.traces[0].path, source / "first.pcap")
+    store_root = tmp_path / "store"
+    payload = payload_for(
+        store_root,
+        sorted(source.glob("*.pcap")),
+        source=str(source),
+        watch=True,
+        watch_interval=0.05,
+    )
+    drain = threading.Event()
+    sent = Collector()
+    outcome: list[str] = []
+
+    worker = threading.Thread(
+        target=lambda: outcome.append(run_feed(payload, drain, sent)),
+        daemon=True,
+    )
+    worker.start()
+    base = tenant_dir(store_root, "acme")
+    assert _wait_for(lambda: (base / "traces" / "t000.json").exists())
+    # The feed is now idling on rescans: drop a second pcap in, live.
+    shutil.copy(dataset.traces[1].path, source / "second.pcap")
+    assert _wait_for(lambda: (base / "traces" / "t001.json").exists())
+    drain.set()
+    worker.join(timeout=60)
+    assert not worker.is_alive()
+    assert outcome == ["drained"]
+    assert "rescan" in sent.kinds()
+    assert _assignments(store_root) == {"first.pcap": 0, "second.pcap": 1}
+    marker = json.loads((base / "traces" / "t001.json").read_text())
+    assert marker["source"] == "second.pcap"
+    # The rollup saw both traces.
+    result = json.loads((base / "result.json").read_text())
+    assert result["traces"] == 2
+
+
+def test_indices_stay_stable_when_a_new_file_sorts_first(dataset, tmp_path):
+    source = tmp_path / "drop"
+    source.mkdir()
+    shutil.copy(dataset.traces[0].path, source / "b.pcap")
+    store_root = tmp_path / "store"
+    drain = threading.Event()
+
+    payload = payload_for(
+        store_root, sorted(source.glob("*.pcap")), source=str(source)
+    )
+    assert run_feed(payload, drain, Collector()) == "done"
+    base = tenant_dir(store_root, "acme")
+    b_marker = (base / "traces" / "t000.json").read_bytes()
+    assert _assignments(store_root) == {"b.pcap": 0}
+
+    # A restart finds a new file that sorts *before* the finished one.
+    shutil.copy(dataset.traces[1].path, source / "a.pcap")
+    payload = payload_for(
+        store_root, sorted(source.glob("*.pcap")), source=str(source)
+    )
+    assert run_feed(payload, drain, Collector()) == "done"
+    # b keeps index 0 (its marker is untouched); a extends the table.
+    assert _assignments(store_root) == {"b.pcap": 0, "a.pcap": 1}
+    assert (base / "traces" / "t000.json").read_bytes() == b_marker
+    a_marker = json.loads((base / "traces" / "t001.json").read_text())
+    assert a_marker["source"] == "a.pcap"
+    # Window artifacts never collided: each trace owns its own prefix.
+    windows = sorted(p.name for p in (base / "windows").glob("*.json"))
+    assert any(name.startswith("t000-") for name in windows)
+    assert any(name.startswith("t001-") for name in windows)
+
+
+def test_watch_on_a_single_file_source_still_completes(dataset, tmp_path):
+    trace = dataset.traces[0].path
+    payload = payload_for(
+        tmp_path, [trace], source=str(trace), watch=True, watch_interval=0.05
+    )
+    # A file source has no directory to rescan: watch degrades to a
+    # normal bounded run instead of spinning forever.
+    assert run_feed(payload, threading.Event(), Collector()) == "done"
+
+
+def test_drain_during_watch_idle_returns_promptly(dataset, tmp_path):
+    source = tmp_path / "drop"
+    source.mkdir()
+    shutil.copy(dataset.traces[0].path, source / "only.pcap")
+    payload = payload_for(
+        tmp_path / "store",
+        sorted(source.glob("*.pcap")),
+        source=str(source),
+        watch=True,
+        watch_interval=30.0,  # long: drain must interrupt the sleep
+    )
+    drain = threading.Event()
+    outcome: list[str] = []
+    worker = threading.Thread(
+        target=lambda: outcome.append(run_feed(payload, drain, Collector())),
+        daemon=True,
+    )
+    worker.start()
+    base = tenant_dir(tmp_path / "store", "acme")
+    assert _wait_for(lambda: (base / "result.json").exists())
+    started = time.monotonic()
+    drain.set()
+    worker.join(timeout=60)
+    assert not worker.is_alive()
+    assert time.monotonic() - started < 10.0
+    assert outcome == ["drained"]

@@ -1,0 +1,126 @@
+"""Conditional GETs: ETag issuance, If-None-Match, and 304 semantics.
+
+The ETag is the response cache's content key, which hashes the request
+plus the store-state token — so a 304 is exactly as trustworthy as a
+cache hit, and anything that leaves the manifest listing alone
+(compaction, rebalance) leaves every client's cached entity valid.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.runtime.telemetry import TelemetryLog
+from repro.service import ReproService
+from repro.service.app import _etag_match
+
+
+def _get(port: int, path: str, headers: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        lowered = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, lowered, json.loads(raw) if raw else None
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def service(store_study, tmp_path_factory):
+    _, root = store_study
+    svc = ReproService(
+        str(root),
+        port=0,
+        job_workers=1,
+        job_queue=2,
+        job_runner=lambda request, store_dir: {"ok": True},
+        telemetry=TelemetryLog(
+            path=tmp_path_factory.mktemp("etag-telemetry") / "svc.jsonl"
+        ),
+    )
+    svc.start_background()
+    yield svc
+    svc.shutdown()
+
+
+def test_cacheable_responses_carry_a_stable_etag(service):
+    status, headers, body = _get(service.port, "/query?by=proto")
+    assert status == 200 and body is not None
+    etag = headers["etag"]
+    assert etag.startswith('"') and etag.endswith('"')
+    again_status, again_headers, _ = _get(service.port, "/query?by=proto")
+    assert again_status == 200
+    assert again_headers["etag"] == etag
+    # A different request is a different entity.
+    _, other_headers, _ = _get(service.port, "/query?by=category")
+    assert other_headers["etag"] != etag
+
+
+def test_if_none_match_returns_an_empty_304(service):
+    _, headers, _ = _get(service.port, "/studies")
+    etag = headers["etag"]
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=30)
+    try:
+        conn.request("GET", "/studies", headers={"If-None-Match": etag})
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    assert response.status == 304
+    assert raw == b""
+    lowered = {k.lower(): v for k, v in response.getheaders()}
+    assert lowered["etag"] == etag
+    assert lowered["x-cache"] == "hit"
+
+
+def test_stale_etag_gets_the_full_entity(service):
+    status, headers, body = _get(
+        service.port, "/query?by=proto", headers={"If-None-Match": '"stale"'}
+    )
+    assert status == 200 and body is not None
+    assert headers["etag"] != '"stale"'
+
+
+def test_star_matches_any_entity(service):
+    status, _, body = _get(
+        service.port, "/studies", headers={"If-None-Match": "*"}
+    )
+    assert status == 304 and body is None
+
+
+def test_etag_list_and_weak_prefixes_match(service):
+    _, headers, _ = _get(service.port, "/studies")
+    etag = headers["etag"]
+    status, _, _ = _get(
+        service.port, "/studies",
+        headers={"If-None-Match": f'"nope", W/{etag}'},
+    )
+    assert status == 304
+
+
+def test_cache_bypass_ignores_the_conditional(service):
+    _, headers, _ = _get(service.port, "/studies")
+    etag = headers["etag"]
+    status, bypass_headers, body = _get(
+        service.port, "/studies?cache_bypass=1",
+        headers={"If-None-Match": etag},
+    )
+    assert status == 200 and body is not None
+    assert bypass_headers["x-cache"] == "bypass"
+    # Bypass still advertises the ETag so clients can revalidate later.
+    assert bypass_headers["etag"] == etag
+
+
+def test_etag_match_helper_covers_the_grammar():
+    etag = '"abc123"'
+    assert _etag_match(etag, etag)
+    assert _etag_match(f"W/{etag}", etag)
+    assert _etag_match(f'"zzz", {etag}', etag)
+    assert _etag_match("*", etag)
+    assert not _etag_match('"zzz"', etag)
+    assert not _etag_match(None, etag)

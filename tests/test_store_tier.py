@@ -1,0 +1,266 @@
+"""The tiered store's unit layer: placement, routing, hot tier, rebalance.
+
+The invariant everything else leans on: a tiered store is observably a
+ConnStore.  Same digests, same round trips, same typed errors — the
+only new behaviors are *where* bytes land (placement), *how fast* they
+come back (hot tier), and that no interleaving of rebalance steps can
+lose or mask a healthy copy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.errors import ErrorKind
+from repro.store import ConnStore, ShardError
+from repro.store.tier import (
+    BUCKETS,
+    TIER_MANIFEST,
+    HotTier,
+    PlacementManifest,
+    TieredStore,
+    init_tier,
+    open_store,
+)
+
+
+def seeded(root, count=48) -> tuple[ConnStore, dict[str, bytes]]:
+    """A flat store holding ``count`` distinct objects."""
+    store = ConnStore(root)
+    bodies = {}
+    for index in range(count):
+        data = f"shard-body-{index:04d}".encode() * 7
+        bodies[store.put_object(data)] = data
+    return store, bodies
+
+
+def two_root_tier(tmp_path, count=48):
+    """A tiered store rebalanced across the primary and one extra root."""
+    _, bodies = seeded(tmp_path / "store", count)
+    second = tmp_path / "root-b"
+    store = init_tier(tmp_path / "store", roots=(str(second),))
+    store.rebalance()
+    return store, bodies, second
+
+
+# -- placement manifest ------------------------------------------------------
+
+
+def test_buckets_cover_every_digest_prefix():
+    assert "".join(BUCKETS) == "0123456789abcdef"
+    assert PlacementManifest.bucket_of("f00d" + "0" * 60) == "f"
+
+
+def test_manifest_round_trips_through_disk(tmp_path):
+    manifest = PlacementManifest(
+        roots=[".", str(tmp_path / "b")], hot_bytes=1234, pinned=("aa" * 32,)
+    )
+    manifest.save(tmp_path)
+    loaded = PlacementManifest.load(tmp_path)
+    assert loaded.roots == manifest.roots
+    assert loaded.assign == manifest.assign
+    assert loaded.hot_bytes == 1234
+    assert loaded.pinned == ("aa" * 32,)
+
+
+def test_primary_root_must_come_first():
+    with pytest.raises(ValueError):
+        PlacementManifest(roots=["/somewhere", "."])
+
+
+def test_balanced_assign_levels_and_minimizes_moves():
+    manifest = PlacementManifest(roots=[".", "b"])
+    target = manifest.balanced_assign()
+    counts = [sum(1 for b in BUCKETS if target[b] == i) for i in range(2)]
+    assert counts == [8, 8]
+    # Re-leveling an already-balanced table is a fixed point.
+    manifest.assign = dict(target)
+    assert manifest.balanced_assign() == target
+    # A third root steals only the overflow: buckets already under quota
+    # stay put (minimal movement).
+    manifest.roots.append("c")
+    retarget = manifest.balanced_assign()
+    stayed = sum(1 for b in BUCKETS if retarget[b] == target[b])
+    assert stayed >= 10
+    counts3 = [sum(1 for b in BUCKETS if retarget[b] == i) for i in range(3)]
+    assert sorted(counts3) == [5, 5, 6]
+
+
+# -- init / open dispatch ----------------------------------------------------
+
+
+def test_init_tier_is_single_shot(tmp_path):
+    init_tier(tmp_path / "store")
+    assert (tmp_path / "store" / TIER_MANIFEST).exists()
+    with pytest.raises(FileExistsError):
+        init_tier(tmp_path / "store")
+
+
+def test_open_store_dispatches_on_the_manifest(tmp_path):
+    flat = open_store(tmp_path / "flat")
+    assert type(flat) is ConnStore
+    init_tier(tmp_path / "tiered")
+    assert isinstance(open_store(tmp_path / "tiered"), TieredStore)
+
+
+def test_fresh_tier_answers_exactly_like_the_flat_store(tmp_path):
+    _, bodies = seeded(tmp_path / "store")
+    store = init_tier(tmp_path / "store")
+    for digest, data in bodies.items():
+        assert store.get_object(digest) == data
+    # Nothing moved: every bucket still lives at the primary.
+    assert store.tier_status()["roots"][0]["objects"] == len(bodies)
+
+
+# -- routing and rebalance ---------------------------------------------------
+
+
+def test_rebalance_splits_objects_and_keeps_every_read(tmp_path):
+    store, bodies, second = two_root_tier(tmp_path)
+    status = store.tier_status()
+    assert [r["buckets"] for r in status["roots"]] == [8, 8]
+    assert all(r["objects"] > 0 for r in status["roots"])
+    assert sum(r["objects"] for r in status["roots"]) == len(bodies)
+    assert status["misplaced"] == [] and status["moving"] == {}
+    for digest, data in bodies.items():
+        assert store.get_object(digest) == data
+    # A second pass has nothing left to do.
+    again = store.rebalance()
+    assert again.copied == 0 and again.pending == ()
+
+
+def test_put_object_lands_at_the_assigned_root(tmp_path):
+    store, _, second = two_root_tier(tmp_path, count=4)
+    data = b"post-rebalance object " * 9
+    digest = store.put_object(data)
+    home = store._object_path(digest)
+    assert home.exists()
+    assert store.owning_root(home) == store._root_paths[
+        store.placement.assign[digest[0]]
+    ]
+
+
+def test_add_root_rejects_duplicates(tmp_path):
+    store, _, second = two_root_tier(tmp_path, count=4)
+    with pytest.raises(ValueError):
+        store.add_root(str(second))
+
+
+def test_bounded_rebalance_leaves_an_honest_pending_list(tmp_path):
+    _, bodies = seeded(tmp_path / "store", count=32)
+    store = init_tier(tmp_path / "store", roots=(str(tmp_path / "b"),))
+    first = store.rebalance(max_buckets=3)
+    assert len(first.moved) == 3 and first.pending
+    for digest, data in bodies.items():  # mid-rebalance reads stay whole
+        assert store.get_object(digest) == data
+    rest = store.rebalance()
+    assert rest.pending == ()
+
+
+def test_reader_finds_a_copy_left_at_the_wrong_root(tmp_path):
+    store, bodies, second = two_root_tier(tmp_path)
+    digest, data = next(iter(bodies.items()))
+    # Simulate a crash-torn move: the only copy sits at a non-home root.
+    home = store._object_path(digest)
+    stray = [p for p in store._candidate_paths(digest) if p != home][0]
+    stray.parent.mkdir(parents=True, exist_ok=True)
+    home.rename(stray)
+    assert store.get_object(digest) == data
+
+
+def test_corrupt_home_copy_never_masks_a_healthy_duplicate(tmp_path):
+    store, bodies, second = two_root_tier(tmp_path)
+    digest, data = next(iter(bodies.items()))
+    home = store._object_path(digest)
+    stray = [p for p in store._candidate_paths(digest) if p != home][0]
+    stray.parent.mkdir(parents=True, exist_ok=True)
+    stray.write_bytes(home.read_bytes())
+    home.write_bytes(b"rotted " + home.read_bytes())
+    assert store.get_object(digest) == data
+
+
+def test_corrupt_only_copy_is_a_decode_error(tmp_path):
+    store, bodies, _ = two_root_tier(tmp_path, count=4)
+    digest = next(iter(bodies))
+    path = next(p for p in store._candidate_paths(digest) if p.exists())
+    path.write_bytes(b"not the named bytes")
+    with pytest.raises(ShardError) as info:
+        store.get_object(digest)
+    assert info.value.kind is ErrorKind.DECODE_ERROR
+
+
+def test_missing_everywhere_is_truncated_body(tmp_path):
+    store, _, _ = two_root_tier(tmp_path, count=4)
+    with pytest.raises(ShardError) as info:
+        store.get_object("0" * 64)
+    assert info.value.kind is ErrorKind.TRUNCATED_BODY
+
+
+def test_gc_and_stats_span_all_roots(tmp_path):
+    store, bodies, _ = two_root_tier(tmp_path)
+    assert store.stats()["objects"] == len(bodies)
+    report = store.gc()  # nothing referenced: every object is garbage
+    assert len(report.removed) == len(bodies)
+    assert all(not p.exists() for d in bodies for p in store._candidate_paths(d))
+
+
+# -- hot tier ----------------------------------------------------------------
+
+
+def test_hot_tier_serves_reads_without_touching_disk(tmp_path):
+    store, bodies, _ = two_root_tier(tmp_path, count=4)
+    digest, data = next(iter(bodies.items()))
+    assert store.get_object(digest) == data  # cold read fills the tier
+    for path in store._candidate_paths(digest):
+        path.unlink(missing_ok=True)
+    assert store.get_object(digest) == data  # hot read: no file needed
+    assert store.hot.stats()["hits"] >= 1
+
+
+def test_lru_evicts_oldest_unpinned_first():
+    hot = HotTier(max_bytes=100)
+    hot.put("a" * 64, b"x" * 40)
+    hot.put("b" * 64, b"y" * 40)
+    hot.get("a" * 64)  # refresh a: b is now LRU
+    hot.put("c" * 64, b"z" * 40)
+    assert hot.get("b" * 64) is None
+    assert hot.get("a" * 64) is not None and hot.get("c" * 64) is not None
+    assert hot.stats()["evictions"] == 1
+
+
+def test_oversize_payloads_are_never_admitted():
+    hot = HotTier(max_bytes=10)
+    hot.put("a" * 64, b"x" * 11)
+    assert hot.get("a" * 64) is None and hot.stats()["entries"] == 0
+
+
+def test_pinned_entries_survive_eviction_pressure():
+    pinned = "p" * 64
+    hot = HotTier(max_bytes=50, pinned=(pinned,))
+    hot.put(pinned, b"keep" * 10)
+    for index in range(8):
+        hot.put(f"{index:x}" * 64, b"fill" * 10)
+    assert hot.get(pinned) == b"keep" * 10
+
+
+def test_invalidate_and_clear():
+    hot = HotTier(max_bytes=100)
+    hot.put("a" * 64, b"bytes")
+    hot.invalidate("a" * 64)
+    assert hot.get("a" * 64) is None
+    hot.put("b" * 64, b"bytes")
+    hot.clear()
+    assert hot.stats()["entries"] == 0 and hot.stats()["bytes"] == 0
+
+
+# -- surface integration -----------------------------------------------------
+
+
+def test_tier_status_reaches_store_stats_and_health_shape(tmp_path):
+    store, _, _ = two_root_tier(tmp_path, count=4)
+    payload = store.stats()["tier"]
+    assert {r["spec"] for r in payload["roots"]} == set(store.placement.roots)
+    assert set(payload) >= {"roots", "assign", "moving", "misplaced", "hot"}
+    json.dumps(payload)  # must be JSON-serializable for /health
