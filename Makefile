@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint verify bench store-bench runtime-bench stream-bench service-bench tier-bench chaos-soak daemon-soak examples outputs clean
+.PHONY: install test lint verify bench store-bench runtime-bench stream-bench service-bench tier-bench replica-bench chaos-soak daemon-soak examples outputs clean
 
 install:
 	pip install -e .
@@ -47,6 +47,11 @@ service-bench:
 # batch-chain compaction; writes BENCH_tier.json.
 tier-bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_tier_bench.py -q -s
+
+# Read latency with one of three roots dead (replicas=2, ceiling 5x over
+# healthy) and bulk replica-repair throughput; writes BENCH_replica.json.
+replica-bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_replica_bench.py -q -s
 
 # Crash-point soak: fixed-seed fault schedules kill CLI runs
 # mid-publication and mid-checkpoint, resumed runs must be byte-identical

@@ -63,6 +63,13 @@ class FaultKind(str, Enum):
     BIT_FLIP = "bit_flip"
     #: The process dies on the spot (kill-at-any-point).
     CRASH = "crash"
+    #: Every matching operation fails with ``ENOENT`` — a root whose
+    #: disk was pulled.  With no ``at``/``rate`` the rule fires on every
+    #: match (pair with ``limit=None``): a dead root stays dead.
+    ROOT_DOWN = "root_down"
+    #: Matching operations fail with ``EIO`` intermittently — a dying
+    #: disk.  Schedule with ``rate`` (and usually ``limit=None``).
+    FLAKY_ROOT = "flaky_root"
 
 
 class InjectedCrash(BaseException):
@@ -159,6 +166,10 @@ class FaultPlane:
             fires = state.seen in rule.at or (
                 rule.rate > 0.0 and self._rng.random() < rule.rate
             )
+            if not rule.at and rule.rate <= 0.0 and rule.kind is FaultKind.ROOT_DOWN:
+                # An unscheduled root_down is a steady-state outage, not
+                # an event: it fires on every matching operation.
+                fires = True
             if fires:
                 state.fired += 1
                 self.fired_log.append((op, path, rule.kind))

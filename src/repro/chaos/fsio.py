@@ -41,6 +41,8 @@ __all__ = [
 def _raise_io(kind: FaultKind, op: str, path: str) -> None:
     if kind is FaultKind.ENOSPC:
         raise OSError(errno.ENOSPC, f"injected ENOSPC during {op}", path)
+    if kind is FaultKind.ROOT_DOWN:
+        raise OSError(errno.ENOENT, f"injected root_down during {op}", path)
     raise OSError(errno.EIO, f"injected EIO during {op}", path)
 
 
@@ -60,7 +62,12 @@ def guard(op: str, path: str | Path) -> FaultRule | None:
         return None
     if rule.kind is FaultKind.CRASH:
         plane.crash(op, str(path))
-    if rule.kind in (FaultKind.ENOSPC, FaultKind.EIO):
+    if rule.kind in (
+        FaultKind.ENOSPC,
+        FaultKind.EIO,
+        FaultKind.ROOT_DOWN,
+        FaultKind.FLAKY_ROOT,
+    ):
         _raise_io(rule.kind, op, str(path))
     return rule
 

@@ -257,6 +257,12 @@ def _build_store_parser() -> argparse.ArgumentParser:
         help="pin a shard digest into the hot tier (repeatable; never "
         "evicted once loaded)",
     )
+    tier_init.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="publish every object (and mirror every manifest) to R "
+        "distinct roots so any single root can be lost without data "
+        "loss (default 1 = no replication)",
+    )
     tier_rebalance = tier_sub.add_parser(
         "rebalance",
         help="move buckets toward the leveled placement (crash-safe, "
@@ -345,6 +351,14 @@ def _build_store_parser() -> argparse.ArgumentParser:
         help="directory holding the source pcap traces (a study --out-dir); "
         "repair verifies each trace's digest before trusting it",
     )
+    repair.add_argument(
+        "--replicas",
+        action="store_true",
+        help="replica repair instead: drain the under-replicated queue "
+        "and sweep the store, restoring every object and manifest to "
+        "its full replica set from digest-verified copies (tiered "
+        "stores only)",
+    )
 
     from ..store.query import GROUP_DIMENSIONS
 
@@ -422,6 +436,19 @@ def _store_main(argv: list[str]) -> int:
         report = StoreScrubber(store).scrub(
             quarantine=not args.audit_only, tmp_grace_s=args.tmp_grace
         )
+        print(report.render())
+        return 0 if report.ok else 1
+    if args.command == "repair" and args.replicas:
+        from ..store.tier import TieredStore
+
+        if not isinstance(store, TieredStore):
+            print(
+                f"error: {args.store_dir} is not a tiered store — "
+                "`repair --replicas` needs one (run `store tier init`)",
+                file=sys.stderr,
+            )
+            return 2
+        report = store.repair_replicas()
         print(report.render())
         return 0 if report.ok else 1
     if args.command == "repair":
@@ -510,14 +537,20 @@ def _store_tier_main(args) -> int:
                     else DEFAULT_HOT_BYTES
                 ),
                 pinned=tuple(args.pin or ()),
+                replicas=args.replicas,
             )
-        except FileExistsError as exc:
+        except (FileExistsError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         status = store.tier_status()
+        replicas = (
+            f", replicas={status['replicas']}"
+            if status["replicas"] > 1
+            else ""
+        )
         print(
             f"initialized tier at {args.store_dir}: "
-            f"{len(status['roots'])} root(s), "
+            f"{len(status['roots'])} root(s){replicas}, "
             f"{len(status['misplaced'])} bucket(s) awaiting rebalance"
         )
         return 0
@@ -562,12 +595,34 @@ def _store_tier_main(args) -> int:
         return 0
     # status
     status = store.tier_status()
-    print(f"tier at {args.store_dir}")
+    replicas = (
+        f" (replicas={status['replicas']}, "
+        f"effective={status['effective_replicas']})"
+        if status["replicas"] > 1
+        else ""
+    )
+    print(f"tier at {args.store_dir}{replicas}")
     for root in status["roots"]:
+        if root["status"] == "down":
+            print(
+                f"  root[{root['index']}] {root['path']}: DOWN "
+                f"({root['buckets']} bucket(s) assigned; reads fall back "
+                "to replicas)"
+            )
+            continue
+        breaker = root["health"]["state"]
+        suffix = f" [breaker {breaker}]" if breaker != "closed" else ""
         print(
             f"  root[{root['index']}] {root['path']}: "
             f"{root['buckets']} bucket(s), {root['objects']} object(s), "
-            f"{root['bytes']} bytes"
+            f"{root['bytes']} bytes{suffix}"
+        )
+    under = status["under_replicated"]
+    if under["objects"] or under["manifests"]:
+        print(
+            f"  under-replicated: {under['objects']} object(s), "
+            f"{under['manifests']} manifest(s) queued "
+            "(run `store repair --replicas`)"
         )
     if status["moving"]:
         print(f"  moving: {status['moving']}")
@@ -646,6 +701,17 @@ def _build_daemon_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--watch-interval", type=float, default=None, metavar="SECONDS",
         help="seconds between watch rescans of an idle feed (default 2)",
+    )
+    parser.add_argument(
+        "--no-maintenance", dest="maintenance",
+        action="store_const", const=False, default=None,
+        help="disable idle-loop store maintenance (incremental scrub + "
+        "checkpoint compaction between traces)",
+    )
+    parser.add_argument(
+        "--maintenance-interval", type=float, default=None,
+        metavar="SECONDS",
+        help="minimum seconds between idle maintenance ticks (default 5)",
     )
     parser.add_argument(
         "--config", default=None, metavar="PATH",
@@ -766,6 +832,7 @@ def _daemon_main(argv: list[str]) -> int:
     for name in (
         "window", "checkpoint_every", "error_policy", "packet_rate",
         "drain_timeout", "watch", "watch_interval",
+        "maintenance", "maintenance_interval",
     ):
         value = getattr(args, name)
         if value is not None:

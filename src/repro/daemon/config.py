@@ -109,6 +109,17 @@ class DaemonConfig:
     watch: bool = False
     #: Seconds between watch rescans of an idle directory feed.
     watch_interval: float = 2.0
+    #: Idle-loop maintenance: when no feed has sent a message for
+    #: :attr:`maintenance_idle_s`, the supervisor tick runs one bounded
+    #: incremental-scrub step and one checkpoint compaction pass in the
+    #: daemon process itself — no extra workers, no cron.
+    maintenance: bool = True
+    #: Minimum quiet time (no feed messages) before maintenance runs.
+    maintenance_idle_s: float = 1.0
+    #: Minimum seconds between two maintenance ticks.
+    maintenance_interval: float = 5.0
+    #: Items one incremental-scrub step may verify per tick.
+    maintenance_budget: int = 64
 
     def flow_budget_for(self, tenant: str) -> int:
         """The flow budget one tenant's feed actually runs with."""
@@ -187,6 +198,10 @@ _FILE_SETTINGS = (
     "drain_timeout",
     "watch",
     "watch_interval",
+    "maintenance",
+    "maintenance_idle_s",
+    "maintenance_interval",
+    "maintenance_budget",
 )
 
 

@@ -121,6 +121,12 @@ class DaemonSupervisor:
         self.feeds = {spec.name: FeedState(spec) for spec in self.tenants}
         self._stop = False
         self._drain_deadline: float | None = None
+        #: Idle-maintenance state: last feed message, next allowed tick,
+        #: and the lazily opened store + scrubber the ticks reuse.
+        self._last_activity = time.monotonic()
+        self._next_maintenance = 0.0
+        self._maintenance_scrubber = None
+        self._maintenance_store = None
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
@@ -215,6 +221,60 @@ class DaemonSupervisor:
             for state in feeds.values():
                 if state.alive:
                     self._service(state)
+            self._maybe_maintain(time.monotonic())
+
+    def _maybe_maintain(self, now: float) -> None:
+        """Run one bounded maintenance increment if the daemon is idle.
+
+        "Idle" means no feed has sent a *progress* message for
+        ``maintenance_idle_s`` — feeds between traces, in backoff, or
+        all done.  Heartbeats don't count: a watch-mode feed waiting on
+        an empty directory beats forever, and that is exactly when
+        maintenance should run.  Each tick is one :meth:`IncrementalScrubber.step`
+        plus one checkpoint-compaction pass, both budget/grace-bounded,
+        in this process — the supervisor tick the loop already owns, no
+        new workers.  Maintenance must never take the daemon down: any
+        failure becomes a ``maintenance_error`` event and the loop moves
+        on.
+        """
+        config = self.config
+        if not config.maintenance or self._stop:
+            return
+        if now - self._last_activity < config.maintenance_idle_s:
+            return
+        if now < self._next_maintenance:
+            return
+        self._next_maintenance = now + config.maintenance_interval
+        try:
+            if self._maintenance_scrubber is None:
+                from ..store.tier import (
+                    IncrementalScrubber,
+                    compact_checkpoints,
+                    open_store,
+                )
+
+                self._maintenance_store = open_store(self.store_root)
+                self._maintenance_scrubber = IncrementalScrubber(
+                    self._maintenance_store
+                )
+                self._compact = compact_checkpoints
+            cursor = self._maintenance_scrubber.step(
+                budget=config.maintenance_budget
+            )
+            compaction = self._compact(self._maintenance_store)
+            self.telemetry.emit(
+                "maintenance",
+                scrub_phase=cursor["phase"],
+                objects_checked=cursor["objects_checked"],
+                manifests_checked=cursor["manifests_checked"],
+                compacted=len(compaction.compacted),
+            )
+        except Exception as exc:  # noqa: BLE001 — maintenance is best-effort
+            self.telemetry.emit(
+                "maintenance_error",
+                kind=ErrorKind.WORKER_ERROR.value,
+                detail=str(exc),
+            )
 
     def _feed_payload(self, spec: TenantSpec) -> dict:
         """The launch payload for one tenant's feed process — notably
@@ -340,6 +400,7 @@ class DaemonSupervisor:
                 state.last_beat = time.monotonic()
                 continue
             if message[0] == "msg" and len(message) == 3:
+                self._last_activity = time.monotonic()
                 self._handle(state, message[1], message[2])
 
     def _handle(self, state: FeedState, kind: str, body: dict) -> None:

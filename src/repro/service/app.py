@@ -834,12 +834,25 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _health(self) -> dict:
         service = self.service
+        store_stats = service.store.stats()
+        # A tiered store with a dead root still serves (replicas cover
+        # it) but an operator must see the degradation here, not in a
+        # post-mortem: any down root or queued repair flips the status.
+        status = "ok"
+        tier = store_stats.get("tier")
+        if tier is not None:
+            under = tier.get("under_replicated", {})
+            degraded = any(
+                root.get("status") == "down" for root in tier["roots"]
+            ) or under.get("objects") or under.get("manifests")
+            if degraded:
+                status = "degraded"
         return {
-            "status": "ok",
+            "status": status,
             "uptime_s": round(
                 time.monotonic() - service._started_monotonic, 3
             ),
-            "store": service.store.stats(),
+            "store": store_stats,
             "cache": service.cache.stats(),
             "jobs": service.jobs.stats(),
             "responses": service.status_counts(),

@@ -85,6 +85,9 @@ class GcReport:
     #: Young ``.tmp`` files spared by the grace period — likely a live
     #: writer (the daemon) mid-publish, never removed.
     in_flight_tmp: int = 0
+    #: Mirror manifests removed because their primary copy is gone
+    #: (tiered stores with replication only; always 0 on a flat store).
+    orphan_mirrors: int = 0
 
 
 class CachedDataset:
@@ -217,6 +220,11 @@ class ConnStore:
         same filesystem as the damage it removes)."""
         return self.root
 
+    def manifest_dirs(self) -> list[Path]:
+        """Every directory holding manifest files (primary first; a
+        replicated tiered store adds its mirror directories)."""
+        return [self.manifests_dir]
+
     def _object_files(self) -> Iterator[Path]:
         """Every shard object file across every root, per-dir sorted."""
         for directory in self.object_dirs():
@@ -279,6 +287,11 @@ class ConnStore:
         path = self._manifest_path(key)
         text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
         fsio.publish_text(path, text, tmp_prefix=f".{key[:12]}-")
+
+    def _delete_manifest(self, key: str) -> None:
+        """Retire one manifest (a completed streaming checkpoint).  A
+        replicated tiered store also drops the mirrors here."""
+        self._manifest_path(key).unlink(missing_ok=True)
 
     def lookup(self, key: str) -> dict | None:
         """Load a manifest by key, following generation-key aliases.
@@ -526,7 +539,7 @@ class ConnStore:
         # Temp files survive a publish only when its writer crashed —
         # or when the writer is alive and mid-flight right now, which
         # only the file's age can distinguish.
-        for base in (*self.object_dirs(), self.manifests_dir, self.root / DAEMON_DIR):
+        for base in (*self.object_dirs(), *self.manifest_dirs(), self.root / DAEMON_DIR):
             if not base.is_dir():
                 continue
             for path in sorted(base.rglob(f"*{_TMP_SUFFIX}")):

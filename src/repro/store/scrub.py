@@ -62,6 +62,7 @@ from .cache import (
     ConnStore,
     DAEMON_DIR,
     DEFAULT_TMP_GRACE,
+    _OBJECT_SUFFIX,
     _TMP_SUFFIX,
 )
 from .shard import ShardError, decode_shard
@@ -105,6 +106,12 @@ class ScrubReport:
     #: Young temp files inside the grace period — a live writer's
     #: in-flight publishes, not damage.
     in_flight_tmp: int = 0
+    #: The store's replica target (1 for flat / unreplicated stores).
+    replica_target: int = 1
+    #: Objects short of the target: digest -> verified copies found.
+    under_replicated: dict[str, int] = field(default_factory=dict)
+    #: Manifests short of mirrors: key -> identical copies found.
+    under_replicated_manifests: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -114,6 +121,8 @@ class ScrubReport:
             or self.corrupt_manifests
             or self.missing_refs
             or self.dead_checkpoints
+            or self.under_replicated
+            or self.under_replicated_manifests
         )
 
     @property
@@ -149,6 +158,18 @@ class ScrubReport:
             lines.append(
                 f"  {verb} unresumable checkpoint {finding.path}: "
                 f"{finding.detail}"
+            )
+        for digest, copies in sorted(self.under_replicated.items()):
+            lines.append(
+                f"  under-replicated object {digest[:12]}…: {copies}/"
+                f"{self.replica_target} cop{'y' if copies == 1 else 'ies'} "
+                "(run `store repair --replicas`)"
+            )
+        for key, copies in sorted(self.under_replicated_manifests.items()):
+            lines.append(
+                f"  under-replicated manifest {key[:12]}…: {copies}/"
+                f"{self.replica_target} cop{'y' if copies == 1 else 'ies'} "
+                "(run `store repair --replicas`)"
             )
         if self.stale_tmp:
             lines.append(
@@ -197,6 +218,13 @@ class StoreScrubber:
         target_dir.mkdir(parents=True, exist_ok=True)
         target = target_dir / path.name
         os.replace(path, target)
+        if path.name.endswith(_OBJECT_SUFFIX):
+            # A quarantined shard must also leave the hot tier — cached
+            # bytes for a digest the store just disowned would keep
+            # serving after the disk copy is gone.
+            hot = getattr(self.store, "hot", None)
+            if hot is not None:
+                hot.invalidate(path.stem)
         sidecar = {
             "kind": kind,
             "detail": detail,
@@ -246,14 +274,22 @@ class StoreScrubber:
         """
         store = self.store
         report = ScrubReport()
+        placement = getattr(store, "placement", None)
+        report.replica_target = (
+            placement.effective_replicas() if placement is not None else 1
+        )
         # Pass 1: every shard object self-verifies (across every root —
         # a tiered store's secondary roots are walked the same way).
+        # Verified copies are *counted* per digest so the report can
+        # name every object short of the replica target.
+        copies: dict[str, int] = {}
         present: set[str] = set()
         for path in store._object_files():
             report.objects_checked += 1
             error = self._check_object(path)
             if error is None:
                 present.add(path.stem)
+                copies[path.stem] = copies.get(path.stem, 0) + 1
                 continue
             kind = error.kind.value
             rel = str(path.relative_to(store.owning_root(path)))
@@ -263,13 +299,21 @@ class StoreScrubber:
             report.corrupt_objects.append(
                 ScrubFinding(kind, rel, error.detail, destination)
             )
-        # Pass 2: every manifest parses and its references resolve.
+        if report.replica_target > 1:
+            report.under_replicated = {
+                digest: count
+                for digest, count in sorted(copies.items())
+                if count < report.replica_target
+            }
+        # Pass 2: every manifest parses and its references resolve; on a
+        # replicated store each must also have byte-identical mirrors.
         if store.manifests_dir.is_dir():
             for path in sorted(store.manifests_dir.glob("*.json")):
                 report.manifests_checked += 1
                 rel = str(path.relative_to(store.root))
                 try:
-                    payload = json.loads(fsio.read_bytes(path).decode("utf-8"))
+                    text = fsio.read_bytes(path).decode("utf-8")
+                    payload = json.loads(text)
                     if not isinstance(payload, dict):
                         raise ValueError(f"not a JSON object: {type(payload).__name__}")
                 except (OSError, ValueError) as exc:
@@ -281,6 +325,14 @@ class StoreScrubber:
                         ScrubFinding(kind, rel, str(exc), destination)
                     )
                     continue
+                if report.replica_target > 1:
+                    found = 1 + sum(
+                        1
+                        for _, mirror in store.mirror_paths(path.stem)
+                        if self._mirror_matches(mirror, text)
+                    )
+                    if found < report.replica_target:
+                        report.under_replicated_manifests[path.stem] = found
                 if "ref" in payload:
                     continue  # gen-key alias: nothing to resolve here
                 missing = tuple(
@@ -310,7 +362,7 @@ class StoreScrubber:
         # Pass 3: count (never touch) temp files from crashed writers,
         # splitting out a live writer's in-flight publishes by age.
         now = time.time()
-        for base in (*store.object_dirs(), store.manifests_dir, store.root / DAEMON_DIR):
+        for base in (*store.object_dirs(), *store.manifest_dirs(), store.root / DAEMON_DIR):
             if not base.is_dir():
                 continue
             for path in base.rglob(f"*{_TMP_SUFFIX}"):
@@ -323,6 +375,14 @@ class StoreScrubber:
                 else:
                     report.stale_tmp += 1
         return report
+
+    @staticmethod
+    def _mirror_matches(path: Path, text: str) -> bool:
+        """Does one mirror hold exactly the primary's bytes?"""
+        try:
+            return fsio.read_bytes(path).decode("utf-8") == text
+        except (OSError, UnicodeDecodeError):
+            return False
 
     @staticmethod
     def _referenced(payload: dict) -> tuple[str, ...]:

@@ -7,22 +7,33 @@ rest of the pipeline never knows the difference.
 """
 
 from .compact import CompactionReport, compact_checkpoints
+from .health import QUEUE_FILE, HealthTracker, UnderReplicatedQueue
 from .hotcache import HotTier
 from .placement import BUCKETS, DEFAULT_HOT_BYTES, TIER_MANIFEST, PlacementManifest
 from .scrub import CURSOR_FILE, IncrementalScrubber
-from .store import RebalanceReport, TieredStore, init_tier, open_store
+from .store import (
+    RebalanceReport,
+    ReplicaRepairReport,
+    TieredStore,
+    init_tier,
+    open_store,
+)
 
 __all__ = [
     "BUCKETS",
     "CURSOR_FILE",
     "CompactionReport",
     "DEFAULT_HOT_BYTES",
+    "HealthTracker",
     "HotTier",
     "IncrementalScrubber",
     "PlacementManifest",
+    "QUEUE_FILE",
     "RebalanceReport",
+    "ReplicaRepairReport",
     "TIER_MANIFEST",
     "TieredStore",
+    "UnderReplicatedQueue",
     "compact_checkpoints",
     "init_tier",
     "open_store",

@@ -23,6 +23,7 @@ that can stay put.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +35,8 @@ __all__ = [
     "TIER_MANIFEST",
     "BUCKETS",
     "DEFAULT_HOT_BYTES",
+    "DEFAULT_FAILURE_THRESHOLD",
+    "DEFAULT_COOLDOWN_S",
 ]
 
 #: Filename of the placement manifest at the primary root.  Its mere
@@ -46,6 +49,12 @@ BUCKETS = tuple("0123456789abcdef")
 
 #: Default hot-tier budget (bytes of decoded shard payloads kept in RAM).
 DEFAULT_HOT_BYTES = 64 << 20
+
+#: Consecutive I/O failures before a root's circuit breaker opens.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+#: Seconds an open breaker waits before letting one half-open probe through.
+DEFAULT_COOLDOWN_S = 30.0
 
 _SCHEMA = 1
 
@@ -68,10 +77,19 @@ class PlacementManifest:
     hot_bytes: int = DEFAULT_HOT_BYTES
     #: digests pinned into the hot tier (never evicted once loaded).
     pinned: tuple[str, ...] = ()
+    #: Copies of every object (and manifest) kept on distinct roots.
+    #: 1 — the historical behavior — means no redundancy at all.
+    replicas: int = 1
+    #: Root-health circuit breaker: consecutive failures before open,
+    #: and how long open lasts before a half-open probe.
+    failure_threshold: int = DEFAULT_FAILURE_THRESHOLD
+    cooldown_s: float = DEFAULT_COOLDOWN_S
 
     def __post_init__(self) -> None:
         if not self.roots or self.roots[0] != ".":
             raise ValueError('placement roots[0] must be "." (the primary)')
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
         for bucket in BUCKETS:
             self.assign.setdefault(bucket, 0)
         bad = [b for b in self.assign if b not in BUCKETS]
@@ -98,6 +116,52 @@ class PlacementManifest:
         never strand a freshly written shard at the root it is leaving.
         """
         return self.moving.get(bucket, self.assign[bucket])
+
+    def effective_replicas(self) -> int:
+        """The copy count actually achievable: you cannot keep two
+        copies on distinct roots of a one-root store."""
+        return min(self.replicas, len(self.roots))
+
+    @staticmethod
+    def _rendezvous(token: str, indices: list[int]) -> list[int]:
+        """``indices`` in the token's rendezvous order — each (token,
+        index) pair gets a deterministic score, highest first, so every
+        process (and every process *restart*) derives the same
+        secondary set without any coordination."""
+        return sorted(
+            indices,
+            key=lambda index: hashlib.sha256(
+                f"{token}:{index}".encode("utf-8")
+            ).hexdigest(),
+            reverse=True,
+        )
+
+    def replica_order(self, bucket: str, primary: int | None = None) -> list[int]:
+        """Every root index, primary first, then rendezvous order.
+
+        The full list is the read-fallback scan order; its first
+        :meth:`effective_replicas` entries are the bucket's replica set.
+        ``primary`` overrides the placement's active index — rebalance
+        uses it to compute the replica set a bucket will have *after*
+        its pending flip.
+        """
+        home = self.active_index(bucket) if primary is None else primary
+        others = [index for index in range(len(self.roots)) if index != home]
+        return [home] + self._rendezvous(bucket, others)
+
+    def replica_indices(self, bucket: str, primary: int | None = None) -> list[int]:
+        """The roots that must each hold a copy of this bucket's objects."""
+        return self.replica_order(bucket, primary)[: self.effective_replicas()]
+
+    def mirror_indices(self, key: str) -> list[int]:
+        """Secondary roots that mirror one manifest (primary holds the
+        original; mirrors make the metadata plane as redundant as the
+        objects it describes)."""
+        want = self.effective_replicas() - 1
+        if want <= 0:
+            return []
+        others = list(range(1, len(self.roots)))
+        return self._rendezvous(key, others)[:want]
 
     def resolve_roots(self, primary: Path) -> list[Path]:
         """Root specs -> concrete paths (primary-relative unless absolute)."""
@@ -159,6 +223,9 @@ class PlacementManifest:
             "moving": dict(sorted(self.moving.items())),
             "hot_bytes": self.hot_bytes,
             "pinned": sorted(self.pinned),
+            "replicas": self.replicas,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
         }
 
     @classmethod
@@ -169,6 +236,11 @@ class PlacementManifest:
             moving={str(k): int(v) for k, v in payload.get("moving", {}).items()},
             hot_bytes=int(payload.get("hot_bytes", DEFAULT_HOT_BYTES)),
             pinned=tuple(payload.get("pinned", ())),
+            replicas=int(payload.get("replicas", 1)),
+            failure_threshold=int(
+                payload.get("failure_threshold", DEFAULT_FAILURE_THRESHOLD)
+            ),
+            cooldown_s=float(payload.get("cooldown_s", DEFAULT_COOLDOWN_S)),
         )
 
     @classmethod

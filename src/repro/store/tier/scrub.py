@@ -57,6 +57,14 @@ def _fresh_cursor() -> dict:
         "missing_refs": {},
         "stale_tmp": 0,
         "in_flight_tmp": 0,
+        "replica_target": 1,
+        "under_replicated": {},
+        "under_replicated_manifests": {},
+        # Streaming replica counter: the digest whose copies the objects
+        # phase is mid-way through counting when a budget boundary (or a
+        # crash) lands between two copies of it.
+        "pending_digest": None,
+        "pending_copies": 0,
     }
 
 
@@ -77,6 +85,8 @@ class IncrementalScrubber(StoreScrubber):
             return _fresh_cursor()
         if payload.get("phase") not in _PHASES:
             return _fresh_cursor()
+        for key, value in _fresh_cursor().items():
+            payload.setdefault(key, value)  # cursors from older cycles
         return payload
 
     def _save(self, cursor: dict) -> None:
@@ -104,6 +114,10 @@ class IncrementalScrubber(StoreScrubber):
         cursor = self.cursor()
         if cursor["phase"] == "done":
             cursor = _fresh_cursor()
+        placement = getattr(self.store, "placement", None)
+        cursor["replica_target"] = (
+            placement.effective_replicas() if placement is not None else 1
+        )
         if cursor["phase"] == "objects":
             self._step_objects(cursor, budget, quarantine)
         elif cursor["phase"] == "manifests":
@@ -136,6 +150,15 @@ class IncrementalScrubber(StoreScrubber):
         # path breaks ties when a duplicate copy exists at two roots.
         return [path.name, str(path)]
 
+    def _flush_pending(self, cursor: dict) -> None:
+        """Close the streaming replica count for the current digest."""
+        digest = cursor["pending_digest"]
+        if digest is not None and cursor["replica_target"] > 1:
+            if cursor["pending_copies"] < cursor["replica_target"]:
+                cursor["under_replicated"][digest] = cursor["pending_copies"]
+        cursor["pending_digest"] = None
+        cursor["pending_copies"] = 0
+
     def _step_objects(self, cursor: dict, budget: int, quarantine: bool) -> None:
         store = self.store
         after = cursor.get("after")
@@ -153,6 +176,13 @@ class IncrementalScrubber(StoreScrubber):
             cursor["objects_checked"] += 1
             error = self._check_object(path)
             if error is None:
+                # Copies of one digest are adjacent in the walk (the
+                # sort key leads with the filename), so replica counting
+                # is a streaming run-length over verified copies.
+                if cursor["pending_digest"] != path.stem:
+                    self._flush_pending(cursor)
+                    cursor["pending_digest"] = path.stem
+                cursor["pending_copies"] += 1
                 continue
             kind = error.kind.value
             owner = store.owning_root(path)
@@ -168,6 +198,7 @@ class IncrementalScrubber(StoreScrubber):
                     "quarantined_to": destination,
                 }
             )
+        self._flush_pending(cursor)
         cursor["phase"] = "manifests"
         cursor["after"] = None
 
@@ -197,7 +228,8 @@ class IncrementalScrubber(StoreScrubber):
             cursor["manifests_checked"] += 1
             rel = str(path.relative_to(store.root))
             try:
-                payload = json.loads(fsio.read_bytes(path).decode("utf-8"))
+                text = fsio.read_bytes(path).decode("utf-8")
+                payload = json.loads(text)
                 if not isinstance(payload, dict):
                     raise ValueError(f"not a JSON object: {type(payload).__name__}")
             except (OSError, ValueError) as exc:
@@ -214,6 +246,14 @@ class IncrementalScrubber(StoreScrubber):
                     }
                 )
                 continue
+            if cursor["replica_target"] > 1:
+                found = 1 + sum(
+                    1
+                    for _, mirror in store.mirror_paths(path.stem)
+                    if self._mirror_matches(mirror, text)
+                )
+                if found < cursor["replica_target"]:
+                    cursor["under_replicated_manifests"][path.stem] = found
             if "ref" in payload:
                 continue
             missing = [
@@ -247,7 +287,7 @@ class IncrementalScrubber(StoreScrubber):
         store = self.store
         now = time.time()
         stale = in_flight = 0
-        bases = [*store.object_dirs(), store.manifests_dir, store.root / DAEMON_DIR]
+        bases = [*store.object_dirs(), *store.manifest_dirs(), store.root / DAEMON_DIR]
         for base in bases:
             if not base.is_dir():
                 continue
@@ -291,4 +331,9 @@ class IncrementalScrubber(StoreScrubber):
             dead_checkpoints=findings(cursor["dead_checkpoints"]),
             stale_tmp=cursor["stale_tmp"],
             in_flight_tmp=cursor["in_flight_tmp"],
+            replica_target=cursor.get("replica_target", 1),
+            under_replicated=dict(cursor.get("under_replicated", {})),
+            under_replicated_manifests=dict(
+                cursor.get("under_replicated_manifests", {})
+            ),
         )

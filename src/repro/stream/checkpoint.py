@@ -434,6 +434,9 @@ class StreamCheckpointer:
         return results
 
     def clear(self) -> None:
-        """Retire the checkpoint (the trace finished and dispatched)."""
-        self.store._manifest_path(self.manifest_key).unlink(missing_ok=True)
+        """Retire the checkpoint (the trace finished and dispatched).
+
+        Goes through the store's delete hook so a replicated tiered
+        store retires the mirror copies along with the primary."""
+        self.store._delete_manifest(self.manifest_key)
         self.batch_digests = []

@@ -246,3 +246,69 @@ def test_guard_is_free_without_a_plane(tmp_path):
     finally:
         stream.close()
     assert (tmp_path / "plain.bin").read_bytes() == b"ok"
+
+
+def test_root_down_fires_on_every_match_and_raises_enoent(tmp_path):
+    activate(
+        FaultPlane(
+            rules=[
+                FaultRule(
+                    FaultKind.ROOT_DOWN, path=f"{tmp_path}/dead*", limit=None
+                )
+            ]
+        )
+    )
+    dead = tmp_path / "dead" / "obj.rcs"
+    # Unscheduled (no at/rate) root_down is a steady-state outage: it
+    # fires on every matching operation, read or write, forever.
+    for _ in range(3):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            fsio.guard("read", dead)
+        assert excinfo.value.errno == errno.ENOENT
+    with pytest.raises(FileNotFoundError):
+        fsio.guard("probe", tmp_path / "dead")
+    # Paths outside the dead root are untouched.
+    assert fsio.guard("read", tmp_path / "alive" / "obj.rcs") is None
+
+
+def test_flaky_root_raises_eio_by_seeded_rate(tmp_path):
+    activate(
+        FaultPlane(
+            seed=3,
+            rules=[
+                FaultRule(
+                    FaultKind.FLAKY_ROOT, op="read",
+                    path=f"{tmp_path}*", rate=0.5, limit=None,
+                )
+            ],
+        )
+    )
+    outcomes = []
+    for _ in range(40):
+        try:
+            fsio.guard("read", tmp_path / "obj.rcs")
+            outcomes.append(True)
+        except OSError as exc:
+            assert exc.errno == errno.EIO
+            outcomes.append(False)
+    assert any(outcomes) and not all(outcomes)  # intermittent, not dead
+    # Same seed, same schedule: the flake sequence is deterministic.
+    activate(
+        FaultPlane(
+            seed=3,
+            rules=[
+                FaultRule(
+                    FaultKind.FLAKY_ROOT, op="read",
+                    path=f"{tmp_path}*", rate=0.5, limit=None,
+                )
+            ],
+        )
+    )
+    replay = []
+    for _ in range(40):
+        try:
+            fsio.guard("read", tmp_path / "obj.rcs")
+            replay.append(True)
+        except OSError:
+            replay.append(False)
+    assert replay == outcomes

@@ -306,3 +306,39 @@ class TestTenantParsing:
     def test_malformed_specs_rejected(self, text):
         with pytest.raises(ValueError):
             parse_tenant(text)
+
+
+class TestIdleMaintenance:
+    def test_idle_ticks_scrub_and_compact_the_store(self, dataset, tmp_path):
+        store = tmp_path / "store"
+        statuses, telemetry = supervise(
+            [TenantSpec("alpha", dataset.traces[0].path)], store,
+            config=fast_config(
+                maintenance_idle_s=0.0,
+                maintenance_interval=0.0,
+                maintenance_budget=16,
+            ),
+        )
+        assert statuses == {"alpha": "done"}
+        ticks = telemetry.unit_events("maintenance")
+        assert ticks, "idle daemon never ran a maintenance increment"
+        assert telemetry.unit_events("maintenance_error") == []
+        # The increments made real progress and persisted their cursor.
+        assert any(e["objects_checked"] > 0 or e["manifests_checked"] > 0
+                   or e["scrub_phase"] == "objects" for e in ticks)
+        assert (store / "scrub-cursor.json").exists()
+
+    def test_no_maintenance_disables_the_idle_tick(self, dataset, tmp_path):
+        store = tmp_path / "store"
+        statuses, telemetry = supervise(
+            [TenantSpec("alpha", dataset.traces[0].path)], store,
+            config=fast_config(
+                maintenance=False,
+                maintenance_idle_s=0.0,
+                maintenance_interval=0.0,
+            ),
+        )
+        assert statuses == {"alpha": "done"}
+        events = {e["event"] for e in telemetry.events}
+        assert "maintenance" not in events
+        assert not (store / "scrub-cursor.json").exists()
